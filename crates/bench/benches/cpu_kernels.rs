@@ -1,0 +1,111 @@
+//! Criterion benchmarks for the *functional* (CPU) kernels: the real Rust
+//! performance of the library's compute paths. Per-figure GPU-model
+//! results come from the `figures` binary; these benches measure the code
+//! a downstream user actually executes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use memcnn_fft::{fft, fft_correlate2d, Complex32, Fft2dPlan};
+use memcnn_kernels::conv::direct_chwn::direct_conv_chwn;
+use memcnn_kernels::conv::conv_forward;
+use memcnn_kernels::im2col::im2col;
+use memcnn_kernels::matmul::sgemm;
+use memcnn_kernels::pool::{pool_forward, PoolOp};
+use memcnn_kernels::softmax::softmax_forward;
+use memcnn_kernels::{ConvShape, PoolShape, SoftmaxShape};
+use memcnn_tensor::{relayout, Layout, Shape, Tensor};
+
+fn bench_sgemm(c: &mut Criterion) {
+    let (m, k, n) = (256, 256, 256);
+    let a: Vec<f32> = (0..m * k).map(|i| (i % 13) as f32 - 6.0).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| (i % 11) as f32 - 5.0).collect();
+    c.bench_function("sgemm 256^3", |bench| {
+        bench.iter(|| sgemm(m, k, n, black_box(&a), black_box(&b)))
+    });
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let s = ConvShape::table1(8, 64, 28, 5, 16, 1);
+    let input = Tensor::random(s.input_shape(), Layout::NCHW, 1);
+    c.bench_function("im2col 8x16x28x28 f5", |bench| {
+        bench.iter(|| im2col(black_box(&input), &s))
+    });
+}
+
+fn bench_conv(c: &mut Criterion) {
+    // LeNet CONV2 at batch 16.
+    let s = ConvShape::table1(16, 16, 14, 5, 16, 1);
+    let nchw = Tensor::random(s.input_shape(), Layout::NCHW, 2);
+    let chwn = nchw.to_layout(Layout::CHWN);
+    let filter = Tensor::random(s.filter_shape(), Layout::NCHW, 3);
+    c.bench_function("conv mm-path 16x16x14x14 f5", |bench| {
+        bench.iter(|| conv_forward(black_box(&nchw), &filter, &s, Layout::NCHW).unwrap())
+    });
+    c.bench_function("conv direct-chwn 16x16x14x14 f5", |bench| {
+        bench.iter(|| direct_conv_chwn(black_box(&chwn), &filter, &s))
+    });
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let s = PoolShape::table1(32, 24, 3, 64, 2);
+    let nchw = Tensor::random(s.input_shape(), Layout::NCHW, 4);
+    let chwn = nchw.to_layout(Layout::CHWN);
+    c.bench_function("maxpool nchw 32x64x24x24", |bench| {
+        bench.iter(|| pool_forward(black_box(&nchw), &s, PoolOp::Max, Layout::NCHW))
+    });
+    c.bench_function("maxpool chwn 32x64x24x24", |bench| {
+        bench.iter(|| pool_forward(black_box(&chwn), &s, PoolOp::Max, Layout::CHWN))
+    });
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let shape = SoftmaxShape::new(128, 1000);
+    let input: Vec<f32> = (0..shape.len()).map(|i| ((i % 97) as f32) * 0.1).collect();
+    c.bench_function("softmax 128x1000", |bench| {
+        bench.iter(|| softmax_forward(black_box(&input), shape))
+    });
+}
+
+fn bench_relayout(c: &mut Criterion) {
+    let shape = Shape::new(64, 32, 28, 28);
+    let t = Tensor::random(shape, Layout::CHWN, 5);
+    c.bench_function("relayout chwn->nchw reference", |bench| {
+        bench.iter(|| relayout::relayout(black_box(&t), Layout::NCHW))
+    });
+    c.bench_function("relayout chwn->nchw parallel", |bench| {
+        bench.iter(|| relayout::relayout_parallel(black_box(&t), Layout::NCHW))
+    });
+    c.bench_function("relayout chwn->nchw 2d-transpose", |bench| {
+        bench.iter(|| relayout::relayout_2d_transpose(black_box(&t), Layout::NCHW))
+    });
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut data: Vec<Complex32> =
+        (0..1024).map(|i| Complex32::new((i as f32).sin(), 0.0)).collect();
+    c.bench_function("fft 1024", |bench| {
+        bench.iter(|| fft(black_box(&mut data)))
+    });
+    let plan = Fft2dPlan::new(64, 64);
+    let mut img: Vec<Complex32> =
+        (0..64 * 64).map(|i| Complex32::real((i % 7) as f32)).collect();
+    c.bench_function("fft2d 64x64", |bench| {
+        bench.iter(|| plan.forward(black_box(&mut img)))
+    });
+    let input: Vec<f32> = (0..48 * 48).map(|i| (i % 9) as f32 - 4.0).collect();
+    let kernel: Vec<f32> = (0..25).map(|i| (i % 5) as f32 - 2.0).collect();
+    c.bench_function("fft_correlate2d 48x48 k5", |bench| {
+        bench.iter(|| fft_correlate2d(black_box(&input), 48, 48, &kernel, 5, 5))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sgemm,
+    bench_im2col,
+    bench_conv,
+    bench_pool,
+    bench_softmax,
+    bench_relayout,
+    bench_fft
+);
+criterion_main!(benches);

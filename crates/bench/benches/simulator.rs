@@ -1,0 +1,60 @@
+//! Criterion benchmarks for the GPU simulator itself: how fast the
+//! trace-sample-and-score pipeline evaluates kernels and networks. These
+//! are the costs a user pays per `simulate()` call (e.g. inside the layout
+//! auto-tuner or the engine's layout DP).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memcnn_core::{Engine, LayoutThresholds, Mechanism};
+use memcnn_gpusim::{simulate, DeviceConfig, SimOptions};
+use memcnn_kernels::conv::direct_chwn::DirectConvChwn;
+use memcnn_kernels::conv::mm_nchw::MmConvNchw;
+use memcnn_kernels::pool::chwn::PoolChwn;
+use memcnn_kernels::softmax::SoftmaxFused;
+use memcnn_kernels::transform::{TransformImpl, TransformKernel};
+use memcnn_kernels::{ConvShape, PoolShape, SoftmaxShape};
+use memcnn_models::networks;
+use memcnn_tensor::{Layout, Shape};
+
+fn bench_kernel_sims(c: &mut Criterion) {
+    let d = DeviceConfig::titan_black();
+    let opts = SimOptions::default();
+    let conv = ConvShape::table1(64, 384, 13, 3, 256, 1); // CONV7
+    c.bench_function("simulate direct-conv CONV7", |b| {
+        b.iter(|| simulate(&d, &DirectConvChwn::new(conv), &opts).unwrap())
+    });
+    c.bench_function("simulate mm-conv CONV7", |b| {
+        b.iter(|| MmConvNchw::new(conv).simulate(&d, &opts).unwrap())
+    });
+    let pool = PoolShape::table1(128, 55, 3, 96, 2); // PL5
+    c.bench_function("simulate pool-chwn PL5", |b| {
+        b.iter(|| simulate(&d, &PoolChwn::new(pool), &opts).unwrap())
+    });
+    c.bench_function("simulate softmax-fused 128x1000", |b| {
+        b.iter(|| simulate(&d, &SoftmaxFused::new(SoftmaxShape::new(128, 1000)), &opts).unwrap())
+    });
+    let shape = Shape::new(64, 96, 55, 55);
+    c.bench_function("simulate transform-opt2 CV6", |b| {
+        b.iter(|| {
+            simulate(
+                &d,
+                &TransformKernel::new(shape, Layout::CHWN, Layout::NCHW, TransformImpl::Opt2),
+                &opts,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_network_sim(c: &mut Criterion) {
+    let engine = Engine::new(DeviceConfig::titan_black(), LayoutThresholds::titan_black_paper());
+    let lenet = networks::lenet().unwrap();
+    c.bench_function("simulate LeNet under cuDNN-MM", |b| {
+        b.iter(|| engine.simulate_network(&lenet, Mechanism::CudnnMm).unwrap())
+    });
+    c.bench_function("simulate LeNet under Opt (layout DP)", |b| {
+        b.iter(|| engine.simulate_network(&lenet, Mechanism::Opt).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_kernel_sims, bench_network_sim);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p memcnn-bench --release --bin figures -- <id>...
+//! cargo run -p memcnn-bench --release --bin figures -- all
+//! ```
+//!
+//! Ids: `table1 fig1 fig3 fig4a fig4b fig5 fig6 fig10 fig11 fig12 fig13
+//! fig14 fig15 thresholds alu-util softmax-ablation mem-overhead titanx
+//! layouts24 transform-quality` (see DESIGN.md §5 for the mapping).
+
+use memcnn_bench::figures;
+use memcnn_bench::util::Ctx;
+
+const ALL: &[&str] = &[
+    "table1",
+    "fig1",
+    "fig3",
+    "fig4a",
+    "fig4b",
+    "fig5",
+    "fig6",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "thresholds",
+    "alu-util",
+    "softmax-ablation",
+    "mem-overhead",
+    "titanx",
+    "layouts24",
+    "transform-quality",
+    "bankmode",
+    "l2-ablation",
+    "training",
+    "winograd",
+];
+
+fn run(id: &str, ctx: &Ctx) -> bool {
+    match id {
+        "table1" => figures::table1_echo(),
+        "fig1" => {
+            figures::fig1(ctx);
+        }
+        "fig3" => {
+            figures::fig3(ctx);
+        }
+        "fig4a" | "fig4b" | "fig4" => {
+            figures::fig4(ctx);
+        }
+        "fig5" => {
+            figures::fig5(ctx);
+        }
+        "fig6" => {
+            figures::fig6(ctx);
+        }
+        "fig10" => {
+            figures::fig10(ctx);
+        }
+        "fig11" => {
+            figures::fig11(ctx);
+        }
+        "fig12" => {
+            figures::fig12(ctx);
+        }
+        "fig13" => {
+            figures::fig13(ctx);
+        }
+        "fig14" => {
+            figures::fig14(ctx);
+        }
+        "fig15" => {
+            figures::fig15(ctx);
+        }
+        "thresholds" => {
+            figures::thresholds_table();
+        }
+        "alu-util" => {
+            figures::alu_utilization(ctx);
+        }
+        "softmax-ablation" => {
+            figures::softmax_ablation(ctx);
+        }
+        "mem-overhead" => {
+            figures::memory_overhead(ctx);
+        }
+        "titanx" => {
+            figures::titan_x_networks();
+        }
+        "layouts24" => {
+            figures::layouts24(ctx);
+        }
+        "transform-quality" => {
+            figures::transform_quality_network(ctx);
+        }
+        "bankmode" => {
+            figures::bank_mode_ablation();
+        }
+        "l2-ablation" => {
+            figures::l2_ablation(ctx);
+        }
+        "training" => {
+            figures::training(ctx);
+        }
+        "winograd" => {
+            figures::winograd(ctx);
+        }
+        _ => return false,
+    }
+    println!();
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: figures <id>... | all\nids: {}", ALL.join(" "));
+        std::process::exit(2);
+    }
+    let ctx = Ctx::titan_black();
+    println!("device: {}\n", ctx.device.name);
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        ALL.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    for id in ids {
+        if !run(id, &ctx) {
+            eprintln!("unknown figure id {id:?}; known: {}", ALL.join(" "));
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,846 @@
+//! One harness per paper table/figure. Each function simulates the exact
+//! workload, prints the same rows/series the paper reports, and returns the
+//! numbers for programmatic checks (integration tests, EXPERIMENTS.md).
+
+use crate::layer_times::{conv_times, pool_times, softmax_times};
+use crate::util::{gbs, geomean, ms, x, Ctx, Table};
+use memcnn_core::engine::TransformQuality;
+use memcnn_core::heuristic::{choose_layout, derive_thresholds};
+use memcnn_core::{Engine, LayoutThresholds, Mechanism};
+use memcnn_gpusim::{simulate, DeviceConfig, SimOptions};
+use memcnn_kernels::conv::direct_chwn::DirectConvChwn;
+use memcnn_kernels::conv::mm_nchw::MmConvNchw;
+use memcnn_kernels::transform::{TransformImpl, TransformKernel, VECTORIZE_MIN_N};
+use memcnn_kernels::{ConvShape, PoolShape};
+use memcnn_models::networks;
+use memcnn_models::table1::{CLASS_LAYERS, CONV_LAYERS, FIG13_SOFTMAX, POOL_LAYERS};
+use memcnn_tensor::Layout;
+
+/// Fig 1: CHWN (cuda-convnet2) vs NCHW (cuDNN v4) on AlexNet's conv and
+/// pooling layers, as normalized execution time (CHWN = 1).
+/// Returns `(name, nchw_over_chwn)` rows.
+pub fn fig1(ctx: &Ctx) -> Vec<(String, f64)> {
+    let net = networks::alexnet().expect("alexnet");
+    let mut rows = Vec::new();
+    let mut cv = 0;
+    let mut pl = 0;
+    for layer in net.layers() {
+        if let Some(shape) = layer.conv_shape() {
+            cv += 1;
+            let t = conv_times(ctx, &shape);
+            rows.push((format!("CV{cv}"), t.mm / t.direct));
+        } else if let Some(shape) = layer.pool_shape() {
+            pl += 1;
+            let t = pool_times(ctx, &shape);
+            rows.push((format!("PL{pl}"), t.cudnn.time() / t.chwn.time()));
+        }
+    }
+    let mut table = Table::new(
+        "Fig 1: normalized execution time on AlexNet layers (CHWN = 1.0)",
+        &["layer", "CHWN", "NCHW"],
+    );
+    for (name, ratio) in &rows {
+        table.row(vec![name.clone(), "1.00".into(), format!("{ratio:.2}")]);
+    }
+    table.print();
+    rows
+}
+
+/// Fig 3: cuda-convnet vs cuDNN(-MM) on CV1-CV12, normalized to
+/// cuda-convnet (the cuDNN bar is `t_convnet / t_cudnn`).
+pub fn fig3(ctx: &Ctx) -> Vec<(String, f64)> {
+    let mut table = Table::new(
+        "Fig 3: conv layers, speedup normalized to cuda-convnet",
+        &["layer", "cuda-convnet", "cuDNN"],
+    );
+    let mut rows = Vec::new();
+    for e in CONV_LAYERS {
+        let t = conv_times(ctx, &e.shape);
+        let cudnn = t.direct / t.mm;
+        table.row(vec![e.name.into(), "1.00".into(), format!("{cudnn:.2}")]);
+        rows.push((e.name.to_string(), cudnn));
+    }
+    table.print();
+    rows
+}
+
+/// One sweep point: `(param value, chwn GFLOPS, nchw GFLOPS)`.
+pub type SweepRow = (usize, f64, f64);
+
+/// Fig 4a/4b: GFLOPS sensitivity sweeps on the CONV7 shape. Returns
+/// `(param, chwn_gflops, nchw_gflops)` rows for both sweeps.
+pub fn fig4(ctx: &Ctx) -> (Vec<SweepRow>, Vec<SweepRow>) {
+    let probe = |n: usize, c: usize| ConvShape::table1(n, 384, 13, 3, c, 1);
+    let measure = |s: &ConvShape| {
+        let t = conv_times(ctx, s);
+        let gf = |t: f64| s.flops() as f64 / t / 1e9;
+        (gf(t.direct), gf(t.mm))
+    };
+    let mut a = Vec::new();
+    for n in [1usize, 3, 16, 32, 64, 128, 256, 384, 512] {
+        let (chwn, nchw) = measure(&probe(n, 256));
+        a.push((n, chwn, nchw));
+    }
+    let mut b = Vec::new();
+    for c in [16usize, 32, 64, 128, 256] {
+        let (chwn, nchw) = measure(&probe(64, c));
+        b.push((c, chwn, nchw));
+    }
+    let mut ta = Table::new("Fig 4a: GFLOPS vs batch size N (CONV7)", &["N", "cuda-convnet", "cuDNN"]);
+    for (n, chwn, nchw) in &a {
+        ta.row(vec![n.to_string(), format!("{chwn:.0}"), format!("{nchw:.0}")]);
+    }
+    ta.print();
+    let mut tb = Table::new("Fig 4b: GFLOPS vs channels C (CONV7)", &["C", "cuda-convnet", "cuDNN"]);
+    for (c, chwn, nchw) in &b {
+        tb.row(vec![c.to_string(), format!("{chwn:.0}"), format!("{nchw:.0}")]);
+    }
+    tb.print();
+    (a, b)
+}
+
+/// One Fig 5 row: speedups over cuda-convnet (None = execution failure).
+#[derive(Clone, Debug)]
+pub struct Fig5Row {
+    /// Layer name.
+    pub name: String,
+    /// cuDNN-MM speedup over cuda-convnet.
+    pub mm: f64,
+    /// cuDNN-FFT speedup (None = failed, CV5/CV6).
+    pub fft: Option<f64>,
+    /// cuDNN-FFT-Tiling speedup.
+    pub fft_tiling: Option<f64>,
+}
+
+/// Fig 5: FFT-based approaches vs cuda-convnet on CV1-CV12.
+pub fn fig5(ctx: &Ctx) -> Vec<Fig5Row> {
+    let mut table = Table::new(
+        "Fig 5: speedups over cuda-convnet (FAIL = execution failure)",
+        &["layer", "cuda-convnet2", "cuDNN-MM", "cuDNN-FFT", "cuDNN-FFT-T"],
+    );
+    let mut rows = Vec::new();
+    for e in CONV_LAYERS {
+        let t = conv_times(ctx, &e.shape);
+        let row = Fig5Row {
+            name: e.name.to_string(),
+            mm: t.direct / t.mm,
+            fft: t.fft.map(|f| t.direct / f),
+            fft_tiling: t.fft_tiling.map(|f| t.direct / f),
+        };
+        let opt = |v: Option<f64>| v.map(|s| format!("{s:.2}")).unwrap_or_else(|| "FAIL".into());
+        table.row(vec![
+            e.name.into(),
+            "1.00".into(),
+            format!("{:.2}", row.mm),
+            opt(row.fft),
+            opt(row.fft_tiling),
+        ]);
+        rows.push(row);
+    }
+    table.print();
+    rows
+}
+
+/// One Fig 6 row.
+#[derive(Clone, Debug)]
+pub struct Fig6Row {
+    /// Layer name.
+    pub name: String,
+    /// Caffe speedup vs cuda-convnet (< 1).
+    pub caffe: f64,
+    /// cuDNN speedup vs cuda-convnet (< 1).
+    pub cudnn: f64,
+    /// Highest achieved DRAM bandwidth across the three, GB/s.
+    pub best_gbs: f64,
+}
+
+/// Fig 6: pooling layers under the three libraries, normalized to
+/// cuda-convnet, with the highest achieved bandwidth per layer.
+pub fn fig6(ctx: &Ctx) -> Vec<Fig6Row> {
+    let mut table = Table::new(
+        "Fig 6: pooling, speedup normalized to cuda-convnet",
+        &["layer", "cuda-convnet", "Caffe", "cuDNN", "best GB/s"],
+    );
+    let mut rows = Vec::new();
+    for e in POOL_LAYERS {
+        let t = pool_times(ctx, &e.shape);
+        let row = Fig6Row {
+            name: e.name.to_string(),
+            caffe: t.chwn.time() / t.caffe.time(),
+            cudnn: t.chwn.time() / t.cudnn.time(),
+            best_gbs: t.chwn.dram_gbs().max(t.caffe.dram_gbs()).max(t.cudnn.dram_gbs()),
+        };
+        table.row(vec![
+            e.name.into(),
+            "1.00".into(),
+            format!("{:.2}", row.caffe),
+            format!("{:.2}", row.cudnn),
+            gbs(row.best_gbs),
+        ]);
+        rows.push(row);
+    }
+    table.print();
+    rows
+}
+
+/// One Fig 10 row: layout-preference speedups with transform overheads.
+#[derive(Clone, Debug)]
+pub struct Fig10Row {
+    /// Layer name.
+    pub name: String,
+    /// Preferred layout by the heuristic.
+    pub layout: Layout,
+    /// Speedup of preferred over alternative layout, no transform cost.
+    pub opt: f64,
+    /// Same, charging a naive round-trip transformation.
+    pub opt_naive: f64,
+    /// Same, charging the optimized transformation.
+    pub opt_fast: f64,
+}
+
+/// Fig 10: per conv layer, the preferred layout's speedup over the
+/// alternative — bare, with naive transforms, with optimized transforms
+/// (input converted in, output converted back: the cost of running this
+/// one layer in its preferred layout inside a network that uses the other).
+pub fn fig10(ctx: &Ctx) -> Vec<Fig10Row> {
+    let th = LayoutThresholds::titan_black_paper();
+    let mut table = Table::new(
+        "Fig 10: preferred-layout speedup per conv layer",
+        &["layer", "pref", "Opt", "Opt+NaiveT", "Opt+OptT"],
+    );
+    let mut rows = Vec::new();
+    for e in CONV_LAYERS {
+        let t = conv_times(ctx, &e.shape);
+        let layout = choose_layout(&e.shape, &th);
+        let (pref, alt) = if layout == Layout::CHWN {
+            (t.direct, t.nchw_best())
+        } else {
+            (t.nchw_best(), t.direct)
+        };
+        let (from, to) = if layout == Layout::CHWN {
+            (Layout::NCHW, Layout::CHWN)
+        } else {
+            (Layout::CHWN, Layout::NCHW)
+        };
+        let tr = |imp: TransformImpl, shape: memcnn_tensor::Shape, from, to| {
+            simulate(&ctx.device, &TransformKernel::new(shape, from, to, imp), &ctx.opts)
+                .expect("transform simulates")
+                .time()
+        };
+        let fast_in = if e.shape.n >= VECTORIZE_MIN_N { TransformImpl::Opt2 } else { TransformImpl::Opt1 };
+        let in_shape = e.shape.input_shape();
+        let out_shape = e.shape.output_shape();
+        let naive = tr(TransformImpl::Naive, in_shape, from, to)
+            + tr(TransformImpl::Naive, out_shape, to, from);
+        let fast = tr(fast_in, in_shape, from, to) + tr(fast_in, out_shape, to, from);
+        let row = Fig10Row {
+            name: e.name.to_string(),
+            layout,
+            opt: alt / pref,
+            opt_naive: alt / (pref + naive),
+            opt_fast: alt / (pref + fast),
+        };
+        table.row(vec![
+            e.name.into(),
+            layout.name(),
+            x(row.opt),
+            x(row.opt_naive),
+            x(row.opt_fast),
+        ]);
+        rows.push(row);
+    }
+    let gm = |f: &dyn Fn(&Fig10Row) -> f64| geomean(&rows.iter().map(f).collect::<Vec<_>>());
+    table.row(vec![
+        "GM".into(),
+        "-".into(),
+        x(gm(&|r| r.opt)),
+        x(gm(&|r| r.opt_naive)),
+        x(gm(&|r| r.opt_fast)),
+    ]);
+    table.print();
+    rows
+}
+
+/// One Fig 11 row: transformation bandwidths (GB/s, payload = read+write).
+#[derive(Clone, Debug)]
+pub struct Fig11Row {
+    /// Layer name.
+    pub name: String,
+    /// Naive kernel bandwidth.
+    pub naive: f64,
+    /// Opt1 (tiled) bandwidth.
+    pub opt1: f64,
+    /// Opt2 (vectorized) bandwidth; None when N < 64.
+    pub opt2: Option<f64>,
+}
+
+/// Fig 11: achieved bandwidth of the three transformation kernels on each
+/// conv layer's input tensor (CHWN -> NCHW).
+pub fn fig11(ctx: &Ctx) -> Vec<Fig11Row> {
+    let mut table = Table::new(
+        "Fig 11: transformation bandwidth (GB/s)",
+        &["layer", "Naive", "Opt1", "Opt2"],
+    );
+    let mut rows = Vec::new();
+    for e in CONV_LAYERS {
+        let shape = e.shape.input_shape();
+        let payload = 2.0 * shape.len() as f64 * 4.0;
+        let bw = |imp: TransformImpl| {
+            let k = TransformKernel::new(shape, Layout::CHWN, Layout::NCHW, imp);
+            let t = simulate(&ctx.device, &k, &ctx.opts).expect("transform").time();
+            payload / t / 1e9
+        };
+        let row = Fig11Row {
+            name: e.name.to_string(),
+            naive: bw(TransformImpl::Naive),
+            opt1: bw(TransformImpl::Opt1),
+            opt2: (shape.n >= VECTORIZE_MIN_N).then(|| bw(TransformImpl::Opt2)),
+        };
+        table.row(vec![
+            e.name.into(),
+            gbs(row.naive),
+            gbs(row.opt1),
+            row.opt2.map(gbs).unwrap_or_else(|| "n/a".into()),
+        ]);
+        rows.push(row);
+    }
+    table.print();
+    rows
+}
+
+/// One Fig 12 row.
+#[derive(Clone, Debug)]
+pub struct Fig12Row {
+    /// Layer name.
+    pub name: String,
+    /// Caffe speedup vs cuda-convnet.
+    pub caffe: f64,
+    /// cuDNN speedup vs cuda-convnet.
+    pub cudnn: f64,
+    /// Opt (auto-tuned coarsened CHWN) speedup vs cuda-convnet.
+    pub opt: f64,
+    /// Tuned expansion factors.
+    pub factors: (usize, usize),
+    /// Opt achieved bandwidth, GB/s.
+    pub opt_gbs: f64,
+}
+
+/// Fig 12: pooling under four implementations, normalized to cuda-convnet.
+pub fn fig12(ctx: &Ctx) -> Vec<Fig12Row> {
+    let mut table = Table::new(
+        "Fig 12: pooling incl. auto-tuned Opt, normalized to cuda-convnet",
+        &["layer", "cuda-convnet", "Caffe", "cuDNN", "Opt", "(ux,uy)", "Opt GB/s"],
+    );
+    let mut rows = Vec::new();
+    for e in POOL_LAYERS {
+        let t = pool_times(ctx, &e.shape);
+        let base = t.chwn.time();
+        let row = Fig12Row {
+            name: e.name.to_string(),
+            caffe: base / t.caffe.time(),
+            cudnn: base / t.cudnn.time(),
+            opt: base / t.opt.time(),
+            factors: (t.tune.ux, t.tune.uy),
+            opt_gbs: t.opt.dram_gbs(),
+        };
+        table.row(vec![
+            e.name.into(),
+            "1.00".into(),
+            format!("{:.2}", row.caffe),
+            format!("{:.2}", row.cudnn),
+            format!("{:.2}", row.opt),
+            format!("({},{})", row.factors.0, row.factors.1),
+            gbs(row.opt_gbs),
+        ]);
+        rows.push(row);
+    }
+    table.print();
+    rows
+}
+
+/// One Fig 13 row.
+#[derive(Clone, Debug)]
+pub struct Fig13Row {
+    /// `batch/categories` label.
+    pub config: String,
+    /// Best baseline bandwidth (GB/s).
+    pub baseline: f64,
+    /// Optimized fused kernel bandwidth (GB/s).
+    pub opt: f64,
+}
+
+/// Fig 13: softmax bandwidth, BL_Best vs Opt, across the twelve configs.
+pub fn fig13(ctx: &Ctx) -> Vec<Fig13Row> {
+    let mut table =
+        Table::new("Fig 13: softmax bandwidth (GB/s)", &["config", "BL_Best", "Opt"]);
+    let mut rows = Vec::new();
+    for shape in FIG13_SOFTMAX {
+        let t = softmax_times(ctx, shape);
+        let row = Fig13Row {
+            config: format!("{}/{}", shape.batch, shape.categories),
+            baseline: t.bandwidth(t.baseline_best()),
+            opt: t.bandwidth(t.fused),
+        };
+        table.row(vec![row.config.clone(), gbs(row.baseline), gbs(row.opt)]);
+        rows.push(row);
+    }
+    table.print();
+    rows
+}
+
+/// One network's Fig 14 row: speedups over cuDNN-MM per mechanism.
+#[derive(Clone, Debug)]
+pub struct Fig14Row {
+    /// Network name.
+    pub network: String,
+    /// `(mechanism label, speedup over cuDNN-MM)` in Fig 14 order.
+    pub speedups: Vec<(String, f64)>,
+}
+
+impl Fig14Row {
+    /// Speedup of one mechanism by label.
+    pub fn speedup(&self, label: &str) -> f64 {
+        self.speedups
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, s)| *s)
+            .unwrap_or(f64::NAN)
+    }
+}
+
+/// Fig 14: the five whole networks under all mechanisms, normalized to
+/// cuDNN-MM. Heavy: simulates every layer under every mechanism.
+pub fn fig14(ctx: &Ctx) -> Vec<Fig14Row> {
+    let nets = networks::all_networks();
+    let mut table = Table::new(
+        "Fig 14: whole-network speedup over cuDNN-MM",
+        &["network", "cuDNN-MM", "cuDNN-FFT", "cuDNN-FFT-T", "cuda-convnet", "Caffe", "cuDNN-Best", "Opt"],
+    );
+    let mut rows = Vec::new();
+    for net in &nets {
+        let mm = ctx
+            .engine
+            .simulate_network(net, Mechanism::CudnnMm)
+            .expect("network simulates")
+            .total_time();
+        let mut speedups = Vec::new();
+        for mech in Mechanism::ALL {
+            let t = ctx
+                .engine
+                .simulate_network(net, mech)
+                .expect("network simulates")
+                .total_time();
+            speedups.push((mech.label().to_string(), mm / t));
+        }
+        let row = Fig14Row { network: net.name.clone(), speedups };
+        table.row(vec![
+            row.network.clone(),
+            x(row.speedup("cuDNN-MM")),
+            x(row.speedup("cuDNN-FFT")),
+            x(row.speedup("cuDNN-FFT-T")),
+            x(row.speedup("cuda-convnet")),
+            x(row.speedup("Caffe")),
+            x(row.speedup("cuDNN-Best")),
+            x(row.speedup("Opt")),
+        ]);
+        rows.push(row);
+    }
+    table.print();
+    rows
+}
+
+/// Fig 15: AlexNet per-layer comparison across mechanisms, normalized to
+/// cuDNN-MM per layer. Returns `(layer, mechanism label, speedup)` rows.
+pub fn fig15(ctx: &Ctx) -> Vec<(String, String, f64)> {
+    let net = networks::alexnet().expect("alexnet");
+    let mechanisms =
+        [Mechanism::CudnnMm, Mechanism::CudaConvnet, Mechanism::CudnnBest, Mechanism::Opt];
+    let reports: Vec<_> = mechanisms
+        .iter()
+        .map(|&m| ctx.engine.simulate_network(&net, m).expect("alexnet simulates"))
+        .collect();
+    let mut table = Table::new(
+        "Fig 15: AlexNet per-layer speedup over cuDNN-MM",
+        &["layer", "cuDNN-MM", "cuda-convnet", "cuDNN-Best", "Opt"],
+    );
+    let mut rows = Vec::new();
+    let interesting = ["CV1", "CV2", "CV3", "CV4", "CV5", "PL1", "PL2", "PL3", "prob"];
+    for name in interesting {
+        let mm_time = reports[0].layer(name).expect("layer exists").time;
+        let mut cells = vec![name.to_string()];
+        for (mech, report) in mechanisms.iter().zip(&reports) {
+            let l = report.layer(name).expect("layer exists");
+            let speedup = mm_time / (l.time + l.transform_before);
+            cells.push(x(speedup));
+            rows.push((name.to_string(), mech.label().to_string(), speedup));
+        }
+        table.row(cells);
+    }
+    table.print();
+    rows
+}
+
+/// Threshold derivation table: `(device name, Ct, Nt)` for the paper's two
+/// GPUs plus a hypothetical bandwidth-starved device (ablation).
+pub fn thresholds_table() -> Vec<(String, usize, usize)> {
+    let opts = SimOptions::default();
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "Derived layout thresholds (one-time profiling per device)",
+        &["device", "Ct", "Nt"],
+    );
+    let mut starved = DeviceConfig::titan_black();
+    starved.name = "hypothetical (half-bandwidth Titan Black)".into();
+    starved.dram_bw /= 2.0;
+    starved.l2_bw /= 2.0;
+    for device in [DeviceConfig::titan_black(), DeviceConfig::titan_x(), starved] {
+        let th = derive_thresholds(&device, &opts).expect("derivation");
+        table.row(vec![device.name.clone(), th.ct.to_string(), th.nt.to_string()]);
+        rows.push((device.name.clone(), th.ct, th.nt));
+    }
+    table.print();
+    rows
+}
+
+/// In-text claim: CV2 (AlexNet's second conv) ALU utilization improves with
+/// the suitable layout (paper: 55.64% -> 78.71% on a Titan X). Returns
+/// `(utilization in worse layout, in better layout)`.
+pub fn alu_utilization(ctx: &Ctx) -> (f64, f64) {
+    // AlexNet CV2: N=128, Ci=96, 27x27, Co=256, F=5, pad 2.
+    let shape = ConvShape { n: 128, ci: 96, h: 27, w: 27, co: 256, fh: 5, fw: 5, stride: 1, pad: 2 };
+    let direct = simulate(&ctx.device, &DirectConvChwn::new(shape), &ctx.opts).expect("direct");
+    let mm = MmConvNchw::new(shape).simulate(&ctx.device, &ctx.opts).expect("mm");
+    // Utilization of the MM pipeline: conv FLOPs over total pipeline time.
+    let mm_util = shape.flops() as f64 / ctx.device.peak_flops / mm.time();
+    let direct_util = direct.timing.alu_utilization;
+    let mut table = Table::new("CV2 ALU utilization by layout", &["layout", "utilization"]);
+    table.row(vec!["NCHW (MM)".into(), format!("{:.2}%", mm_util * 100.0)]);
+    table.row(vec!["CHWN (direct)".into(), format!("{:.2}%", direct_util * 100.0)]);
+    table.print();
+    (mm_util, direct_util)
+}
+
+/// Softmax ablation (in-text §VI.B): fusion alone vs added inner-loop
+/// parallelism, GM speedups over the 5-kernel baseline across the Fig 13
+/// configs. Returns `(gm_fusion, gm_parallel_over_fused_serial)`.
+pub fn softmax_ablation(ctx: &Ctx) -> (f64, f64) {
+    let mut fusion = Vec::new();
+    let mut parallel = Vec::new();
+    let mut table = Table::new(
+        "Softmax ablation: speedup over 5-kernel baseline",
+        &["config", "fusion only", "+parallel inner"],
+    );
+    for shape in FIG13_SOFTMAX {
+        let t = softmax_times(ctx, shape);
+        let f = t.five_kernel / t.fused_serial;
+        let p = t.fused_serial / t.fused;
+        fusion.push(f);
+        parallel.push(p);
+        table.row(vec![
+            format!("{}/{}", shape.batch, shape.categories),
+            x(f),
+            x(p),
+        ]);
+    }
+    let (gm_f, gm_p) = (geomean(&fusion), geomean(&parallel));
+    table.row(vec!["GM".into(), x(gm_f), x(gm_p)]);
+    table.print();
+    (gm_f, gm_p)
+}
+
+/// In-text §VI.A: transformation memory overhead on AlexNet — scratch vs
+/// network footprint. Returns `(scratch_bytes, footprint_bytes)`.
+pub fn memory_overhead(_ctx: &Ctx) -> (u64, u64) {
+    let net = networks::alexnet().expect("alexnet");
+    // Footprint of a training pass (the paper's ~3 GB AlexNet figure is a
+    // forward+backward footprint): activations + gradients (2x) plus
+    // weights and their gradients (2x).
+    let mut footprint: u64 = 2 * net.input.bytes() as u64;
+    for l in net.layers() {
+        footprint += 2 * l.output.bytes() as u64;
+        if let Some(c) = l.conv_shape() {
+            footprint += 2 * c.filter_shape().bytes() as u64;
+        }
+        if let memcnn_core::LayerSpec::Fc { outputs } = l.spec {
+            footprint += 2 * (outputs * l.input.c * l.input.h * l.input.w * 4) as u64;
+        }
+    }
+    // Transformation scratch upper bound: one copy of the largest
+    // intermediate, freed right after the transform (§VI.A).
+    let scratch = net
+        .layers()
+        .iter()
+        .map(|l| l.input.bytes() as u64)
+        .max()
+        .unwrap_or(0);
+    let mut table = Table::new("AlexNet transformation memory overhead", &["quantity", "MB"]);
+    table.row(vec!["largest transform scratch".into(), format!("{:.1}", scratch as f64 / 1e6)]);
+    table.row(vec!["network footprint".into(), format!("{:.1}", footprint as f64 / 1e6)]);
+    table.row(vec![
+        "overhead".into(),
+        format!("{:.2}%", scratch as f64 / footprint as f64 * 100.0),
+    ]);
+    table.print();
+    (scratch, footprint)
+}
+
+/// §VI.C's Titan X check: LeNet and VGG under the mechanisms on the Maxwell
+/// preset. Returns rows like [`fig14`].
+pub fn titan_x_networks() -> Vec<Fig14Row> {
+    let ctx = Ctx::titan_x();
+    let nets = vec![networks::lenet().expect("lenet"), networks::vgg16().expect("vgg")];
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "Titan X: speedup of Opt over each mechanism",
+        &["network", "vs cuda-convnet", "vs Caffe", "vs cuDNN-MM"],
+    );
+    for net in &nets {
+        let time = |m: Mechanism| {
+            ctx.engine.simulate_network(net, m).expect("simulates").total_time()
+        };
+        let opt = time(Mechanism::Opt);
+        let mm = time(Mechanism::CudnnMm);
+        let mut speedups = vec![
+            ("cuda-convnet".to_string(), time(Mechanism::CudaConvnet) / opt),
+            ("Caffe".to_string(), time(Mechanism::Caffe) / opt),
+            ("cuDNN-MM".to_string(), mm / opt),
+        ];
+        table.row(vec![
+            net.name.clone(),
+            x(speedups[0].1),
+            x(speedups[1].1),
+            x(speedups[2].1),
+        ]);
+        speedups.push(("Opt".to_string(), 1.0));
+        rows.push(Fig14Row { network: net.name.clone(), speedups });
+    }
+    table.print();
+    rows
+}
+
+/// Extension beyond the paper: sweep *all 24* layouts for one conv and one
+/// pooling layer, confirming CHWN/NCHW are the right representatives of
+/// the two families (batch-innermost vs batch-outermost).
+pub fn layouts24(ctx: &Ctx) -> Vec<(String, f64)> {
+    // Pooling is the clean case: the kernel family is determined by
+    // whether the innermost dimension is N (coalesced over images) or a
+    // spatial one. Use PL3 and score both families per layout.
+    let shape = PoolShape::table1(128, 24, 3, 64, 2);
+    let t = pool_times(ctx, &shape);
+    let mut rows = Vec::new();
+    let mut table = Table::new(
+        "All 24 layouts, PL3 pooling (family time, s)",
+        &["layout", "family", "time_ms"],
+    );
+    for layout in Layout::all() {
+        let (family, time) = if layout.innermost() == memcnn_tensor::Dim::N {
+            ("N-innermost (cuda-convnet family)", t.chwn.time())
+        } else if layout.innermost() == memcnn_tensor::Dim::W {
+            ("W-innermost (Caffe/cuDNN family)", t.caffe.time())
+        } else {
+            // H- or C-innermost: strided at least as badly as NCHW.
+            ("other (strided)", t.caffe.time().max(t.cudnn.time()))
+        };
+        table.row(vec![layout.name(), family.into(), ms(time)]);
+        rows.push((layout.name(), time));
+    }
+    table.print();
+    rows
+}
+
+/// Fig 10 support: the engine-level effect of transform quality on whole
+/// AlexNet (Opt with naive vs optimized transforms). Returns the two times.
+pub fn transform_quality_network(ctx: &Ctx) -> (f64, f64) {
+    let net = networks::alexnet().expect("alexnet");
+    let fast = ctx
+        .engine
+        .simulate_network(&net, Mechanism::Opt)
+        .expect("simulates")
+        .total_time();
+    let naive_engine = Engine::new(ctx.device.clone(), *ctx.engine.thresholds())
+        .with_transform_quality(TransformQuality::Naive);
+    let naive = naive_engine
+        .simulate_network(&net, Mechanism::Opt)
+        .expect("simulates")
+        .total_time();
+    let mut table = Table::new("AlexNet Opt: transform quality", &["variant", "time_ms"]);
+    table.row(vec!["Opt + optimized transform".into(), ms(fast)]);
+    table.row(vec!["Opt + naive transform".into(), ms(naive)]);
+    table.print();
+    (fast, naive)
+}
+
+/// Ablation: the Opt2 transformation's dependence on Kepler's 8-byte
+/// shared-memory bank mode. Finding: in this model the Opt2-over-Opt1 edge
+/// survives without the mode — the transform is DRAM-bound, so the extra
+/// shared-memory passes stay off the critical path; the edge is carried by
+/// the doubled per-warp burst size (the paper's "global access
+/// transactions will be doubled for data fetching") and the halved
+/// instruction stream. Returns `(opt2_over_opt1_kepler, opt2_over_opt1_no8b)`.
+pub fn bank_mode_ablation() -> (f64, f64) {
+    let shape = memcnn_tensor::Shape::new(64, 96, 55, 55); // CV6 input
+    let opts = SimOptions::default();
+    let speedup = |device: &DeviceConfig| {
+        let t = |imp| {
+            simulate(
+                device,
+                &TransformKernel::new(shape, Layout::CHWN, Layout::NCHW, imp),
+                &opts,
+            )
+            .expect("transform")
+            .time()
+        };
+        t(TransformImpl::Opt1) / t(TransformImpl::Opt2)
+    };
+    let kepler = DeviceConfig::titan_black();
+    let mut no8b = DeviceConfig::titan_black();
+    no8b.name = "Titan Black without 8-byte bank mode".into();
+    no8b.supports_8byte_banks = false;
+    let (with_mode, without_mode) = (speedup(&kepler), speedup(&no8b));
+    let mut table = Table::new(
+        "Ablation: Opt2/Opt1 transform speedup vs shared-memory bank mode (CV6)",
+        &["device", "Opt2 over Opt1"],
+    );
+    table.row(vec![kepler.name.clone(), x(with_mode)]);
+    table.row(vec![no8b.name, x(without_mode)]);
+    table.print();
+    (with_mode, without_mode)
+}
+
+/// Ablation: the L2 model's contribution. Disabling it sends every sector
+/// to DRAM; kernels with real reuse (overlapped pooling) slow down while
+/// streaming kernels barely move. Returns `(pool_ratio, stream_ratio)` of
+/// no-L2 time over with-L2 time.
+pub fn l2_ablation(ctx: &Ctx) -> (f64, f64) {
+    use memcnn_kernels::pool::chwn::PoolChwn;
+    let no_l2 = SimOptions { l2_enabled: false, ..Default::default() };
+    let pool = PoolShape::table1(128, 24, 3, 64, 2); // PL3, overlapped
+    let pool_with = simulate(&ctx.device, &PoolChwn::new(pool), &ctx.opts).unwrap().time();
+    let pool_without = simulate(&ctx.device, &PoolChwn::new(pool), &no_l2).unwrap().time();
+    let stream = memcnn_kernels::layers::ElementwiseKernel::new("relu", 32 << 20, 1);
+    let s_with = simulate(&ctx.device, &stream, &ctx.opts).unwrap().time();
+    let s_without = simulate(&ctx.device, &stream, &no_l2).unwrap().time();
+    let (pr, sr) = (pool_without / pool_with, s_without / s_with);
+    let mut table = Table::new("Ablation: disabling the L2 model", &["kernel", "slowdown"]);
+    table.row(vec!["overlapped pooling (PL3)".into(), x(pr)]);
+    table.row(vec!["streaming elementwise".into(), x(sr)]);
+    table.print();
+    (pr, sr)
+}
+
+/// Extension (§VII outlook): Winograd F(2x2, 3x3) vs the paper's
+/// implementations on every 3x3 stride-1 layer of Table 1. Returns
+/// `(layer, winograd_speedup_over_best_of_paper)`.
+pub fn winograd(ctx: &Ctx) -> Vec<(String, f64)> {
+    use memcnn_kernels::conv::winograd::WinogradConvNchw;
+    let mut table = Table::new(
+        "Extension: Winograd F(2x2,3x3) vs the paper's implementations",
+        &["layer", "best-of-paper", "best impl", "Winograd", "speedup"],
+    );
+    let mut rows = Vec::new();
+    for e in CONV_LAYERS {
+        if e.shape.fh != 3 || e.shape.stride != 1 {
+            continue;
+        }
+        let t = conv_times(ctx, &e.shape);
+        let (best, label) = t.best();
+        let w = WinogradConvNchw::new(e.shape)
+            .expect("3x3 stride-1 layer")
+            .simulate(&ctx.device, &ctx.opts)
+            .expect("winograd simulates")
+            .time();
+        let speedup = best / w;
+        table.row(vec![
+            e.name.into(),
+            ms(best),
+            label.into(),
+            ms(w),
+            x(speedup),
+        ]);
+        rows.push((e.name.to_string(), speedup));
+    }
+    table.print();
+    rows
+}
+
+/// Training-step costs (the §IV.D "complete forward-backward" setting):
+/// forward vs forward+backward per network under Opt, plus the layout
+/// benefit surviving into training. Returns
+/// `(network, fwd_ms, train_ms, train_speedup_over_mm)`.
+pub fn training(ctx: &Ctx) -> Vec<(String, f64, f64, f64)> {
+    let mut table = Table::new(
+        "Training step under Opt (forward + backward)",
+        &["network", "fwd ms", "train ms", "bwd/fwd", "Opt/MM (train)"],
+    );
+    let mut rows = Vec::new();
+    for net in networks::all_networks() {
+        let fwd = ctx
+            .engine
+            .simulate_network(&net, Mechanism::Opt)
+            .expect("simulates")
+            .total_time();
+        let train = ctx
+            .engine
+            .simulate_network_training(&net, Mechanism::Opt)
+            .expect("simulates")
+            .total_time();
+        let mm_train = ctx
+            .engine
+            .simulate_network_training(&net, Mechanism::CudnnMm)
+            .expect("simulates")
+            .total_time();
+        table.row(vec![
+            net.name.clone(),
+            ms(fwd),
+            ms(train),
+            format!("{:.2}", (train - fwd) / fwd),
+            x(mm_train / train),
+        ]);
+        rows.push((net.name.clone(), fwd, train, mm_train / train));
+    }
+    table.print();
+    rows
+}
+
+/// Table 1 echo: the benchmark zoo as parsed.
+pub fn table1_echo() {
+    let mut t = Table::new("Table 1: conv layers", &["name", "N", "Co", "H/W", "F", "Ci", "S", "net"]);
+    for e in CONV_LAYERS {
+        let s = e.shape;
+        t.row(vec![
+            e.name.into(),
+            s.n.to_string(),
+            s.co.to_string(),
+            s.h.to_string(),
+            s.fh.to_string(),
+            s.ci.to_string(),
+            s.stride.to_string(),
+            e.network.into(),
+        ]);
+    }
+    t.print();
+    let mut t = Table::new("Table 1: pooling layers", &["name", "N", "H/W", "win", "C", "S", "net"]);
+    for e in POOL_LAYERS {
+        let s = e.shape;
+        t.row(vec![
+            e.name.into(),
+            s.n.to_string(),
+            s.h.to_string(),
+            s.window.to_string(),
+            s.c.to_string(),
+            s.stride.to_string(),
+            e.network.into(),
+        ]);
+    }
+    t.print();
+    let mut t = Table::new("Table 1: classifiers", &["name", "images", "categories", "net"]);
+    for e in CLASS_LAYERS {
+        t.row(vec![
+            e.name.into(),
+            e.shape.batch.to_string(),
+            e.shape.categories.to_string(),
+            e.network.into(),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,187 @@
+//! Per-layer timing helpers shared by the figure harnesses.
+
+use crate::util::Ctx;
+use memcnn_core::autotune::{tune_pooling, PoolTuneResult};
+use memcnn_gpusim::{simulate, simulate_sequence, KernelReport, KernelSpec};
+use memcnn_kernels::conv::direct_chwn::DirectConvChwn;
+use memcnn_kernels::conv::fft_nchw::{FftConvMode, FftConvNchw};
+use memcnn_kernels::conv::mm_nchw::MmConvNchw;
+use memcnn_kernels::pool::chwn::PoolChwn;
+use memcnn_kernels::pool::nchw::{PoolNchwCaffe, PoolNchwCudnn};
+use memcnn_kernels::softmax::{cudnn_pipeline, five_kernel_pipeline, SoftmaxFused, SoftmaxFusedSerial};
+use memcnn_kernels::{ConvShape, PoolShape, SoftmaxShape};
+
+/// All convolution implementation timings for one layer (seconds).
+#[derive(Clone, Copy, Debug)]
+pub struct ConvTimes {
+    /// cuda-convnet direct convolution (CHWN).
+    pub direct: f64,
+    /// Caffe/cuDNN MM convolution (NCHW).
+    pub mm: f64,
+    /// cuDNN FFT mode (None = execution failure, as in Fig 5).
+    pub fft: Option<f64>,
+    /// cuDNN FFT-tiling mode.
+    pub fft_tiling: Option<f64>,
+}
+
+impl ConvTimes {
+    /// Best NCHW-side time (cuDNN-Best per layer).
+    pub fn nchw_best(&self) -> f64 {
+        [Some(self.mm), self.fft, self.fft_tiling]
+            .into_iter()
+            .flatten()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Best overall time and its layout/implementation label.
+    pub fn best(&self) -> (f64, &'static str) {
+        if self.direct <= self.nchw_best() {
+            (self.direct, "CHWN/direct")
+        } else if self.nchw_best() == self.mm {
+            (self.mm, "NCHW/mm")
+        } else if self.fft == Some(self.nchw_best()) {
+            (self.nchw_best(), "NCHW/fft")
+        } else {
+            (self.nchw_best(), "NCHW/fft-t")
+        }
+    }
+}
+
+/// Measure every convolution implementation on a layer.
+pub fn conv_times(ctx: &Ctx, shape: &ConvShape) -> ConvTimes {
+    let direct = simulate(&ctx.device, &DirectConvChwn::new(*shape), &ctx.opts)
+        .expect("direct conv simulates")
+        .time();
+    let mm = MmConvNchw::new(*shape)
+        .simulate(&ctx.device, &ctx.opts)
+        .expect("mm conv simulates")
+        .time();
+    let fft_time = |mode| {
+        FftConvNchw::new(*shape, mode)
+            .ok()
+            .and_then(|p| p.simulate(&ctx.device, &ctx.opts).ok())
+            .map(|r| r.time())
+    };
+    ConvTimes {
+        direct,
+        mm,
+        fft: fft_time(FftConvMode::Full),
+        fft_tiling: fft_time(FftConvMode::Tiled),
+    }
+}
+
+/// All pooling implementation reports for one layer.
+#[derive(Clone, Debug)]
+pub struct PoolTimes {
+    /// cuda-convnet (CHWN, uncoarsened).
+    pub chwn: KernelReport,
+    /// Caffe (NCHW).
+    pub caffe: KernelReport,
+    /// cuDNN (NCHW).
+    pub cudnn: KernelReport,
+    /// The paper's Opt (CHWN, auto-tuned coarsening).
+    pub opt: KernelReport,
+    /// The tuning search result behind `opt`.
+    pub tune: PoolTuneResult,
+}
+
+/// Measure every pooling implementation on a layer.
+pub fn pool_times(ctx: &Ctx, shape: &PoolShape) -> PoolTimes {
+    let chwn = simulate(&ctx.device, &PoolChwn::new(*shape), &ctx.opts).expect("chwn pool");
+    let caffe = simulate(&ctx.device, &PoolNchwCaffe::new(*shape), &ctx.opts).expect("caffe pool");
+    let cudnn = simulate(&ctx.device, &PoolNchwCudnn::new(*shape), &ctx.opts).expect("cudnn pool");
+    let tune = tune_pooling(&ctx.device, shape, &ctx.opts);
+    let opt = simulate(&ctx.device, &PoolChwn::coarsened(*shape, tune.ux, tune.uy), &ctx.opts)
+        .expect("tuned pool");
+    PoolTimes { chwn, caffe, cudnn, opt, tune }
+}
+
+/// Softmax implementation timings (seconds) and achieved bandwidths (GB/s,
+/// app-level: one read + one write of the matrix over the total time).
+#[derive(Clone, Copy, Debug)]
+pub struct SoftmaxTimes {
+    /// cuda-convnet/Caffe 5-kernel baseline.
+    pub five_kernel: f64,
+    /// cuDNN-style multi-kernel baseline.
+    pub cudnn: f64,
+    /// Fused, serial inner loops (ablation step 1).
+    pub fused_serial: f64,
+    /// The paper's fused + parallel-inner kernel (Opt).
+    pub fused: f64,
+    /// Matrix payload bytes (in + out).
+    pub payload_bytes: f64,
+}
+
+impl SoftmaxTimes {
+    /// Best baseline time (the Fig 13 `BL_Best` bar).
+    pub fn baseline_best(&self) -> f64 {
+        self.five_kernel.min(self.cudnn)
+    }
+
+    /// App-level bandwidth of a time, GB/s.
+    pub fn bandwidth(&self, t: f64) -> f64 {
+        self.payload_bytes / t / 1e9
+    }
+}
+
+/// Measure every softmax implementation on a configuration.
+pub fn softmax_times(ctx: &Ctx, shape: SoftmaxShape) -> SoftmaxTimes {
+    let seq = |ks: Vec<Box<dyn KernelSpec + Send>>| {
+        let refs: Vec<&dyn KernelSpec> = ks.iter().map(|k| k.as_ref() as _).collect();
+        simulate_sequence(&ctx.device, &refs, &ctx.opts).expect("softmax pipeline").time()
+    };
+    SoftmaxTimes {
+        five_kernel: seq(five_kernel_pipeline(shape)),
+        cudnn: seq(cudnn_pipeline(shape)),
+        fused_serial: simulate(&ctx.device, &SoftmaxFusedSerial::new(shape), &ctx.opts)
+            .expect("fused serial")
+            .time(),
+        fused: simulate(&ctx.device, &SoftmaxFused::new(shape), &ctx.opts)
+            .expect("fused")
+            .time(),
+        payload_bytes: 2.0 * shape.len() as f64 * 4.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcnn_models::table1;
+
+    #[test]
+    fn conv_times_cover_fft_failures() {
+        let ctx = Ctx::titan_black();
+        let cv5 = table1::conv("CV5").unwrap();
+        let t = conv_times(&ctx, &cv5);
+        assert!(t.fft.is_none() && t.fft_tiling.is_none(), "CV5 FFT must fail");
+        assert!(t.direct > 0.0 && t.mm > 0.0);
+        assert_eq!(t.nchw_best(), t.mm);
+    }
+
+    #[test]
+    fn best_picks_the_minimum() {
+        let t = ConvTimes { direct: 2.0, mm: 3.0, fft: Some(1.0), fft_tiling: Some(1.5) };
+        assert_eq!(t.best(), (1.0, "NCHW/fft"));
+        let t2 = ConvTimes { direct: 0.5, mm: 3.0, fft: None, fft_tiling: None };
+        assert_eq!(t2.best(), (0.5, "CHWN/direct"));
+    }
+
+    #[test]
+    fn pool_times_orderings() {
+        let ctx = Ctx::titan_black();
+        let pl3 = table1::pool("PL3").unwrap();
+        let t = pool_times(&ctx, &pl3);
+        assert!(t.chwn.time() < t.caffe.time());
+        assert!(t.chwn.time() < t.cudnn.time());
+        assert!(t.opt.time() <= t.chwn.time() * 1.001);
+    }
+
+    #[test]
+    fn softmax_times_orderings() {
+        let ctx = Ctx::titan_black();
+        let t = softmax_times(&ctx, SoftmaxShape::new(128, 1000));
+        assert!(t.fused < t.baseline_best());
+        assert!(t.fused_serial < t.five_kernel);
+        assert!(t.bandwidth(t.fused) > t.bandwidth(t.baseline_best()));
+    }
+}

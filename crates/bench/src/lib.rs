@@ -1,0 +1,14 @@
+//! # memcnn-bench — evaluation harnesses
+//!
+//! [`figures`] regenerates every table and figure of the paper's
+//! evaluation (Figs 1, 3-6, 10-15, Table 1, and the in-text claims:
+//! thresholds, ALU utilization, softmax ablation, memory overhead, Titan X
+//! results), printing the same rows/series the paper reports. The
+//! `figures` binary exposes them as subcommands; Criterion benches cover
+//! the real CPU performance of the functional kernels.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod layer_times;
+pub mod util;

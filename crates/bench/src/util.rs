@@ -1,0 +1,150 @@
+//! Shared harness utilities: measurement context and table printing.
+
+use memcnn_core::{Engine, LayoutThresholds};
+use memcnn_gpusim::{DeviceConfig, SimOptions};
+
+/// A measurement context: device + engine + sim options.
+pub struct Ctx {
+    /// The simulated device.
+    pub device: DeviceConfig,
+    /// Engine configured for that device.
+    pub engine: Engine,
+    /// Simulation options.
+    pub opts: SimOptions,
+}
+
+impl Ctx {
+    /// Context on the paper's primary platform (GTX Titan Black) with its
+    /// derived thresholds.
+    pub fn titan_black() -> Ctx {
+        let device = DeviceConfig::titan_black();
+        Ctx {
+            engine: Engine::new(device.clone(), LayoutThresholds::titan_black_paper()),
+            device,
+            opts: SimOptions::default(),
+        }
+    }
+
+    /// Context on the secondary platform (GTX Titan X).
+    pub fn titan_x() -> Ctx {
+        let device = DeviceConfig::titan_x();
+        Ctx {
+            engine: Engine::new(device.clone(), LayoutThresholds::titan_x_paper()),
+            device,
+            opts: SimOptions::default(),
+        }
+    }
+}
+
+/// Geometric mean of positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// A printable results table.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                } else {
+                    widths.push(cell.len());
+                }
+            }
+        }
+        let mut out = format!("== {} ==\n", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format seconds as milliseconds with 3 decimals.
+pub fn ms(t: f64) -> String {
+    format!("{:.3}", t * 1e3)
+}
+
+/// Format a dimensionless ratio with 2 decimals.
+pub fn x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Format GB/s with 1 decimal.
+pub fn gbs(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[5.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["layer", "time"]);
+        t.row(vec!["CV1".into(), "1.23".into()]);
+        t.row(vec!["CV10".into(), "0.5".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("CV10"));
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ms(0.001234), "1.234");
+        assert_eq!(x(2.5), "2.50x");
+        assert_eq!(gbs(123.45), "123.5");
+    }
+}

@@ -1,0 +1,134 @@
+//! Hill-climbing auto-tuner for the pooling working-set expansion — §V.A.
+//!
+//! "To find the best working set expansion factors along both directions,
+//! we design an auto-tuning process which aims to balance the register
+//! pressure and data reuse with a fine-grain search. In order to converge
+//! into the optimal version quickly, we apply a hill-climbing heuristic to
+//! prune the search space. With an initial factor of 2, the expansion
+//! factor continues to increase linearly if the performance improves.
+//! Otherwise it stops."
+
+use memcnn_gpusim::{simulate, DeviceConfig, SimOptions};
+use memcnn_kernels::pool::chwn::PoolChwn;
+use memcnn_kernels::PoolShape;
+use serde::Serialize;
+
+/// Result of tuning one pooling layer.
+#[derive(Clone, Debug, Serialize)]
+pub struct PoolTuneResult {
+    /// Chosen expansion along x.
+    pub ux: usize,
+    /// Chosen expansion along y.
+    pub uy: usize,
+    /// Simulated time of the chosen configuration (seconds).
+    pub time: f64,
+    /// Simulated time of the uncoarsened baseline.
+    pub baseline_time: f64,
+    /// Every `(ux, uy, time)` the search evaluated, in order.
+    pub trace: Vec<(usize, usize, f64)>,
+}
+
+impl PoolTuneResult {
+    /// Speedup over the uncoarsened kernel.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_time / self.time
+    }
+}
+
+/// Generic 1D hill climb: starting from `from`, step the value up while
+/// `eval` keeps improving (smaller is better); returns the best value and
+/// records evaluations.
+fn climb(
+    from: usize,
+    max: usize,
+    mut eval: impl FnMut(usize) -> Option<f64>,
+    best_so_far: f64,
+) -> (usize, f64) {
+    let mut best = (from.saturating_sub(1).max(1), best_so_far);
+    let mut v = from;
+    while v <= max {
+        match eval(v) {
+            Some(t) if t < best.1 => {
+                best = (v, t);
+                v += 1;
+            }
+            _ => break,
+        }
+    }
+    best
+}
+
+/// Tune `(ux, uy)` for a pooling layer on a device by simulated
+/// measurement, with the paper's hill-climbing schedule (climb x, then y).
+pub fn tune_pooling(device: &DeviceConfig, shape: &PoolShape, opts: &SimOptions) -> PoolTuneResult {
+    let mut trace = Vec::new();
+    let mut measure = |ux: usize, uy: usize| -> Option<f64> {
+        let k = PoolChwn::coarsened(*shape, ux, uy);
+        match simulate(device, &k, opts) {
+            Ok(r) => {
+                trace.push((ux, uy, r.time()));
+                Some(r.time())
+            }
+            // Register-pressure cliff: unlaunchable configs end the climb.
+            Err(_) => None,
+        }
+    };
+
+    let baseline = measure(1, 1).expect("uncoarsened pooling must simulate");
+    // Climb ux with uy = 1.
+    let (ux, t_x) = climb(2, shape.out_w(), |v| measure(v, 1), baseline);
+    // Climb uy with the chosen ux.
+    let (uy, t_xy) = climb(2, shape.out_h(), |v| measure(ux, v), t_x);
+
+    PoolTuneResult { ux, uy, time: t_xy, baseline_time: baseline, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlapped_pooling_tunes_to_coarsened_config() {
+        // PL3: overlapped (win 3, stride 2) — reuse exists, so the tuner
+        // should pick an expansion > 1 in at least one direction.
+        let d = DeviceConfig::titan_black();
+        let s = PoolShape::table1(128, 24, 3, 64, 2);
+        let r = tune_pooling(&d, &s, &SimOptions::default());
+        assert!(r.ux * r.uy >= 2, "tuned to ({}, {})", r.ux, r.uy);
+        assert!(r.time <= r.baseline_time);
+        assert!(r.speedup() >= 1.0);
+        assert!(r.trace.len() >= 2);
+    }
+
+    #[test]
+    fn tuned_time_is_min_of_trace() {
+        let d = DeviceConfig::titan_black();
+        let s = PoolShape::table1(128, 55, 3, 96, 2);
+        let r = tune_pooling(&d, &s, &SimOptions::default());
+        let min = r.trace.iter().map(|&(_, _, t)| t).fold(f64::INFINITY, f64::min);
+        assert!(r.time <= min * 1.0001);
+    }
+
+    #[test]
+    fn trace_is_a_hill_climb_path() {
+        // The trace climbs ux first (uy=1), then uy at fixed ux.
+        let d = DeviceConfig::titan_black();
+        let s = PoolShape::table1(128, 24, 3, 64, 2);
+        let r = tune_pooling(&d, &s, &SimOptions::default());
+        let phase1: Vec<_> = r.trace.iter().take_while(|&&(_, uy, _)| uy == 1).collect();
+        assert!(!phase1.is_empty());
+        for w in phase1.windows(2) {
+            assert_eq!(w[1].0, w[0].0 + 1, "ux climbs linearly");
+        }
+    }
+
+    #[test]
+    fn non_overlapped_pooling_stays_uncoarsened_or_close() {
+        // PL1: disjoint windows — no reuse to harvest; the tuner must not
+        // regress below baseline.
+        let d = DeviceConfig::titan_black();
+        let s = PoolShape::table1(128, 28, 2, 16, 2);
+        let r = tune_pooling(&d, &s, &SimOptions::default());
+        assert!(r.time <= r.baseline_time * 1.0001);
+    }
+}

@@ -1,0 +1,695 @@
+//! The execution engine: scores whole networks under each library
+//! mechanism, assigning per-layer layouts and inserting transformation
+//! kernels for the `Opt` mechanism — the integration §IV.D describes
+//! ("by comparing the data layout fields of the current layer and the next
+//! layer, if different, the transformation ... will be performed").
+
+use crate::autotune::tune_pooling;
+use crate::heuristic::{choose_layout, LayoutThresholds};
+use crate::layer::{Layer, LayerSpec};
+use crate::library::Mechanism;
+use crate::net::Network;
+use memcnn_gpusim::{simulate, simulate_sequence, DeviceConfig, KernelSpec, SimError, SimOptions};
+use memcnn_kernels::conv::direct_chwn::DirectConvChwn;
+use memcnn_kernels::conv::fft_nchw::{FftConvMode, FftConvNchw};
+use memcnn_kernels::conv::mm_nchw::MmConvNchw;
+use memcnn_kernels::layers::{ElementwiseKernel, LrnKernel};
+use memcnn_kernels::matmul::gemm_kernel;
+use memcnn_kernels::pool::chwn::PoolChwn;
+use memcnn_kernels::pool::nchw::{PoolNchwCaffe, PoolNchwCudnn};
+use memcnn_kernels::softmax::{cudnn_pipeline, five_kernel_pipeline, SoftmaxFused};
+use memcnn_kernels::transform::{TransformImpl, TransformKernel, VECTORIZE_MIN_N};
+use memcnn_kernels::{ConvShape, PoolShape};
+use memcnn_tensor::{Layout, Shape};
+use serde::Serialize;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which transformation kernels the `Opt` mechanism inserts — Fig 10's
+/// `Opt+Naive Transform` vs `Opt+Optimized Transform` distinction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransformQuality {
+    /// Fig 7a's naive 4D transpose.
+    Naive,
+    /// Fig 7b: tiled (Opt1), vectorized (Opt2) when `N >= 64`.
+    Optimized,
+}
+
+/// How `Opt` assigns layouts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LayoutPolicy {
+    /// The §IV.A rule applied per conv layer; pooling prefers `CHWN`.
+    Heuristic,
+    /// Heuristic seeding refined by simulated profiling: a two-state
+    /// dynamic program over the layer chain that charges transformation
+    /// costs at every boundary (the §IV.D "one-time profiling ... to fine
+    /// tune the data layout settings automatically").
+    Profiled,
+}
+
+/// Per-layer entry of a network report.
+#[derive(Clone, Debug, Serialize)]
+pub struct LayerReport {
+    /// Layer name.
+    pub name: String,
+    /// Layout the layer ran in.
+    pub layout: String,
+    /// Implementation used (e.g. `direct-chwn`, `mm`, `fft`, `fused`).
+    pub impl_name: String,
+    /// Simulated forward time, seconds.
+    pub time: f64,
+    /// Simulated backward time, seconds (0 in forward-only reports).
+    pub backward_time: f64,
+    /// Time of the layout transformation inserted *before* this layer
+    /// (0 when none).
+    pub transform_before: f64,
+    /// Whether an FFT mode failed and fell back to MM (§VI.C).
+    pub fell_back: bool,
+}
+
+/// Simulated execution of a network under one mechanism.
+#[derive(Clone, Debug, Serialize)]
+pub struct NetworkReport {
+    /// Network name.
+    pub network: String,
+    /// Mechanism label.
+    pub mechanism: String,
+    /// Per-layer details.
+    pub layers: Vec<LayerReport>,
+}
+
+impl NetworkReport {
+    /// Total time including transformations and any backward pass.
+    pub fn total_time(&self) -> f64 {
+        self.layers.iter().map(|l| l.time + l.backward_time + l.transform_before).sum()
+    }
+
+    /// Total backward-pass time (0 for forward-only reports).
+    pub fn backward_time(&self) -> f64 {
+        self.layers.iter().map(|l| l.backward_time).sum()
+    }
+
+    /// Total time spent in layout transformations.
+    pub fn transform_time(&self) -> f64 {
+        self.layers.iter().map(|l| l.transform_before).sum()
+    }
+
+    /// Number of transformations inserted.
+    pub fn transform_count(&self) -> usize {
+        self.layers.iter().filter(|l| l.transform_before > 0.0).count()
+    }
+
+    /// Find a layer's report by name.
+    pub fn layer(&self, name: &str) -> Option<&LayerReport> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+}
+
+impl fmt::Display for NetworkReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} under {}: {:.3} ms total ({} transforms, {:.3} ms)",
+            self.network,
+            self.mechanism,
+            self.total_time() * 1e3,
+            self.transform_count(),
+            self.transform_time() * 1e3
+        )?;
+        for l in &self.layers {
+            writeln!(
+                f,
+                "  {:<8} {:<6} {:<16} {:>9.3} ms{}{}{}",
+                l.name,
+                l.layout,
+                l.impl_name,
+                l.time * 1e3,
+                if l.backward_time > 0.0 {
+                    format!("  (+{:.3} ms bwd)", l.backward_time * 1e3)
+                } else {
+                    String::new()
+                },
+                if l.transform_before > 0.0 {
+                    format!("  (+{:.3} ms transform)", l.transform_before * 1e3)
+                } else {
+                    String::new()
+                },
+                if l.fell_back { "  [FFT fell back to MM]" } else { "" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The engine: a device, simulation options, thresholds and caches.
+pub struct Engine {
+    device: DeviceConfig,
+    opts: SimOptions,
+    thresholds: LayoutThresholds,
+    transform_quality: TransformQuality,
+    layout_policy: LayoutPolicy,
+    pool_tune_cache: RefCell<HashMap<PoolShape, (usize, usize)>>,
+}
+
+impl Engine {
+    /// Engine with explicit thresholds (use
+    /// [`crate::heuristic::derive_thresholds`] for the profiled ones).
+    pub fn new(device: DeviceConfig, thresholds: LayoutThresholds) -> Engine {
+        Engine {
+            device,
+            opts: SimOptions::default(),
+            thresholds,
+            transform_quality: TransformQuality::Optimized,
+            layout_policy: LayoutPolicy::Profiled,
+            pool_tune_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Override the transformation quality (Fig 10 ablation).
+    pub fn with_transform_quality(mut self, q: TransformQuality) -> Engine {
+        self.transform_quality = q;
+        self
+    }
+
+    /// Override the layout policy.
+    pub fn with_layout_policy(mut self, p: LayoutPolicy) -> Engine {
+        self.layout_policy = p;
+        self
+    }
+
+    /// Override simulation options.
+    pub fn with_sim_options(mut self, opts: SimOptions) -> Engine {
+        self.opts = opts;
+        self
+    }
+
+    /// The device this engine scores on.
+    pub fn device(&self) -> &DeviceConfig {
+        &self.device
+    }
+
+    /// The thresholds in use.
+    pub fn thresholds(&self) -> &LayoutThresholds {
+        &self.thresholds
+    }
+
+    fn sim(&self, k: &dyn KernelSpec) -> Result<f64, SimError> {
+        Ok(simulate(&self.device, k, &self.opts)?.time())
+    }
+
+    fn sim_seq(&self, ks: &[Box<dyn KernelSpec + Send>]) -> Result<f64, SimError> {
+        let refs: Vec<&dyn KernelSpec> = ks.iter().map(|k| k.as_ref() as _).collect();
+        Ok(simulate_sequence(&self.device, &refs, &self.opts)?.time())
+    }
+
+    /// Time of a convolution under a specific implementation family,
+    /// with FFT fallback to MM. Returns `(time, impl name, fell_back)`.
+    pub fn conv_time(
+        &self,
+        shape: &ConvShape,
+        mech: Mechanism,
+        layout: Layout,
+    ) -> Result<(f64, &'static str, bool), SimError> {
+        if layout == Layout::CHWN {
+            return Ok((self.sim(&DirectConvChwn::new(*shape))?, "direct-chwn", false));
+        }
+        let mm = || -> Result<f64, SimError> {
+            Ok(MmConvNchw::new(*shape).simulate(&self.device, &self.opts)?.time())
+        };
+        let fft = |mode: FftConvMode| -> Option<f64> {
+            FftConvNchw::new(*shape, mode)
+                .ok()
+                .and_then(|p| p.simulate(&self.device, &self.opts).ok())
+                .map(|r| r.time())
+        };
+        match mech {
+            Mechanism::CudnnFft => match fft(FftConvMode::Full) {
+                Some(t) => Ok((t, "fft", false)),
+                None => Ok((mm()?, "mm", true)),
+            },
+            Mechanism::CudnnFftTiling => match fft(FftConvMode::Tiled) {
+                Some(t) => Ok((t, "fft-tiling", false)),
+                None => Ok((mm()?, "mm", true)),
+            },
+            Mechanism::CudnnBest | Mechanism::Opt => {
+                let mut best = (mm()?, "mm");
+                if let Some(t) = fft(FftConvMode::Full) {
+                    if t < best.0 {
+                        best = (t, "fft");
+                    }
+                }
+                if let Some(t) = fft(FftConvMode::Tiled) {
+                    if t < best.0 {
+                        best = (t, "fft-tiling");
+                    }
+                }
+                Ok((best.0, best.1, false))
+            }
+            _ => Ok((mm()?, "mm", false)),
+        }
+    }
+
+    /// Time of a pooling layer under a mechanism/layout.
+    pub fn pool_time(
+        &self,
+        shape: &PoolShape,
+        mech: Mechanism,
+        layout: Layout,
+    ) -> Result<(f64, &'static str), SimError> {
+        match (mech, layout) {
+            (Mechanism::Opt, Layout::CHWN) => {
+                let (ux, uy) = self.tuned_pool_factors(shape);
+                Ok((self.sim(&PoolChwn::coarsened(*shape, ux, uy))?, "pool-chwn-opt"))
+            }
+            (_, Layout::CHWN) => Ok((self.sim(&PoolChwn::new(*shape))?, "pool-chwn")),
+            (Mechanism::Caffe, _) => Ok((self.sim(&PoolNchwCaffe::new(*shape))?, "pool-caffe")),
+            (Mechanism::Opt, _) => {
+                // Opt in NCHW uses the better of the two NCHW baselines.
+                let caffe = self.sim(&PoolNchwCaffe::new(*shape))?;
+                let cudnn = self.sim(&PoolNchwCudnn::new(*shape))?;
+                Ok(if caffe <= cudnn { (caffe, "pool-caffe") } else { (cudnn, "pool-cudnn") })
+            }
+            _ => Ok((self.sim(&PoolNchwCudnn::new(*shape))?, "pool-cudnn")),
+        }
+    }
+
+    fn tuned_pool_factors(&self, shape: &PoolShape) -> (usize, usize) {
+        if let Some(&f) = self.pool_tune_cache.borrow().get(shape) {
+            return f;
+        }
+        let r = tune_pooling(&self.device, shape, &self.opts);
+        self.pool_tune_cache.borrow_mut().insert(*shape, (r.ux, r.uy));
+        (r.ux, r.uy)
+    }
+
+    /// Time of a layout transformation of `shape` between two layouts.
+    pub fn transform_time(&self, shape: Shape, from: Layout, to: Layout) -> Result<f64, SimError> {
+        if from == to {
+            return Ok(0.0);
+        }
+        let imp = match self.transform_quality {
+            TransformQuality::Naive => TransformImpl::Naive,
+            TransformQuality::Optimized => {
+                if shape.n >= VECTORIZE_MIN_N {
+                    TransformImpl::Opt2
+                } else {
+                    TransformImpl::Opt1
+                }
+            }
+        };
+        self.sim(&TransformKernel::new(shape, from, to, imp))
+    }
+
+    /// Time of one layer in a given layout under a mechanism.
+    fn layer_time(
+        &self,
+        layer: &Layer,
+        mech: Mechanism,
+        layout: Layout,
+    ) -> Result<(f64, String, bool), SimError> {
+        match &layer.spec {
+            LayerSpec::Conv { .. } => {
+                let shape = layer.conv_shape().expect("conv layer");
+                let (t, name, fb) = self.conv_time(&shape, mech, layout)?;
+                Ok((t, name.to_string(), fb))
+            }
+            LayerSpec::Pool { .. } => {
+                let shape = layer.pool_shape().expect("pool layer");
+                let (t, name) = self.pool_time(&shape, mech, layout)?;
+                Ok((t, name.to_string(), false))
+            }
+            LayerSpec::Softmax => {
+                let shape = layer.softmax_shape().expect("softmax layer");
+                let t = match mech {
+                    Mechanism::Opt => self.sim(&SoftmaxFused::new(shape))?,
+                    Mechanism::CudaConvnet | Mechanism::Caffe => {
+                        self.sim_seq(&five_kernel_pipeline(shape))?
+                    }
+                    _ => self.sim_seq(&cudnn_pipeline(shape))?,
+                };
+                let name = match mech {
+                    Mechanism::Opt => "softmax-fused",
+                    Mechanism::CudaConvnet | Mechanism::Caffe => "softmax-5k",
+                    _ => "softmax-cudnn",
+                };
+                Ok((t, name.to_string(), false))
+            }
+            LayerSpec::ReLU => {
+                let t =
+                    self.sim(&ElementwiseKernel::new("relu", layer.input.len() as u64, 1))?;
+                Ok((t, "relu".to_string(), false))
+            }
+            LayerSpec::Lrn { size } => {
+                let t = self.sim(&LrnKernel::new(layer.input.len() as u64, *size as u64))?;
+                Ok((t, "lrn".to_string(), false))
+            }
+            LayerSpec::Fc { outputs } => {
+                let inputs = layer.input.c * layer.input.h * layer.input.w;
+                let t = self.sim(&gemm_kernel(*outputs, inputs, layer.input.n))?;
+                Ok((t, "fc-gemm".to_string(), false))
+            }
+        }
+    }
+
+    /// Assign per-layer layouts for the `Opt` mechanism.
+    fn opt_layouts(&self, net: &Network) -> Result<Vec<Layout>, SimError> {
+        let layers = net.layers();
+        let mut heuristic: Vec<Layout> = Vec::with_capacity(layers.len());
+        let mut carried = Layout::NCHW;
+        for l in layers {
+            let layout = match &l.spec {
+                LayerSpec::Conv { .. } => {
+                    choose_layout(&l.conv_shape().expect("conv"), &self.thresholds)
+                }
+                // §IV.B: pooling always prefers CHWN.
+                LayerSpec::Pool { .. } => Layout::CHWN,
+                // Layout-neutral layers (ReLU, LRN, FC, softmax) inherit
+                // the running layout so they never force a transform.
+                _ => carried,
+            };
+            carried = layout;
+            heuristic.push(layout);
+        }
+        if self.layout_policy == LayoutPolicy::Heuristic {
+            return Ok(heuristic);
+        }
+
+        // Profiled: dynamic program over {NCHW, CHWN} charging layer times
+        // and boundary transformations.
+        let states = [Layout::NCHW, Layout::CHWN];
+        let n = layers.len();
+        if n == 0 {
+            return Ok(vec![]);
+        }
+        let mut cost = vec![[f64::INFINITY; 2]; n];
+        let mut parent = vec![[0usize; 2]; n];
+        for (i, layer) in layers.iter().enumerate() {
+            for (s, &layout) in states.iter().enumerate() {
+                // Layout-insensitive layers cost the same either way.
+                let t = if layer.layout_sensitive() {
+                    self.layer_time(layer, Mechanism::Opt, layout)?.0
+                } else {
+                    self.layer_time(layer, Mechanism::Opt, Layout::NCHW)?.0
+                };
+                if i == 0 {
+                    cost[0][s] = t;
+                    continue;
+                }
+                for (p, &prev_layout) in states.iter().enumerate() {
+                    // Transformation happens on this layer's input tensor.
+                    // FC/softmax flatten their input, so entering them
+                    // never needs a transform.
+                    let tr = if layer.layout_sensitive() {
+                        self.transform_time(layer.input, prev_layout, layout)?
+                    } else if prev_layout == layout {
+                        0.0
+                    } else {
+                        // Collapse insensitive layers onto the previous
+                        // state to avoid phantom transforms.
+                        f64::INFINITY
+                    };
+                    let c = cost[i - 1][p] + tr + t;
+                    if c < cost[i][s] {
+                        cost[i][s] = c;
+                        parent[i][s] = p;
+                    }
+                }
+            }
+        }
+        // Trace back the cheaper terminal state.
+        let mut s = if cost[n - 1][0] <= cost[n - 1][1] { 0 } else { 1 };
+        let mut layouts = vec![Layout::NCHW; n];
+        for i in (0..n).rev() {
+            layouts[i] = states[s];
+            s = parent[i][s];
+        }
+        Ok(layouts)
+    }
+
+    /// Backward-pass time of one layer under a mechanism/layout. The first
+    /// layer's data gradient is skipped (nothing upstream consumes it), as
+    /// real frameworks do.
+    fn layer_backward_time(
+        &self,
+        layer: &Layer,
+        mech: Mechanism,
+        layout: Layout,
+        is_first: bool,
+    ) -> Result<f64, SimError> {
+        use memcnn_kernels::backward as bwd;
+        match &layer.spec {
+            LayerSpec::Conv { .. } => {
+                let shape = layer.conv_shape().expect("conv layer");
+                // Data gradient: a convolution on the transposed shape,
+                // using the same implementation selection as the forward
+                // pass (cuDNN's BwdData has MM and FFT algorithms too).
+                let t_data = if is_first {
+                    0.0
+                } else {
+                    self.conv_time(&bwd::backward_data_shape(&shape), mech, layout)?.0
+                };
+                // Weight gradient: a GEMM-shaped reduction; FFT-capable
+                // mechanisms also have an FFT BwdFilter with forward-like
+                // cost, so take the better of the two.
+                let mut t_w = self.sim(&bwd::weight_grad_gemm(&shape))?;
+                if matches!(
+                    mech,
+                    Mechanism::Opt
+                        | Mechanism::CudnnBest
+                        | Mechanism::CudnnFft
+                        | Mechanism::CudnnFftTiling
+                ) {
+                    t_w = t_w.min(self.conv_time(&shape, mech, layout)?.0);
+                }
+                Ok(t_data + t_w)
+            }
+            LayerSpec::Pool { .. } => {
+                let shape = layer.pool_shape().expect("pool layer");
+                self.sim(bwd::pool_backward_spec(&shape, layout).as_ref())
+            }
+            LayerSpec::ReLU => {
+                self.sim(&bwd::elementwise_backward("relu", layer.input.len() as u64, 2))
+            }
+            LayerSpec::Lrn { size } => self.sim(&bwd::elementwise_backward(
+                "lrn",
+                layer.input.len() as u64,
+                3 * *size as u64 + 10,
+            )),
+            LayerSpec::Fc { outputs } => {
+                let inputs = layer.input.c * layer.input.h * layer.input.w;
+                // dW = dY x X^T and dX = W^T x dY.
+                let dw = gemm_kernel(*outputs, layer.input.n, inputs);
+                let dx = gemm_kernel(inputs, *outputs, layer.input.n);
+                let _ = mech;
+                Ok(self.sim(&dw)? + if is_first { 0.0 } else { self.sim(&dx)? })
+            }
+            LayerSpec::Softmax => {
+                self.sim(&bwd::elementwise_backward("softmax-xent", layer.input.len() as u64, 2))
+            }
+        }
+    }
+
+    /// Simulate a training step (forward + backward) — the configuration
+    /// the paper's §IV.D "complete forward-backward profiling" measures.
+    /// Transformation costs are charged twice (activations travel both
+    /// directions through each layout boundary).
+    pub fn simulate_network_training(
+        &self,
+        net: &Network,
+        mech: Mechanism,
+    ) -> Result<NetworkReport, SimError> {
+        let mut report = self.simulate_network(net, mech)?;
+        let layouts: Vec<Layout> = report
+            .layers
+            .iter()
+            .map(|l| if l.layout == "CHWN" { Layout::CHWN } else { Layout::NCHW })
+            .collect();
+        for (i, (layer, &layout)) in net.layers().iter().zip(&layouts).enumerate() {
+            let bwd = self.layer_backward_time(layer, mech, layout, i == 0)?;
+            let entry = &mut report.layers[i];
+            entry.backward_time = bwd;
+            entry.transform_before *= 2.0;
+        }
+        Ok(report)
+    }
+
+    /// Simulate a whole network under a mechanism, producing the per-layer
+    /// report (the Fig 14/15 generator).
+    pub fn simulate_network(
+        &self,
+        net: &Network,
+        mech: Mechanism,
+    ) -> Result<NetworkReport, SimError> {
+        let layouts: Vec<Layout> = match mech.fixed_layout() {
+            Some(l) => vec![l; net.layers().len()],
+            None => self.opt_layouts(net)?,
+        };
+        let mut reports = Vec::with_capacity(net.layers().len());
+        let mut prev_layout: Option<Layout> = None;
+        for (layer, &layout) in net.layers().iter().zip(&layouts) {
+            let transform_before = match prev_layout {
+                Some(p) if layer.layout_sensitive() && mech == Mechanism::Opt => {
+                    self.transform_time(layer.input, p, layout)?
+                }
+                _ => 0.0,
+            };
+            let (time, impl_name, fell_back) = self.layer_time(layer, mech, layout)?;
+            reports.push(LayerReport {
+                name: layer.name.clone(),
+                layout: if layer.layout_sensitive() {
+                    layout.name()
+                } else {
+                    "-".to_string()
+                },
+                impl_name,
+                time,
+                backward_time: 0.0,
+                transform_before,
+                fell_back,
+            });
+            if layer.layout_sensitive() {
+                prev_layout = Some(layout);
+            }
+        }
+        Ok(NetworkReport {
+            network: net.name.clone(),
+            mechanism: mech.label().to_string(),
+            layers: reports,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetworkBuilder;
+
+    fn engine() -> Engine {
+        Engine::new(DeviceConfig::titan_black(), LayoutThresholds::titan_black_paper())
+    }
+
+    fn lenet_like() -> Network {
+        NetworkBuilder::new("lenet-like", Shape::new(128, 1, 28, 28))
+            .conv("CV1", 16, 5, 1, 2)
+            .max_pool("PL1", 2, 2)
+            .conv("CV2", 16, 5, 1, 2)
+            .max_pool("PL2", 2, 2)
+            .fc("fc", 10)
+            .softmax("prob")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn every_mechanism_simulates_lenet() {
+        let e = engine();
+        let net = lenet_like();
+        for m in Mechanism::ALL {
+            let r = e.simulate_network(&net, m).unwrap();
+            assert_eq!(r.layers.len(), 6, "{m}");
+            assert!(r.total_time() > 0.0, "{m}");
+        }
+    }
+
+    #[test]
+    fn opt_beats_fixed_layout_mechanisms_on_lenet() {
+        // Fig 14: for LeNet, Opt >> cuDNN (5.61x over cuDNN-MM) and at
+        // least matches cuda-convnet.
+        let e = engine();
+        let net = lenet_like();
+        let opt = e.simulate_network(&net, Mechanism::Opt).unwrap().total_time();
+        let mm = e.simulate_network(&net, Mechanism::CudnnMm).unwrap().total_time();
+        let convnet = e.simulate_network(&net, Mechanism::CudaConvnet).unwrap().total_time();
+        assert!(opt < mm, "opt {:.3}ms vs mm {:.3}ms", opt * 1e3, mm * 1e3);
+        assert!(opt <= convnet * 1.001, "opt {:.3}ms vs convnet {:.3}ms", opt * 1e3, convnet * 1e3);
+    }
+
+    #[test]
+    fn fixed_layout_mechanisms_have_no_transforms() {
+        let e = engine();
+        let net = lenet_like();
+        for m in [Mechanism::CudaConvnet, Mechanism::CudnnMm, Mechanism::Caffe] {
+            let r = e.simulate_network(&net, m).unwrap();
+            assert_eq!(r.transform_count(), 0, "{m}");
+        }
+    }
+
+    #[test]
+    fn opt_layouts_match_heuristic_on_uniform_networks() {
+        // LeNet: all convs have N=128 -> everything CHWN, zero transforms.
+        let e = engine();
+        let r = e.simulate_network(&lenet_like(), Mechanism::Opt).unwrap();
+        assert_eq!(r.transform_count(), 0);
+        for l in &r.layers {
+            if l.layout != "-" {
+                assert_eq!(l.layout, "CHWN", "{}", l.name);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_network_inserts_transforms() {
+        // An AlexNet-like tail: N=64 with large C prefers NCHW for convs,
+        // CHWN for pooling only if the transforms pay for themselves.
+        let e = engine();
+        let net = NetworkBuilder::new("mixed", Shape::new(64, 3, 64, 64))
+            .conv("CV1", 96, 5, 2, 0)
+            .max_pool("PL1", 3, 2)
+            .conv("CV2", 256, 3, 1, 1)
+            .max_pool("PL2", 3, 2)
+            .fc("fc", 100)
+            .softmax("prob")
+            .build()
+            .unwrap();
+        let r = e.simulate_network(&net, Mechanism::Opt).unwrap();
+        // CV1 has C=3 < Ct: CHWN. CV2 has C=96, N=64: NCHW. At least one
+        // boundary must transform.
+        assert_eq!(r.layer("CV1").unwrap().layout, "CHWN");
+        assert_eq!(r.layer("CV2").unwrap().layout, "NCHW");
+        assert!(r.transform_count() >= 1);
+        // And the DP must still beat both fixed-layout baselines.
+        let convnet = e.simulate_network(&net, Mechanism::CudaConvnet).unwrap().total_time();
+        let mm = e.simulate_network(&net, Mechanism::CudnnMm).unwrap().total_time();
+        assert!(r.total_time() <= convnet.min(mm) * 1.001);
+    }
+
+    #[test]
+    fn naive_transform_quality_is_slower() {
+        let e = engine();
+        let naive = Engine::new(DeviceConfig::titan_black(), LayoutThresholds::titan_black_paper())
+            .with_transform_quality(TransformQuality::Naive);
+        let shape = Shape::new(128, 16, 14, 14);
+        let fast = e.transform_time(shape, Layout::CHWN, Layout::NCHW).unwrap();
+        let slow = naive.transform_time(shape, Layout::CHWN, Layout::NCHW).unwrap();
+        assert!(slow > fast, "naive {slow:.2e} vs opt {fast:.2e}");
+        assert_eq!(e.transform_time(shape, Layout::NCHW, Layout::NCHW).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn fft_mechanism_falls_back_on_strided_conv() {
+        // ZFNet CV5 (stride 2): cuDNN-FFT must fall back to MM.
+        let e = engine();
+        let net = NetworkBuilder::new("zf-head", Shape::new(64, 3, 224, 224))
+            .conv("CV5", 96, 3, 2, 0)
+            .build()
+            .unwrap();
+        let r = e.simulate_network(&net, Mechanism::CudnnFft).unwrap();
+        assert!(r.layers[0].fell_back);
+        assert_eq!(r.layers[0].impl_name, "mm");
+    }
+
+    #[test]
+    fn heuristic_policy_matches_rule_exactly() {
+        let e = Engine::new(DeviceConfig::titan_black(), LayoutThresholds::titan_black_paper())
+            .with_layout_policy(LayoutPolicy::Heuristic);
+        let net = NetworkBuilder::new("n", Shape::new(64, 128, 28, 28))
+            .conv("CV", 256, 3, 1, 1)
+            .max_pool("PL", 3, 2)
+            .build()
+            .unwrap();
+        let r = e.simulate_network(&net, Mechanism::Opt).unwrap();
+        assert_eq!(r.layer("CV").unwrap().layout, "NCHW"); // C=128 >= 32, N=64 < 128
+        assert_eq!(r.layer("PL").unwrap().layout, "CHWN"); // pooling rule
+    }
+}

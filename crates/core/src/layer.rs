@@ -1,0 +1,153 @@
+//! Layer specifications: the vocabulary networks are described in.
+
+use memcnn_kernels::pool::PoolOp;
+use memcnn_kernels::{ConvShape, PoolShape, SoftmaxShape};
+use memcnn_tensor::Shape;
+use std::fmt;
+
+/// Parameters of one network layer (shapes are attached at build time by
+/// [`crate::net::Network`] from the running input shape).
+#[derive(Clone, Debug, PartialEq)]
+pub enum LayerSpec {
+    /// Convolution with `co` filters of `f x f`, given stride and padding.
+    Conv {
+        /// Output feature maps.
+        co: usize,
+        /// Filter edge.
+        f: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+    },
+    /// Pooling with a square window.
+    Pool {
+        /// Window edge.
+        window: usize,
+        /// Stride.
+        stride: usize,
+        /// Max or average.
+        op: PoolOp,
+    },
+    /// Local response normalization across channels.
+    Lrn {
+        /// Window size (channels).
+        size: usize,
+    },
+    /// Rectified linear activation.
+    ReLU,
+    /// Fully-connected layer with `outputs` neurons (flattens its input).
+    Fc {
+        /// Output neurons.
+        outputs: usize,
+    },
+    /// Final classifier over `categories` (input must already be flat, i.e.
+    /// `C = categories`, `H = W = 1`).
+    Softmax,
+}
+
+/// A layer with its resolved input/output shapes.
+#[derive(Clone, Debug)]
+pub struct Layer {
+    /// Display name, e.g. `"CV1"`, `"PL2"`, `"fc6"`.
+    pub name: String,
+    /// The specification.
+    pub spec: LayerSpec,
+    /// Resolved input shape.
+    pub input: Shape,
+    /// Resolved output shape.
+    pub output: Shape,
+}
+
+impl Layer {
+    /// The convolution shape, when this is a conv layer.
+    pub fn conv_shape(&self) -> Option<ConvShape> {
+        match self.spec {
+            LayerSpec::Conv { co, f, stride, pad } => Some(ConvShape {
+                n: self.input.n,
+                ci: self.input.c,
+                h: self.input.h,
+                w: self.input.w,
+                co,
+                fh: f,
+                fw: f,
+                stride,
+                pad,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The pooling shape, when this is a pooling layer.
+    pub fn pool_shape(&self) -> Option<PoolShape> {
+        match self.spec {
+            LayerSpec::Pool { window, stride, .. } => Some(PoolShape {
+                n: self.input.n,
+                c: self.input.c,
+                h: self.input.h,
+                w: self.input.w,
+                window,
+                stride,
+                // The evaluated frameworks size pooling outputs in ceil
+                // mode (cuda-convnet/Caffe), which Table 1's layer chains
+                // (Cifar 24 -> 12, ZFNet 110 -> 55) rely on.
+                ceil_mode: true,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The softmax shape, when this is a classifier layer.
+    pub fn softmax_shape(&self) -> Option<SoftmaxShape> {
+        match self.spec {
+            LayerSpec::Softmax => Some(SoftmaxShape::new(self.input.n, self.input.c)),
+            _ => None,
+        }
+    }
+
+    /// Whether the layer is sensitive to the 4D data layout. FC flattens
+    /// its input and softmax works on a 2D matrix, so they end the
+    /// layout-constrained region of a network.
+    pub fn layout_sensitive(&self) -> bool {
+        !matches!(self.spec, LayerSpec::Fc { .. } | LayerSpec::Softmax)
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {:?} {} -> {}", self.name, self.spec, self.input, self.output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shape_resolution() {
+        let l = Layer {
+            name: "CV1".into(),
+            spec: LayerSpec::Conv { co: 16, f: 5, stride: 1, pad: 0 },
+            input: Shape::new(128, 1, 28, 28),
+            output: Shape::new(128, 16, 24, 24),
+        };
+        let cs = l.conv_shape().unwrap();
+        assert_eq!(cs.co, 16);
+        assert_eq!(cs.ci, 1);
+        assert_eq!(cs.out_h(), 24);
+        assert!(l.pool_shape().is_none());
+        assert!(l.layout_sensitive());
+    }
+
+    #[test]
+    fn softmax_is_layout_insensitive() {
+        let l = Layer {
+            name: "prob".into(),
+            spec: LayerSpec::Softmax,
+            input: Shape::new(128, 10, 1, 1),
+            output: Shape::new(128, 10, 1, 1),
+        };
+        assert!(!l.layout_sensitive());
+        assert_eq!(l.softmax_shape().unwrap(), SoftmaxShape::new(128, 10));
+    }
+}

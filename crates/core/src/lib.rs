@@ -1,0 +1,37 @@
+//! # memcnn-core — the SC'16 contribution layer
+//!
+//! The paper's actual proposals, built on the kernel and simulator
+//! substrates:
+//!
+//! - [`heuristic`]: the `(Ct, Nt)` data-layout selection rule and its
+//!   per-device derivation by one-time profiling (§IV.A).
+//! - [`autotune`]: the hill-climbing search for pooling working-set
+//!   expansion factors (§V.A).
+//! - [`net`] / [`layer`]: Caffe-prototxt-like network descriptions with
+//!   shape inference.
+//! - [`library`]: the six evaluated mechanisms (cuda-convnet, Caffe, the
+//!   cuDNN modes, and the paper's `Opt`).
+//! - [`engine`]: whole-network simulation — per-layer implementation
+//!   selection, automatic layout assignment (heuristic or
+//!   profiling-refined dynamic program), and transformation insertion at
+//!   layout boundaries (§IV.D).
+//! - [`exec`]: functional execution with per-layer layouts, verifying that
+//!   mixed-layout execution is value-identical to fixed-layout execution.
+
+#![warn(missing_docs)]
+
+pub mod autotune;
+pub mod engine;
+pub mod exec;
+pub mod heuristic;
+pub mod layer;
+pub mod library;
+pub mod net;
+pub mod parser;
+
+pub use engine::{Engine, LayerReport, LayoutPolicy, NetworkReport, TransformQuality};
+pub use heuristic::{choose_layout, derive_thresholds, LayoutThresholds};
+pub use layer::{Layer, LayerSpec};
+pub use library::Mechanism;
+pub use net::{NetError, Network, NetworkBuilder};
+pub use parser::{parse_network, ParseError};

@@ -1,0 +1,87 @@
+//! The evaluated library mechanisms — §VI.C's six configurations.
+
+use serde::Serialize;
+use std::fmt;
+
+/// Which library/mechanism executes the network (Fig 14's legend).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+pub enum Mechanism {
+    /// cuda-convnet2: `CHWN` everywhere, direct convolution.
+    CudaConvnet,
+    /// Caffe without cuDNN: `NCHW`, MM convolution, Caffe's own pooling
+    /// and softmax kernels.
+    Caffe,
+    /// cuDNN with the standard matrix-multiplication convolution mode.
+    CudnnMm,
+    /// cuDNN FFT mode, falling back to MM where FFT fails (§VI.C).
+    CudnnFft,
+    /// cuDNN FFT-tiling mode, falling back to MM where it fails.
+    CudnnFftTiling,
+    /// Cherry-pick the fastest cuDNN mode per convolutional layer.
+    CudnnBest,
+    /// The paper's optimized framework: heuristic per-layer layouts, fast
+    /// transformations, coarsened pooling, fused softmax.
+    Opt,
+}
+
+impl Mechanism {
+    /// All mechanisms in the paper's Fig 14 order.
+    pub const ALL: [Mechanism; 7] = [
+        Mechanism::CudnnMm,
+        Mechanism::CudnnFft,
+        Mechanism::CudnnFftTiling,
+        Mechanism::CudaConvnet,
+        Mechanism::Caffe,
+        Mechanism::CudnnBest,
+        Mechanism::Opt,
+    ];
+
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mechanism::CudaConvnet => "cuda-convnet",
+            Mechanism::Caffe => "Caffe",
+            Mechanism::CudnnMm => "cuDNN-MM",
+            Mechanism::CudnnFft => "cuDNN-FFT",
+            Mechanism::CudnnFftTiling => "cuDNN-FFT-T",
+            Mechanism::CudnnBest => "cuDNN-Best",
+            Mechanism::Opt => "Opt",
+        }
+    }
+
+    /// Whether this mechanism fixes one layout for the whole network (the
+    /// "single uniform data layout" limitation §I criticizes), and which.
+    pub fn fixed_layout(&self) -> Option<memcnn_tensor::Layout> {
+        match self {
+            Mechanism::CudaConvnet => Some(memcnn_tensor::Layout::CHWN),
+            Mechanism::Opt => None,
+            _ => Some(memcnn_tensor::Layout::NCHW),
+        }
+    }
+}
+
+impl fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcnn_tensor::Layout;
+
+    #[test]
+    fn labels_match_figures() {
+        assert_eq!(Mechanism::CudnnBest.label(), "cuDNN-Best");
+        assert_eq!(Mechanism::Opt.to_string(), "Opt");
+        assert_eq!(Mechanism::ALL.len(), 7);
+    }
+
+    #[test]
+    fn fixed_layouts() {
+        assert_eq!(Mechanism::CudaConvnet.fixed_layout(), Some(Layout::CHWN));
+        assert_eq!(Mechanism::CudnnMm.fixed_layout(), Some(Layout::NCHW));
+        assert_eq!(Mechanism::Opt.fixed_layout(), None);
+    }
+}

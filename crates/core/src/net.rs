@@ -1,0 +1,229 @@
+//! Network descriptions: an ordered stack of layers with resolved shapes,
+//! the analogue of a Caffe prototxt (§IV.D: "each CNN has a configuration
+//! file that defines a network structure by specifying a stack of various
+//! layers").
+
+use crate::layer::{Layer, LayerSpec};
+use memcnn_kernels::pool::PoolOp;
+use memcnn_tensor::Shape;
+use std::fmt;
+
+/// Errors from network construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// A layer cannot be applied to the running shape.
+    BadShape(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::BadShape(m) => write!(f, "bad layer shape: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// A feed-forward CNN: named layers with resolved shapes.
+#[derive(Clone, Debug)]
+pub struct Network {
+    /// Network name (e.g. `"AlexNet"`).
+    pub name: String,
+    /// Shape of the input batch.
+    pub input: Shape,
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// The layers in order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Output shape of the whole network.
+    pub fn output(&self) -> Shape {
+        self.layers.last().map(|l| l.output).unwrap_or(self.input)
+    }
+}
+
+/// Builder that tracks the running shape and resolves each layer.
+#[derive(Clone, Debug)]
+pub struct NetworkBuilder {
+    name: String,
+    input: Shape,
+    current: Shape,
+    layers: Vec<Layer>,
+    error: Option<NetError>,
+}
+
+impl NetworkBuilder {
+    /// Start a network taking `input`-shaped batches.
+    pub fn new(name: impl Into<String>, input: Shape) -> NetworkBuilder {
+        NetworkBuilder {
+            name: name.into(),
+            input,
+            current: input,
+            layers: Vec::new(),
+            error: None,
+        }
+    }
+
+    fn push(mut self, name: &str, spec: LayerSpec) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        let input = self.current;
+        let output = match &spec {
+            LayerSpec::Conv { co, f, stride, pad } => {
+                let padded = input.h + 2 * pad;
+                if *f > padded || *f > input.w + 2 * pad || *stride == 0 {
+                    self.error = Some(NetError::BadShape(format!(
+                        "{name}: filter {f} (stride {stride}) does not fit {input}"
+                    )));
+                    return self;
+                }
+                Shape::new(
+                    input.n,
+                    *co,
+                    (input.h + 2 * pad - f) / stride + 1,
+                    (input.w + 2 * pad - f) / stride + 1,
+                )
+            }
+            LayerSpec::Pool { window, stride, .. } => {
+                if *window > input.h || *window > input.w || *stride == 0 {
+                    self.error = Some(NetError::BadShape(format!(
+                        "{name}: window {window} does not fit {input}"
+                    )));
+                    return self;
+                }
+                // Ceil-mode output sizing, matching the evaluated
+                // frameworks (see `Layer::pool_shape`).
+                Shape::new(
+                    input.n,
+                    input.c,
+                    (input.h - window).div_ceil(*stride) + 1,
+                    (input.w - window).div_ceil(*stride) + 1,
+                )
+            }
+            LayerSpec::Lrn { .. } | LayerSpec::ReLU => input,
+            LayerSpec::Fc { outputs } => Shape::new(input.n, *outputs, 1, 1),
+            LayerSpec::Softmax => {
+                if input.h != 1 || input.w != 1 {
+                    self.error = Some(NetError::BadShape(format!(
+                        "{name}: softmax needs flat input (C x 1 x 1), got {input}"
+                    )));
+                    return self;
+                }
+                input
+            }
+        };
+        self.layers.push(Layer { name: name.to_string(), spec, input, output });
+        self.current = output;
+        self
+    }
+
+    /// Add a convolution.
+    pub fn conv(self, name: &str, co: usize, f: usize, stride: usize, pad: usize) -> Self {
+        self.push(name, LayerSpec::Conv { co, f, stride, pad })
+    }
+
+    /// Add a max-pooling layer.
+    pub fn max_pool(self, name: &str, window: usize, stride: usize) -> Self {
+        self.push(name, LayerSpec::Pool { window, stride, op: PoolOp::Max })
+    }
+
+    /// Add an average-pooling layer.
+    pub fn avg_pool(self, name: &str, window: usize, stride: usize) -> Self {
+        self.push(name, LayerSpec::Pool { window, stride, op: PoolOp::Avg })
+    }
+
+    /// Add a local response normalization layer.
+    pub fn lrn(self, name: &str, size: usize) -> Self {
+        self.push(name, LayerSpec::Lrn { size })
+    }
+
+    /// Add a ReLU activation.
+    pub fn relu(self, name: &str) -> Self {
+        self.push(name, LayerSpec::ReLU)
+    }
+
+    /// Add a fully-connected layer.
+    pub fn fc(self, name: &str, outputs: usize) -> Self {
+        self.push(name, LayerSpec::Fc { outputs })
+    }
+
+    /// Add the final softmax classifier.
+    pub fn softmax(self, name: &str) -> Self {
+        self.push(name, LayerSpec::Softmax)
+    }
+
+    /// Finish, returning the network or the first shape error.
+    pub fn build(self) -> Result<Network, NetError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        Ok(Network { name: self.name, input: self.input, layers: self.layers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lenet_shapes_resolve() {
+        // LeNet per Table 1: CONV1 28->24, POOL1 24->12 ... with the paper's
+        // layer dims (CONV2 at 14 implies pooling first in their variant;
+        // here we just verify the builder math).
+        let net = NetworkBuilder::new("lenet-ish", Shape::new(128, 1, 28, 28))
+            .conv("CV1", 16, 5, 1, 2)
+            .max_pool("PL1", 2, 2)
+            .conv("CV2", 16, 5, 1, 2)
+            .max_pool("PL2", 2, 2)
+            .fc("fc", 10)
+            .softmax("prob")
+            .build()
+            .unwrap();
+        assert_eq!(net.layers().len(), 6);
+        assert_eq!(net.layers()[0].output, Shape::new(128, 16, 28, 28));
+        assert_eq!(net.layers()[1].output, Shape::new(128, 16, 14, 14));
+        assert_eq!(net.layers()[3].output, Shape::new(128, 16, 7, 7));
+        assert_eq!(net.output(), Shape::new(128, 10, 1, 1));
+    }
+
+    #[test]
+    fn oversized_filter_is_rejected() {
+        let err = NetworkBuilder::new("bad", Shape::new(1, 1, 4, 4))
+            .conv("CV1", 8, 5, 1, 0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NetError::BadShape(_)));
+    }
+
+    #[test]
+    fn softmax_requires_flat_input() {
+        let err = NetworkBuilder::new("bad", Shape::new(1, 3, 8, 8))
+            .softmax("prob")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NetError::BadShape(_)));
+    }
+
+    #[test]
+    fn error_is_sticky_through_later_layers() {
+        let err = NetworkBuilder::new("bad", Shape::new(1, 1, 4, 4))
+            .conv("CV1", 8, 5, 1, 0)
+            .relu("r")
+            .fc("fc", 10)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("CV1"));
+    }
+
+    #[test]
+    fn empty_network_output_is_input() {
+        let net = NetworkBuilder::new("empty", Shape::new(2, 3, 4, 4)).build().unwrap();
+        assert_eq!(net.output(), net.input);
+    }
+}

@@ -1,0 +1,142 @@
+//! Engine-level properties: the profiled layout DP is genuinely optimal
+//! over the {NCHW, CHWN} assignment space, and mechanism orderings hold.
+
+use memcnn_core::{Engine, LayoutThresholds, Mechanism, Network, NetworkBuilder};
+use memcnn_gpusim::DeviceConfig;
+use memcnn_tensor::{Layout, Shape};
+
+fn engine() -> Engine {
+    Engine::new(DeviceConfig::titan_black(), LayoutThresholds::titan_black_paper())
+}
+
+/// Brute-force the optimal mixed-layout cost of a conv/pool-only network
+/// using the engine's public per-layer costing.
+fn brute_force_best(e: &Engine, net: &Network) -> f64 {
+    let layers = net.layers();
+    let k = layers.len();
+    let states = [Layout::NCHW, Layout::CHWN];
+    let mut best = f64::INFINITY;
+    for mask in 0..(1u32 << k) {
+        let assignment: Vec<Layout> =
+            (0..k).map(|i| states[(mask >> i) as usize & 1]).collect();
+        let mut total = 0.0;
+        let mut prev: Option<Layout> = None;
+        for (layer, &layout) in layers.iter().zip(&assignment) {
+            if let Some(p) = prev {
+                total += e.transform_time(layer.input, p, layout).unwrap();
+            }
+            total += if let Some(cs) = layer.conv_shape() {
+                e.conv_time(&cs, Mechanism::Opt, layout).unwrap().0
+            } else if let Some(ps) = layer.pool_shape() {
+                e.pool_time(&ps, Mechanism::Opt, layout).unwrap().0
+            } else {
+                unreachable!("conv/pool-only networks")
+            };
+            prev = Some(layout);
+        }
+        best = best.min(total);
+    }
+    best
+}
+
+fn check_dp_matches_brute_force(net: &Network) {
+    let e = engine();
+    let dp = e.simulate_network(net, Mechanism::Opt).unwrap().total_time();
+    let bf = brute_force_best(&e, net);
+    assert!(
+        (dp - bf).abs() / bf < 1e-9,
+        "{}: DP {dp:.6e} vs brute force {bf:.6e}",
+        net.name
+    );
+}
+
+#[test]
+fn dp_is_optimal_on_a_mixed_chain() {
+    let net = NetworkBuilder::new("mix1", Shape::new(64, 3, 48, 48))
+        .conv("cv1", 64, 5, 1, 0) // C=3 -> CHWN side
+        .max_pool("pl1", 3, 2)
+        .conv("cv2", 128, 3, 1, 1) // C=64, N=64 -> NCHW side
+        .max_pool("pl2", 2, 2)
+        .build()
+        .unwrap();
+    check_dp_matches_brute_force(&net);
+}
+
+#[test]
+fn dp_is_optimal_when_everything_prefers_one_layout() {
+    let net = NetworkBuilder::new("uniform", Shape::new(128, 16, 24, 24))
+        .conv("cv1", 32, 3, 1, 1)
+        .max_pool("pl1", 2, 2)
+        .conv("cv2", 32, 3, 1, 1)
+        .build()
+        .unwrap();
+    check_dp_matches_brute_force(&net);
+    // And with N=128 the winning plan is all-CHWN with zero transforms.
+    let e = engine();
+    let r = e.simulate_network(&net, Mechanism::Opt).unwrap();
+    assert_eq!(r.transform_count(), 0);
+    assert!(r.layers.iter().all(|l| l.layout == "CHWN"));
+}
+
+#[test]
+fn dp_is_optimal_on_an_alternating_preference_chain() {
+    // Alternating small-C / large-C convs at N=32: the DP must weigh
+    // transform costs against per-layer preferences.
+    let net = NetworkBuilder::new("alt", Shape::new(32, 3, 32, 32))
+        .conv("cv1", 256, 3, 1, 1) // C=3: CHWN preferred
+        .conv("cv2", 64, 3, 1, 1) // C=256: NCHW preferred
+        .conv("cv3", 256, 3, 1, 1) // C=64: borderline
+        .build()
+        .unwrap();
+    check_dp_matches_brute_force(&net);
+}
+
+#[test]
+fn cudnn_best_never_loses_to_other_cudnn_modes() {
+    let e = engine();
+    for net in [
+        NetworkBuilder::new("n1", Shape::new(64, 16, 28, 28))
+            .conv("cv", 64, 5, 1, 0)
+            .max_pool("pl", 2, 2)
+            .build()
+            .unwrap(),
+        NetworkBuilder::new("n2", Shape::new(32, 128, 56, 56))
+            .conv("cv", 256, 3, 1, 1)
+            .max_pool("pl", 2, 2)
+            .build()
+            .unwrap(),
+    ] {
+        let best = e.simulate_network(&net, Mechanism::CudnnBest).unwrap().total_time();
+        for m in [Mechanism::CudnnMm, Mechanism::CudnnFft, Mechanism::CudnnFftTiling] {
+            let t = e.simulate_network(&net, m).unwrap().total_time();
+            assert!(best <= t * 1.0001, "{}: Best {best:.3e} vs {m} {t:.3e}", net.name);
+        }
+    }
+}
+
+#[test]
+fn network_report_accounting_is_consistent() {
+    let e = engine();
+    let net = NetworkBuilder::new("acct", Shape::new(64, 3, 48, 48))
+        .conv("cv1", 96, 5, 2, 0)
+        .max_pool("pl1", 3, 2)
+        .conv("cv2", 256, 3, 1, 1)
+        .fc("fc", 10)
+        .softmax("prob")
+        .build()
+        .unwrap();
+    let r = e.simulate_network(&net, Mechanism::Opt).unwrap();
+    let sum: f64 = r.layers.iter().map(|l| l.time + l.transform_before).sum();
+    assert!((sum - r.total_time()).abs() < 1e-12);
+    let tsum: f64 = r.layers.iter().map(|l| l.transform_before).sum();
+    assert!((tsum - r.transform_time()).abs() < 1e-12);
+    assert_eq!(
+        r.layers.iter().filter(|l| l.transform_before > 0.0).count(),
+        r.transform_count()
+    );
+    // Display renders every layer.
+    let text = r.to_string();
+    for l in net.layers() {
+        assert!(text.contains(&l.name), "missing {} in report display", l.name);
+    }
+}

@@ -1,0 +1,190 @@
+//! Minimal single-precision complex arithmetic.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
+
+/// A single-precision complex number.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex32 {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl Complex32 {
+    /// Zero.
+    pub const ZERO: Complex32 = Complex32 { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex32 = Complex32 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex32 = Complex32 { re: 0.0, im: 1.0 };
+
+    /// Construct from parts.
+    #[inline]
+    pub const fn new(re: f32, im: f32) -> Complex32 {
+        Complex32 { re, im }
+    }
+
+    /// A real number.
+    #[inline]
+    pub const fn real(re: f32) -> Complex32 {
+        Complex32 { re, im: 0.0 }
+    }
+
+    /// `e^(i theta)`.
+    #[inline]
+    pub fn cis(theta: f32) -> Complex32 {
+        Complex32 { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Complex32 {
+        Complex32 { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude.
+    #[inline]
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    #[inline]
+    pub fn abs(self) -> f32 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, k: f32) -> Complex32 {
+        Complex32 { re: self.re * k, im: self.im * k }
+    }
+}
+
+impl Add for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn add(self, rhs: Complex32) -> Complex32 {
+        Complex32 { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl AddAssign for Complex32 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex32) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn sub(self, rhs: Complex32) -> Complex32 {
+        Complex32 { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn mul(self, rhs: Complex32) -> Complex32 {
+        Complex32 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Complex32 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex32) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn div(self, rhs: Complex32) -> Complex32 {
+        let d = rhs.norm_sqr();
+        Complex32 {
+            re: (self.re * rhs.re + self.im * rhs.im) / d,
+            im: (self.im * rhs.re - self.re * rhs.im) / d,
+        }
+    }
+}
+
+impl Neg for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn neg(self) -> Complex32 {
+        Complex32 { re: -self.re, im: -self.im }
+    }
+}
+
+impl fmt::Display for Complex32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex32, b: Complex32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex32::new(3.0, -4.0);
+        assert_eq!(z + Complex32::ZERO, z);
+        assert_eq!(z * Complex32::ONE, z);
+        assert_eq!(z - z, Complex32::ZERO);
+        assert!(close(z / z, Complex32::ONE));
+        assert_eq!(-z, Complex32::new(-3.0, 4.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Complex32::I * Complex32::I, Complex32::real(-1.0));
+    }
+
+    #[test]
+    fn conjugate_and_norm() {
+        let z = Complex32::new(3.0, 4.0);
+        assert_eq!(z.conj(), Complex32::new(3.0, -4.0));
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.abs(), 5.0);
+        assert!(close(z * z.conj(), Complex32::real(25.0)));
+    }
+
+    #[test]
+    fn cis_is_on_unit_circle() {
+        use std::f32::consts::PI;
+        assert!(close(Complex32::cis(0.0), Complex32::ONE));
+        assert!(close(Complex32::cis(PI / 2.0), Complex32::I));
+        assert!(close(Complex32::cis(PI), Complex32::real(-1.0)));
+    }
+
+    #[test]
+    fn multiplication_is_rotation() {
+        use std::f32::consts::PI;
+        let z = Complex32::cis(PI / 6.0) * Complex32::cis(PI / 3.0);
+        assert!(close(z, Complex32::cis(PI / 2.0)));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex32::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex32::new(1.0, -2.0).to_string(), "1-2i");
+    }
+}

@@ -1,0 +1,170 @@
+//! Convolution via the convolution theorem.
+//!
+//! These helpers give `memcnn-kernels`' FFT convolution its math: pad both
+//! operands into a common power-of-two frame, transform, multiply
+//! pointwise, inverse-transform, and read out the valid region. The framing
+//! cost (zero-padding small filters up to image size) is exactly the memory
+//! overhead the paper discusses for cuDNN's FFT mode (§IV.A).
+
+use crate::{Complex32, Fft2dPlan};
+
+/// Valid-mode direct 2D cross-correlation (the CNN "convolution"), the
+/// oracle FFT convolution is tested against.
+///
+/// `input` is `ih x iw` row-major, `kernel` is `kh x kw`; output is
+/// `(ih-kh+1) x (iw-kw+1)`.
+pub fn direct_correlate2d(
+    input: &[f32],
+    ih: usize,
+    iw: usize,
+    kernel: &[f32],
+    kh: usize,
+    kw: usize,
+) -> Vec<f32> {
+    assert_eq!(input.len(), ih * iw);
+    assert_eq!(kernel.len(), kh * kw);
+    assert!(kh <= ih && kw <= iw, "kernel larger than input");
+    let oh = ih - kh + 1;
+    let ow = iw - kw + 1;
+    let mut out = vec![0f32; oh * ow];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut acc = 0f32;
+            for ky in 0..kh {
+                for kx in 0..kw {
+                    acc += input[(oy + ky) * iw + (ox + kx)] * kernel[ky * kw + kx];
+                }
+            }
+            out[oy * ow + ox] = acc;
+        }
+    }
+    out
+}
+
+/// Pad a real `h x w` image into a complex `fh x fw` frame (zero-filled).
+pub fn pad_into_frame(src: &[f32], h: usize, w: usize, fh: usize, fw: usize) -> Vec<Complex32> {
+    assert_eq!(src.len(), h * w);
+    assert!(fh >= h && fw >= w, "frame smaller than image");
+    let mut out = vec![Complex32::ZERO; fh * fw];
+    for r in 0..h {
+        for c in 0..w {
+            out[r * fw + c] = Complex32::real(src[r * w + c]);
+        }
+    }
+    out
+}
+
+/// Valid-mode cross-correlation computed in the frequency domain.
+///
+/// Cross-correlation is convolution with a conjugated spectrum:
+/// `corr = IFFT(FFT(input) * conj(FFT(kernel)))`, indexed at the kernel
+/// origin. Frames are the next power of two >= `ih, iw` (circular wrap
+/// never reaches the valid region because the frame covers `ih + kh - 1`
+/// only when... we guarantee it by framing to `>= ih` and `>= iw`, and
+/// valid outputs only read offsets `0..ih-kh`).
+pub fn fft_correlate2d(
+    input: &[f32],
+    ih: usize,
+    iw: usize,
+    kernel: &[f32],
+    kh: usize,
+    kw: usize,
+) -> Vec<f32> {
+    assert!(kh <= ih && kw <= iw, "kernel larger than input");
+    let fh = crate::next_pow2(ih);
+    let fw = crate::next_pow2(iw);
+    let plan = Fft2dPlan::new(fh, fw);
+
+    let mut fin = pad_into_frame(input, ih, iw, fh, fw);
+    let mut fker = pad_into_frame(kernel, kh, kw, fh, fw);
+    plan.forward(&mut fin);
+    plan.forward(&mut fker);
+    for (a, b) in fin.iter_mut().zip(&fker) {
+        *a *= b.conj();
+    }
+    plan.inverse(&mut fin);
+
+    let oh = ih - kh + 1;
+    let ow = iw - kw + 1;
+    let mut out = vec![0f32; oh * ow];
+    for r in 0..oh {
+        for c in 0..ow {
+            out[r * ow + c] = fin[r * fw + c].re;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<f32> {
+        (0..n).map(|i| ((i * 7 + 3) % 11) as f32 - 5.0).collect()
+    }
+
+    #[test]
+    fn direct_identity_kernel() {
+        let input = ramp(25);
+        let out = direct_correlate2d(&input, 5, 5, &[1.0], 1, 1);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn direct_box_sum() {
+        let input = vec![1.0; 16];
+        let out = direct_correlate2d(&input, 4, 4, &[1.0; 4], 2, 2);
+        assert_eq!(out, vec![4.0; 9]);
+    }
+
+    #[test]
+    fn fft_matches_direct_small() {
+        let input = ramp(36);
+        let kernel = ramp(9);
+        let a = direct_correlate2d(&input, 6, 6, &kernel, 3, 3);
+        let b = fft_correlate2d(&input, 6, 6, &kernel, 3, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn fft_matches_direct_rectangular() {
+        let input = ramp(7 * 12);
+        let kernel = ramp(5 * 3);
+        let a = direct_correlate2d(&input, 7, 12, &kernel, 5, 3);
+        let b = fft_correlate2d(&input, 7, 12, &kernel, 5, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn fft_matches_direct_larger() {
+        let input = ramp(24 * 24);
+        let kernel = ramp(25);
+        let a = direct_correlate2d(&input, 24, 24, &kernel, 5, 5);
+        let b = fft_correlate2d(&input, 24, 24, &kernel, 5, 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 2e-3);
+        }
+    }
+
+    #[test]
+    fn pad_into_frame_zero_fills() {
+        let f = pad_into_frame(&[1.0, 2.0, 3.0, 4.0], 2, 2, 4, 4);
+        assert_eq!(f.len(), 16);
+        assert_eq!(f[0], Complex32::real(1.0));
+        assert_eq!(f[1], Complex32::real(2.0));
+        assert_eq!(f[4], Complex32::real(3.0));
+        assert_eq!(f[5], Complex32::real(4.0));
+        assert!(f[2..4].iter().all(|&z| z == Complex32::ZERO));
+        assert!(f[6..].iter().all(|&z| z == Complex32::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel larger than input")]
+    fn oversized_kernel_panics() {
+        direct_correlate2d(&[1.0; 4], 2, 2, &[1.0; 9], 3, 3);
+    }
+}

@@ -1,0 +1,245 @@
+//! Iterative radix-2 decimation-in-time FFT.
+
+use crate::Complex32;
+
+/// Round up to the next power of two (minimum 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// A reusable FFT plan for a fixed power-of-two size: precomputed twiddle
+/// factors and bit-reversal table, shared across the many batched
+/// transforms an FFT convolution performs.
+#[derive(Clone, Debug)]
+pub struct FftPlan {
+    n: usize,
+    /// Forward twiddles, laid out per stage: stage s (len = 2^(s+1)) uses
+    /// `twiddles[2^s - 1 ..][..2^s]`.
+    twiddles: Vec<Complex32>,
+    /// Bit-reversal permutation.
+    rev: Vec<u32>,
+}
+
+impl FftPlan {
+    /// Build a plan for size `n` (must be a power of two).
+    pub fn new(n: usize) -> FftPlan {
+        assert!(n.is_power_of_two(), "FFT size must be a power of two, got {n}");
+        assert!(n <= u32::MAX as usize, "FFT size too large");
+        let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let step = -2.0 * std::f32::consts::PI / len as f32;
+            for k in 0..half {
+                twiddles.push(Complex32::cis(step * k as f32));
+            }
+            len *= 2;
+        }
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32)
+            .map(|i| if bits == 0 { 0 } else { i.reverse_bits() >> (32 - bits) })
+            .collect();
+        FftPlan { n, twiddles, rev }
+    }
+
+    /// Transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan is the trivial size-1 transform.
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    /// In-place forward FFT.
+    pub fn forward(&self, data: &mut [Complex32]) {
+        self.transform(data, false);
+    }
+
+    /// In-place inverse FFT (includes the `1/n` normalization).
+    pub fn inverse(&self, data: &mut [Complex32]) {
+        self.transform(data, true);
+        let k = 1.0 / self.n as f32;
+        for v in data.iter_mut() {
+            *v = v.scale(k);
+        }
+    }
+
+    fn transform(&self, data: &mut [Complex32], inverse: bool) {
+        assert_eq!(data.len(), self.n, "buffer length must match plan size");
+        let n = self.n;
+        if n <= 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Butterflies.
+        let mut len = 2;
+        let mut tw_base = 0;
+        while len <= n {
+            let half = len / 2;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let mut w = self.twiddles[tw_base + k];
+                    if inverse {
+                        w = w.conj();
+                    }
+                    let a = data[start + k];
+                    let b = data[start + k + half] * w;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            tw_base += half;
+            len *= 2;
+        }
+    }
+}
+
+/// One-shot forward FFT (builds a plan; prefer [`FftPlan`] in loops).
+pub fn fft(data: &mut [Complex32]) {
+    FftPlan::new(data.len()).forward(data);
+}
+
+/// One-shot inverse FFT with `1/n` normalization.
+pub fn ifft(data: &mut [Complex32]) {
+    FftPlan::new(data.len()).inverse(data);
+}
+
+/// Direct O(n^2) DFT, the oracle the FFT is tested against.
+pub fn dft_naive(data: &[Complex32]) -> Vec<Complex32> {
+    let n = data.len();
+    let step = -2.0 * std::f64::consts::PI / n as f64;
+    (0..n)
+        .map(|k| {
+            let mut acc_re = 0f64;
+            let mut acc_im = 0f64;
+            for (j, &x) in data.iter().enumerate() {
+                let theta = step * (k * j % n) as f64;
+                let (s, c) = theta.sin_cos();
+                acc_re += x.re as f64 * c - x.im as f64 * s;
+                acc_im += x.re as f64 * s + x.im as f64 * c;
+            }
+            Complex32::new(acc_re as f32, acc_im as f32)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex32], b: &[Complex32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((*x - *y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut d = vec![Complex32::ZERO; 8];
+        d[0] = Complex32::ONE;
+        fft(&mut d);
+        assert_close(&d, &[Complex32::ONE; 8], 1e-6);
+    }
+
+    #[test]
+    fn constant_transforms_to_impulse() {
+        let mut d = vec![Complex32::ONE; 8];
+        fft(&mut d);
+        assert!((d[0] - Complex32::real(8.0)).abs() < 1e-5);
+        for v in &d[1..] {
+            assert!(v.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 16, 64, 256] {
+            let mut d: Vec<Complex32> = (0..n)
+                .map(|i| {
+                    Complex32::new(((i * 7 + 3) % 11) as f32 - 5.0, ((i * 5 + 1) % 7) as f32 - 3.0)
+                })
+                .collect();
+            let expect = dft_naive(&d);
+            fft(&mut d);
+            assert_close(&d, &expect, n as f32 * 1e-4);
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let orig: Vec<Complex32> =
+            (0..128).map(|i| Complex32::new((i as f32).sin(), (i as f32 * 0.7).cos())).collect();
+        let mut d = orig.clone();
+        fft(&mut d);
+        ifft(&mut d);
+        assert_close(&d, &orig, 1e-4);
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let data: Vec<Complex32> =
+            (0..64).map(|i| Complex32::new((i as f32 * 0.3).sin(), 0.0)).collect();
+        let time_energy: f32 = data.iter().map(|z| z.norm_sqr()).sum();
+        let mut freq = data.clone();
+        fft(&mut freq);
+        let freq_energy: f32 = freq.iter().map(|z| z.norm_sqr()).sum::<f32>() / 64.0;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-4);
+    }
+
+    #[test]
+    fn plan_is_reusable() {
+        let plan = FftPlan::new(32);
+        for seed in 0..4 {
+            let mut d: Vec<Complex32> =
+                (0..32).map(|i| Complex32::real(((i + seed) % 5) as f32)).collect();
+            let expect = dft_naive(&d);
+            plan.forward(&mut d);
+            assert_close(&d, &expect, 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_size_panics() {
+        FftPlan::new(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn wrong_buffer_length_panics() {
+        let plan = FftPlan::new(8);
+        let mut d = vec![Complex32::ZERO; 4];
+        plan.forward(&mut d);
+    }
+
+    #[test]
+    fn next_pow2_rounds_up() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(5), 8);
+        assert_eq!(next_pow2(64), 64);
+        assert_eq!(next_pow2(65), 128);
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<Complex32> = (0..16).map(|i| Complex32::real(i as f32)).collect();
+        let b: Vec<Complex32> = (0..16).map(|i| Complex32::new(0.0, (i % 3) as f32)).collect();
+        let sum: Vec<Complex32> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let (mut fa, mut fb, mut fsum) = (a, b, sum);
+        fft(&mut fa);
+        fft(&mut fb);
+        fft(&mut fsum);
+        let combined: Vec<Complex32> = fa.iter().zip(&fb).map(|(&x, &y)| x + y).collect();
+        assert_close(&fsum, &combined, 1e-3);
+    }
+}

@@ -1,0 +1,163 @@
+//! 2D and batched FFTs (row-column decomposition).
+
+use crate::{Complex32, FftPlan};
+use rayon::prelude::*;
+
+/// A 2D FFT plan for fixed power-of-two `rows x cols`.
+#[derive(Clone, Debug)]
+pub struct Fft2dPlan {
+    rows: usize,
+    cols: usize,
+    row_plan: FftPlan,
+    col_plan: FftPlan,
+}
+
+impl Fft2dPlan {
+    /// Build a plan; both dimensions must be powers of two.
+    pub fn new(rows: usize, cols: usize) -> Fft2dPlan {
+        Fft2dPlan { rows, cols, row_plan: FftPlan::new(cols), col_plan: FftPlan::new(rows) }
+    }
+
+    /// `(rows, cols)` of the transform.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// In-place forward 2D FFT of a row-major `rows x cols` buffer.
+    pub fn forward(&self, data: &mut [Complex32]) {
+        self.transform(data, false);
+    }
+
+    /// In-place inverse 2D FFT (normalized by `1/(rows*cols)`).
+    pub fn inverse(&self, data: &mut [Complex32]) {
+        self.transform(data, true);
+    }
+
+    fn transform(&self, data: &mut [Complex32], inverse: bool) {
+        assert_eq!(data.len(), self.rows * self.cols, "buffer must be rows*cols");
+        // Rows.
+        for row in data.chunks_mut(self.cols) {
+            if inverse {
+                self.row_plan.inverse(row);
+            } else {
+                self.row_plan.forward(row);
+            }
+        }
+        // Columns via transpose-free strided gather.
+        let mut col = vec![Complex32::ZERO; self.rows];
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                col[r] = data[r * self.cols + c];
+            }
+            if inverse {
+                self.col_plan.inverse(&mut col);
+            } else {
+                self.col_plan.forward(&mut col);
+            }
+            for r in 0..self.rows {
+                data[r * self.cols + c] = col[r];
+            }
+        }
+    }
+}
+
+/// Forward-transform a batch of independent `rows x cols` images in
+/// parallel (the batched FFT step of FFT convolution: every image and
+/// every filter transforms independently).
+pub fn batched_forward(plan: &Fft2dPlan, batch: &mut [Complex32]) {
+    let per = plan.rows * plan.cols;
+    assert_eq!(batch.len() % per, 0, "batch must be a whole number of images");
+    batch.par_chunks_mut(per).for_each(|img| plan.forward(img));
+}
+
+/// Inverse-transform a batch of independent images in parallel.
+pub fn batched_inverse(plan: &Fft2dPlan, batch: &mut [Complex32]) {
+    let per = plan.rows * plan.cols;
+    assert_eq!(batch.len() % per, 0, "batch must be a whole number of images");
+    batch.par_chunks_mut(per).for_each(|img| plan.inverse(img));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f32) -> Vec<Complex32> {
+        (0..rows * cols).map(|i| Complex32::real(f(i / cols, i % cols))).collect()
+    }
+
+    #[test]
+    fn impulse_is_flat_in_2d() {
+        let mut d = image(4, 8, |r, c| if r == 0 && c == 0 { 1.0 } else { 0.0 });
+        Fft2dPlan::new(4, 8).forward(&mut d);
+        for v in &d {
+            assert!((*v - Complex32::ONE).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dc_component_is_sum() {
+        let mut d = image(8, 8, |r, c| (r + c) as f32);
+        let sum: f32 = d.iter().map(|z| z.re).sum();
+        Fft2dPlan::new(8, 8).forward(&mut d);
+        assert!((d[0].re - sum).abs() < 1e-3);
+    }
+
+    #[test]
+    fn roundtrip_2d() {
+        let orig = image(16, 8, |r, c| ((r * 31 + c * 7) % 13) as f32 - 6.0);
+        let mut d = orig.clone();
+        let plan = Fft2dPlan::new(16, 8);
+        plan.forward(&mut d);
+        plan.inverse(&mut d);
+        for (a, b) in d.iter().zip(&orig) {
+            assert!((*a - *b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn separability_matches_manual_row_col() {
+        // 2D FFT = 1D over rows then 1D over cols.
+        let orig = image(4, 4, |r, c| (r * 4 + c) as f32);
+        let mut auto = orig.clone();
+        Fft2dPlan::new(4, 4).forward(&mut auto);
+
+        let mut manual = orig;
+        let plan = FftPlan::new(4);
+        for row in manual.chunks_mut(4) {
+            plan.forward(row);
+        }
+        for c in 0..4 {
+            let mut col: Vec<Complex32> = (0..4).map(|r| manual[r * 4 + c]).collect();
+            plan.forward(&mut col);
+            for r in 0..4 {
+                manual[r * 4 + c] = col[r];
+            }
+        }
+        for (a, b) in auto.iter().zip(&manual) {
+            assert!((*a - *b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn batched_equals_individual() {
+        let plan = Fft2dPlan::new(8, 8);
+        let img0 = image(8, 8, |r, c| (r * c) as f32);
+        let img1 = image(8, 8, |r, c| (r + 3 * c) as f32);
+        let mut batch: Vec<Complex32> = img0.iter().chain(&img1).copied().collect();
+        batched_forward(&plan, &mut batch);
+        let (mut a, mut b) = (img0, img1);
+        plan.forward(&mut a);
+        plan.forward(&mut b);
+        for (x, y) in batch.iter().zip(a.iter().chain(&b)) {
+            assert!((*x - *y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of images")]
+    fn ragged_batch_panics() {
+        let plan = Fft2dPlan::new(4, 4);
+        let mut batch = vec![Complex32::ZERO; 17];
+        batched_forward(&plan, &mut batch);
+    }
+}

@@ -1,0 +1,27 @@
+//! # memcnn-fft — from-scratch FFT substrate
+//!
+//! The SC'16 paper's evaluation compares cuDNN's FFT-based convolution
+//! modes against matrix-multiplication and direct convolution (Fig 5).
+//! That comparison needs a real FFT; this crate provides one built from
+//! scratch (no external numeric dependencies):
+//!
+//! - [`Complex32`]: single-precision complex arithmetic.
+//! - [`FftPlan`] / [`fft`] / [`ifft`]: iterative radix-2 DIT with
+//!   precomputed twiddles and bit-reversal, tested against a naive DFT.
+//! - [`Fft2dPlan`] and rayon-parallel [`batched_forward`] /
+//!   [`batched_inverse`]: row-column 2D transforms for batches of feature
+//!   maps.
+//! - [`conv`]: direct and frequency-domain valid-mode cross-correlation
+//!   (the convolution theorem path FFT convolution uses).
+
+#![warn(missing_docs)]
+
+mod complex;
+pub mod conv;
+mod fft1d;
+mod fft2d;
+
+pub use complex::Complex32;
+pub use conv::{direct_correlate2d, fft_correlate2d};
+pub use fft1d::{dft_naive, fft, ifft, next_pow2, FftPlan};
+pub use fft2d::{batched_forward, batched_inverse, Fft2dPlan};

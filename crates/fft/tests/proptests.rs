@@ -1,0 +1,100 @@
+//! Property-based tests for the FFT substrate.
+
+use memcnn_fft::{dft_naive, fft, fft_correlate2d, ifft, Complex32, Fft2dPlan};
+use proptest::prelude::*;
+
+fn signal(n: usize) -> impl Strategy<Value = Vec<Complex32>> {
+    proptest::collection::vec((-10.0f32..10.0, -10.0f32..10.0), n..=n)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex32::new(re, im)).collect())
+}
+
+proptest! {
+    /// FFT agrees with the O(n^2) DFT.
+    #[test]
+    fn fft_matches_dft(log_n in 0usize..8, seed in any::<u64>()) {
+        let n = 1usize << log_n;
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        let data: Vec<Complex32> = (0..n).map(|_| Complex32::new(next() * 5.0, next() * 5.0)).collect();
+        let expect = dft_naive(&data);
+        let mut got = data;
+        fft(&mut got);
+        for (a, b) in got.iter().zip(&expect) {
+            prop_assert!((*a - *b).abs() < 1e-2 * n as f32 + 1e-3);
+        }
+    }
+
+    /// ifft(fft(x)) == x.
+    #[test]
+    fn roundtrip(data in signal(64)) {
+        let mut d = data.clone();
+        fft(&mut d);
+        ifft(&mut d);
+        for (a, b) in d.iter().zip(&data) {
+            prop_assert!((*a - *b).abs() < 1e-3);
+        }
+    }
+
+    /// Parseval: energy preserved up to the 1/n convention.
+    #[test]
+    fn parseval(data in signal(128)) {
+        let time: f64 = data.iter().map(|z| z.norm_sqr() as f64).sum();
+        let mut freq = data;
+        fft(&mut freq);
+        let f: f64 = freq.iter().map(|z| z.norm_sqr() as f64).sum::<f64>() / 128.0;
+        prop_assert!((time - f).abs() <= 1e-3 * time.max(1.0));
+    }
+
+    /// Time shift multiplies the spectrum by a unit-magnitude phase:
+    /// magnitudes are shift-invariant.
+    #[test]
+    fn shift_preserves_magnitudes(data in signal(32), shift in 0usize..32) {
+        let mut orig = data.clone();
+        let mut shifted: Vec<Complex32> = (0..32).map(|i| data[(i + shift) % 32]).collect();
+        fft(&mut orig);
+        fft(&mut shifted);
+        for (a, b) in orig.iter().zip(&shifted) {
+            prop_assert!((a.abs() - b.abs()).abs() < 1e-2);
+        }
+    }
+
+    /// 2D roundtrip at arbitrary power-of-two dims.
+    #[test]
+    fn roundtrip_2d(log_r in 0usize..5, log_c in 0usize..5, seed in any::<u32>()) {
+        let (r, c) = (1usize << log_r, 1usize << log_c);
+        let data: Vec<Complex32> = (0..r * c)
+            .map(|i| Complex32::real((((i as u32).wrapping_mul(seed | 1) >> 16) % 17) as f32 - 8.0))
+            .collect();
+        let plan = Fft2dPlan::new(r, c);
+        let mut d = data.clone();
+        plan.forward(&mut d);
+        plan.inverse(&mut d);
+        for (a, b) in d.iter().zip(&data) {
+            prop_assert!((*a - *b).abs() < 1e-3);
+        }
+    }
+
+    /// The convolution theorem path equals direct correlation for random
+    /// shapes and contents.
+    #[test]
+    fn fft_correlation_matches_direct(
+        ih in 3usize..14,
+        iw in 3usize..14,
+        kh in 1usize..4,
+        kw in 1usize..4,
+        seed in any::<u32>(),
+    ) {
+        prop_assume!(kh <= ih && kw <= iw);
+        let val = |i: usize| ((((i as u32).wrapping_mul(seed | 1)) >> 20) % 9) as f32 - 4.0;
+        let input: Vec<f32> = (0..ih * iw).map(val).collect();
+        let kernel: Vec<f32> = (0..kh * kw).map(|i| val(i + 1000)).collect();
+        let direct = memcnn_fft::direct_correlate2d(&input, ih, iw, &kernel, kh, kw);
+        let freq = fft_correlate2d(&input, ih, iw, &kernel, kh, kw);
+        for (a, b) in direct.iter().zip(&freq) {
+            prop_assert!((a - b).abs() < 5e-3, "{a} vs {b}");
+        }
+    }
+}

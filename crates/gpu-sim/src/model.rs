@@ -1,0 +1,370 @@
+//! The kernel cost model.
+//!
+//! Converts aggregate launch statistics (scaled from sampled block traces)
+//! into a time estimate and a diagnosis of *what bounds the kernel* — the
+//! quantity the paper reasons about throughout (§IV: layout changes move
+//! kernels between the coalesced and uncoalesced regimes; §V: fusion trades
+//! DRAM round-trips for on-chip traffic; low-parallelism kernels are
+//! latency-bound).
+//!
+//! The model is a bounded-resource max:
+//!
+//! ```text
+//! time = launch_overhead + max(T_compute, T_dram, T_L2, T_latency, T_smem, T_issue)
+//! ```
+//!
+//! Each term is documented on [`score`].
+
+use crate::device::DeviceConfig;
+use crate::kernel::{LaunchConfig, WorkSummary};
+use crate::occupancy::Occupancy;
+use serde::Serialize;
+
+/// Aggregate, full-grid launch statistics (sampled traces already scaled).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LaunchTotals {
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Warp-level global memory instructions.
+    pub mem_instrs: f64,
+    /// Global load sectors (32 B each) after coalescing.
+    pub load_sectors: f64,
+    /// Global store sectors after coalescing.
+    pub store_sectors: f64,
+    /// Bytes lanes requested on loads (for efficiency metrics).
+    pub requested_load_bytes: f64,
+    /// Bytes lanes requested on stores.
+    pub requested_store_bytes: f64,
+    /// DRAM read bytes after the L2 model.
+    pub dram_load_bytes: f64,
+    /// DRAM write bytes after the L2 model.
+    pub dram_store_bytes: f64,
+    /// Shared-memory passes (bank-adjusted warp cycles).
+    pub smem_passes: f64,
+    /// Shared-memory requested bytes.
+    pub smem_bytes: f64,
+    /// Auxiliary warp instructions.
+    pub aux_warp_instrs: f64,
+}
+
+/// What bounds a kernel's execution time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Bound {
+    /// FP32 pipeline throughput.
+    Compute,
+    /// DRAM bandwidth.
+    DramBandwidth,
+    /// L2 bandwidth.
+    L2Bandwidth,
+    /// Memory latency with insufficient parallelism to hide it.
+    MemLatency,
+    /// Shared-memory throughput (incl. bank conflicts).
+    SharedMem,
+    /// Instruction issue / per-block overhead.
+    Issue,
+    /// The kernel is so small the launch overhead dominates.
+    Launch,
+}
+
+/// Scored launch: time, its decomposition, and derived metrics.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct KernelTime {
+    /// Total wall time, seconds (including launch overhead).
+    pub time: f64,
+    /// Launch overhead component.
+    pub t_launch: f64,
+    /// FP32 pipeline time.
+    pub t_compute: f64,
+    /// DRAM bandwidth time.
+    pub t_dram: f64,
+    /// L2 bandwidth time.
+    pub t_l2: f64,
+    /// Latency-bound time (Little's law).
+    pub t_latency: f64,
+    /// Shared-memory time.
+    pub t_smem: f64,
+    /// Issue + per-block overhead time.
+    pub t_issue: f64,
+    /// The binding term.
+    pub bound: Bound,
+    /// Achieved DRAM bandwidth, bytes/s.
+    pub dram_gbs: f64,
+    /// Achieved arithmetic rate, FLOP/s.
+    pub flops_rate: f64,
+    /// Fraction of peak FP32 throughput sustained (the paper's "utilization
+    /// rate of ALUs", §II.A).
+    pub alu_utilization: f64,
+    /// ALU efficiency factor used (latency-hiding model).
+    pub alu_eff: f64,
+}
+
+/// DRAM efficiency as a function of warp-request granularity.
+///
+/// GDDR5 bursts favour large per-warp requests: a warp of 4-byte lanes
+/// moves 128 B per request and sustains ~87% of the achievable bandwidth,
+/// while 8-byte (`float2`) lanes move 256 B and reach ~100%. This is the
+/// mechanism that makes the paper's vectorized transformation kernel
+/// (§IV.C Opt2, Fig 11) and wide softmax loads profitable even though both
+/// are already perfectly coalesced.
+pub fn dram_efficiency(totals: &LaunchTotals) -> f64 {
+    if totals.mem_instrs <= 0.0 {
+        return 1.0;
+    }
+    let avg_request =
+        (totals.requested_load_bytes + totals.requested_store_bytes) / totals.mem_instrs;
+    (0.74 + 0.13 * avg_request / 128.0).clamp(0.74, 1.0)
+}
+
+/// Effective ALU/issue efficiency from latency hiding: how fully the
+/// resident warps (times per-thread ILP) cover the pipeline's needs.
+pub fn alu_efficiency(device: &DeviceConfig, occ: &Occupancy, ilp: f64) -> f64 {
+    let warps_per_sm_active = occ.concurrent_warps as f64 / device.sms as f64;
+    let ilp = ilp.max(1.0);
+    (warps_per_sm_active * ilp / device.warps_to_saturate_alu).min(1.0)
+}
+
+/// Score a launch. See the module docs for the model shape; term by term:
+///
+/// - `T_compute = flops / (peak_flops x alu_eff)` where `alu_eff` grows with
+///   resident warps x ILP until the pipeline saturates
+///   ([`DeviceConfig::warps_to_saturate_alu`]).
+/// - `T_dram = dram_bytes / dram_bw` — DRAM traffic is the post-L2 sector
+///   traffic, floored by the kernel's compulsory unique footprint.
+/// - `T_L2 = total_sector_bytes / l2_bw` — every transaction crosses the L2.
+/// - `T_latency = mem_instrs x mem_latency / (concurrent_warps x mlp)` — a
+///   Little's-law bound; kernels without enough warps in flight cannot keep
+///   the memory pipe full (the §V.B softmax failure mode).
+/// - `T_smem = smem_passes / (SMs x clock)` — one bank-conflict-adjusted
+///   pass per SM per cycle.
+/// - `T_issue = warp_instrs / (SMs x issue_width x clock x alu_eff) +
+///   grid x block_overhead / (SMs x clock)` — instruction issue plus fixed
+///   per-block cost; this is what bends the GFLOPS curves at small
+///   work-per-block (Fig 4).
+pub fn score(
+    device: &DeviceConfig,
+    launch: &LaunchConfig,
+    occ: &Occupancy,
+    work: &WorkSummary,
+    totals: &LaunchTotals,
+) -> KernelTime {
+    let ilp = work.ilp.max(1.0);
+    // alu_cap of 0 means "unset" (struct Default); treat as uncapped.
+    let cap = if work.alu_cap > 0.0 { work.alu_cap } else { 1.0 };
+    let alu_eff = alu_efficiency(device, occ, ilp).min(cap);
+
+    let t_compute = if totals.flops > 0.0 {
+        totals.flops / (device.peak_flops * alu_eff.max(1e-6))
+    } else {
+        0.0
+    };
+
+    let dram_bytes = totals.dram_load_bytes + totals.dram_store_bytes;
+    let t_dram = dram_bytes / (device.dram_bw * dram_efficiency(totals));
+
+    let sector_bytes =
+        (totals.load_sectors + totals.store_sectors) * DeviceConfig::SECTOR_BYTES as f64;
+    let t_l2 = sector_bytes / device.l2_bw;
+
+    let inflight = (occ.concurrent_warps as f64 * device.mem_mlp).max(1.0);
+    let t_latency = totals.mem_instrs * device.mem_latency / inflight;
+
+    let t_smem = totals.smem_passes / (device.sms as f64 * device.clock_hz);
+
+    // Warp-instruction issue: FMA instructions (2 FLOPs x 32 lanes each),
+    // memory instructions, shared passes and auxiliary instructions all
+    // occupy issue slots.
+    let warp_instrs = totals.flops / (2.0 * device.warp_size as f64)
+        + totals.mem_instrs
+        + totals.smem_passes
+        + totals.aux_warp_instrs;
+    let issue_rate =
+        device.sms as f64 * issue_width(device) * device.clock_hz * alu_eff.max(1e-6);
+    // Per-block startup overlaps across resident blocks on an SM.
+    let t_blocks = launch.grid_blocks as f64 * device.block_overhead_cycles
+        / (device.sms as f64 * occ.blocks_per_sm.max(1) as f64 * device.clock_hz);
+    let t_issue = warp_instrs / issue_rate + t_blocks;
+
+    let t_launch = device.launch_overhead;
+    let terms = [
+        (t_compute, Bound::Compute),
+        (t_dram, Bound::DramBandwidth),
+        (t_l2, Bound::L2Bandwidth),
+        (t_latency, Bound::MemLatency),
+        (t_smem, Bound::SharedMem),
+        (t_issue, Bound::Issue),
+    ];
+    let (t_exec, mut bound) = terms
+        .into_iter()
+        .max_by(|a, b| a.0.total_cmp(&b.0))
+        .expect("non-empty term list");
+    if t_launch > t_exec {
+        bound = Bound::Launch;
+    }
+    let time = t_launch + t_exec;
+
+    KernelTime {
+        time,
+        t_launch,
+        t_compute,
+        t_dram,
+        t_l2,
+        t_latency,
+        t_smem,
+        t_issue,
+        bound,
+        dram_gbs: dram_bytes / time,
+        flops_rate: totals.flops / time,
+        alu_utilization: totals.flops / device.peak_flops / time,
+        alu_eff,
+    }
+}
+
+/// Warp-instructions issued per cycle per SM: FP32 width in warps plus 50%
+/// co-issue headroom (Kepler/Maxwell schedulers dual-issue loads, stores and
+/// address arithmetic alongside FMAs, so pure-FMA kernels are bounded by the
+/// FP pipeline, not by issue).
+fn issue_width(device: &DeviceConfig) -> f64 {
+    (device.cores_per_sm as f64 / device.warp_size as f64).max(1.0) * 1.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::BankMode;
+    use crate::occupancy::occupancy;
+
+    fn full_launch(grid: u64) -> LaunchConfig {
+        LaunchConfig {
+            grid_blocks: grid,
+            threads_per_block: 256,
+            regs_per_thread: 32,
+            smem_per_block: 0,
+            bank_mode: BankMode::FourByte,
+        }
+    }
+
+    #[test]
+    fn streaming_kernel_is_dram_bound_at_effective_bandwidth() {
+        let d = DeviceConfig::titan_black();
+        let launch = full_launch(100_000);
+        let occ = occupancy(&d, &launch).unwrap();
+        // 1 GB moved, perfectly coalesced, negligible compute.
+        let gb = 1e9;
+        let totals = LaunchTotals {
+            flops: 1e6,
+            mem_instrs: gb / 128.0,
+            load_sectors: gb / 32.0,
+            dram_load_bytes: gb,
+            requested_load_bytes: gb,
+            ..Default::default()
+        };
+        let t = score(&d, &launch, &occ, &WorkSummary::new(gb, 0.0, 0).with_ilp(4.0), &totals);
+        assert_eq!(t.bound, Bound::DramBandwidth);
+        // 128 B warp requests sustain 87% of effective bandwidth.
+        let expect = 1e9 / (d.dram_bw * 0.87);
+        assert!((t.t_dram - expect).abs() / expect < 1e-9, "{} vs {expect}", t.t_dram);
+        assert!(t.dram_gbs < d.dram_bw);
+        assert!(t.dram_gbs > 0.8 * d.dram_bw);
+    }
+
+    #[test]
+    fn fma_kernel_with_full_occupancy_hits_peak() {
+        let d = DeviceConfig::titan_black();
+        let launch = full_launch(100_000);
+        let occ = occupancy(&d, &launch).unwrap();
+        let totals = LaunchTotals { flops: 1e12, ..Default::default() };
+        let t = score(&d, &launch, &occ, &WorkSummary::default().with_ilp(8.0), &totals);
+        assert_eq!(t.bound, Bound::Compute);
+        assert!(t.alu_utilization > 0.9, "utilization {}", t.alu_utilization);
+    }
+
+    #[test]
+    fn under_occupied_kernel_is_latency_bound() {
+        let d = DeviceConfig::titan_black();
+        // Four warps total (the paper's 128-thread softmax shape).
+        let launch = LaunchConfig { grid_blocks: 1, threads_per_block: 128, ..full_launch(1) };
+        let occ = occupancy(&d, &launch).unwrap();
+        let totals = LaunchTotals {
+            mem_instrs: 40_000.0,
+            load_sectors: 40_000.0 * 32.0,
+            dram_load_bytes: 40_000.0 * 32.0 * 32.0,
+            ..Default::default()
+        };
+        let t = score(&d, &launch, &occ, &WorkSummary::default(), &totals);
+        assert_eq!(t.bound, Bound::MemLatency);
+        // 40k instrs x 450ns / (4 warps x 6 mlp) = 750us.
+        assert!((t.t_latency - 40_000.0 * 450e-9 / 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_kernel_is_launch_bound() {
+        let d = DeviceConfig::titan_black();
+        let launch = full_launch(1);
+        let occ = occupancy(&d, &launch).unwrap();
+        let totals = LaunchTotals { flops: 100.0, ..Default::default() };
+        let t = score(&d, &launch, &occ, &WorkSummary::default(), &totals);
+        assert_eq!(t.bound, Bound::Launch);
+        assert!(t.time >= d.launch_overhead);
+    }
+
+    #[test]
+    fn bank_conflicts_increase_smem_time() {
+        let d = DeviceConfig::titan_black();
+        let launch = full_launch(10_000);
+        let occ = occupancy(&d, &launch).unwrap();
+        let clean = LaunchTotals { smem_passes: 1e6, ..Default::default() };
+        let conflicted = LaunchTotals { smem_passes: 32e6, ..Default::default() };
+        let t1 = score(&d, &launch, &occ, &WorkSummary::default(), &clean);
+        let t2 = score(&d, &launch, &occ, &WorkSummary::default(), &conflicted);
+        assert!((t2.t_smem / t1.t_smem - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_occupancy_degrades_alu_efficiency() {
+        let d = DeviceConfig::titan_black();
+        let small = LaunchConfig { grid_blocks: 15, threads_per_block: 32, ..full_launch(15) };
+        let occ = occupancy(&d, &small).unwrap();
+        // One warp per SM, ILP 1: far below saturation.
+        let eff = alu_efficiency(&d, &occ, 1.0);
+        assert!(eff < 0.1, "eff {eff}");
+        // ILP scales it linearly until the cap.
+        let eff4 = alu_efficiency(&d, &occ, 4.0);
+        assert!((eff4 / eff - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_efficiency_rises_with_request_size() {
+        let narrow = LaunchTotals {
+            mem_instrs: 1000.0,
+            requested_load_bytes: 1000.0 * 128.0,
+            ..Default::default()
+        };
+        let wide = LaunchTotals {
+            mem_instrs: 1000.0,
+            requested_load_bytes: 1000.0 * 256.0,
+            ..Default::default()
+        };
+        assert!((dram_efficiency(&narrow) - 0.87).abs() < 1e-9);
+        assert!((dram_efficiency(&wide) - 1.0).abs() < 1e-9);
+        // Scattered single-lane requests floor out.
+        let scattered = LaunchTotals {
+            mem_instrs: 1000.0,
+            requested_load_bytes: 1000.0 * 4.0,
+            ..Default::default()
+        };
+        assert!((dram_efficiency(&scattered) - 0.74).abs() < 0.01);
+        assert_eq!(dram_efficiency(&LaunchTotals::default()), 1.0);
+    }
+
+    #[test]
+    fn block_overhead_penalizes_many_tiny_blocks() {
+        let d = DeviceConfig::titan_black();
+        let launch = full_launch(1_000_000);
+        let occ = occupancy(&d, &launch).unwrap();
+        let totals = LaunchTotals { flops: 1e9, ..Default::default() };
+        let t = score(&d, &launch, &occ, &WorkSummary::default().with_ilp(8.0), &totals);
+        assert_eq!(t.bound, Bound::Issue);
+        // 1e6 blocks x 700 cycles / (15 SMs x 8 resident x 0.889 GHz) = 6.6 ms.
+        assert!(t.t_issue > 5e-3);
+    }
+}

@@ -1,0 +1,181 @@
+//! Occupancy: how many blocks/warps an SM can keep resident.
+//!
+//! Occupancy drives two terms of the cost model: the ability to hide
+//! arithmetic latency (ALU efficiency) and the memory-level parallelism
+//! available for the Little's-law latency bound. The paper's §V.B softmax
+//! analysis ("the number of threads for the kernel is only 128") is an
+//! occupancy starvation diagnosis; §IV.A's hill-climbing stop criterion
+//! ("further expansion leads to high register pressure thus limiting the
+//! TLP") is an occupancy cliff.
+
+use crate::device::DeviceConfig;
+use crate::kernel::LaunchConfig;
+use crate::SimError;
+
+/// Which resource bounds residency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Limiter {
+    /// Thread count per SM.
+    Threads,
+    /// Register file capacity.
+    Registers,
+    /// Shared-memory capacity.
+    SharedMem,
+    /// Architectural max blocks per SM.
+    Blocks,
+    /// The grid has fewer blocks than the device could hold.
+    GridSize,
+}
+
+/// Residency of a kernel launch on a device.
+#[derive(Clone, Copy, Debug)]
+pub struct Occupancy {
+    /// Blocks resident per SM (resource-limited, ignoring grid size).
+    pub blocks_per_sm: u32,
+    /// Warps resident per SM when the grid is large enough.
+    pub warps_per_sm: u32,
+    /// Blocks actually running concurrently device-wide
+    /// (`min(grid, blocks_per_sm x SMs)`).
+    pub concurrent_blocks: u64,
+    /// Warps actually running concurrently device-wide.
+    pub concurrent_warps: u64,
+    /// Fraction of the SM's max threads that are resident, in `[0, 1]`.
+    pub fraction: f64,
+    /// The binding resource.
+    pub limiter: Limiter,
+}
+
+/// Compute occupancy, or fail if a single block exceeds device resources.
+pub fn occupancy(device: &DeviceConfig, launch: &LaunchConfig) -> Result<Occupancy, SimError> {
+    if launch.threads_per_block == 0 || launch.grid_blocks == 0 {
+        return Err(SimError::Unlaunchable("empty grid or block".to_string()));
+    }
+    if launch.threads_per_block > device.max_threads_per_block {
+        return Err(SimError::Unlaunchable(format!(
+            "{} threads/block exceeds device max {}",
+            launch.threads_per_block, device.max_threads_per_block
+        )));
+    }
+    if launch.smem_per_block > device.smem_per_block_max {
+        return Err(SimError::Unlaunchable(format!(
+            "{} B shared memory/block exceeds device max {}",
+            launch.smem_per_block, device.smem_per_block_max
+        )));
+    }
+    if launch.regs_per_thread > device.max_regs_per_thread {
+        return Err(SimError::Unlaunchable(format!(
+            "{} registers/thread exceeds device max {}",
+            launch.regs_per_thread, device.max_regs_per_thread
+        )));
+    }
+
+    let by_threads = device.max_threads_per_sm / launch.threads_per_block;
+    let regs_per_block = launch.regs_per_thread.max(1) * launch.threads_per_block;
+    let by_regs = device.regs_per_sm / regs_per_block;
+    let by_smem =
+        device.smem_per_sm.checked_div(launch.smem_per_block).unwrap_or(u32::MAX);
+    let by_blocks = device.max_blocks_per_sm;
+
+    let (blocks_per_sm, limiter) = [
+        (by_threads, Limiter::Threads),
+        (by_regs, Limiter::Registers),
+        (by_smem, Limiter::SharedMem),
+        (by_blocks, Limiter::Blocks),
+    ]
+    .into_iter()
+    .min_by_key(|&(b, _)| b)
+    .expect("non-empty candidate list");
+
+    if blocks_per_sm == 0 {
+        return Err(SimError::Unlaunchable(format!(
+            "block needs more {:?} than one SM has",
+            limiter
+        )));
+    }
+
+    let warps_per_block = launch.threads_per_block.div_ceil(device.warp_size);
+    let warps_per_sm = blocks_per_sm * warps_per_block;
+    let device_capacity = blocks_per_sm as u64 * device.sms as u64;
+    let concurrent_blocks = launch.grid_blocks.min(device_capacity);
+    let limiter =
+        if launch.grid_blocks < device_capacity { Limiter::GridSize } else { limiter };
+    Ok(Occupancy {
+        blocks_per_sm,
+        warps_per_sm,
+        concurrent_blocks,
+        concurrent_warps: concurrent_blocks * warps_per_block as u64,
+        fraction: (warps_per_sm * device.warp_size) as f64 / device.max_threads_per_sm as f64
+            * (concurrent_blocks as f64 / device_capacity as f64),
+        limiter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::BankMode;
+
+    fn launch(grid: u64, threads: u32, regs: u32, smem: u32) -> LaunchConfig {
+        LaunchConfig {
+            grid_blocks: grid,
+            threads_per_block: threads,
+            regs_per_thread: regs,
+            smem_per_block: smem,
+            bank_mode: BankMode::FourByte,
+        }
+    }
+
+    #[test]
+    fn thread_limited_kernel() {
+        let d = DeviceConfig::titan_black();
+        let o = occupancy(&d, &launch(10_000, 1024, 16, 0)).unwrap();
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.warps_per_sm, 64);
+        assert_eq!(o.limiter, Limiter::Threads);
+        assert!((o.fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn register_limited_kernel() {
+        let d = DeviceConfig::titan_black();
+        // 255 regs x 256 threads = 65280 regs/block: one block per SM.
+        let o = occupancy(&d, &launch(10_000, 256, 255, 0)).unwrap();
+        assert_eq!(o.blocks_per_sm, 1);
+        assert_eq!(o.limiter, Limiter::Registers);
+    }
+
+    #[test]
+    fn smem_limited_kernel() {
+        let d = DeviceConfig::titan_black();
+        let o = occupancy(&d, &launch(10_000, 64, 16, 24 * 1024)).unwrap();
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limiter, Limiter::SharedMem);
+    }
+
+    #[test]
+    fn tiny_grid_is_grid_limited() {
+        let d = DeviceConfig::titan_black();
+        // The paper's baseline softmax: one block of 128 threads.
+        let o = occupancy(&d, &launch(1, 128, 24, 0)).unwrap();
+        assert_eq!(o.concurrent_blocks, 1);
+        assert_eq!(o.concurrent_warps, 4);
+        assert_eq!(o.limiter, Limiter::GridSize);
+        assert!(o.fraction < 0.01);
+    }
+
+    #[test]
+    fn oversized_block_fails() {
+        let d = DeviceConfig::titan_black();
+        assert!(occupancy(&d, &launch(1, 2048, 16, 0)).is_err());
+        assert!(occupancy(&d, &launch(1, 128, 16, 64 * 1024)).is_err());
+        assert!(occupancy(&d, &launch(0, 128, 16, 0)).is_err());
+    }
+
+    #[test]
+    fn block_cap_limits_small_blocks() {
+        let d = DeviceConfig::titan_black();
+        let o = occupancy(&d, &launch(10_000, 32, 8, 0)).unwrap();
+        assert_eq!(o.blocks_per_sm, 16);
+        assert_eq!(o.limiter, Limiter::Blocks);
+    }
+}

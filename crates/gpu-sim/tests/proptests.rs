@@ -1,0 +1,106 @@
+//! Property-based tests for the simulator's building blocks.
+
+use memcnn_gpusim::cache::Cache;
+use memcnn_gpusim::coalesce;
+use memcnn_gpusim::device::{BankMode, DeviceConfig};
+use memcnn_gpusim::occupancy::occupancy;
+use memcnn_gpusim::{banks, LaunchConfig};
+use proptest::prelude::*;
+
+fn lane_addrs() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..100_000, 1..=32)
+}
+
+proptest! {
+    /// A warp access touches at least one sector and no more than
+    /// lanes x spanned sectors; transaction count is invariant under
+    /// address-order permutation.
+    #[test]
+    fn coalescer_bounds_and_order_invariance(addrs in lane_addrs(), width in 1u64..=16) {
+        let n = coalesce::transaction_count(&addrs, width);
+        prop_assert!(n >= 1);
+        let max_per_lane = (width as usize).div_ceil(32) + 1;
+        prop_assert!(n <= addrs.len() * max_per_lane);
+        let mut rev = addrs.clone();
+        rev.reverse();
+        prop_assert_eq!(coalesce::transaction_count(&rev, width), n);
+    }
+
+    /// Coalescing efficiency never exceeds 1 for aligned pow2 widths and
+    /// duplicates never increase the transaction count.
+    #[test]
+    fn coalescer_efficiency_bounds(addrs in lane_addrs()) {
+        let eff = coalesce::efficiency(&addrs, 4);
+        prop_assert!(eff > 0.0 && eff <= 1.0 + 1e-9);
+        let mut dup = addrs.clone();
+        dup.extend(addrs.iter().copied().take(32 - addrs.len().min(31)));
+        let a = coalesce::transaction_count(&addrs, 4);
+        let b = coalesce::transaction_count(&dup[..addrs.len()], 4);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Bank conflict passes are within [ceil(width/bank), 32 x phases] and
+    /// broadcast (all equal) is always minimal.
+    #[test]
+    fn bank_passes_bounds(addrs in lane_addrs(), wide in prop::bool::ANY) {
+        let width = if wide { 8 } else { 4 };
+        for mode in [BankMode::FourByte, BankMode::EightByte] {
+            let p = banks::passes(&addrs, width, mode, 32);
+            prop_assert!(p >= 1, "passes {p} below min");
+            prop_assert!(p <= 64, "passes {p} above max");
+        }
+        let broadcast = vec![addrs[0]; addrs.len()];
+        let pb = banks::passes(&broadcast, 4, BankMode::FourByte, 32);
+        prop_assert!(pb <= banks::passes(&addrs, 4, BankMode::FourByte, 32).max(1));
+    }
+
+    /// Cache sanity: hits + misses == accesses; a repeated single-sector
+    /// stream has exactly one miss; hit rate is within [0, 1].
+    #[test]
+    fn cache_accounting(sectors in proptest::collection::vec(0u64..512, 1..200)) {
+        let mut c = Cache::new(16 * 1024, 8, 32);
+        for &s in &sectors {
+            c.access(s);
+        }
+        prop_assert_eq!(c.accesses(), sectors.len() as u64);
+        prop_assert_eq!(c.hits() + c.misses(), c.accesses());
+        let rate = c.hit_rate();
+        prop_assert!((0.0..=1.0).contains(&rate));
+        // Unique sectors lower-bound the misses for an LRU cache larger
+        // than the stream's footprint.
+        let unique: std::collections::HashSet<_> = sectors.iter().collect();
+        if unique.len() <= c.capacity_sectors() {
+            prop_assert_eq!(c.misses(), unique.len() as u64);
+        } else {
+            prop_assert!(c.misses() >= unique.len() as u64);
+        }
+    }
+
+    /// Occupancy is monotone: more registers or shared memory per block
+    /// never increases resident blocks.
+    #[test]
+    fn occupancy_monotonicity(
+        threads_pow in 5u32..=10,
+        regs in 8u32..64,
+        smem in 0u32..24_000,
+    ) {
+        let d = DeviceConfig::titan_black();
+        let mk = |regs, smem| LaunchConfig {
+            grid_blocks: 10_000,
+            threads_per_block: 1 << threads_pow,
+            regs_per_thread: regs,
+            smem_per_block: smem,
+            bank_mode: BankMode::FourByte,
+        };
+        let blocks = |l| occupancy(&d, &l).map(|o| o.blocks_per_sm).unwrap_or(0);
+        let base = match occupancy(&d, &mk(regs, smem)) {
+            Ok(o) => o,
+            Err(_) => return Ok(()), // base config itself unlaunchable
+        };
+        prop_assert!(blocks(mk(regs * 2, smem)) <= base.blocks_per_sm);
+        prop_assert!(blocks(mk(regs, smem + 8_192)) <= base.blocks_per_sm);
+        // Residency never exceeds architectural caps.
+        prop_assert!(base.warps_per_sm * d.warp_size <= d.max_threads_per_sm);
+        prop_assert!(base.blocks_per_sm <= d.max_blocks_per_sm);
+    }
+}

@@ -1,0 +1,186 @@
+//! Backward-pass kernel specs (training support).
+//!
+//! The paper's footnote 1 (§II.A): "The same data structure and convolution
+//! operation are used in both the forward pass and backward pass for
+//! testing and training CNNs" — and its §IV.D profiling is a "complete
+//! forward-backward" run. This module provides the backward-pass cost
+//! models by composing the existing kernel families:
+//!
+//! - **conv, gradient w.r.t. data**: convolution with channels swapped and
+//!   the filter rotated — the same kernel family as the forward pass
+//!   (cuda-convnet's `imgActs` / the MM path's transposed GEMM), so it is
+//!   modelled by the forward specs on the transposed shape.
+//! - **conv, gradient w.r.t. weights**: a reduction over the batch and
+//!   output pixels — a GEMM of `[Co][N*OH*OW] x [N*OH*OW][Ci*Fh*Fw]`
+//!   (`weightActs` / im2col-transposed GEMM).
+//! - **pooling backward**: a scatter of output gradients into the input
+//!   gradient; same coalescing story as forward (CHWN coalesces along N,
+//!   NCHW strides).
+//! - **element-wise backward** (ReLU, softmax+xent, LRN approximations):
+//!   streaming kernels.
+
+use crate::conv::direct_chwn::DirectConvChwn;
+use crate::conv::mm_nchw::MmConvNchw;
+use crate::gemm_model::{GemmConfig, GemmKernel};
+use crate::layers::ElementwiseKernel;
+use crate::pool::chwn::PoolChwn;
+use crate::pool::nchw::PoolNchwCaffe;
+use crate::shapes::{ConvShape, PoolShape};
+use memcnn_gpusim::KernelSpec;
+use memcnn_tensor::Layout;
+
+/// The shape whose *forward* cost equals the backward-data cost of
+/// `shape`: channels swapped, spatial dims taken from the output, filter
+/// unchanged. For stride 1 this is exact (full correlation with the
+/// rotated filter, pad `f-1-p`); for strided convolutions the dilated
+/// scatter has the same FLOP and traffic volume as the forward pass, so
+/// the forward shape itself is the cost proxy.
+pub fn backward_data_shape(shape: &ConvShape) -> ConvShape {
+    if shape.stride == 1 {
+        ConvShape {
+            n: shape.n,
+            ci: shape.co,
+            h: shape.out_h(),
+            w: shape.out_w(),
+            co: shape.ci,
+            fh: shape.fh,
+            fw: shape.fw,
+            stride: 1,
+            pad: shape.fh - 1 - shape.pad.min(shape.fh - 1),
+        }
+    } else {
+        *shape
+    }
+}
+
+/// Cost model of the weight-gradient reduction
+/// `grad_W[Co][Ci*Fh*Fw] = grad_out[Co][N*OH*OW] x col(input)^T`.
+///
+/// The literal GEMM is tall in K (`N*OH*OW`) with a tiny output — real
+/// implementations split the reduction across blocks to recover
+/// parallelism and land at forward-GEMM throughput, so the model uses the
+/// forward product's geometry (identical FLOP volume and operand sizes).
+pub fn weight_grad_gemm(shape: &ConvShape) -> GemmKernel {
+    let m = shape.co;
+    let k = shape.ci * shape.fh * shape.fw;
+    let n = shape.n * shape.out_h() * shape.out_w();
+    GemmKernel::with_fresh_buffers(m, k, n, GemmConfig::default())
+}
+
+/// Backward kernels of a convolution in the CHWN/direct family.
+pub fn conv_backward_chwn(shape: &ConvShape) -> Vec<Box<dyn KernelSpec + Send>> {
+    vec![
+        Box::new(DirectConvChwn::new(backward_data_shape(shape))),
+        Box::new(weight_grad_gemm(shape)),
+    ]
+}
+
+/// Backward kernels of a convolution in the NCHW/MM family: the data
+/// gradient is another im2col+GEMM pipeline on the transposed shape, plus
+/// the weight-gradient GEMM.
+pub fn conv_backward_nchw(shape: &ConvShape) -> Vec<Box<dyn KernelSpec + Send>> {
+    let data = MmConvNchw::new(backward_data_shape(shape));
+    let mut kernels: Vec<Box<dyn KernelSpec + Send>> = Vec::new();
+    // MmConvNchw owns its kernels; re-create equivalent specs.
+    let s = backward_data_shape(shape);
+    let im2col = crate::im2col::Im2colKernel::with_fresh_buffers(s);
+    let k = s.ci * s.fh * s.fw;
+    let m = s.n * s.out_h() * s.out_w();
+    let gemm = GemmKernel::with_fresh_buffers(s.co, k, m, GemmConfig::default());
+    drop(data);
+    kernels.push(Box::new(im2col));
+    kernels.push(Box::new(gemm));
+    kernels.push(Box::new(weight_grad_gemm(shape)));
+    kernels
+}
+
+/// Backward kernel of a pooling layer: read `grad_out`, scatter into
+/// `grad_in`. Traffic is one pass over each tensor; the layout decides
+/// coalescing exactly as in the forward pass, so the forward specs (with
+/// input/output roles swapped) serve as the cost model.
+pub fn pool_backward_spec(shape: &PoolShape, layout: Layout) -> Box<dyn KernelSpec + Send> {
+    if layout == Layout::CHWN {
+        Box::new(PoolChwn::new(*shape))
+    } else {
+        Box::new(PoolNchwCaffe::new(*shape))
+    }
+}
+
+/// Backward of an element-wise layer over `elems` values (ReLU mask apply,
+/// LRN chain rule, softmax-minus-onehot): streaming read-modify-write.
+pub fn elementwise_backward(name: &str, elems: u64, flops_per_elem: u64) -> ElementwiseKernel {
+    ElementwiseKernel::new(format!("{name}-bwd"), elems, flops_per_elem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcnn_gpusim::{simulate, simulate_sequence, DeviceConfig, SimOptions};
+
+    fn seq_time(ks: &[Box<dyn KernelSpec + Send>]) -> f64 {
+        let d = DeviceConfig::titan_black();
+        let refs: Vec<&dyn KernelSpec> = ks.iter().map(|k| k.as_ref() as _).collect();
+        simulate_sequence(&d, &refs, &SimOptions::default()).unwrap().time()
+    }
+
+    #[test]
+    fn backward_data_shape_preserves_flops_at_stride_1() {
+        let s = ConvShape { pad: 1, ..ConvShape::table1(32, 64, 13, 3, 256, 1) };
+        let b = backward_data_shape(&s);
+        // Same N, swapped channels, same filter: FLOPs match when the
+        // spatial extents reconstruct (they do for same-padding).
+        assert_eq!(b.ci, s.co);
+        assert_eq!(b.co, s.ci);
+        assert_eq!(b.out_h(), s.h, "full correlation reconstructs the input extent");
+        assert_eq!(b.flops(), s.flops());
+    }
+
+    #[test]
+    fn strided_conv_uses_forward_shape_as_proxy() {
+        let s = ConvShape::table1(64, 96, 224, 3, 3, 2); // CV5
+        assert_eq!(backward_data_shape(&s), s);
+    }
+
+    #[test]
+    fn weight_grad_gemm_has_reduction_flops() {
+        let s = ConvShape::table1(128, 16, 28, 5, 1, 1); // CV1
+        let g = weight_grad_gemm(&s);
+        // 2 * Co * (N*OH*OW) * (Ci*F*F) — identical to the conv FLOPs.
+        assert_eq!(g.flops(), s.flops());
+    }
+
+    #[test]
+    fn backward_costs_are_comparable_to_forward() {
+        // Training folklore: backward ≈ 2x forward for mid-network convs
+        // (where both gradients are computed). The model should land in
+        // [1x, 5x]. First layers (tiny Ci) are excluded — real frameworks
+        // skip their data gradient entirely.
+        let d = DeviceConfig::titan_black();
+        let s = ConvShape::table1(128, 64, 12, 5, 64, 1); // CV4
+        let fwd = simulate(&d, &DirectConvChwn::new(s), &SimOptions::default()).unwrap().time();
+        let bwd = seq_time(&conv_backward_chwn(&s));
+        let ratio = bwd / fwd;
+        assert!((0.8..5.0).contains(&ratio), "bwd/fwd ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn nchw_backward_pipeline_has_three_kernels() {
+        let s = ConvShape::table1(64, 384, 13, 3, 256, 1); // CV7
+        let ks = conv_backward_nchw(&s);
+        assert_eq!(ks.len(), 3);
+        assert!(seq_time(&ks) > 0.0);
+    }
+
+    #[test]
+    fn pool_backward_layout_story_matches_forward() {
+        let d = DeviceConfig::titan_black();
+        let s = PoolShape::table1(128, 24, 3, 64, 2);
+        let chwn =
+            simulate(&d, pool_backward_spec(&s, Layout::CHWN).as_ref(), &SimOptions::default())
+                .unwrap();
+        let nchw =
+            simulate(&d, pool_backward_spec(&s, Layout::NCHW).as_ref(), &SimOptions::default())
+                .unwrap();
+        assert!(chwn.time() < nchw.time());
+    }
+}

@@ -1,0 +1,131 @@
+//! Matrix-multiplication convolution over `NCHW` — the Caffe/cuDNN family.
+//!
+//! Two-kernel pipeline: im2col expands the input into
+//! `col[Ci*Fh*Fw][N*OH*OW]`, then a tiled SGEMM computes
+//! `out[Co][N*OH*OW] = filter[Co][Ci*Fh*Fw] x col`. The expansion is pure
+//! memory overhead — the §IV.A cost that makes this path lose when `C` is
+//! small — while the GEMM is where large-`C` layers earn their high
+//! arithmetic efficiency.
+
+use crate::gemm_model::{GemmConfig, GemmKernel};
+use crate::im2col::Im2colKernel;
+use crate::shapes::ConvShape;
+use memcnn_gpusim::{
+    simulate_sequence, AddressSpace, DeviceConfig, KernelSpec, SequenceReport, SimError,
+    SimOptions,
+};
+
+/// The im2col + GEMM convolution pipeline (kernel specs sharing buffers).
+#[derive(Clone, Debug)]
+pub struct MmConvNchw {
+    shape: ConvShape,
+    im2col: Im2colKernel,
+    gemm: GemmKernel,
+}
+
+impl MmConvNchw {
+    /// Build the pipeline for a convolution shape.
+    pub fn new(shape: ConvShape) -> MmConvNchw {
+        let mut asp = AddressSpace::new();
+        let input = asp.alloc_f32(shape.input_shape().len() as u64);
+        let col = asp.alloc_f32(Im2colKernel::col_elems(&shape) as u64);
+        let filter = asp.alloc_f32(shape.filter_shape().len() as u64);
+        let out = asp.alloc_f32(shape.output_shape().len() as u64);
+        let k = shape.ci * shape.fh * shape.fw;
+        let m = shape.n * shape.out_h() * shape.out_w();
+        let im2col = Im2colKernel::new(shape, input, col);
+        let gemm = GemmKernel::new(shape.co, k, m, GemmConfig::default(), filter, col, out)
+            .with_extra_footprint(input.bytes);
+        MmConvNchw { shape, im2col, gemm }
+    }
+
+    /// The convolution shape.
+    pub fn shape(&self) -> &ConvShape {
+        &self.shape
+    }
+
+    /// The pipeline's kernels in execution order.
+    pub fn kernels(&self) -> Vec<&dyn KernelSpec> {
+        vec![&self.im2col, &self.gemm]
+    }
+
+    /// Device-memory footprint of the whole pipeline (input + col + filter
+    /// + output), the quantity that makes the unrolled matrix expensive.
+    pub fn footprint_bytes(&self) -> u64 {
+        let s = &self.shape;
+        4 * (s.input_shape().len()
+            + Im2colKernel::col_elems(s)
+            + s.filter_shape().len()
+            + s.output_shape().len()) as u64
+    }
+
+    /// Simulate the pipeline.
+    pub fn simulate(
+        &self,
+        device: &DeviceConfig,
+        opts: &SimOptions,
+    ) -> Result<SequenceReport, SimError> {
+        simulate_sequence(device, &self.kernels(), opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::direct_chwn::DirectConvChwn;
+    use memcnn_gpusim::simulate;
+
+    #[test]
+    fn pipeline_has_two_kernels_and_conv_flops() {
+        let s = ConvShape::table1(64, 384, 13, 3, 256, 1); // CONV7
+        let p = MmConvNchw::new(s);
+        let d = DeviceConfig::titan_black();
+        let r = p.simulate(&d, &SimOptions::default()).unwrap();
+        assert_eq!(r.kernels.len(), 2);
+        // GEMM flops == conv flops.
+        let expect = s.flops() as f64;
+        assert!((r.flops() - expect).abs() / expect < 0.02);
+    }
+
+    #[test]
+    fn small_c_pays_im2col_overhead() {
+        // CONV1 (C=1): the im2col step moves more bytes than the GEMM needs,
+        // and the K=25 GEMM has poor reuse — direct CHWN conv wins (Fig 3).
+        let d = DeviceConfig::titan_black();
+        let s = ConvShape::table1(128, 16, 28, 5, 1, 1);
+        let mm = MmConvNchw::new(s).simulate(&d, &SimOptions::default()).unwrap();
+        let direct = simulate(&d, &DirectConvChwn::new(s), &SimOptions::default()).unwrap();
+        assert!(
+            mm.time() > 1.5 * direct.time(),
+            "mm {:.3} ms vs direct {:.3} ms",
+            mm.time() * 1e3,
+            direct.time() * 1e3
+        );
+    }
+
+    #[test]
+    fn large_c_small_n_favors_mm() {
+        // CONV11-like (N=32, C=256): direct conv loses its register reuse
+        // while GEMM runs at high efficiency (Fig 3 right half).
+        let d = DeviceConfig::titan_black();
+        let s = ConvShape::table1(32, 512, 28, 3, 256, 1);
+        let mm = MmConvNchw::new(s).simulate(&d, &SimOptions::default()).unwrap();
+        let direct = simulate(&d, &DirectConvChwn::new(s), &SimOptions::default()).unwrap();
+        assert!(
+            direct.time() > mm.time(),
+            "direct {:.3} ms vs mm {:.3} ms",
+            direct.time() * 1e3,
+            mm.time() * 1e3
+        );
+    }
+
+    #[test]
+    fn footprint_includes_col_matrix() {
+        let s = ConvShape::table1(32, 64, 28, 3, 16, 1);
+        let p = MmConvNchw::new(s);
+        let col_bytes = 4 * Im2colKernel::col_elems(&s) as u64;
+        assert!(p.footprint_bytes() > col_bytes);
+        // The col matrix dominates: Fh*Fw = 9x the input.
+        assert!(col_bytes > 4 * 4 * s.input_shape().len() as u64);
+    }
+}

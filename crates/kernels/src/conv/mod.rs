@@ -1,0 +1,389 @@
+//! Convolutional-layer kernels.
+//!
+//! Four implementation families:
+//!
+//! - [`direct_chwn`]: cuda-convnet's direct convolution over the `CHWN`
+//!   layout (warp along the batch dimension, register-tiled reuse).
+//! - [`mm_nchw`]: Caffe/cuDNN's matrix-multiplication path over `NCHW`
+//!   (im2col expansion + tiled GEMM).
+//! - [`fft_nchw`]: cuDNN v4's FFT and FFT-tiling modes over `NCHW`
+//!   (frequency-domain products; large-footprint, stride-1 only).
+//! - [`winograd`]: the §VII outlook — Lavin & Gray's F(2x2, 3x3)
+//!   arithmetic-complexity reduction (the paper's ref [16]).
+//!
+//! Every family has a functional CPU implementation (tested against the
+//! naive reference here) and a GPU kernel spec for the simulator.
+
+pub mod direct_chwn;
+pub mod fft_nchw;
+pub mod mm_nchw;
+pub mod winograd;
+
+use crate::im2col::im2col;
+use crate::matmul::sgemm;
+use crate::shapes::ConvShape;
+use memcnn_tensor::{Layout, Tensor};
+use rayon::prelude::*;
+use std::fmt;
+
+/// Errors from convolution construction/execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConvError {
+    /// The implementation does not support this configuration (e.g. the
+    /// FFT modes are stride-1 only, as in cuDNN v4).
+    Unsupported(String),
+    /// Input/filter tensors disagree with the declared shape.
+    ShapeMismatch(String),
+}
+
+impl fmt::Display for ConvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvError::Unsupported(m) => write!(f, "unsupported convolution: {m}"),
+            ConvError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ConvError {}
+
+/// Naive direct convolution over logical coordinates: the correctness
+/// oracle for every other implementation. Accepts any input/filter layout;
+/// produces `out_layout`. Parallel over `(n, co)`.
+pub fn conv_reference(
+    input: &Tensor,
+    filter: &Tensor,
+    shape: &ConvShape,
+    out_layout: Layout,
+) -> Result<Tensor, ConvError> {
+    check_shapes(input, filter, shape)?;
+    let (oh, ow) = (shape.out_h(), shape.out_w());
+    let mut out = Tensor::zeros(shape.output_shape(), out_layout);
+    // Compute into a (n, co)-indexed set of planes, then write.
+    let planes: Vec<((usize, usize), Vec<f32>)> = (0..shape.n * shape.co)
+        .into_par_iter()
+        .map(|idx| {
+            let (n, co) = (idx / shape.co, idx % shape.co);
+            let mut plane = vec![0f32; oh * ow];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0f32;
+                    for ci in 0..shape.ci {
+                        for fy in 0..shape.fh {
+                            for fx in 0..shape.fw {
+                                let iy = (oy * shape.stride + fy) as isize - shape.pad as isize;
+                                let ix = (ox * shape.stride + fx) as isize - shape.pad as isize;
+                                if iy >= 0
+                                    && ix >= 0
+                                    && (iy as usize) < shape.h
+                                    && (ix as usize) < shape.w
+                                {
+                                    acc += input.get(n, ci, iy as usize, ix as usize)
+                                        * filter.get(co, ci, fy, fx);
+                                }
+                            }
+                        }
+                    }
+                    plane[oy * ow + ox] = acc;
+                }
+            }
+            ((n, co), plane)
+        })
+        .collect();
+    for ((n, co), plane) in planes {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                out.set(n, co, oy, ox, plane[oy * ow + ox]);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Fast functional convolution (im2col + parallel SGEMM), used by the
+/// execution engine. Layout-agnostic on the outside; internally works in
+/// NCHW.
+pub fn conv_forward(
+    input: &Tensor,
+    filter: &Tensor,
+    shape: &ConvShape,
+    out_layout: Layout,
+) -> Result<Tensor, ConvError> {
+    check_shapes(input, filter, shape)?;
+    let input_nchw = input.to_layout(Layout::NCHW);
+    let filter_nchw = filter.to_layout(Layout::NCHW);
+    let col = im2col(&input_nchw, shape);
+    let k = shape.ci * shape.fh * shape.fw;
+    let m = shape.n * shape.out_h() * shape.out_w();
+    let out_mat = sgemm(shape.co, k, m, filter_nchw.as_slice(), &col);
+    // out_mat is [Co][N x OH x OW]; scatter into the requested layout.
+    let (oh, ow) = (shape.out_h(), shape.out_w());
+    let mut out = Tensor::zeros(shape.output_shape(), out_layout);
+    for co in 0..shape.co {
+        for n in 0..shape.n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    out.set(n, co, oy, ox, out_mat[co * m + (n * oh + oy) * ow + ox]);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Backward pass w.r.t. the input (full correlation with rotated filters),
+/// provided functionally to back the paper's §II footnote that forward and
+/// backward share data structures and access patterns.
+pub fn conv_backward_input(
+    grad_out: &Tensor,
+    filter: &Tensor,
+    shape: &ConvShape,
+    out_layout: Layout,
+) -> Result<Tensor, ConvError> {
+    if grad_out.shape() != shape.output_shape() {
+        return Err(ConvError::ShapeMismatch(format!(
+            "grad_out {} vs expected {}",
+            grad_out.shape(),
+            shape.output_shape()
+        )));
+    }
+    let (oh, ow) = (shape.out_h(), shape.out_w());
+    let mut grad_in = Tensor::zeros(shape.input_shape(), out_layout);
+    for n in 0..shape.n {
+        for ci in 0..shape.ci {
+            for iy in 0..shape.h {
+                for ix in 0..shape.w {
+                    let mut acc = 0f32;
+                    for co in 0..shape.co {
+                        for fy in 0..shape.fh {
+                            for fx in 0..shape.fw {
+                                let oy_num = iy + shape.pad;
+                                let ox_num = ix + shape.pad;
+                                if oy_num >= fy && ox_num >= fx {
+                                    let (dy, dx) = (oy_num - fy, ox_num - fx);
+                                    if dy % shape.stride == 0 && dx % shape.stride == 0 {
+                                        let (oy, ox) = (dy / shape.stride, dx / shape.stride);
+                                        if oy < oh && ox < ow {
+                                            acc += grad_out.get(n, co, oy, ox)
+                                                * filter.get(co, ci, fy, fx);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    grad_in.set(n, ci, iy, ix, acc);
+                }
+            }
+        }
+    }
+    Ok(grad_in)
+}
+
+/// Backward pass w.r.t. the filter: correlate the input with the output
+/// gradient (the weight-gradient step of training; same 4D data structures
+/// and access patterns as the forward pass, per the paper's §II footnote).
+pub fn conv_backward_filter(
+    input: &Tensor,
+    grad_out: &Tensor,
+    shape: &ConvShape,
+) -> Result<Tensor, ConvError> {
+    if input.shape() != shape.input_shape() {
+        return Err(ConvError::ShapeMismatch(format!(
+            "input {} vs expected {}",
+            input.shape(),
+            shape.input_shape()
+        )));
+    }
+    if grad_out.shape() != shape.output_shape() {
+        return Err(ConvError::ShapeMismatch(format!(
+            "grad_out {} vs expected {}",
+            grad_out.shape(),
+            shape.output_shape()
+        )));
+    }
+    let (oh, ow) = (shape.out_h(), shape.out_w());
+    let mut grad_w = Tensor::zeros(shape.filter_shape(), Layout::NCHW);
+    let planes: Vec<((usize, usize), Vec<f32>)> = (0..shape.co * shape.ci)
+        .into_par_iter()
+        .map(|idx| {
+            let (co, ci) = (idx / shape.ci, idx % shape.ci);
+            let mut tap = vec![0f32; shape.fh * shape.fw];
+            for fy in 0..shape.fh {
+                for fx in 0..shape.fw {
+                    let mut acc = 0f32;
+                    for n in 0..shape.n {
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let iy = (oy * shape.stride + fy) as isize - shape.pad as isize;
+                                let ix = (ox * shape.stride + fx) as isize - shape.pad as isize;
+                                if iy >= 0
+                                    && ix >= 0
+                                    && (iy as usize) < shape.h
+                                    && (ix as usize) < shape.w
+                                {
+                                    acc += input.get(n, ci, iy as usize, ix as usize)
+                                        * grad_out.get(n, co, oy, ox);
+                                }
+                            }
+                        }
+                    }
+                    tap[fy * shape.fw + fx] = acc;
+                }
+            }
+            ((co, ci), tap)
+        })
+        .collect();
+    for ((co, ci), tap) in planes {
+        for fy in 0..shape.fh {
+            for fx in 0..shape.fw {
+                grad_w.set(co, ci, fy, fx, tap[fy * shape.fw + fx]);
+            }
+        }
+    }
+    Ok(grad_w)
+}
+
+fn check_shapes(input: &Tensor, filter: &Tensor, shape: &ConvShape) -> Result<(), ConvError> {
+    shape.validate().map_err(ConvError::Unsupported)?;
+    if input.shape() != shape.input_shape() {
+        return Err(ConvError::ShapeMismatch(format!(
+            "input {} vs expected {}",
+            input.shape(),
+            shape.input_shape()
+        )));
+    }
+    if filter.shape() != shape.filter_shape() {
+        return Err(ConvError::ShapeMismatch(format!(
+            "filter {} vs expected {}",
+            filter.shape(),
+            shape.filter_shape()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_reference_all_layout_combinations() {
+        let s = ConvShape::table1(3, 4, 9, 3, 2, 1);
+        for in_layout in [Layout::NCHW, Layout::CHWN] {
+            for out_layout in [Layout::NCHW, Layout::CHWN, Layout::NHWC] {
+                let input = Tensor::random(s.input_shape(), in_layout, 5);
+                let filter = Tensor::random(s.filter_shape(), Layout::NCHW, 6);
+                let fast = conv_forward(&input, &filter, &s, out_layout).unwrap();
+                let slow = conv_reference(&input, &filter, &s, out_layout).unwrap();
+                assert!(
+                    fast.approx_eq(&slow, 1e-3),
+                    "layouts {in_layout} -> {out_layout}, diff {}",
+                    fast.max_abs_diff(&slow).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_with_stride_and_padding() {
+        let s = ConvShape { pad: 2, ..ConvShape::table1(2, 3, 11, 5, 2, 2) };
+        let input = Tensor::random(s.input_shape(), Layout::NCHW, 7);
+        let filter = Tensor::random(s.filter_shape(), Layout::NCHW, 8);
+        let fast = conv_forward(&input, &filter, &s, Layout::NCHW).unwrap();
+        let slow = conv_reference(&input, &filter, &s, Layout::NCHW).unwrap();
+        assert!(fast.approx_eq(&slow, 1e-3));
+    }
+
+    #[test]
+    fn single_pixel_identity() {
+        // 1x1 filter with weight 2.0: output = 2 x input.
+        let s = ConvShape::table1(1, 1, 4, 1, 1, 1);
+        let input = Tensor::random(s.input_shape(), Layout::NCHW, 9);
+        let filter = Tensor::full(s.filter_shape(), Layout::NCHW, 2.0);
+        let out = conv_forward(&input, &filter, &s, Layout::NCHW).unwrap();
+        for ((n, c, h, w), v) in input.iter_logical() {
+            assert!((out.get(n, c, h, w) - 2.0 * v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let s = ConvShape::table1(2, 3, 8, 3, 2, 1);
+        let bad_input = Tensor::zeros(memcnn_tensor::Shape::new(2, 5, 8, 8), Layout::NCHW);
+        let filter = Tensor::zeros(s.filter_shape(), Layout::NCHW);
+        assert!(matches!(
+            conv_forward(&bad_input, &filter, &s, Layout::NCHW),
+            Err(ConvError::ShapeMismatch(_))
+        ));
+        let input = Tensor::zeros(s.input_shape(), Layout::NCHW);
+        let bad_filter = Tensor::zeros(memcnn_tensor::Shape::new(3, 2, 5, 5), Layout::NCHW);
+        assert!(matches!(
+            conv_forward(&input, &bad_filter, &s, Layout::NCHW),
+            Err(ConvError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn backward_input_matches_autograd_identity() {
+        // For a 1x1 stride-1 conv, grad_in = grad_out convolved with the
+        // transposed channel matrix; check a scalar case by hand.
+        let s = ConvShape::table1(1, 1, 3, 1, 1, 1);
+        let filter = Tensor::full(s.filter_shape(), Layout::NCHW, 3.0);
+        let grad_out = Tensor::full(s.output_shape(), Layout::NCHW, 1.0);
+        let grad_in = conv_backward_input(&grad_out, &filter, &s, Layout::NCHW).unwrap();
+        for (_, v) in grad_in.iter_logical() {
+            assert!((v - 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn backward_filter_matches_finite_difference() {
+        // d(sum(out))/d(w[co][ci][fy][fx]) == conv_backward_filter with
+        // all-ones grad_out; check against a finite difference.
+        let s = ConvShape::table1(2, 2, 5, 3, 2, 1);
+        let input = Tensor::random(s.input_shape(), Layout::NCHW, 40);
+        let filter = Tensor::random(s.filter_shape(), Layout::NCHW, 41);
+        let ones = Tensor::full(s.output_shape(), Layout::NCHW, 1.0);
+        let grad = conv_backward_filter(&input, &ones, &s).unwrap();
+        let total = |f: &Tensor| -> f32 {
+            conv_reference(&input, f, &s, Layout::NCHW)
+                .unwrap()
+                .iter_logical()
+                .map(|(_, v)| v)
+                .sum()
+        };
+        let eps = 1e-2;
+        for (co, ci, fy, fx) in [(0, 0, 0, 0), (1, 1, 2, 1), (1, 0, 1, 2)] {
+            let mut bumped = filter.clone();
+            bumped.set(co, ci, fy, fx, filter.get(co, ci, fy, fx) + eps);
+            let fd = (total(&bumped) - total(&filter)) / eps;
+            let an = grad.get(co, ci, fy, fx);
+            assert!((fd - an).abs() < 0.05 * (1.0 + an.abs()), "fd {fd} vs analytic {an}");
+        }
+    }
+
+    #[test]
+    fn backward_filter_validates_shapes() {
+        let s = ConvShape::table1(2, 2, 5, 3, 2, 1);
+        let input = Tensor::zeros(s.input_shape(), Layout::NCHW);
+        let bad = Tensor::zeros(memcnn_tensor::Shape::new(2, 2, 9, 9), Layout::NCHW);
+        assert!(matches!(
+            conv_backward_filter(&input, &bad, &s),
+            Err(ConvError::ShapeMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn backward_input_counts_contributing_taps() {
+        // 3x3 stride-1, single channel, all-ones: interior input pixels
+        // receive 9 contributions, corners 1.
+        let s = ConvShape::table1(1, 1, 5, 3, 1, 1);
+        let filter = Tensor::full(s.filter_shape(), Layout::NCHW, 1.0);
+        let grad_out = Tensor::full(s.output_shape(), Layout::NCHW, 1.0);
+        let g = conv_backward_input(&grad_out, &filter, &s, Layout::NCHW).unwrap();
+        assert_eq!(g.get(0, 0, 2, 2), 9.0);
+        assert_eq!(g.get(0, 0, 0, 0), 1.0);
+        assert_eq!(g.get(0, 0, 0, 2), 3.0);
+    }
+}

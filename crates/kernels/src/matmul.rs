@@ -1,0 +1,107 @@
+//! Matrix multiplication: a rayon-parallel CPU SGEMM (functional semantics)
+//! and a shared-memory-tiled GPU GEMM kernel spec (performance model).
+//!
+//! GEMM is the substrate under the Caffe/cuDNN convolution path (§II.B:
+//! "one is to use Matrix Multiplication to compute convolutions... the
+//! strategy used in Caffe and cuDNN") and under fully-connected layers.
+
+use crate::gemm_model::GemmKernel;
+use rayon::prelude::*;
+
+/// `C = A x B` for row-major `A (m x k)`, `B (k x n)`; returns row-major
+/// `C (m x n)`. Parallel over rows of `C`, with a blocked k-loop that keeps
+/// the working set cache-resident.
+pub fn sgemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), m * k, "A must be m x k");
+    assert_eq!(b.len(), k * n, "B must be k x n");
+    let mut c = vec![0f32; m * n];
+    const KB: usize = 256;
+    c.par_chunks_mut(n).enumerate().for_each(|(i, row)| {
+        let a_row = &a[i * k..(i + 1) * k];
+        for k0 in (0..k).step_by(KB) {
+            let k1 = (k0 + KB).min(k);
+            for (kk, &aik) in a_row[k0..k1].iter().enumerate() {
+                let b_row = &b[(k0 + kk) * n..(k0 + kk + 1) * n];
+                if aik != 0.0 {
+                    for (cj, &bj) in row.iter_mut().zip(b_row) {
+                        *cj += aik * bj;
+                    }
+                }
+            }
+        }
+    });
+    c
+}
+
+/// Naive triple loop, the oracle `sgemm` is tested against.
+pub fn sgemm_naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    let mut c = vec![0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0f32;
+            for kk in 0..k {
+                acc += a[i * k + kk] * b[kk * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+pub use crate::gemm_model::GemmConfig;
+
+/// Build the GPU GEMM kernel spec for a `m x k x n` product with fresh
+/// device buffers.
+pub fn gemm_kernel(m: usize, k: usize, n: usize) -> GemmKernel {
+    GemmKernel::with_fresh_buffers(m, k, n, GemmConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f32) -> Vec<f32> {
+        (0..rows * cols).map(|i| f(i / cols, i % cols)).collect()
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let a = mat(3, 3, |i, j| if i == j { 1.0 } else { 0.0 });
+        let b = mat(3, 4, |i, j| (i * 4 + j) as f32);
+        assert_eq!(sgemm(3, 3, 4, &a, &b), b);
+    }
+
+    #[test]
+    fn matches_naive_on_odd_sizes() {
+        for (m, k, n) in [(1, 1, 1), (5, 7, 3), (17, 33, 9), (64, 64, 64), (100, 3, 50)] {
+            let a = mat(m, k, |i, j| ((i * 31 + j * 7) % 13) as f32 - 6.0);
+            let b = mat(k, n, |i, j| ((i * 17 + j * 3) % 11) as f32 - 5.0);
+            let fast = sgemm(m, k, n, &a, &b);
+            let slow = sgemm_naive(m, k, n, &a, &b);
+            for (x, y) in fast.iter().zip(&slow) {
+                assert!((x - y).abs() < 1e-3, "m={m} k={k} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_k_loop_crosses_block_boundaries() {
+        // k > KB exercises the k-blocking path.
+        let (m, k, n) = (2, 600, 2);
+        let a = mat(m, k, |_, j| if j % 2 == 0 { 1.0 } else { -1.0 });
+        let b = mat(k, n, |i, _| i as f32);
+        let fast = sgemm(m, k, n, &a, &b);
+        let slow = sgemm_naive(m, k, n, &a, &b);
+        for (x, y) in fast.iter().zip(&slow) {
+            assert!((x - y).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "A must be m x k")]
+    fn wrong_a_len_panics() {
+        sgemm(2, 2, 2, &[1.0; 3], &[1.0; 4]);
+    }
+}

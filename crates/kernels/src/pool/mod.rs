@@ -1,0 +1,305 @@
+//! Pooling-layer kernels.
+//!
+//! §IV.B and §V.A: pooling is memory-bound; on `CHWN` the warp runs along
+//! `N` and coalesces perfectly, on `NCHW` the window walk produces strided,
+//! partially-coalesced accesses; overlapped windows re-load shared input
+//! elements unless threads are coarsened to reuse them in registers.
+//!
+//! - [`pool_forward`], [`pool_backward_avg`], [`pool_backward_max`]:
+//!   functional semantics (any layout).
+//! - [`chwn::PoolChwn`]: cuda-convnet-style kernel spec (optionally
+//!   coarsened — the paper's `Opt`).
+//! - [`nchw::PoolNchwCaffe`], [`nchw::PoolNchwCudnn`]: the two NCHW
+//!   baselines of Fig 6/12.
+
+pub mod chwn;
+pub mod nchw;
+
+use crate::shapes::PoolShape;
+use memcnn_tensor::{Layout, Tensor};
+use rayon::prelude::*;
+
+/// Pooling operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolOp {
+    /// Maximum over the window.
+    Max,
+    /// Arithmetic mean over the window (Eq. 2 of the paper).
+    Avg,
+}
+
+/// Functional pooling over logical coordinates; accepts any input layout
+/// and produces `out_layout`. Parallel over `(n, c)` slices.
+pub fn pool_forward(
+    input: &Tensor,
+    shape: &PoolShape,
+    op: PoolOp,
+    out_layout: Layout,
+) -> Tensor {
+    assert_eq!(input.shape(), shape.input_shape(), "input shape mismatch");
+    let (oh, ow) = (shape.out_h(), shape.out_w());
+    let mut out = Tensor::zeros(shape.output_shape(), out_layout);
+    let planes: Vec<((usize, usize), Vec<f32>)> = (0..shape.n * shape.c)
+        .into_par_iter()
+        .map(|idx| {
+            let (n, c) = (idx / shape.c, idx % shape.c);
+            let mut plane = vec![0f32; oh * ow];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = if op == PoolOp::Max { f32::NEG_INFINITY } else { 0.0 };
+                    let mut count = 0usize;
+                    for ky in 0..shape.window {
+                        let iy = oy * shape.stride + ky;
+                        if iy >= shape.h {
+                            break; // ceil-mode edge window clamps
+                        }
+                        for kx in 0..shape.window {
+                            let ix = ox * shape.stride + kx;
+                            if ix >= shape.w {
+                                break;
+                            }
+                            let v = input.get(n, c, iy, ix);
+                            count += 1;
+                            match op {
+                                PoolOp::Max => acc = acc.max(v),
+                                PoolOp::Avg => acc += v,
+                            }
+                        }
+                    }
+                    if op == PoolOp::Avg {
+                        // Average over the clamped window (cuda-convnet's
+                        // convention: padding is excluded).
+                        acc /= count as f32;
+                    }
+                    plane[oy * ow + ox] = acc;
+                }
+            }
+            ((n, c), plane)
+        })
+        .collect();
+    for ((n, c), plane) in planes {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                out.set(n, c, oy, ox, plane[oy * ow + ox]);
+            }
+        }
+    }
+    out
+}
+
+/// Backward pass of average pooling: distribute each output gradient
+/// uniformly over its window (overlaps accumulate).
+pub fn pool_backward_avg(grad_out: &Tensor, shape: &PoolShape, out_layout: Layout) -> Tensor {
+    assert_eq!(grad_out.shape(), shape.output_shape(), "grad shape mismatch");
+    let (oh, ow) = (shape.out_h(), shape.out_w());
+    let mut grad_in = Tensor::zeros(shape.input_shape(), out_layout);
+    for n in 0..shape.n {
+        for c in 0..shape.c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let taps: Vec<(usize, usize)> = window_taps(shape, oy, ox).collect();
+                    let g = grad_out.get(n, c, oy, ox) / taps.len() as f32;
+                    for (iy, ix) in taps {
+                        let v = grad_in.get(n, c, iy, ix) + g;
+                        grad_in.set(n, c, iy, ix, v);
+                    }
+                }
+            }
+        }
+    }
+    grad_in
+}
+
+/// In-bounds input taps of one output's (possibly clamped) window.
+fn window_taps(
+    shape: &PoolShape,
+    oy: usize,
+    ox: usize,
+) -> impl Iterator<Item = (usize, usize)> + '_ {
+    let y0 = oy * shape.stride;
+    let x0 = ox * shape.stride;
+    (y0..(y0 + shape.window).min(shape.h))
+        .flat_map(move |iy| (x0..(x0 + shape.window).min(shape.w)).map(move |ix| (iy, ix)))
+}
+
+/// Backward pass of max pooling: route each output gradient to the argmax
+/// input position (first-wins tie-breaking, as in Caffe).
+pub fn pool_backward_max(
+    input: &Tensor,
+    grad_out: &Tensor,
+    shape: &PoolShape,
+    out_layout: Layout,
+) -> Tensor {
+    assert_eq!(input.shape(), shape.input_shape());
+    assert_eq!(grad_out.shape(), shape.output_shape());
+    let (oh, ow) = (shape.out_h(), shape.out_w());
+    let mut grad_in = Tensor::zeros(shape.input_shape(), out_layout);
+    for n in 0..shape.n {
+        for c in 0..shape.c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut arg = (0, 0);
+                    for (iy, ix) in window_taps(shape, oy, ox) {
+                        let v = input.get(n, c, iy, ix);
+                        if v > best {
+                            best = v;
+                            arg = (iy, ix);
+                        }
+                    }
+                    let v = grad_in.get(n, c, arg.0, arg.1) + grad_out.get(n, c, oy, ox);
+                    grad_in.set(n, c, arg.0, arg.1, v);
+                }
+            }
+        }
+    }
+    grad_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcnn_tensor::Shape;
+
+    #[test]
+    fn max_pool_simple() {
+        let s = PoolShape::table1(1, 4, 2, 1, 2);
+        let input = Tensor::from_fn(s.input_shape(), Layout::NCHW, |_, _, h, w| (h * 4 + w) as f32);
+        let out = pool_forward(&input, &s, PoolOp::Max, Layout::NCHW);
+        assert_eq!(out.shape(), Shape::new(1, 1, 2, 2));
+        assert_eq!(out.get(0, 0, 0, 0), 5.0);
+        assert_eq!(out.get(0, 0, 1, 1), 15.0);
+    }
+
+    #[test]
+    fn avg_pool_simple() {
+        let s = PoolShape::table1(1, 4, 2, 1, 2);
+        let input = Tensor::full(s.input_shape(), Layout::NCHW, 3.0);
+        let out = pool_forward(&input, &s, PoolOp::Avg, Layout::NCHW);
+        for (_, v) in out.iter_logical() {
+            assert!((v - 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn overlapped_windows_share_elements() {
+        // 5x5, win 3, stride 2 -> 2x2 outputs; all windows share (2,2).
+        let input = Tensor::from_fn(Shape::new(1, 1, 5, 5), Layout::NCHW, |_, _, h, w| {
+            if (h, w) == (2, 2) {
+                100.0
+            } else {
+                (h * 5 + w) as f32
+            }
+        });
+        let out = pool_forward(&input, &PoolShape::table1(1, 5, 3, 1, 2), PoolOp::Max, Layout::NCHW);
+        // The shared center element dominates all four windows.
+        for (_, v) in out.iter_logical() {
+            assert_eq!(v, 100.0);
+        }
+    }
+
+    #[test]
+    fn layouts_do_not_change_semantics() {
+        let s = PoolShape::table1(4, 9, 3, 8, 2);
+        let base = Tensor::random(s.input_shape(), Layout::NCHW, 20);
+        let want = pool_forward(&base, &s, PoolOp::Max, Layout::NCHW);
+        for layout in [Layout::CHWN, Layout::NHWC, Layout::HWCN] {
+            let input = base.to_layout(layout);
+            let got = pool_forward(&input, &s, PoolOp::Max, layout);
+            assert!(got.approx_eq(&want, 0.0), "layout {layout}");
+        }
+    }
+
+    #[test]
+    fn avg_backward_distributes_uniformly() {
+        let s = PoolShape::table1(1, 4, 2, 1, 2);
+        let g = Tensor::full(s.output_shape(), Layout::NCHW, 4.0);
+        let gi = pool_backward_avg(&g, &s, Layout::NCHW);
+        for (_, v) in gi.iter_logical() {
+            assert!((v - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn avg_backward_accumulates_overlaps() {
+        let s = PoolShape::table1(1, 5, 3, 1, 2);
+        let g = Tensor::full(s.output_shape(), Layout::NCHW, 9.0);
+        let gi = pool_backward_avg(&g, &s, Layout::NCHW);
+        // Center element (2,2) belongs to all 4 windows: 4 * 9/9 = 4.
+        assert!((gi.get(0, 0, 2, 2) - 4.0).abs() < 1e-6);
+        // Corner (0,0) belongs to 1 window.
+        assert!((gi.get(0, 0, 0, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_backward_routes_to_argmax() {
+        let s = PoolShape::table1(1, 4, 2, 1, 2);
+        let input = Tensor::from_fn(s.input_shape(), Layout::NCHW, |_, _, h, w| (h * 4 + w) as f32);
+        let g = Tensor::full(s.output_shape(), Layout::NCHW, 1.0);
+        let gi = pool_backward_max(&input, &g, &s, Layout::NCHW);
+        assert_eq!(gi.get(0, 0, 1, 1), 1.0); // argmax of the first window
+        assert_eq!(gi.get(0, 0, 0, 0), 0.0);
+        let total: f32 = gi.iter_logical().map(|(_, v)| v).sum();
+        assert_eq!(total, 4.0);
+    }
+}
+
+#[cfg(test)]
+mod ceil_mode_tests {
+    use super::*;
+    use memcnn_tensor::{Layout, Tensor};
+
+    #[test]
+    fn ceil_mode_output_dims_match_frameworks() {
+        // Cifar10: 24, win 3, stride 2 -> 12 (ceil), 11 (floor).
+        let floor = PoolShape::table1(1, 24, 3, 1, 2);
+        let ceil = floor.with_ceil_mode(true);
+        assert_eq!(floor.out_h(), 11);
+        assert_eq!(ceil.out_h(), 12);
+        // ZFNet PL8: 110 -> 55 in ceil mode.
+        assert_eq!(PoolShape::table1(1, 110, 3, 1, 2).with_ceil_mode(true).out_h(), 55);
+        // AlexNet PL5: 55 -> 27 either way.
+        assert_eq!(PoolShape::table1(1, 55, 3, 1, 2).out_h(), 27);
+        assert_eq!(PoolShape::table1(1, 55, 3, 1, 2).with_ceil_mode(true).out_h(), 27);
+    }
+
+    #[test]
+    fn ceil_mode_edge_windows_clamp() {
+        let s = PoolShape::table1(1, 6, 3, 1, 2).with_ceil_mode(true); // out 3: starts 0,2,4 (4..6 clamped)
+        assert_eq!(s.out_h(), 3);
+        let input =
+            Tensor::from_fn(s.input_shape(), Layout::NCHW, |_, _, h, w| (h * 6 + w) as f32);
+        let max = pool_forward(&input, &s, PoolOp::Max, Layout::NCHW);
+        // Last window covers rows 4..6, cols 4..6; max element = 35.
+        assert_eq!(max.get(0, 0, 2, 2), 35.0);
+        let avg = pool_forward(&input, &s, PoolOp::Avg, Layout::NCHW);
+        // Clamped 2x2 window {28,29,34,35} -> 31.5 (divided by 4, not 9).
+        assert_eq!(avg.get(0, 0, 2, 2), 31.5);
+    }
+
+    #[test]
+    fn ceil_mode_backward_conserves_gradient_mass() {
+        let s = PoolShape::table1(1, 5, 3, 1, 2).with_ceil_mode(true); // out 2x2, last clamped
+        let g = Tensor::full(s.output_shape(), Layout::NCHW, 1.0);
+        let gi = pool_backward_avg(&g, &s, Layout::NCHW);
+        let mass: f32 = gi.iter_logical().map(|(_, v)| v).sum();
+        assert!((mass - s.output_shape().len() as f32).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ceil_mode_specs_simulate() {
+        use crate::pool::chwn::PoolChwn;
+        use crate::pool::nchw::{PoolNchwCaffe, PoolNchwCudnn};
+        use memcnn_gpusim::{simulate, DeviceConfig, SimOptions};
+        let d = DeviceConfig::titan_black();
+        let s = PoolShape::table1(64, 110, 3, 96, 2).with_ceil_mode(true); // PL8
+        assert_eq!(s.out_h(), 55);
+        for r in [
+            simulate(&d, &PoolChwn::new(s), &SimOptions::default()).unwrap(),
+            simulate(&d, &PoolNchwCaffe::new(s), &SimOptions::default()).unwrap(),
+            simulate(&d, &PoolNchwCudnn::new(s), &SimOptions::default()).unwrap(),
+        ] {
+            assert!(r.time() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Synthetic dataset generators.
+//!
+//! Stand-ins for MNIST, CIFAR-10 and ImageNet (DESIGN.md §2): every
+//! quantity the reproduced experiments measure depends only on tensor
+//! shapes, so seeded random batches with the right shapes and value ranges
+//! exercise the same code paths. Labels are provided for the classifier
+//! backward pass.
+
+use memcnn_tensor::{Layout, Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic labelled batch.
+#[derive(Clone, Debug)]
+pub struct Batch {
+    /// Input images.
+    pub images: Tensor,
+    /// One label per image.
+    pub labels: Vec<usize>,
+}
+
+/// Generate a batch shaped like a dataset's input with `categories` labels.
+pub fn synthetic_batch(shape: Shape, categories: usize, seed: u64) -> Batch {
+    let images = Tensor::random(shape, Layout::NCHW, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBA7C4);
+    let labels = (0..shape.n).map(|_| rng.gen_range(0..categories)).collect();
+    Batch { images, labels }
+}
+
+/// MNIST-shaped batch (`n x 1 x 28 x 28`, 10 classes).
+pub fn mnist_batch(n: usize, seed: u64) -> Batch {
+    synthetic_batch(Shape::new(n, 1, 28, 28), 10, seed)
+}
+
+/// CIFAR-10-shaped batch after cuda-convnet cropping (`n x 3 x 24 x 24`).
+pub fn cifar_batch(n: usize, seed: u64) -> Batch {
+    synthetic_batch(Shape::new(n, 3, 24, 24), 10, seed)
+}
+
+/// ImageNet-shaped batch for AlexNet (`n x 3 x 227 x 227`, 1000 classes).
+pub fn imagenet_batch_227(n: usize, seed: u64) -> Batch {
+    synthetic_batch(Shape::new(n, 3, 227, 227), 1000, seed)
+}
+
+/// ImageNet-shaped batch for ZFNet/VGG (`n x 3 x 224 x 224`).
+pub fn imagenet_batch_224(n: usize, seed: u64) -> Batch {
+    synthetic_batch(Shape::new(n, 3, 224, 224), 1000, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_have_expected_shapes_and_labels() {
+        let b = mnist_batch(16, 1);
+        assert_eq!(b.images.shape(), Shape::new(16, 1, 28, 28));
+        assert_eq!(b.labels.len(), 16);
+        assert!(b.labels.iter().all(|&l| l < 10));
+        let b = imagenet_batch_224(4, 2);
+        assert_eq!(b.images.shape(), Shape::new(4, 3, 224, 224));
+        assert!(b.labels.iter().all(|&l| l < 1000));
+    }
+
+    #[test]
+    fn batches_are_deterministic_in_seed() {
+        let a = cifar_batch(8, 7);
+        let b = cifar_batch(8, 7);
+        let c = cifar_batch(8, 8);
+        assert_eq!(a.images.as_slice(), b.images.as_slice());
+        assert_eq!(a.labels, b.labels);
+        assert_ne!(a.images.as_slice(), c.images.as_slice());
+    }
+
+    #[test]
+    fn values_are_bounded() {
+        let b = mnist_batch(4, 3);
+        assert!(b.images.as_slice().iter().all(|v| (-1.0..1.0).contains(v)));
+    }
+}

@@ -1,0 +1,15 @@
+//! # memcnn-models — the evaluation's layer zoo and networks
+//!
+//! [`table1`] encodes the paper's Table 1 verbatim (CV1-CV12, PL1-PL10,
+//! CLASS1-CLASS5, plus the Fig 13 softmax sweep); [`networks`] builds the
+//! five complete CNNs of Fig 14 (LeNet, CIFAR, AlexNet, ZFNet, VGG) with
+//! batch sizes and layer chains consistent with that table; [`data`]
+//! generates the synthetic dataset stand-ins.
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod networks;
+pub mod table1;
+
+pub use networks::{alexnet, all_networks, cifar10, lenet, vgg16, zfnet};

@@ -1,0 +1,229 @@
+//! The five complete networks of the evaluation (§III.A, Fig 14), with the
+//! batch sizes Table 1 assigns them (LeNet/Cifar/AlexNet: 128, ZFNet: 64,
+//! VGG: 32).
+
+use memcnn_core::{NetError, Network, NetworkBuilder};
+use memcnn_tensor::Shape;
+
+/// LeNet on MNIST (batch 128, 1x28x28). Same-padded 5x5 convolutions keep
+/// Table 1's layer inputs: CONV1 at 28, POOL1 at 28, CONV2/POOL2 at 14.
+pub fn lenet() -> Result<Network, NetError> {
+    NetworkBuilder::new("LeNet", Shape::new(128, 1, 28, 28))
+        .conv("CV1", 16, 5, 1, 2)
+        .relu("relu1")
+        .max_pool("PL1", 2, 2)
+        .conv("CV2", 16, 5, 1, 2)
+        .relu("relu2")
+        .max_pool("PL2", 2, 2)
+        .fc("ip1", 128)
+        .relu("relu3")
+        .fc("ip2", 10)
+        .softmax("prob")
+        .build()
+}
+
+/// The cuda-convnet example network for CIFAR-10 (batch 128, 3x24x24 after
+/// cropping): CONV3/POOL3 at 24, CONV4/POOL4 at 12 (ceil-mode pooling).
+pub fn cifar10() -> Result<Network, NetError> {
+    NetworkBuilder::new("CIFAR", Shape::new(128, 3, 24, 24))
+        .conv("CV3", 64, 5, 1, 2)
+        .relu("relu1")
+        .max_pool("PL3", 3, 2)
+        .conv("CV4", 64, 5, 1, 2)
+        .relu("relu2")
+        .max_pool("PL4", 3, 2)
+        .fc("ip1", 64)
+        .relu("relu3")
+        .fc("ip2", 10)
+        .softmax("prob")
+        .build()
+}
+
+/// AlexNet (batch 128, 3x227x227): POOL layers at 55/27/13 as in Table 1's
+/// PL5-PL7; classifier CLASS3 (128 images, 1000 categories).
+pub fn alexnet() -> Result<Network, NetError> {
+    NetworkBuilder::new("AlexNet", Shape::new(128, 3, 227, 227))
+        .conv("CV1", 96, 11, 4, 0)
+        .relu("relu1")
+        .lrn("norm1", 5)
+        .max_pool("PL1", 3, 2)
+        .conv("CV2", 256, 5, 1, 2)
+        .relu("relu2")
+        .lrn("norm2", 5)
+        .max_pool("PL2", 3, 2)
+        .conv("CV3", 384, 3, 1, 1)
+        .relu("relu3")
+        .conv("CV4", 384, 3, 1, 1)
+        .relu("relu4")
+        .conv("CV5", 256, 3, 1, 1)
+        .relu("relu5")
+        .max_pool("PL3", 3, 2)
+        .fc("fc6", 4096)
+        .relu("relu6")
+        .fc("fc7", 4096)
+        .relu("relu7")
+        .fc("fc8", 1000)
+        .softmax("prob")
+        .build()
+}
+
+/// ZFNet (batch 64, 3x224x224). Table 1 prints CONV5 with F=3, but its own
+/// pooling row (PL8 at 110) pins the actual ZFNet first layer: 7x7 stride 2
+/// (pad 1) -> 110. The CV5 *benchmark entry* stays as printed; the network
+/// uses the architecture the table's layer chain implies.
+pub fn zfnet() -> Result<Network, NetError> {
+    NetworkBuilder::new("ZFNet", Shape::new(64, 3, 224, 224))
+        .conv("CV5", 96, 7, 2, 1)
+        .relu("relu1")
+        .max_pool("PL8", 3, 2)
+        .lrn("norm1", 5)
+        .conv("CV6", 256, 5, 2, 0)
+        .relu("relu2")
+        .max_pool("PL9", 3, 2)
+        .lrn("norm2", 5)
+        .conv("CV7", 384, 3, 1, 1)
+        .relu("relu3")
+        .conv("CV8", 384, 3, 1, 1)
+        .relu("relu4")
+        .conv("CV8b", 256, 3, 1, 1)
+        .relu("relu5")
+        .max_pool("PL10", 3, 2)
+        .fc("fc6", 4096)
+        .relu("relu6")
+        .fc("fc7", 4096)
+        .relu("relu7")
+        .fc("fc8", 1000)
+        .softmax("prob")
+        .build()
+}
+
+/// VGG-16 (batch 32, 3x224x224); CV9-CV12 are the first convolutions of
+/// blocks 1, 3, 4 and 5.
+pub fn vgg16() -> Result<Network, NetError> {
+    NetworkBuilder::new("VGG", Shape::new(32, 3, 224, 224))
+        .conv("CV9", 64, 3, 1, 1)
+        .relu("relu1_1")
+        .conv("conv1_2", 64, 3, 1, 1)
+        .relu("relu1_2")
+        .max_pool("pool1", 2, 2)
+        .conv("conv2_1", 128, 3, 1, 1)
+        .relu("relu2_1")
+        .conv("conv2_2", 128, 3, 1, 1)
+        .relu("relu2_2")
+        .max_pool("pool2", 2, 2)
+        .conv("CV10", 256, 3, 1, 1)
+        .relu("relu3_1")
+        .conv("conv3_2", 256, 3, 1, 1)
+        .relu("relu3_2")
+        .conv("conv3_3", 256, 3, 1, 1)
+        .relu("relu3_3")
+        .max_pool("pool3", 2, 2)
+        .conv("CV11", 512, 3, 1, 1)
+        .relu("relu4_1")
+        .conv("conv4_2", 512, 3, 1, 1)
+        .relu("relu4_2")
+        .conv("conv4_3", 512, 3, 1, 1)
+        .relu("relu4_3")
+        .max_pool("pool4", 2, 2)
+        .conv("CV12", 512, 3, 1, 1)
+        .relu("relu5_1")
+        .conv("conv5_2", 512, 3, 1, 1)
+        .relu("relu5_2")
+        .conv("conv5_3", 512, 3, 1, 1)
+        .relu("relu5_3")
+        .max_pool("pool5", 2, 2)
+        .fc("fc6", 4096)
+        .relu("relu6")
+        .fc("fc7", 4096)
+        .relu("relu7")
+        .fc("fc8", 1000)
+        .softmax("prob")
+        .build()
+}
+
+/// All five networks in Fig 14 order.
+pub fn all_networks() -> Vec<Network> {
+    vec![
+        lenet().expect("LeNet builds"),
+        cifar10().expect("CIFAR builds"),
+        alexnet().expect("AlexNet builds"),
+        zfnet().expect("ZFNet builds"),
+        vgg16().expect("VGG builds"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcnn_core::LayerSpec;
+
+    #[test]
+    fn all_five_networks_build() {
+        let nets = all_networks();
+        assert_eq!(nets.len(), 5);
+        let names: Vec<&str> = nets.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, vec!["LeNet", "CIFAR", "AlexNet", "ZFNet", "VGG"]);
+    }
+
+    #[test]
+    fn lenet_matches_table1_layer_inputs() {
+        let net = lenet().unwrap();
+        let layer = |n: &str| net.layers().iter().find(|l| l.name == n).unwrap();
+        assert_eq!(layer("CV1").input.h, 28);
+        assert_eq!(layer("PL1").input.h, 28);
+        assert_eq!(layer("CV2").input.h, 14);
+        assert_eq!(layer("PL2").input.h, 14);
+        assert_eq!(net.output(), Shape::new(128, 10, 1, 1));
+    }
+
+    #[test]
+    fn cifar_matches_table1_layer_inputs() {
+        let net = cifar10().unwrap();
+        let layer = |n: &str| net.layers().iter().find(|l| l.name == n).unwrap();
+        assert_eq!(layer("CV3").input.h, 24);
+        assert_eq!(layer("PL3").input.h, 24);
+        assert_eq!(layer("CV4").input.h, 12, "ceil-mode pooling: 24 -> 12");
+        assert_eq!(layer("PL4").input.h, 12);
+    }
+
+    #[test]
+    fn alexnet_matches_table1_pool_inputs() {
+        let net = alexnet().unwrap();
+        let layer = |n: &str| net.layers().iter().find(|l| l.name == n).unwrap();
+        assert_eq!(layer("PL1").input.h, 55); // PL5 row
+        assert_eq!(layer("PL2").input.h, 27); // PL6 row
+        assert_eq!(layer("PL3").input.h, 13); // PL7 row
+        assert_eq!(layer("PL1").input.c, 96);
+        assert_eq!(layer("PL2").input.c, 256);
+        assert_eq!(net.output(), Shape::new(128, 1000, 1, 1));
+    }
+
+    #[test]
+    fn zfnet_matches_table1_pool_inputs() {
+        let net = zfnet().unwrap();
+        let layer = |n: &str| net.layers().iter().find(|l| l.name == n).unwrap();
+        assert_eq!(layer("PL8").input.h, 110);
+        assert_eq!(layer("PL9").input.h, 26);
+        assert_eq!(layer("PL10").input.h, 13);
+        assert_eq!(layer("CV6").input.h, 55);
+        assert_eq!(layer("CV7").input.h, 13);
+        assert_eq!(layer("CV7").input.c, 256);
+    }
+
+    #[test]
+    fn vgg_matches_table1_conv_inputs() {
+        let net = vgg16().unwrap();
+        let layer = |n: &str| net.layers().iter().find(|l| l.name == n).unwrap();
+        assert_eq!((layer("CV9").input.h, layer("CV9").input.c), (224, 3));
+        assert_eq!((layer("CV10").input.h, layer("CV10").input.c), (56, 128));
+        assert_eq!((layer("CV11").input.h, layer("CV11").input.c), (28, 256));
+        assert_eq!((layer("CV12").input.h, layer("CV12").input.c), (14, 512));
+        // 13 convolutions + 5 pools + 3 FC + softmax + ReLUs.
+        let convs = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.spec, LayerSpec::Conv { .. }))
+            .count();
+        assert_eq!(convs, 13);
+    }
+}

@@ -1,0 +1,160 @@
+//! The paper's Table 1: every benchmarked layer configuration.
+//!
+//! Columns are `(Ni, Co, H/W, Fw/Fh, Ci, S)` for convolutions and
+//! `(Ni, H/W, Fw, Ci, S)` for pooling; classifier rows give
+//! `(images, categories)`.
+
+use memcnn_kernels::{ConvShape, PoolShape, SoftmaxShape};
+
+/// A named convolutional layer from Table 1.
+#[derive(Clone, Copy, Debug)]
+pub struct ConvEntry {
+    /// Table name (`CV1` .. `CV12`).
+    pub name: &'static str,
+    /// The shape.
+    pub shape: ConvShape,
+    /// Source network.
+    pub network: &'static str,
+}
+
+/// A named pooling layer from Table 1.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolEntry {
+    /// Table name (`PL1` .. `PL10`).
+    pub name: &'static str,
+    /// The shape.
+    pub shape: PoolShape,
+    /// Source network.
+    pub network: &'static str,
+}
+
+/// A named classifier configuration from Table 1.
+#[derive(Clone, Copy, Debug)]
+pub struct ClassEntry {
+    /// Table name (`CLASS1` .. `CLASS5`).
+    pub name: &'static str,
+    /// The shape.
+    pub shape: SoftmaxShape,
+    /// Source network.
+    pub network: &'static str,
+}
+
+/// The twelve convolutional layers (CV1-CV12).
+pub const CONV_LAYERS: [ConvEntry; 12] = [
+    ConvEntry { name: "CV1", shape: ConvShape::table1(128, 16, 28, 5, 1, 1), network: "LeNet" },
+    ConvEntry { name: "CV2", shape: ConvShape::table1(128, 16, 14, 5, 16, 1), network: "LeNet" },
+    ConvEntry { name: "CV3", shape: ConvShape::table1(128, 64, 24, 5, 3, 1), network: "Cifar10" },
+    ConvEntry { name: "CV4", shape: ConvShape::table1(128, 64, 12, 5, 64, 1), network: "Cifar10" },
+    ConvEntry { name: "CV5", shape: ConvShape::table1(64, 96, 224, 3, 3, 2), network: "ZFNet" },
+    ConvEntry { name: "CV6", shape: ConvShape::table1(64, 256, 55, 5, 96, 2), network: "ZFNet" },
+    ConvEntry { name: "CV7", shape: ConvShape::table1(64, 384, 13, 3, 256, 1), network: "ZFNet" },
+    ConvEntry { name: "CV8", shape: ConvShape::table1(64, 384, 13, 3, 384, 1), network: "ZFNet" },
+    ConvEntry { name: "CV9", shape: ConvShape::table1(32, 64, 224, 3, 3, 1), network: "VGG" },
+    ConvEntry { name: "CV10", shape: ConvShape::table1(32, 256, 56, 3, 128, 1), network: "VGG" },
+    ConvEntry { name: "CV11", shape: ConvShape::table1(32, 512, 28, 3, 256, 1), network: "VGG" },
+    ConvEntry { name: "CV12", shape: ConvShape::table1(32, 512, 14, 3, 512, 1), network: "VGG" },
+];
+
+/// The ten pooling layers (PL1-PL10).
+pub const POOL_LAYERS: [PoolEntry; 10] = [
+    PoolEntry { name: "PL1", shape: PoolShape::table1(128, 28, 2, 16, 2), network: "LeNet" },
+    PoolEntry { name: "PL2", shape: PoolShape::table1(128, 14, 2, 16, 2), network: "LeNet" },
+    PoolEntry { name: "PL3", shape: PoolShape::table1(128, 24, 3, 64, 2), network: "Cifar10" },
+    PoolEntry { name: "PL4", shape: PoolShape::table1(128, 12, 3, 64, 2), network: "Cifar10" },
+    PoolEntry { name: "PL5", shape: PoolShape::table1(128, 55, 3, 96, 2), network: "AlexNet" },
+    PoolEntry { name: "PL6", shape: PoolShape::table1(128, 27, 3, 192, 2), network: "AlexNet" },
+    PoolEntry { name: "PL7", shape: PoolShape::table1(128, 13, 3, 256, 2), network: "AlexNet" },
+    PoolEntry { name: "PL8", shape: PoolShape::table1(64, 110, 3, 96, 2), network: "ZFNet" },
+    PoolEntry { name: "PL9", shape: PoolShape::table1(64, 26, 3, 256, 2), network: "ZFNet" },
+    PoolEntry { name: "PL10", shape: PoolShape::table1(64, 13, 3, 256, 2), network: "ZFNet" },
+];
+
+/// The five classifier configurations (CLASS1-CLASS5).
+pub const CLASS_LAYERS: [ClassEntry; 5] = [
+    ClassEntry { name: "CLASS1", shape: SoftmaxShape::new(128, 10), network: "LeNet" },
+    ClassEntry { name: "CLASS2", shape: SoftmaxShape::new(128, 10), network: "Cifar10" },
+    ClassEntry { name: "CLASS3", shape: SoftmaxShape::new(128, 1000), network: "AlexNet" },
+    ClassEntry { name: "CLASS4", shape: SoftmaxShape::new(64, 1000), network: "ZFNet" },
+    ClassEntry { name: "CLASS5", shape: SoftmaxShape::new(32, 1000), network: "VGG" },
+];
+
+/// The twelve softmax configurations swept in Fig 13 (`batch/categories`).
+pub const FIG13_SOFTMAX: [SoftmaxShape; 12] = [
+    SoftmaxShape::new(32, 10),
+    SoftmaxShape::new(64, 10),
+    SoftmaxShape::new(128, 10),
+    SoftmaxShape::new(256, 10),
+    SoftmaxShape::new(32, 100),
+    SoftmaxShape::new(64, 100),
+    SoftmaxShape::new(128, 100),
+    SoftmaxShape::new(32, 1000),
+    SoftmaxShape::new(64, 1000),
+    SoftmaxShape::new(128, 1000),
+    SoftmaxShape::new(64, 10000),
+    SoftmaxShape::new(128, 10000),
+];
+
+/// Look up a convolutional layer by its table name.
+pub fn conv(name: &str) -> Option<ConvShape> {
+    CONV_LAYERS.iter().find(|e| e.name == name).map(|e| e.shape)
+}
+
+/// Look up a pooling layer by its table name.
+pub fn pool(name: &str) -> Option<PoolShape> {
+    POOL_LAYERS.iter().find(|e| e.name == name).map(|e| e.shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_shapes_validate() {
+        for e in CONV_LAYERS {
+            assert!(e.shape.validate().is_ok(), "{}", e.name);
+        }
+        for e in POOL_LAYERS {
+            assert!(e.shape.validate().is_ok(), "{}", e.name);
+        }
+    }
+
+    #[test]
+    fn table_matches_paper_values() {
+        // Spot checks against Table 1 as printed.
+        let cv6 = conv("CV6").unwrap();
+        assert_eq!((cv6.n, cv6.co, cv6.h, cv6.fh, cv6.ci, cv6.stride), (64, 256, 55, 5, 96, 2));
+        let cv12 = conv("CV12").unwrap();
+        assert_eq!((cv12.n, cv12.co, cv12.h, cv12.ci), (32, 512, 14, 512));
+        let pl5 = pool("PL5").unwrap();
+        assert_eq!((pl5.n, pl5.h, pl5.window, pl5.c, pl5.stride), (128, 55, 3, 96, 2));
+        assert!(pl5.overlapped());
+        // PL1/PL2 are the non-overlapped LeNet pools.
+        assert!(!pool("PL1").unwrap().overlapped());
+        assert!(!pool("PL2").unwrap().overlapped());
+    }
+
+    #[test]
+    fn only_cv5_and_cv6_are_strided() {
+        let strided: Vec<&str> = CONV_LAYERS
+            .iter()
+            .filter(|e| e.shape.stride > 1)
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(strided, vec!["CV5", "CV6"]);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(conv("CV1").is_some());
+        assert!(conv("CV13").is_none());
+        assert!(pool("PL10").is_some());
+        assert!(pool("PL11").is_none());
+    }
+
+    #[test]
+    fn fig13_covers_small_and_large_configs() {
+        assert_eq!(FIG13_SOFTMAX.len(), 12);
+        assert!(FIG13_SOFTMAX.iter().any(|s| s.categories == 10));
+        assert!(FIG13_SOFTMAX.iter().any(|s| s.categories == 10000));
+    }
+}

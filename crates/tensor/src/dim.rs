@@ -1,0 +1,90 @@
+//! The four logical dimensions of a CNN tensor.
+
+use std::fmt;
+
+/// A logical dimension of a 4D CNN tensor.
+///
+/// The paper's notation (§II.A): `N` is the number of images in the batch,
+/// `C` the number of feature maps (channels), `H` the image height and `W`
+/// the image width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dim {
+    /// Batch dimension (number of images).
+    N,
+    /// Channel dimension (number of feature maps).
+    C,
+    /// Image height.
+    H,
+    /// Image width.
+    W,
+}
+
+impl Dim {
+    /// All four dimensions in canonical `N, C, H, W` order.
+    pub const ALL: [Dim; 4] = [Dim::N, Dim::C, Dim::H, Dim::W];
+
+    /// Canonical index of this dimension (`N`=0, `C`=1, `H`=2, `W`=3).
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Dim::N => 0,
+            Dim::C => 1,
+            Dim::H => 2,
+            Dim::W => 3,
+        }
+    }
+
+    /// The single-letter name of this dimension.
+    pub const fn letter(self) -> char {
+        match self {
+            Dim::N => 'N',
+            Dim::C => 'C',
+            Dim::H => 'H',
+            Dim::W => 'W',
+        }
+    }
+
+    /// Parse a dimension from its single-letter name (case-insensitive).
+    pub fn from_letter(ch: char) -> Option<Dim> {
+        match ch.to_ascii_uppercase() {
+            'N' => Some(Dim::N),
+            'C' => Some(Dim::C),
+            'H' => Some(Dim::H),
+            'W' => Some(Dim::W),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_canonical() {
+        for (i, d) in Dim::ALL.iter().enumerate() {
+            assert_eq!(d.index(), i);
+        }
+    }
+
+    #[test]
+    fn letter_roundtrip() {
+        for d in Dim::ALL {
+            assert_eq!(Dim::from_letter(d.letter()), Some(d));
+            assert_eq!(Dim::from_letter(d.letter().to_ascii_lowercase()), Some(d));
+        }
+        assert_eq!(Dim::from_letter('x'), None);
+    }
+
+    #[test]
+    fn display_matches_letter() {
+        assert_eq!(Dim::N.to_string(), "N");
+        assert_eq!(Dim::W.to_string(), "W");
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for tensor operations.
+
+use crate::Shape;
+use std::fmt;
+
+/// Errors produced by tensor construction and layout operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TensorError {
+    /// A layout description was not a permutation of `N, C, H, W`.
+    InvalidLayout(String),
+    /// Two tensors that must agree in shape did not.
+    ShapeMismatch {
+        /// Shape that was expected.
+        expected: Shape,
+        /// Shape that was provided.
+        actual: Shape,
+    },
+    /// A raw buffer's length did not match the shape it was paired with.
+    LengthMismatch {
+        /// Number of elements required by the shape.
+        expected: usize,
+        /// Number of elements provided.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::InvalidLayout(msg) => write!(f, "invalid layout: {msg}"),
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected}, got {actual}")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "buffer length mismatch: expected {expected} elements, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TensorError::ShapeMismatch {
+            expected: Shape::new(1, 2, 3, 4),
+            actual: Shape::new(4, 3, 2, 1),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("shape mismatch"));
+        assert!(msg.contains("1x2x3x4"));
+    }
+}

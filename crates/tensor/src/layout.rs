@@ -1,0 +1,308 @@
+//! Data layouts: the 24 possible dimension orders of a 4D tensor.
+
+use crate::{Dim, Shape, TensorError};
+use std::fmt;
+use std::str::FromStr;
+
+/// A data layout: a permutation of the four logical dimensions, written from
+/// the **outermost** (largest stride) to the **innermost** (unit stride)
+/// dimension.
+///
+/// `Layout::NCHW` therefore means that elements consecutive along `W` are
+/// adjacent in memory, consecutive elements along `H` are `W` apart,
+/// along `C` are `H*W` apart, and along `N` are `C*H*W` apart — exactly the
+/// convention of the paper (§II.A) and of Caffe/cuDNN. `Layout::CHWN` is the
+/// cuda-convnet convention where the batch dimension is innermost, which is
+/// what makes warp accesses along `N` coalesce.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Layout {
+    /// Dimension order, outermost first.
+    order: [Dim; 4],
+}
+
+impl Layout {
+    /// Caffe / cuDNN layout: batch outermost, width innermost.
+    pub const NCHW: Layout = Layout { order: [Dim::N, Dim::C, Dim::H, Dim::W] };
+    /// cuda-convnet layout: batch innermost (coalesced along `N`).
+    pub const CHWN: Layout = Layout { order: [Dim::C, Dim::H, Dim::W, Dim::N] };
+    /// Channels-last layout supported by cuDNN (`TensorFlow` default).
+    pub const NHWC: Layout = Layout { order: [Dim::N, Dim::H, Dim::W, Dim::C] };
+    /// Variant discussed in §IV.A: same coalescing along `N` as `CHWN`.
+    pub const HWCN: Layout = Layout { order: [Dim::H, Dim::W, Dim::C, Dim::N] };
+
+    /// Build a layout from an explicit dimension order (outermost first).
+    ///
+    /// Returns an error unless `order` is a permutation of all four
+    /// dimensions.
+    pub fn new(order: [Dim; 4]) -> Result<Layout, TensorError> {
+        let mut seen = [false; 4];
+        for d in order {
+            if seen[d.index()] {
+                return Err(TensorError::InvalidLayout(format!(
+                    "dimension {d} appears more than once"
+                )));
+            }
+            seen[d.index()] = true;
+        }
+        Ok(Layout { order })
+    }
+
+    /// All 24 layouts, in lexicographic order of their names.
+    pub fn all() -> Vec<Layout> {
+        let mut layouts = Vec::with_capacity(24);
+        let dims = Dim::ALL;
+        for a in 0..4 {
+            for b in 0..4 {
+                if b == a {
+                    continue;
+                }
+                for c in 0..4 {
+                    if c == a || c == b {
+                        continue;
+                    }
+                    let d = 6 - a - b - c;
+                    layouts.push(Layout { order: [dims[a], dims[b], dims[c], dims[d]] });
+                }
+            }
+        }
+        layouts
+    }
+
+    /// Dimension order, outermost first.
+    #[inline]
+    pub const fn order(&self) -> [Dim; 4] {
+        self.order
+    }
+
+    /// The innermost (unit-stride) dimension.
+    #[inline]
+    pub const fn innermost(&self) -> Dim {
+        self.order[3]
+    }
+
+    /// The outermost (largest-stride) dimension.
+    #[inline]
+    pub const fn outermost(&self) -> Dim {
+        self.order[0]
+    }
+
+    /// Position of `dim` in the order (0 = outermost, 3 = innermost).
+    #[inline]
+    pub fn position_of(&self, dim: Dim) -> usize {
+        self.order
+            .iter()
+            .position(|&d| d == dim)
+            .expect("layout is a permutation of all dims")
+    }
+
+    /// Element stride of each logical dimension for a given shape, indexed
+    /// by [`Dim::index`] (i.e. `strides[0]` is the stride of `N`).
+    pub fn strides(&self, shape: Shape) -> [usize; 4] {
+        let mut strides = [0usize; 4];
+        let mut stride = 1usize;
+        for &dim in self.order.iter().rev() {
+            strides[dim.index()] = stride;
+            stride *= shape.extent(dim);
+        }
+        strides
+    }
+
+    /// Element stride of a single dimension for a given shape.
+    #[inline]
+    pub fn stride_of(&self, dim: Dim, shape: Shape) -> usize {
+        self.strides(shape)[dim.index()]
+    }
+
+    /// Linear element offset of logical coordinates `(n, c, h, w)`.
+    #[inline]
+    pub fn offset(&self, shape: Shape, n: usize, c: usize, h: usize, w: usize) -> usize {
+        let s = self.strides(shape);
+        n * s[0] + c * s[1] + h * s[2] + w * s[3]
+    }
+
+    /// Linear element offset computed from precomputed strides (hot path).
+    #[inline]
+    pub fn offset_with_strides(
+        strides: &[usize; 4],
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+    ) -> usize {
+        n * strides[0] + c * strides[1] + h * strides[2] + w * strides[3]
+    }
+
+    /// Inverse of [`Layout::offset`]: recover `(n, c, h, w)` from a linear
+    /// element offset.
+    pub fn coords(&self, shape: Shape, mut offset: usize) -> (usize, usize, usize, usize) {
+        let mut coords = [0usize; 4];
+        for &dim in self.order.iter().rev() {
+            let extent = shape.extent(dim);
+            coords[dim.index()] = offset % extent;
+            offset /= extent;
+        }
+        (coords[0], coords[1], coords[2], coords[3])
+    }
+
+    /// The four-letter name, e.g. `"NCHW"`.
+    pub fn name(&self) -> String {
+        self.order.iter().map(|d| d.letter()).collect()
+    }
+
+    /// Whether two layouts place dimensions consecutively such that they can
+    /// be treated as a 2D transpose after flattening (the paper's §IV.C
+    /// observation: `NCHW` vs `CHWN` keep `C`, `H`, `W` in the same relative
+    /// order, so the transform is `[C*H*W][N] -> [N][C*H*W]`).
+    pub fn is_2d_transpose_of(&self, other: &Layout) -> bool {
+        // True iff deleting one common "moving" dimension from both orders
+        // leaves identical sequences, and that dimension moves between the
+        // extreme positions.
+        for moving in Dim::ALL {
+            let strip = |l: &Layout| -> Vec<Dim> {
+                l.order.iter().copied().filter(|&d| d != moving).collect()
+            };
+            if strip(self) == strip(other) {
+                let a = self.position_of(moving);
+                let b = other.position_of(moving);
+                if (a == 0 && b == 3) || (a == 3 && b == 0) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Debug for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Layout({})", self.name())
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl FromStr for Layout {
+    type Err = TensorError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() != 4 {
+            return Err(TensorError::InvalidLayout(format!(
+                "layout name must have 4 letters, got {s:?}"
+            )));
+        }
+        let mut order = [Dim::N; 4];
+        for (i, ch) in s.chars().enumerate() {
+            order[i] = Dim::from_letter(ch).ok_or_else(|| {
+                TensorError::InvalidLayout(format!("invalid dimension letter {ch:?} in {s:?}"))
+            })?;
+        }
+        Layout::new(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_constants_have_expected_orders() {
+        assert_eq!(Layout::NCHW.name(), "NCHW");
+        assert_eq!(Layout::CHWN.name(), "CHWN");
+        assert_eq!(Layout::NHWC.name(), "NHWC");
+        assert_eq!(Layout::HWCN.name(), "HWCN");
+        assert_eq!(Layout::NCHW.innermost(), Dim::W);
+        assert_eq!(Layout::CHWN.innermost(), Dim::N);
+    }
+
+    #[test]
+    fn all_returns_24_distinct_layouts() {
+        let all = Layout::all();
+        assert_eq!(all.len(), 24);
+        let names: std::collections::HashSet<String> = all.iter().map(|l| l.name()).collect();
+        assert_eq!(names.len(), 24);
+        assert!(names.contains("NCHW"));
+        assert!(names.contains("CHWN"));
+    }
+
+    #[test]
+    fn new_rejects_repeated_dims() {
+        assert!(Layout::new([Dim::N, Dim::N, Dim::H, Dim::W]).is_err());
+    }
+
+    #[test]
+    fn nchw_strides_match_paper_definition() {
+        // Paper §II.A: in NCHW, W is unit stride, H has stride W, C has
+        // stride H*W, N has stride C*H*W.
+        let shape = Shape::new(128, 96, 27, 31);
+        let s = Layout::NCHW.strides(shape);
+        assert_eq!(s[Dim::W.index()], 1);
+        assert_eq!(s[Dim::H.index()], 31);
+        assert_eq!(s[Dim::C.index()], 27 * 31);
+        assert_eq!(s[Dim::N.index()], 96 * 27 * 31);
+    }
+
+    #[test]
+    fn chwn_strides_put_batch_innermost() {
+        let shape = Shape::new(128, 96, 27, 31);
+        let s = Layout::CHWN.strides(shape);
+        assert_eq!(s[Dim::N.index()], 1);
+        assert_eq!(s[Dim::W.index()], 128);
+        assert_eq!(s[Dim::H.index()], 31 * 128);
+        assert_eq!(s[Dim::C.index()], 27 * 31 * 128);
+    }
+
+    #[test]
+    fn offset_coords_roundtrip() {
+        let shape = Shape::new(3, 5, 7, 2);
+        for layout in Layout::all() {
+            let mut seen = vec![false; shape.len()];
+            for n in 0..shape.n {
+                for c in 0..shape.c {
+                    for h in 0..shape.h {
+                        for w in 0..shape.w {
+                            let off = layout.offset(shape, n, c, h, w);
+                            assert!(!seen[off], "offset collision in {layout}");
+                            seen[off] = true;
+                            assert_eq!(layout.coords(shape, off), (n, c, h, w));
+                        }
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&b| b), "offsets not surjective in {layout}");
+        }
+    }
+
+    #[test]
+    fn name_parse_roundtrip() {
+        for layout in Layout::all() {
+            let parsed: Layout = layout.name().parse().unwrap();
+            assert_eq!(parsed, layout);
+        }
+        assert!("NCH".parse::<Layout>().is_err());
+        assert!("NCHX".parse::<Layout>().is_err());
+        assert!("NNHW".parse::<Layout>().is_err());
+    }
+
+    #[test]
+    fn nchw_chwn_is_2d_transpose() {
+        assert!(Layout::NCHW.is_2d_transpose_of(&Layout::CHWN));
+        assert!(Layout::CHWN.is_2d_transpose_of(&Layout::NCHW));
+        // NHWC keeps N outermost but moves C: relative order of H, W, C
+        // differs from NCHW's C, H, W, so it is not a flat 2D transpose.
+        assert!(!Layout::NCHW.is_2d_transpose_of(&Layout::NHWC));
+        assert!(!Layout::NCHW.is_2d_transpose_of(&Layout::NCHW));
+    }
+
+    #[test]
+    fn position_of_is_inverse_of_order() {
+        for layout in Layout::all() {
+            for (pos, d) in layout.order().iter().enumerate() {
+                assert_eq!(layout.position_of(*d), pos);
+            }
+        }
+    }
+}

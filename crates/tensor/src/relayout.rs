@@ -1,0 +1,167 @@
+//! Layout transformation (functional implementations).
+//!
+//! These are the CPU counterparts of the paper's §IV.C transformation
+//! kernels. The GPU access-pattern models of the same kernels — the naive
+//! 4D transpose, the flattened + shared-memory-tiled version, and the
+//! `float2`-vectorized version — live in `memcnn_kernels::transform`; this
+//! module provides the semantics they are tested against.
+
+use crate::{Layout, Tensor};
+use rayon::prelude::*;
+
+/// Transform a tensor into `dst_layout`, element by element, walking the
+/// *destination* in linear order so writes are sequential (the analogue of
+/// coalesced global stores).
+pub fn relayout(src: &Tensor, dst_layout: Layout) -> Tensor {
+    let shape = src.shape();
+    let src_strides = src.strides();
+    let src_data = src.as_slice();
+    let mut out = vec![0.0f32; shape.len()];
+
+    // Walk destination offsets in order; for each, find the logical coords
+    // and read from the source.
+    out.iter_mut().enumerate().for_each(|(off, slot)| {
+        let (n, c, h, w) = dst_layout.coords(shape, off);
+        *slot = src_data[Layout::offset_with_strides(&src_strides, n, c, h, w)];
+    });
+
+    Tensor::from_vec(shape, dst_layout, out).expect("length matches shape by construction")
+}
+
+/// Rayon-parallel version of [`relayout`]; chunks of the destination buffer
+/// are filled independently.
+pub fn relayout_parallel(src: &Tensor, dst_layout: Layout) -> Tensor {
+    let shape = src.shape();
+    let src_strides = src.strides();
+    let src_data = src.as_slice();
+    let mut out = vec![0.0f32; shape.len()];
+
+    const CHUNK: usize = 4096;
+    out.par_chunks_mut(CHUNK).enumerate().for_each(|(chunk_idx, chunk)| {
+        let base = chunk_idx * CHUNK;
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            let (n, c, h, w) = dst_layout.coords(shape, base + i);
+            *slot = src_data[Layout::offset_with_strides(&src_strides, n, c, h, w)];
+        }
+    });
+
+    Tensor::from_vec(shape, dst_layout, out).expect("length matches shape by construction")
+}
+
+/// Specialised fast path for the pair of layouts the paper's optimized
+/// kernel targets: `CHWN -> NCHW` (and the reverse), exploiting the §IV.C
+/// observation that after flattening `C,H,W` the operation is a plain 2D
+/// transpose `[CHW][N] -> [N][CHW]`. Blocked to stay cache-resident, and
+/// parallelised over destination row blocks.
+pub fn relayout_2d_transpose(src: &Tensor, dst_layout: Layout) -> Tensor {
+    assert!(
+        src.layout().is_2d_transpose_of(&dst_layout),
+        "relayout_2d_transpose requires a flattenable layout pair, got {} -> {}",
+        src.layout(),
+        dst_layout
+    );
+    let shape = src.shape();
+    // The "moving" dimension travels between the outermost and innermost
+    // position; the other three keep their relative order and flatten into
+    // one. Rows/cols describe the flattened source matrix [rows][cols].
+    let moving = if src.layout().innermost() != dst_layout.innermost() {
+        // Exactly one of the two innermost dims is the mover; it is the one
+        // that sits at the opposite extreme in the other layout.
+        if dst_layout.position_of(src.layout().innermost()) == 0 {
+            src.layout().innermost()
+        } else {
+            dst_layout.innermost()
+        }
+    } else {
+        unreachable!("is_2d_transpose_of guarantees the innermost dims differ")
+    };
+    let (rows, cols) = if src.layout().innermost() == moving {
+        (shape.len() / shape.extent(moving), shape.extent(moving))
+    } else {
+        (shape.extent(moving), shape.len() / shape.extent(moving))
+    };
+    let src_data = src.as_slice();
+    let mut out = vec![0.0f32; shape.len()];
+
+    const B: usize = 64;
+    // Destination is [cols][rows]; parallelise over destination row blocks.
+    out.par_chunks_mut(rows * B.min(cols)).enumerate().for_each(|(blk, chunk)| {
+        let c0 = blk * B.min(cols);
+        let c1 = (c0 + B.min(cols)).min(cols);
+        for r0 in (0..rows).step_by(B) {
+            let r1 = (r0 + B).min(rows);
+            for c in c0..c1 {
+                let dst_row = &mut chunk[(c - c0) * rows..(c - c0) * rows + rows];
+                for r in r0..r1 {
+                    dst_row[r] = src_data[r * cols + c];
+                }
+            }
+        }
+    });
+
+    Tensor::from_vec(shape, dst_layout, out).expect("length matches shape by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+
+    fn coord_tensor(layout: Layout) -> Tensor {
+        Tensor::from_fn(Shape::new(4, 3, 5, 2), layout, |n, c, h, w| {
+            (n * 1000 + c * 100 + h * 10 + w) as f32
+        })
+    }
+
+    #[test]
+    fn relayout_matches_logical_values_for_all_pairs() {
+        for src_layout in Layout::all() {
+            let t = coord_tensor(src_layout);
+            for dst_layout in [Layout::NCHW, Layout::CHWN, Layout::NHWC, Layout::HWCN] {
+                let u = relayout(&t, dst_layout);
+                assert!(t.approx_eq(&u, 0.0), "{src_layout} -> {dst_layout}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let t = coord_tensor(Layout::CHWN);
+        for dst_layout in Layout::all() {
+            let a = relayout(&t, dst_layout);
+            let b = relayout_parallel(&t, dst_layout);
+            assert_eq!(a.as_slice(), b.as_slice(), "-> {dst_layout}");
+        }
+    }
+
+    #[test]
+    fn transpose_fast_path_matches_reference_chwn_to_nchw() {
+        let t = coord_tensor(Layout::CHWN);
+        let reference = relayout(&t, Layout::NCHW);
+        let fast = relayout_2d_transpose(&t, Layout::NCHW);
+        assert_eq!(reference.as_slice(), fast.as_slice());
+    }
+
+    #[test]
+    fn transpose_fast_path_matches_reference_nchw_to_chwn() {
+        let t = coord_tensor(Layout::NCHW);
+        let reference = relayout(&t, Layout::CHWN);
+        let fast = relayout_2d_transpose(&t, Layout::CHWN);
+        assert_eq!(reference.as_slice(), fast.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "flattenable layout pair")]
+    fn transpose_fast_path_rejects_non_transpose_pairs() {
+        let t = coord_tensor(Layout::NCHW);
+        let _ = relayout_2d_transpose(&t, Layout::NHWC);
+    }
+
+    #[test]
+    fn relayout_roundtrip_is_identity() {
+        let t = coord_tensor(Layout::NCHW);
+        let there = relayout(&t, Layout::CHWN);
+        let back = relayout(&there, Layout::NCHW);
+        assert_eq!(t.as_slice(), back.as_slice());
+    }
+}

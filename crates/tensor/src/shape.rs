@@ -1,0 +1,102 @@
+//! Layout-independent tensor extents.
+
+use crate::Dim;
+use std::fmt;
+
+/// The logical extents of a 4D tensor, independent of its memory layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Batch size.
+    pub n: usize,
+    /// Number of channels / feature maps.
+    pub c: usize,
+    /// Image height.
+    pub h: usize,
+    /// Image width.
+    pub w: usize,
+}
+
+impl Shape {
+    /// Create a shape from `(n, c, h, w)` extents.
+    pub const fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Shape { n, c, h, w }
+    }
+
+    /// Total number of elements.
+    pub const fn len(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Whether the tensor holds no elements.
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size in bytes assuming `f32` elements.
+    pub const fn bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Extent along a logical dimension.
+    #[inline]
+    pub const fn extent(&self, dim: Dim) -> usize {
+        match dim {
+            Dim::N => self.n,
+            Dim::C => self.c,
+            Dim::H => self.h,
+            Dim::W => self.w,
+        }
+    }
+
+    /// Extents in canonical `[N, C, H, W]` order.
+    pub const fn extents(&self) -> [usize; 4] {
+        [self.n, self.c, self.h, self.w]
+    }
+
+    /// Shape with one extent replaced.
+    pub fn with_extent(mut self, dim: Dim, value: usize) -> Self {
+        match dim {
+            Dim::N => self.n = value,
+            Dim::C => self.c = value,
+            Dim::H => self.h = value,
+            Dim::W => self.w = value,
+        }
+        self
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}x{} (NxCxHxW)", self.n, self.c, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_and_bytes() {
+        let s = Shape::new(2, 3, 4, 5);
+        assert_eq!(s.len(), 120);
+        assert_eq!(s.bytes(), 480);
+        assert!(!s.is_empty());
+        assert!(Shape::new(0, 3, 4, 5).is_empty());
+    }
+
+    #[test]
+    fn extent_lookup() {
+        let s = Shape::new(2, 3, 4, 5);
+        assert_eq!(s.extent(Dim::N), 2);
+        assert_eq!(s.extent(Dim::C), 3);
+        assert_eq!(s.extent(Dim::H), 4);
+        assert_eq!(s.extent(Dim::W), 5);
+        assert_eq!(s.extents(), [2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn with_extent_replaces_one() {
+        let s = Shape::new(2, 3, 4, 5).with_extent(Dim::C, 7);
+        assert_eq!(s, Shape::new(2, 7, 4, 5));
+    }
+}

@@ -1,0 +1,59 @@
+//! Define a network in the prototxt-like config format (§IV.D's
+//! "configuration file that defines a network structure"), then let the
+//! engine assign layouts and place transformations.
+//!
+//! ```text
+//! cargo run --release --example custom_network             # built-in demo
+//! cargo run --release --example custom_network -- my.net   # from a file
+//! ```
+
+use memcnn::core::{parse_network, Engine, LayoutThresholds, Mechanism};
+use memcnn::gpusim::DeviceConfig;
+
+const DEMO: &str = "
+# A deliberately layout-heterogeneous network: a small-C head that wants
+# CHWN feeding large-C stages that want NCHW (at batch 64).
+name: demo-net
+input: 64 3 64 64
+conv head co=96 f=5 stride=2
+relu r1
+pool p1 window=3 stride=2
+conv mid co=256 f=3 pad=1
+relu r2
+pool p2 window=3 stride=2
+conv tail co=384 f=3 pad=1
+fc fc1 outputs=512
+relu r3
+fc fc2 outputs=100
+softmax prob
+";
+
+fn main() {
+    let text = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        None => DEMO.to_string(),
+    };
+    let net = match parse_network(&text) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("config error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("parsed {} ({} layers, input {})\n", net.name, net.layers().len(), net.input);
+
+    let engine =
+        Engine::new(DeviceConfig::titan_black(), LayoutThresholds::titan_black_paper());
+    for mech in [Mechanism::CudaConvnet, Mechanism::CudnnBest, Mechanism::Opt] {
+        let r = engine.simulate_network(&net, mech).expect("simulates");
+        println!(
+            "{:<13} {:8.3} ms  ({} transforms)",
+            mech.label(),
+            r.total_time() * 1e3,
+            r.transform_count()
+        );
+    }
+    let r = engine.simulate_network(&net, Mechanism::Opt).expect("simulates");
+    println!("\n{r}");
+}

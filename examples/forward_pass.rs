@@ -1,0 +1,59 @@
+//! Functional forward pass: run LeNet on a synthetic MNIST batch three
+//! times — all-NCHW, all-CHWN, and with the Opt engine's mixed layout
+//! assignment — and verify the classifications are identical. This is the
+//! §IV.D correctness property: layout transformations never change values.
+//!
+//! ```text
+//! cargo run --release --example forward_pass
+//! ```
+
+use memcnn::core::exec::run_network;
+use memcnn::core::{Engine, LayoutThresholds, Mechanism};
+use memcnn::gpusim::DeviceConfig;
+use memcnn::models::data::mnist_batch;
+use memcnn::models::lenet;
+use memcnn::tensor::Layout;
+
+fn main() {
+    let net = lenet().expect("LeNet builds");
+    let batch = mnist_batch(net.input.n, 42);
+    let n_layers = net.layers().len();
+
+    // The Opt engine's layout assignment, read off the simulated report.
+    let engine =
+        Engine::new(DeviceConfig::titan_black(), LayoutThresholds::titan_black_paper());
+    let report = engine.simulate_network(&net, Mechanism::Opt).expect("simulates");
+    let mixed: Vec<Layout> = report
+        .layers
+        .iter()
+        .map(|l| if l.layout == "CHWN" { Layout::CHWN } else { Layout::NCHW })
+        .collect();
+
+    println!("running LeNet forward on a synthetic MNIST batch (N = {})", net.input.n);
+    let all_nchw = run_network(&net, &batch.images, &vec![Layout::NCHW; n_layers], 9).unwrap();
+    let all_chwn = run_network(&net, &batch.images, &vec![Layout::CHWN; n_layers], 9).unwrap();
+    let opt = run_network(&net, &batch.images, &mixed, 9).unwrap();
+
+    let max_diff = all_nchw
+        .iter()
+        .zip(all_chwn.iter().zip(&opt))
+        .map(|(a, (b, c))| (a - b).abs().max((a - c).abs()))
+        .fold(0f32, f32::max);
+    println!("max probability difference across the three layout plans: {max_diff:.2e}");
+    assert!(max_diff < 1e-3, "layouts must not change results");
+
+    // Show the first few classifications.
+    let categories = 10;
+    println!("\nimage  argmax  p(argmax)");
+    for n in 0..5.min(net.input.n) {
+        let row = &opt[n * categories..(n + 1) * categories];
+        let (arg, p) = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, &p)| (i, p))
+            .unwrap();
+        println!("{n:>5}  {arg:>6}  {p:.4}");
+    }
+    println!("\nall three layout plans classify identically ✓");
+}

@@ -1,0 +1,88 @@
+//! Layout advisor: given a convolution configuration, report what every
+//! implementation would cost on the simulated GPU, what the paper's
+//! heuristic recommends, and whether a layout transformation would pay for
+//! itself — the developer-facing use case of §IV.D.
+//!
+//! ```text
+//! cargo run --release --example layout_advisor -- N Ci H Co F S [pad]
+//! cargo run --release --example layout_advisor -- 64 256 55 256 5 2
+//! cargo run --release --example layout_advisor            # CONV7 default
+//! ```
+
+use memcnn::core::{choose_layout, LayoutThresholds};
+use memcnn::gpusim::{simulate, DeviceConfig, SimOptions};
+use memcnn::kernels::conv::direct_chwn::DirectConvChwn;
+use memcnn::kernels::conv::fft_nchw::{FftConvMode, FftConvNchw};
+use memcnn::kernels::conv::mm_nchw::MmConvNchw;
+use memcnn::kernels::transform::{TransformImpl, TransformKernel, VECTORIZE_MIN_N};
+use memcnn::kernels::ConvShape;
+use memcnn::tensor::Layout;
+
+fn main() {
+    let args: Vec<usize> =
+        std::env::args().skip(1).map(|a| a.parse().expect("numeric argument")).collect();
+    let shape = match args.as_slice() {
+        [] => ConvShape::table1(64, 384, 13, 3, 256, 1),
+        [n, ci, h, co, f, s] => ConvShape::table1(*n, *co, *h, *f, *ci, *s),
+        [n, ci, h, co, f, s, pad] => {
+            ConvShape { pad: *pad, ..ConvShape::table1(*n, *co, *h, *f, *ci, *s) }
+        }
+        _ => {
+            eprintln!("usage: layout_advisor [N Ci H Co F S [pad]]");
+            std::process::exit(2);
+        }
+    };
+    shape.validate().expect("valid convolution shape");
+    let device = DeviceConfig::titan_black();
+    let opts = SimOptions::default();
+    println!("advising on: {shape}");
+    println!("device: {}\n", device.name);
+
+    let direct = simulate(&device, &DirectConvChwn::new(shape), &opts).expect("direct").time();
+    let mm = MmConvNchw::new(shape).simulate(&device, &opts).expect("mm").time();
+    println!("CHWN  direct convolution   {:9.3} ms", direct * 1e3);
+    println!("NCHW  im2col + GEMM        {:9.3} ms", mm * 1e3);
+    let mut nchw_best = mm;
+    for (label, mode) in [("FFT", FftConvMode::Full), ("FFT-tiling", FftConvMode::Tiled)] {
+        match FftConvNchw::new(shape, mode) {
+            Ok(p) => match p.simulate(&device, &opts) {
+                Ok(r) => {
+                    println!("NCHW  {:<20} {:9.3} ms", label, r.time() * 1e3);
+                    nchw_best = nchw_best.min(r.time());
+                }
+                Err(e) => println!("NCHW  {label:<20} FAILS ({e})"),
+            },
+            Err(e) => println!("NCHW  {label:<20} unsupported ({e})"),
+        }
+    }
+
+    let th = LayoutThresholds::titan_black_paper();
+    let pick = choose_layout(&shape, &th);
+    let (pref, alt) =
+        if pick == Layout::CHWN { (direct, nchw_best) } else { (nchw_best, direct) };
+    println!("\nheuristic pick: {pick}  (bare gain: {:.2}x)", alt / pref);
+
+    // Would converting from the other layout pay off for this layer alone?
+    let imp =
+        if shape.n >= VECTORIZE_MIN_N { TransformImpl::Opt2 } else { TransformImpl::Opt1 };
+    let (from, to) =
+        if pick == Layout::CHWN { (Layout::NCHW, Layout::CHWN) } else { (Layout::CHWN, Layout::NCHW) };
+    let t_in = simulate(&device, &TransformKernel::new(shape.input_shape(), from, to, imp), &opts)
+        .expect("transform")
+        .time();
+    let t_out =
+        simulate(&device, &TransformKernel::new(shape.output_shape(), to, from, imp), &opts)
+            .expect("transform")
+            .time();
+    let with_transform = pref + t_in + t_out;
+    println!(
+        "with round-trip {:?} transforms: {:.3} ms -> {}",
+        imp,
+        with_transform * 1e3,
+        if with_transform < alt {
+            format!("still {:.2}x faster: transform pays off", alt / with_transform)
+        } else {
+            "transform overhead eats the gain: keep the neighbours' layout".to_string()
+        }
+    );
+}

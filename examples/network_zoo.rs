@@ -1,0 +1,54 @@
+//! Network zoo: simulate the paper's five networks under every library
+//! mechanism (a compact Fig 14), then show one network's per-layer layout
+//! assignment and transformation placement under `Opt`.
+//!
+//! ```text
+//! cargo run --release --example network_zoo            # all five networks
+//! cargo run --release --example network_zoo -- LeNet   # detail one net
+//! ```
+
+use memcnn::core::{Engine, LayoutThresholds, Mechanism};
+use memcnn::gpusim::DeviceConfig;
+use memcnn::models::all_networks;
+
+fn main() {
+    let filter: Option<String> = std::env::args().nth(1);
+    let engine =
+        Engine::new(DeviceConfig::titan_black(), LayoutThresholds::titan_black_paper());
+    let nets: Vec<_> = all_networks()
+        .into_iter()
+        .filter(|n| filter.as_deref().map(|f| n.name.eq_ignore_ascii_case(f)).unwrap_or(true))
+        .collect();
+    if nets.is_empty() {
+        eprintln!("no network matches {filter:?}; try LeNet, CIFAR, AlexNet, ZFNet, VGG");
+        std::process::exit(2);
+    }
+
+    println!("{:<10} {:>12} {:>12} {:>12} {:>12}", "network", "cuDNN-MM", "cuda-convnet", "cuDNN-Best", "Opt");
+    let mut details = Vec::new();
+    for net in &nets {
+        let time = |m: Mechanism| {
+            engine.simulate_network(net, m).expect("network simulates").total_time() * 1e3
+        };
+        let opt_report = engine.simulate_network(net, Mechanism::Opt).expect("simulates");
+        println!(
+            "{:<10} {:>9.2} ms {:>9.2} ms {:>9.2} ms {:>9.2} ms",
+            net.name,
+            time(Mechanism::CudnnMm),
+            time(Mechanism::CudaConvnet),
+            time(Mechanism::CudnnBest),
+            opt_report.total_time() * 1e3,
+        );
+        details.push(opt_report);
+    }
+
+    // Per-layer detail for the first (or selected) network.
+    let report = &details[0];
+    println!("\nOpt layout assignment for {}:", report.network);
+    print!("{report}");
+    println!(
+        "(transformations inserted: {}, costing {:.3} ms)",
+        report.transform_count(),
+        report.transform_time() * 1e3
+    );
+}

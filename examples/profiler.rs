@@ -1,0 +1,90 @@
+//! Simulated kernel profiler — the nvprof-style breakdowns the paper's
+//! methodology leans on (achieved bandwidth, ALU utilization, transaction
+//! counts, what bounds the kernel).
+//!
+//! ```text
+//! cargo run --release --example profiler -- conv  N Ci H Co F S [pad]
+//! cargo run --release --example profiler -- pool  N C H win S
+//! cargo run --release --example profiler -- softmax batch categories
+//! cargo run --release --example profiler -- transform N C H W
+//! cargo run --release --example profiler                # demo set
+//! ```
+
+use memcnn::gpusim::{simulate, DeviceConfig, KernelSpec, SimOptions};
+use memcnn::kernels::conv::direct_chwn::DirectConvChwn;
+use memcnn::kernels::pool::chwn::PoolChwn;
+use memcnn::kernels::pool::nchw::PoolNchwCaffe;
+use memcnn::kernels::softmax::{SoftmaxFused, SoftmaxFusedSerial};
+use memcnn::kernels::transform::{TransformImpl, TransformKernel};
+use memcnn::kernels::{ConvShape, PoolShape, SoftmaxShape};
+use memcnn::tensor::{Layout, Shape};
+
+fn profile(device: &DeviceConfig, kernels: &[&dyn KernelSpec]) {
+    let opts = SimOptions::default();
+    for k in kernels {
+        match simulate(device, *k, &opts) {
+            Ok(r) => println!("{r}\n"),
+            Err(e) => println!("{}\n  DOES NOT RUN: {e}\n", k.name()),
+        }
+    }
+}
+
+fn main() {
+    let device = DeviceConfig::titan_black();
+    println!("profiling on: {}\n", device.name);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let nums = |from: usize| -> Vec<usize> {
+        args[from..].iter().map(|a| a.parse().expect("numeric argument")).collect()
+    };
+    match args.first().map(String::as_str) {
+        Some("conv") => {
+            let d = nums(1);
+            let shape = ConvShape {
+                pad: d.get(6).copied().unwrap_or(0),
+                ..ConvShape::table1(d[0], d[3], d[2], d[4], d[1], d[5])
+            };
+            profile(&device, &[&DirectConvChwn::new(shape)]);
+            let mm = memcnn::kernels::conv::mm_nchw::MmConvNchw::new(shape);
+            for k in mm.kernels() {
+                profile(&device, &[k]);
+            }
+        }
+        Some("pool") => {
+            let d = nums(1);
+            let shape = PoolShape::table1(d[0], d[2], d[3], d[1], d[4]);
+            profile(&device, &[&PoolChwn::new(shape), &PoolNchwCaffe::new(shape)]);
+        }
+        Some("softmax") => {
+            let d = nums(1);
+            let shape = SoftmaxShape::new(d[0], d[1]);
+            profile(&device, &[&SoftmaxFusedSerial::new(shape), &SoftmaxFused::new(shape)]);
+        }
+        Some("transform") => {
+            let d = nums(1);
+            let shape = Shape::new(d[0], d[1], d[2], d[3]);
+            for imp in [TransformImpl::Naive, TransformImpl::Opt1, TransformImpl::Opt2] {
+                if imp == TransformImpl::Opt2 && shape.n < 64 {
+                    continue;
+                }
+                profile(
+                    &device,
+                    &[&TransformKernel::new(shape, Layout::CHWN, Layout::NCHW, imp)],
+                );
+            }
+        }
+        None => {
+            // Demo: the paper's two flagship kernels.
+            println!("-- CONV1 (LeNet), direct CHWN --");
+            profile(&device, &[&DirectConvChwn::new(ConvShape::table1(128, 16, 28, 5, 1, 1))]);
+            println!("-- PL5 (AlexNet) pooling, both layouts --");
+            let pl5 = PoolShape::table1(128, 55, 3, 96, 2);
+            profile(&device, &[&PoolChwn::new(pl5), &PoolNchwCaffe::new(pl5)]);
+            println!("-- softmax 128/1000, fused --");
+            profile(&device, &[&SoftmaxFused::new(SoftmaxShape::new(128, 1000))]);
+        }
+        Some(other) => {
+            eprintln!("unknown kind {other:?}; use conv|pool|softmax|transform");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: the memory-efficiency story on one convolution layer.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a CNN layer, runs it functionally in both data layouts (checking
+//! the results agree), then asks the GPU memory-hierarchy simulator which
+//! layout a GTX Titan Black prefers — and compares that with the paper's
+//! `(Ct, Nt)` heuristic.
+
+use memcnn::core::{choose_layout, LayoutThresholds};
+use memcnn::gpusim::{simulate, DeviceConfig, SimOptions};
+use memcnn::kernels::conv::direct_chwn::DirectConvChwn;
+use memcnn::kernels::conv::mm_nchw::MmConvNchw;
+use memcnn::kernels::conv::conv_forward;
+use memcnn::kernels::ConvShape;
+use memcnn::tensor::{Layout, Tensor};
+
+fn main() {
+    // LeNet's first convolution from the paper's Table 1:
+    // batch 128, 1 input channel, 28x28 images, 16 filters of 5x5.
+    let shape = ConvShape::table1(128, 16, 28, 5, 1, 1);
+    println!("layer: {shape}");
+
+    // --- Functional execution: layouts change memory order, not values.
+    let input_nchw = Tensor::random(shape.input_shape(), Layout::NCHW, 7);
+    let input_chwn = input_nchw.to_layout(Layout::CHWN);
+    let filter = Tensor::random(shape.filter_shape(), Layout::NCHW, 8);
+    let out_a = conv_forward(&input_nchw, &filter, &shape, Layout::NCHW).unwrap();
+    let out_b = conv_forward(&input_chwn, &filter, &shape, Layout::CHWN).unwrap();
+    assert!(out_a.approx_eq(&out_b, 1e-3), "layouts must not change results");
+    println!("functional check: NCHW and CHWN executions agree ✓");
+
+    // --- Simulated execution: layouts change *time*.
+    let device = DeviceConfig::titan_black();
+    let opts = SimOptions::default();
+    let direct = simulate(&device, &DirectConvChwn::new(shape), &opts).unwrap();
+    let mm = MmConvNchw::new(shape).simulate(&device, &opts).unwrap();
+    println!("\non a simulated {}:", device.name);
+    println!(
+        "  CHWN + direct convolution : {:8.3} ms ({:6.0} GFLOP/s)",
+        direct.time() * 1e3,
+        direct.gflops()
+    );
+    println!(
+        "  NCHW + im2col + GEMM      : {:8.3} ms ({:6.0} GFLOP/s)",
+        mm.time() * 1e3,
+        shape.flops() as f64 / mm.time() / 1e9
+    );
+    println!("  -> {:.2}x from choosing the right data layout", mm.time() / direct.time());
+
+    // --- The paper's heuristic agrees without measuring anything.
+    let th = LayoutThresholds::titan_black_paper();
+    let pick = choose_layout(&shape, &th);
+    println!(
+        "\nheuristic (Ct={}, Nt={}): prefers {pick} — {}",
+        th.ct,
+        th.nt,
+        if (pick == Layout::CHWN) == (direct.time() < mm.time()) {
+            "matches the measurement ✓"
+        } else {
+            "disagrees with the measurement ✗"
+        }
+    );
+}

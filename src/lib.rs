@@ -1,0 +1,45 @@
+//! # memcnn — memory-efficient deep CNN primitives with a GPU memory simulator
+//!
+//! Facade crate for the workspace reproducing **"Optimizing Memory Efficiency
+//! for Deep Convolutional Neural Networks on GPUs"** (Li, Yang, Feng,
+//! Chakradhar, Zhou — SC'16). It re-exports the constituent crates:
+//!
+//! - [`tensor`]: 4D tensors with first-class data layouts (all 24 orders).
+//! - [`gpusim`]: the warp-level GPU memory-hierarchy simulator the evaluation
+//!   runs on (the substitution for the paper's Titan Black / Titan X GPUs).
+//! - [`fft`]: from-scratch FFT substrate backing FFT-based convolution.
+//! - [`kernels`]: every CNN kernel as a functional CPU implementation plus a
+//!   GPU access-pattern spec (direct conv, im2col+GEMM conv, FFT conv,
+//!   pooling, softmax, layout transforms, GEMM, FC, ReLU, LRN).
+//! - [`core`]: the paper's contribution — layout-selection heuristic, fast
+//!   layout transformation orchestration, auto-tuning, execution engine and
+//!   library presets (cuda-convnet / Caffe / cuDNN modes / Opt).
+//! - [`models`]: the Table-1 layer zoo and the five evaluated networks.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+//!
+//! # Example
+//!
+//! Score LeNet under the paper's optimized framework vs cuDNN-MM:
+//!
+//! ```
+//! use memcnn::core::{Engine, LayoutThresholds, Mechanism};
+//! use memcnn::gpusim::DeviceConfig;
+//! use memcnn::models::lenet;
+//!
+//! let engine = Engine::new(DeviceConfig::titan_black(),
+//!                          LayoutThresholds::titan_black_paper());
+//! let net = lenet().unwrap();
+//! let opt = engine.simulate_network(&net, Mechanism::Opt).unwrap();
+//! let mm = engine.simulate_network(&net, Mechanism::CudnnMm).unwrap();
+//! assert!(opt.total_time() < mm.total_time()); // Fig 14's LeNet story
+//! ```
+
+#![warn(missing_docs)]
+
+pub use memcnn_core as core;
+pub use memcnn_fft as fft;
+pub use memcnn_gpusim as gpusim;
+pub use memcnn_kernels as kernels;
+pub use memcnn_models as models;
+pub use memcnn_tensor as tensor;

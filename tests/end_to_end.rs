@@ -1,0 +1,165 @@
+//! Cross-crate integration tests: networks run functionally, layout plans
+//! preserve values, and the engine's choices are consistent with the
+//! kernels it builds on.
+
+use memcnn::core::exec::{assert_valid_probabilities, run_network};
+use memcnn::core::{Engine, LayoutPolicy, LayoutThresholds, Mechanism, NetworkBuilder};
+use memcnn::gpusim::DeviceConfig;
+use memcnn::kernels::SoftmaxShape;
+use memcnn::models::data::{cifar_batch, mnist_batch};
+use memcnn::models::{all_networks, cifar10, lenet};
+use memcnn::tensor::{Layout, Shape, Tensor};
+
+fn engine() -> Engine {
+    Engine::new(DeviceConfig::titan_black(), LayoutThresholds::titan_black_paper())
+}
+
+#[test]
+fn lenet_functional_forward_is_layout_invariant() {
+    let net = lenet().unwrap();
+    let batch = mnist_batch(net.input.n, 1);
+    let n = net.layers().len();
+    let nchw = run_network(&net, &batch.images, &vec![Layout::NCHW; n], 3).unwrap();
+    let chwn = run_network(&net, &batch.images, &vec![Layout::CHWN; n], 3).unwrap();
+    assert!(assert_valid_probabilities(&nchw, SoftmaxShape::new(net.input.n, 10), 1e-4));
+    for (a, b) in nchw.iter().zip(&chwn) {
+        assert!((a - b).abs() < 1e-3);
+    }
+}
+
+#[test]
+fn cifar_functional_forward_with_engine_layouts() {
+    let net = cifar10().unwrap();
+    let batch = cifar_batch(net.input.n, 2);
+    let e = engine();
+    let report = e.simulate_network(&net, Mechanism::Opt).unwrap();
+    let layouts: Vec<Layout> = report
+        .layers
+        .iter()
+        .map(|l| if l.layout == "CHWN" { Layout::CHWN } else { Layout::NCHW })
+        .collect();
+    let probs = run_network(&net, &batch.images, &layouts, 5).unwrap();
+    assert!(assert_valid_probabilities(&probs, SoftmaxShape::new(net.input.n, 10), 1e-4));
+}
+
+#[test]
+fn all_networks_simulate_under_all_mechanisms() {
+    let e = engine();
+    for net in all_networks() {
+        // Keep the heavy nets to the three interesting mechanisms.
+        let mechs: &[Mechanism] = if net.name == "LeNet" || net.name == "CIFAR" {
+            &Mechanism::ALL
+        } else {
+            &[Mechanism::CudnnMm, Mechanism::CudaConvnet, Mechanism::Opt]
+        };
+        let mut times = Vec::new();
+        for &m in mechs {
+            let r = e.simulate_network(&net, m).unwrap();
+            assert_eq!(r.layers.len(), net.layers().len(), "{} {m}", net.name);
+            assert!(r.total_time() > 0.0);
+            times.push((m, r.total_time()));
+        }
+        // Opt never loses to any mechanism it subsumes.
+        let opt = times.iter().find(|(m, _)| *m == Mechanism::Opt).unwrap().1;
+        for (m, t) in &times {
+            assert!(
+                opt <= t * 1.02,
+                "{}: Opt ({opt:.2e}) should not lose to {m} ({t:.2e})",
+                net.name
+            );
+        }
+    }
+}
+
+#[test]
+fn opt_reports_transform_placement_consistently() {
+    // A network that genuinely mixes layouts: small batch, mixed channels.
+    let e = engine();
+    let net = NetworkBuilder::new("mixed", Shape::new(64, 3, 64, 64))
+        .conv("cv1", 96, 5, 2, 0)
+        .max_pool("pl1", 3, 2)
+        .conv("cv2", 256, 3, 1, 1)
+        .max_pool("pl2", 3, 2)
+        .conv("cv3", 256, 3, 1, 1)
+        .fc("fc", 100)
+        .softmax("prob")
+        .build()
+        .unwrap();
+    let r = e.simulate_network(&net, Mechanism::Opt).unwrap();
+    // Transform times appear exactly at boundaries where the layout label
+    // changes between consecutive layout-sensitive layers.
+    let mut prev: Option<&str> = None;
+    for l in &r.layers {
+        if l.layout == "-" {
+            continue;
+        }
+        match prev {
+            Some(p) if p != l.layout => {
+                assert!(l.transform_before > 0.0, "{} changed layout without transform", l.name)
+            }
+            Some(_) => {
+                assert_eq!(l.transform_before, 0.0, "{} has phantom transform", l.name)
+            }
+            None => {}
+        }
+        prev = Some(&l.layout);
+    }
+}
+
+#[test]
+fn heuristic_and_profiled_policies_agree_on_uniform_nets() {
+    let d = DeviceConfig::titan_black();
+    let th = LayoutThresholds::titan_black_paper();
+    let net = lenet().unwrap();
+    let heuristic = Engine::new(d.clone(), th)
+        .with_layout_policy(LayoutPolicy::Heuristic)
+        .simulate_network(&net, Mechanism::Opt)
+        .unwrap();
+    let profiled = Engine::new(d, th)
+        .with_layout_policy(LayoutPolicy::Profiled)
+        .simulate_network(&net, Mechanism::Opt)
+        .unwrap();
+    for (a, b) in heuristic.layers.iter().zip(&profiled.layers) {
+        assert_eq!(a.layout, b.layout, "layer {}", a.name);
+    }
+}
+
+#[test]
+fn functional_and_simulated_paths_share_shapes() {
+    // The engine and the functional executor must agree on every layer's
+    // tensor shapes (a drift here would invalidate the timing model).
+    let net = cifar10().unwrap();
+    let input = Tensor::random(net.input, Layout::NCHW, 11);
+    let layouts = vec![Layout::NCHW; net.layers().len()];
+    let out = run_network(&net, &input, &layouts, 13).unwrap();
+    assert_eq!(out.len(), net.output().len());
+}
+
+#[test]
+fn tensor_roundtrip_through_all_crates() {
+    // tensor -> kernels (transform functional path) -> core exec types.
+    let shape = Shape::new(64, 16, 9, 9);
+    let t = Tensor::random(shape, Layout::NCHW, 21);
+    let u = memcnn::tensor::relayout::relayout_2d_transpose(&t, Layout::CHWN);
+    let back = u.to_layout(Layout::NCHW);
+    assert_eq!(t.as_slice(), back.as_slice());
+}
+
+#[test]
+fn training_step_costs_are_sane() {
+    // §IV.D's "complete forward-backward profiling": backward adds roughly
+    // 1-3x the forward time, the layout benefit survives into training,
+    // and transformations are charged in both directions.
+    let e = engine();
+    let net = lenet().unwrap();
+    let fwd = e.simulate_network(&net, Mechanism::Opt).unwrap();
+    let train = e.simulate_network_training(&net, Mechanism::Opt).unwrap();
+    assert_eq!(fwd.backward_time(), 0.0);
+    assert!(train.backward_time() > 0.0);
+    let ratio = train.backward_time() / fwd.total_time();
+    assert!((0.5..4.0).contains(&ratio), "bwd/fwd {ratio:.2}");
+    assert!((train.transform_time() - 2.0 * fwd.transform_time()).abs() < 1e-12);
+    // Opt still beats cuDNN-MM when training.
+    let mm_train = e.simulate_network_training(&net, Mechanism::CudnnMm).unwrap();
+    assert!(train.total_time() < mm_train.total_time());
+}

@@ -1,0 +1,176 @@
+//! Shape-level reproduction checks: the paper's qualitative claims — who
+//! wins, where crossovers fall, rough factors — asserted against the
+//! figure harnesses. These are the acceptance criteria of DESIGN.md §5.
+
+use memcnn_bench::figures;
+use memcnn_bench::util::{geomean, Ctx};
+
+fn ctx() -> Ctx {
+    Ctx::titan_black()
+}
+
+#[test]
+fn fig1_pooling_always_prefers_chwn_and_cv1_strongly() {
+    let rows = figures::fig1(&ctx());
+    for (name, ratio) in &rows {
+        if name.starts_with("PL") {
+            assert!(*ratio > 1.2, "{name}: NCHW pooling should lose clearly, got {ratio:.2}");
+        }
+    }
+    let cv1 = rows.iter().find(|(n, _)| n == "CV1").unwrap().1;
+    assert!(cv1 > 2.0, "CV1 should prefer CHWN by >2x, got {cv1:.2}");
+}
+
+#[test]
+fn fig3_winners_match_the_paper() {
+    let rows = figures::fig3(&ctx());
+    let get = |n: &str| rows.iter().find(|(name, _)| name == n).unwrap().1;
+    // cuda-convnet wins CV1-CV5 and CV9 (paper §IV.A); cuDNN bar < 1.
+    for n in ["CV1", "CV2", "CV3", "CV4", "CV5", "CV9"] {
+        assert!(get(n) < 1.0, "{n}: cuda-convnet should win, cuDNN bar {:.2}", get(n));
+    }
+    // cuDNN wins CV7, CV8, CV10-CV12.
+    for n in ["CV7", "CV8", "CV10", "CV11", "CV12"] {
+        assert!(get(n) > 1.0, "{n}: cuDNN should win, bar {:.2}", get(n));
+    }
+    // Headline factors: CV1 ~6.5x for convnet, CV10-12 ~2-3.3x for cuDNN.
+    assert!(get("CV1") < 0.3);
+    assert!(get("CV11") > 1.5 && get("CV11") < 4.0);
+}
+
+#[test]
+fn fig4_crossovers_are_where_the_paper_puts_them() {
+    let (n_sweep, c_sweep) = figures::fig4(&ctx());
+    // 4a: cuDNN flat-ish; convnet crosses above between N=64 and N=128.
+    let at = |rows: &[(usize, f64, f64)], v: usize| {
+        rows.iter().find(|(p, _, _)| *p == v).copied().unwrap()
+    };
+    let (_, chwn64, nchw64) = at(&n_sweep, 64);
+    let (_, chwn128, nchw128) = at(&n_sweep, 128);
+    assert!(chwn64 < nchw64, "at N=64 cuDNN still wins");
+    assert!(chwn128 > nchw128, "at N=128 cuda-convnet wins");
+    // convnet rises monotonically with N up to saturation.
+    let (_, chwn16, _) = at(&n_sweep, 16);
+    assert!(chwn16 < chwn64 && chwn64 < chwn128);
+    // 4b: convnet wins below C=32, cuDNN from 64 up.
+    let (_, chwn_c16, nchw_c16) = at(&c_sweep, 16);
+    let (_, chwn_c64, nchw_c64) = at(&c_sweep, 64);
+    assert!(chwn_c16 > nchw_c16, "at C=16 cuda-convnet wins");
+    assert!(chwn_c64 < nchw_c64, "at C=64 cuDNN wins");
+}
+
+#[test]
+fn fig5_fft_failures_and_wins() {
+    let rows = figures::fig5(&ctx());
+    let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap().clone();
+    // CV5 and CV6: execution failures for both FFT modes (paper Fig 5).
+    for n in ["CV5", "CV6"] {
+        let r = get(n);
+        assert!(r.fft.is_none() && r.fft_tiling.is_none(), "{n} must FAIL");
+    }
+    // FFT beats MM on large-filter / many-channel layers (CV7, CV10).
+    for n in ["CV7", "CV10"] {
+        let r = get(n);
+        assert!(r.fft.unwrap() > r.mm, "{n}: FFT should beat MM");
+    }
+    // FFT loses badly on small channel counts (CV3, CV9).
+    for n in ["CV3", "CV9"] {
+        let r = get(n);
+        assert!(r.fft.unwrap() < 1.0, "{n}: FFT should lose to cuda-convnet");
+        assert!(r.fft.unwrap() < r.mm, "{n}: FFT should lose to MM");
+    }
+}
+
+#[test]
+fn fig6_chwn_wins_every_pooling_layer() {
+    let rows = figures::fig6(&ctx());
+    assert_eq!(rows.len(), 10);
+    for r in &rows {
+        assert!(r.caffe <= 1.0 + 1e-9, "{}: Caffe must not beat cuda-convnet", r.name);
+        assert!(r.cudnn <= 1.0 + 1e-9, "{}: cuDNN must not beat cuda-convnet", r.name);
+        // Bandwidths in the plausible band the paper reports (132-205).
+        assert!(r.best_gbs > 80.0 && r.best_gbs < 235.0, "{}: {} GB/s", r.name, r.best_gbs);
+    }
+}
+
+#[test]
+fn fig10_transforms_gate_the_layout_benefit() {
+    let rows = figures::fig10(&ctx());
+    let gm_opt = geomean(&rows.iter().map(|r| r.opt).collect::<Vec<_>>());
+    let gm_naive = geomean(&rows.iter().map(|r| r.opt_naive).collect::<Vec<_>>());
+    let gm_fast = geomean(&rows.iter().map(|r| r.opt_fast).collect::<Vec<_>>());
+    // Paper: GM 2.48x bare, 2.08x with the optimized transform, and the
+    // naive transform "cannot sustain the significant performance benefit".
+    assert!(gm_opt > 1.8, "bare GM {gm_opt:.2}");
+    assert!(gm_fast > 1.4, "fast-transform GM {gm_fast:.2}");
+    assert!(gm_naive < gm_fast, "naive transform must be worse");
+    // CV9/CV5: transformation does not pay (paper's stated exceptions).
+    let cv9 = rows.iter().find(|r| r.name == "CV9").unwrap();
+    assert!(cv9.opt_fast < 1.1);
+}
+
+#[test]
+fn fig11_bandwidth_ladder() {
+    let rows = figures::fig11(&ctx());
+    for r in &rows {
+        assert!(r.opt1 > 2.0 * r.naive, "{}: Opt1 must be >2x naive", r.name);
+        if let Some(opt2) = r.opt2 {
+            assert!(opt2 > r.opt1, "{}: Opt2 must beat Opt1", r.name);
+        }
+    }
+    // N < 64 layers have no Opt2 (CV9-CV12 in Table 1 have N=32).
+    for n in ["CV9", "CV10", "CV11", "CV12"] {
+        assert!(rows.iter().find(|r| r.name == n).unwrap().opt2.is_none());
+    }
+    // CV6 approaches the effective bandwidth (paper: 229.5 of 235).
+    let cv6 = rows.iter().find(|r| r.name == "CV6").unwrap();
+    assert!(cv6.opt2.unwrap() > 190.0, "CV6 Opt2 {} GB/s", cv6.opt2.unwrap());
+}
+
+#[test]
+fn fig12_opt_never_loses_and_helps_overlapped_layers() {
+    let rows = figures::fig12(&ctx());
+    for r in &rows {
+        assert!(r.opt >= 0.99, "{}: Opt must not lose to cuda-convnet", r.name);
+    }
+    // Overlapped AlexNet/ZFNet layers gain from coarsening.
+    let gains: Vec<f64> = rows
+        .iter()
+        .filter(|r| ["PL5", "PL6", "PL8"].contains(&r.name.as_str()))
+        .map(|r| r.opt)
+        .collect();
+    assert!(gains.iter().all(|&g| g > 1.05), "overlapped gains {gains:?}");
+    // Non-overlapped LeNet pools tune to (1,1).
+    for n in ["PL1", "PL2"] {
+        let r = rows.iter().find(|r| r.name == n).unwrap();
+        assert_eq!(r.factors, (1, 1), "{n}");
+    }
+}
+
+#[test]
+fn fig13_opt_beats_baseline_everywhere_and_peaks_high() {
+    let rows = figures::fig13(&ctx());
+    for r in &rows {
+        assert!(r.opt > r.baseline, "{}: Opt must beat BL_Best", r.config);
+    }
+    let peak = rows.iter().map(|r| r.opt).fold(0.0, f64::max);
+    let bl_peak = rows.iter().map(|r| r.baseline).fold(0.0, f64::max);
+    // Paper: 220.95 vs 58.30 GB/s.
+    assert!(peak > 170.0, "Opt peak {peak:.1}");
+    assert!(bl_peak < 90.0, "BL peak {bl_peak:.1}");
+}
+
+#[test]
+fn in_text_claims() {
+    let ctx = ctx();
+    // CV2 ALU utilization improves with the suitable layout (§II.A).
+    let (nchw_util, chwn_util) = figures::alu_utilization(&ctx);
+    assert!(chwn_util > nchw_util * 1.2, "{nchw_util:.3} -> {chwn_util:.3}");
+    // Softmax ablation GMs near the paper's 2.81x and 5.13x.
+    let (gm_fusion, gm_parallel) = figures::softmax_ablation(&ctx);
+    assert!(gm_fusion > 2.0 && gm_fusion < 4.0, "fusion GM {gm_fusion:.2}");
+    assert!(gm_parallel > 3.0, "parallel GM {gm_parallel:.2}");
+    // Transform scratch is a small fraction of the training footprint.
+    let (scratch, footprint) = figures::memory_overhead(&ctx);
+    assert!((scratch as f64) < 0.08 * footprint as f64);
+}
