@@ -5,8 +5,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use memcnn_fft::{fft, fft_correlate2d, Complex32, Fft2dPlan};
-use memcnn_kernels::conv::direct_chwn::direct_conv_chwn;
 use memcnn_kernels::conv::conv_forward;
+use memcnn_kernels::conv::direct_chwn::direct_conv_chwn;
 use memcnn_kernels::im2col::im2col;
 use memcnn_kernels::matmul::sgemm;
 use memcnn_kernels::pool::{pool_forward, PoolOp};
@@ -26,9 +26,7 @@ fn bench_sgemm(c: &mut Criterion) {
 fn bench_im2col(c: &mut Criterion) {
     let s = ConvShape::table1(8, 64, 28, 5, 16, 1);
     let input = Tensor::random(s.input_shape(), Layout::NCHW, 1);
-    c.bench_function("im2col 8x16x28x28 f5", |bench| {
-        bench.iter(|| im2col(black_box(&input), &s))
-    });
+    c.bench_function("im2col 8x16x28x28 f5", |bench| bench.iter(|| im2col(black_box(&input), &s)));
 }
 
 fn bench_conv(c: &mut Criterion) {
@@ -82,15 +80,10 @@ fn bench_relayout(c: &mut Criterion) {
 fn bench_fft(c: &mut Criterion) {
     let mut data: Vec<Complex32> =
         (0..1024).map(|i| Complex32::new((i as f32).sin(), 0.0)).collect();
-    c.bench_function("fft 1024", |bench| {
-        bench.iter(|| fft(black_box(&mut data)))
-    });
+    c.bench_function("fft 1024", |bench| bench.iter(|| fft(black_box(&mut data))));
     let plan = Fft2dPlan::new(64, 64);
-    let mut img: Vec<Complex32> =
-        (0..64 * 64).map(|i| Complex32::real((i % 7) as f32)).collect();
-    c.bench_function("fft2d 64x64", |bench| {
-        bench.iter(|| plan.forward(black_box(&mut img)))
-    });
+    let mut img: Vec<Complex32> = (0..64 * 64).map(|i| Complex32::real((i % 7) as f32)).collect();
+    c.bench_function("fft2d 64x64", |bench| bench.iter(|| plan.forward(black_box(&mut img))));
     let input: Vec<f32> = (0..48 * 48).map(|i| (i % 9) as f32 - 4.0).collect();
     let kernel: Vec<f32> = (0..25).map(|i| (i % 5) as f32 - 2.0).collect();
     c.bench_function("fft_correlate2d 48x48 k5", |bench| {

@@ -1,0 +1,96 @@
+//! Profile one network under one mechanism and write the trace exports.
+//!
+//! ```text
+//! cargo run -p memcnn-bench --release --bin profile -- alexnet Opt
+//! cargo run -p memcnn-bench --release --bin profile -- vgg16 cuDNN-Best --training --out /tmp/prof
+//! ```
+//!
+//! Writes `<out>/trace.json` (load in Perfetto or `chrome://tracing`)
+//! and `<out>/profile.txt` (printed to stdout as well).
+
+use memcnn_bench::profile::{find_mechanism, find_network, profile_network, write_profile};
+use memcnn_bench::util::Ctx;
+use std::path::PathBuf;
+
+const NETWORKS: &str = "lenet cifar10 alexnet zfnet vgg16";
+const MECHANISMS: &str = "cuDNN-MM cuDNN-FFT cuDNN-FFT-T cuda-convnet Caffe cuDNN-Best Opt";
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: profile <network> <mechanism> [--training] [--titanx] [--top N] [--out DIR]\n\
+         networks:   {NETWORKS}\n\
+         mechanisms: {MECHANISMS} (case-insensitive; aliases like `fft`, `best` work)\n\
+         default output dir: target/profile/<network>-<mechanism>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let mut positional: Vec<&str> = Vec::new();
+    let mut training = false;
+    let mut titanx = false;
+    let mut top_n = 15usize;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--training" => training = true,
+            "--titanx" => titanx = true,
+            "--top" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => top_n = n,
+                None => usage(),
+            },
+            "--out" => match it.next() {
+                Some(d) => out_dir = Some(PathBuf::from(d)),
+                None => usage(),
+            },
+            flag if flag.starts_with('-') => usage(),
+            pos => positional.push(pos),
+        }
+    }
+    let (net_name, mech_name) = match positional.as_slice() {
+        [n] => (*n, "Opt"),
+        [n, m] => (*n, *m),
+        _ => usage(),
+    };
+    let Some(net) = find_network(net_name) else {
+        eprintln!("unknown network {net_name:?}; known: {NETWORKS}");
+        std::process::exit(2);
+    };
+    let Some(mech) = find_mechanism(mech_name) else {
+        eprintln!("unknown mechanism {mech_name:?}; known: {MECHANISMS}");
+        std::process::exit(2);
+    };
+    let ctx = if titanx { Ctx::titan_x() } else { Ctx::titan_black() };
+    let out_dir = out_dir.unwrap_or_else(|| {
+        PathBuf::from("target/profile").join(format!(
+            "{}-{}{}",
+            net.name,
+            mech.label().to_ascii_lowercase(),
+            if training { "-training" } else { "" }
+        ))
+    });
+
+    let out = match profile_network(&ctx, &net, mech, training, top_n) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", out.profile_text);
+    match write_profile(&out_dir, &out) {
+        Ok((json_path, text_path)) => {
+            println!("wrote {}", json_path.display());
+            println!("wrote {}", text_path.display());
+        }
+        Err(e) => {
+            eprintln!("failed to write outputs to {}: {e}", out_dir.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -86,12 +86,14 @@ pub fn fig4(ctx: &Ctx) -> (Vec<SweepRow>, Vec<SweepRow>) {
         let (chwn, nchw) = measure(&probe(64, c));
         b.push((c, chwn, nchw));
     }
-    let mut ta = Table::new("Fig 4a: GFLOPS vs batch size N (CONV7)", &["N", "cuda-convnet", "cuDNN"]);
+    let mut ta =
+        Table::new("Fig 4a: GFLOPS vs batch size N (CONV7)", &["N", "cuda-convnet", "cuDNN"]);
     for (n, chwn, nchw) in &a {
         ta.row(vec![n.to_string(), format!("{chwn:.0}"), format!("{nchw:.0}")]);
     }
     ta.print();
-    let mut tb = Table::new("Fig 4b: GFLOPS vs channels C (CONV7)", &["C", "cuda-convnet", "cuDNN"]);
+    let mut tb =
+        Table::new("Fig 4b: GFLOPS vs channels C (CONV7)", &["C", "cuda-convnet", "cuDNN"]);
     for (c, chwn, nchw) in &b {
         tb.row(vec![c.to_string(), format!("{chwn:.0}"), format!("{nchw:.0}")]);
     }
@@ -227,7 +229,8 @@ pub fn fig10(ctx: &Ctx) -> Vec<Fig10Row> {
                 .expect("transform simulates")
                 .time()
         };
-        let fast_in = if e.shape.n >= VECTORIZE_MIN_N { TransformImpl::Opt2 } else { TransformImpl::Opt1 };
+        let fast_in =
+            if e.shape.n >= VECTORIZE_MIN_N { TransformImpl::Opt2 } else { TransformImpl::Opt1 };
         let in_shape = e.shape.input_shape();
         let out_shape = e.shape.output_shape();
         let naive = tr(TransformImpl::Naive, in_shape, from, to)
@@ -277,10 +280,8 @@ pub struct Fig11Row {
 /// Fig 11: achieved bandwidth of the three transformation kernels on each
 /// conv layer's input tensor (CHWN -> NCHW).
 pub fn fig11(ctx: &Ctx) -> Vec<Fig11Row> {
-    let mut table = Table::new(
-        "Fig 11: transformation bandwidth (GB/s)",
-        &["layer", "Naive", "Opt1", "Opt2"],
-    );
+    let mut table =
+        Table::new("Fig 11: transformation bandwidth (GB/s)", &["layer", "Naive", "Opt1", "Opt2"]);
     let mut rows = Vec::new();
     for e in CONV_LAYERS {
         let shape = e.shape.input_shape();
@@ -371,8 +372,7 @@ pub struct Fig13Row {
 
 /// Fig 13: softmax bandwidth, BL_Best vs Opt, across the twelve configs.
 pub fn fig13(ctx: &Ctx) -> Vec<Fig13Row> {
-    let mut table =
-        Table::new("Fig 13: softmax bandwidth (GB/s)", &["config", "BL_Best", "Opt"]);
+    let mut table = Table::new("Fig 13: softmax bandwidth (GB/s)", &["config", "BL_Best", "Opt"]);
     let mut rows = Vec::new();
     for shape in FIG13_SOFTMAX {
         let t = softmax_times(ctx, shape);
@@ -400,11 +400,7 @@ pub struct Fig14Row {
 impl Fig14Row {
     /// Speedup of one mechanism by label.
     pub fn speedup(&self, label: &str) -> f64 {
-        self.speedups
-            .iter()
-            .find(|(l, _)| l == label)
-            .map(|(_, s)| *s)
-            .unwrap_or(f64::NAN)
+        self.speedups.iter().find(|(l, _)| l == label).map(|(_, s)| *s).unwrap_or(f64::NAN)
     }
 }
 
@@ -414,7 +410,16 @@ pub fn fig14(ctx: &Ctx) -> Vec<Fig14Row> {
     let nets = networks::all_networks();
     let mut table = Table::new(
         "Fig 14: whole-network speedup over cuDNN-MM",
-        &["network", "cuDNN-MM", "cuDNN-FFT", "cuDNN-FFT-T", "cuda-convnet", "Caffe", "cuDNN-Best", "Opt"],
+        &[
+            "network",
+            "cuDNN-MM",
+            "cuDNN-FFT",
+            "cuDNN-FFT-T",
+            "cuda-convnet",
+            "Caffe",
+            "cuDNN-Best",
+            "Opt",
+        ],
     );
     let mut rows = Vec::new();
     for net in &nets {
@@ -425,11 +430,7 @@ pub fn fig14(ctx: &Ctx) -> Vec<Fig14Row> {
             .total_time();
         let mut speedups = Vec::new();
         for mech in Mechanism::ALL {
-            let t = ctx
-                .engine
-                .simulate_network(net, mech)
-                .expect("network simulates")
-                .total_time();
+            let t = ctx.engine.simulate_network(net, mech).expect("network simulates").total_time();
             speedups.push((mech.label().to_string(), mm / t));
         }
         let row = Fig14Row { network: net.name.clone(), speedups };
@@ -507,7 +508,8 @@ pub fn thresholds_table() -> Vec<(String, usize, usize)> {
 /// `(utilization in worse layout, in better layout)`.
 pub fn alu_utilization(ctx: &Ctx) -> (f64, f64) {
     // AlexNet CV2: N=128, Ci=96, 27x27, Co=256, F=5, pad 2.
-    let shape = ConvShape { n: 128, ci: 96, h: 27, w: 27, co: 256, fh: 5, fw: 5, stride: 1, pad: 2 };
+    let shape =
+        ConvShape { n: 128, ci: 96, h: 27, w: 27, co: 256, fh: 5, fw: 5, stride: 1, pad: 2 };
     let direct = simulate(&ctx.device, &DirectConvChwn::new(shape), &ctx.opts).expect("direct");
     let mm = MmConvNchw::new(shape).simulate(&ctx.device, &ctx.opts).expect("mm");
     // Utilization of the MM pipeline: conv FLOPs over total pipeline time.
@@ -536,11 +538,7 @@ pub fn softmax_ablation(ctx: &Ctx) -> (f64, f64) {
         let p = t.fused_serial / t.fused;
         fusion.push(f);
         parallel.push(p);
-        table.row(vec![
-            format!("{}/{}", shape.batch, shape.categories),
-            x(f),
-            x(p),
-        ]);
+        table.row(vec![format!("{}/{}", shape.batch, shape.categories), x(f), x(p)]);
     }
     let (gm_f, gm_p) = (geomean(&fusion), geomean(&parallel));
     table.row(vec!["GM".into(), x(gm_f), x(gm_p)]);
@@ -567,19 +565,12 @@ pub fn memory_overhead(_ctx: &Ctx) -> (u64, u64) {
     }
     // Transformation scratch upper bound: one copy of the largest
     // intermediate, freed right after the transform (§VI.A).
-    let scratch = net
-        .layers()
-        .iter()
-        .map(|l| l.input.bytes() as u64)
-        .max()
-        .unwrap_or(0);
+    let scratch = net.layers().iter().map(|l| l.input.bytes() as u64).max().unwrap_or(0);
     let mut table = Table::new("AlexNet transformation memory overhead", &["quantity", "MB"]);
     table.row(vec!["largest transform scratch".into(), format!("{:.1}", scratch as f64 / 1e6)]);
     table.row(vec!["network footprint".into(), format!("{:.1}", footprint as f64 / 1e6)]);
-    table.row(vec![
-        "overhead".into(),
-        format!("{:.2}%", scratch as f64 / footprint as f64 * 100.0),
-    ]);
+    table
+        .row(vec!["overhead".into(), format!("{:.2}%", scratch as f64 / footprint as f64 * 100.0)]);
     table.print();
     (scratch, footprint)
 }
@@ -595,9 +586,8 @@ pub fn titan_x_networks() -> Vec<Fig14Row> {
         &["network", "vs cuda-convnet", "vs Caffe", "vs cuDNN-MM"],
     );
     for net in &nets {
-        let time = |m: Mechanism| {
-            ctx.engine.simulate_network(net, m).expect("simulates").total_time()
-        };
+        let time =
+            |m: Mechanism| ctx.engine.simulate_network(net, m).expect("simulates").total_time();
         let opt = time(Mechanism::Opt);
         let mm = time(Mechanism::CudnnMm);
         let mut speedups = vec![
@@ -605,12 +595,7 @@ pub fn titan_x_networks() -> Vec<Fig14Row> {
             ("Caffe".to_string(), time(Mechanism::Caffe) / opt),
             ("cuDNN-MM".to_string(), mm / opt),
         ];
-        table.row(vec![
-            net.name.clone(),
-            x(speedups[0].1),
-            x(speedups[1].1),
-            x(speedups[2].1),
-        ]);
+        table.row(vec![net.name.clone(), x(speedups[0].1), x(speedups[1].1), x(speedups[2].1)]);
         speedups.push(("Opt".to_string(), 1.0));
         rows.push(Fig14Row { network: net.name.clone(), speedups });
     }
@@ -652,17 +637,11 @@ pub fn layouts24(ctx: &Ctx) -> Vec<(String, f64)> {
 /// AlexNet (Opt with naive vs optimized transforms). Returns the two times.
 pub fn transform_quality_network(ctx: &Ctx) -> (f64, f64) {
     let net = networks::alexnet().expect("alexnet");
-    let fast = ctx
-        .engine
-        .simulate_network(&net, Mechanism::Opt)
-        .expect("simulates")
-        .total_time();
+    let fast = ctx.engine.simulate_network(&net, Mechanism::Opt).expect("simulates").total_time();
     let naive_engine = Engine::new(ctx.device.clone(), *ctx.engine.thresholds())
         .with_transform_quality(TransformQuality::Naive);
-    let naive = naive_engine
-        .simulate_network(&net, Mechanism::Opt)
-        .expect("simulates")
-        .total_time();
+    let naive =
+        naive_engine.simulate_network(&net, Mechanism::Opt).expect("simulates").total_time();
     let mut table = Table::new("AlexNet Opt: transform quality", &["variant", "time_ms"]);
     table.row(vec!["Opt + optimized transform".into(), ms(fast)]);
     table.row(vec!["Opt + naive transform".into(), ms(naive)]);
@@ -682,13 +661,9 @@ pub fn bank_mode_ablation() -> (f64, f64) {
     let opts = SimOptions::default();
     let speedup = |device: &DeviceConfig| {
         let t = |imp| {
-            simulate(
-                device,
-                &TransformKernel::new(shape, Layout::CHWN, Layout::NCHW, imp),
-                &opts,
-            )
-            .expect("transform")
-            .time()
+            simulate(device, &TransformKernel::new(shape, Layout::CHWN, Layout::NCHW, imp), &opts)
+                .expect("transform")
+                .time()
         };
         t(TransformImpl::Opt1) / t(TransformImpl::Opt2)
     };
@@ -750,13 +725,7 @@ pub fn winograd(ctx: &Ctx) -> Vec<(String, f64)> {
             .expect("winograd simulates")
             .time();
         let speedup = best / w;
-        table.row(vec![
-            e.name.into(),
-            ms(best),
-            label.into(),
-            ms(w),
-            x(speedup),
-        ]);
+        table.row(vec![e.name.into(), ms(best), label.into(), ms(w), x(speedup)]);
         rows.push((e.name.to_string(), speedup));
     }
     table.print();
@@ -774,11 +743,8 @@ pub fn training(ctx: &Ctx) -> Vec<(String, f64, f64, f64)> {
     );
     let mut rows = Vec::new();
     for net in networks::all_networks() {
-        let fwd = ctx
-            .engine
-            .simulate_network(&net, Mechanism::Opt)
-            .expect("simulates")
-            .total_time();
+        let fwd =
+            ctx.engine.simulate_network(&net, Mechanism::Opt).expect("simulates").total_time();
         let train = ctx
             .engine
             .simulate_network_training(&net, Mechanism::Opt)
@@ -804,7 +770,8 @@ pub fn training(ctx: &Ctx) -> Vec<(String, f64, f64, f64)> {
 
 /// Table 1 echo: the benchmark zoo as parsed.
 pub fn table1_echo() {
-    let mut t = Table::new("Table 1: conv layers", &["name", "N", "Co", "H/W", "F", "Ci", "S", "net"]);
+    let mut t =
+        Table::new("Table 1: conv layers", &["name", "N", "Co", "H/W", "F", "Ci", "S", "net"]);
     for e in CONV_LAYERS {
         let s = e.shape;
         t.row(vec![
@@ -819,7 +786,8 @@ pub fn table1_echo() {
         ]);
     }
     t.print();
-    let mut t = Table::new("Table 1: pooling layers", &["name", "N", "H/W", "win", "C", "S", "net"]);
+    let mut t =
+        Table::new("Table 1: pooling layers", &["name", "N", "H/W", "win", "C", "S", "net"]);
     for e in POOL_LAYERS {
         let s = e.shape;
         t.row(vec![

@@ -8,7 +8,9 @@ use memcnn_kernels::conv::fft_nchw::{FftConvMode, FftConvNchw};
 use memcnn_kernels::conv::mm_nchw::MmConvNchw;
 use memcnn_kernels::pool::chwn::PoolChwn;
 use memcnn_kernels::pool::nchw::{PoolNchwCaffe, PoolNchwCudnn};
-use memcnn_kernels::softmax::{cudnn_pipeline, five_kernel_pipeline, SoftmaxFused, SoftmaxFusedSerial};
+use memcnn_kernels::softmax::{
+    cudnn_pipeline, five_kernel_pipeline, SoftmaxFused, SoftmaxFusedSerial,
+};
 use memcnn_kernels::{ConvShape, PoolShape, SoftmaxShape};
 
 /// All convolution implementation timings for one layer (seconds).
@@ -52,10 +54,8 @@ pub fn conv_times(ctx: &Ctx, shape: &ConvShape) -> ConvTimes {
     let direct = simulate(&ctx.device, &DirectConvChwn::new(*shape), &ctx.opts)
         .expect("direct conv simulates")
         .time();
-    let mm = MmConvNchw::new(*shape)
-        .simulate(&ctx.device, &ctx.opts)
-        .expect("mm conv simulates")
-        .time();
+    let mm =
+        MmConvNchw::new(*shape).simulate(&ctx.device, &ctx.opts).expect("mm conv simulates").time();
     let fft_time = |mode| {
         FftConvNchw::new(*shape, mode)
             .ok()
@@ -136,9 +136,7 @@ pub fn softmax_times(ctx: &Ctx, shape: SoftmaxShape) -> SoftmaxTimes {
         fused_serial: simulate(&ctx.device, &SoftmaxFusedSerial::new(shape), &ctx.opts)
             .expect("fused serial")
             .time(),
-        fused: simulate(&ctx.device, &SoftmaxFused::new(shape), &ctx.opts)
-            .expect("fused")
-            .time(),
+        fused: simulate(&ctx.device, &SoftmaxFused::new(shape), &ctx.opts).expect("fused").time(),
         payload_bytes: 2.0 * shape.len() as f64 * 4.0,
     }
 }

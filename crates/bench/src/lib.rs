@@ -6,9 +6,15 @@
 //! results), printing the same rows/series the paper reports. The
 //! `figures` binary exposes them as subcommands; Criterion benches cover
 //! the real CPU performance of the functional kernels.
+//!
+//! [`profile`] is the tracing front-end: it runs one network under one
+//! mechanism with the [`memcnn_trace`] collector enabled and writes a
+//! Perfetto-loadable `trace.json` plus a human-readable `profile.txt`
+//! (exposed as the `profile` binary).
 
 #![warn(missing_docs)]
 
 pub mod figures;
 pub mod layer_times;
+pub mod profile;
 pub mod util;

@@ -1,0 +1,128 @@
+//! The `profile` mode: simulate one network under one mechanism with
+//! tracing enabled, and render the capture as a Chrome/Perfetto
+//! `trace.json` plus a human-readable `profile.txt`.
+
+use crate::util::Ctx;
+use memcnn_core::{Mechanism, Network, NetworkReport};
+use memcnn_gpusim::SimError;
+use memcnn_models as models;
+use memcnn_trace::{self as trace, export, Trace};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Everything one profiling run produces.
+pub struct ProfileOutput {
+    /// The engine's per-layer report.
+    pub report: NetworkReport,
+    /// The raw trace capture.
+    pub trace: Trace,
+    /// Chrome trace-event JSON (load in Perfetto or `chrome://tracing`).
+    pub trace_json: String,
+    /// Human-readable profile.
+    pub profile_text: String,
+}
+
+/// Simulate `net` under `mech` with tracing on and render both exports.
+/// `training` adds the backward pass (and doubles transformation
+/// charges, as the engine does).
+pub fn profile_network(
+    ctx: &Ctx,
+    net: &Network,
+    mech: Mechanism,
+    training: bool,
+    top_n: usize,
+) -> Result<ProfileOutput, SimError> {
+    trace::start();
+    trace::set_meta("network", &net.name);
+    trace::set_meta("mechanism", mech.label());
+    trace::set_meta("device", &ctx.device.name);
+    trace::set_meta("mode", if training { "training" } else { "forward" });
+    let result = if training {
+        ctx.engine.simulate_network_training(net, mech)
+    } else {
+        ctx.engine.simulate_network(net, mech)
+    };
+    let captured = trace::finish().expect("trace collection was started above");
+    let report = result?;
+    Ok(ProfileOutput {
+        trace_json: export::chrome_trace(&captured),
+        profile_text: export::text_profile(&captured, top_n),
+        trace: captured,
+        report,
+    })
+}
+
+/// Write `trace.json` and `profile.txt` into `out_dir` (created if
+/// missing). Returns the two paths.
+pub fn write_profile(out_dir: &Path, out: &ProfileOutput) -> io::Result<(PathBuf, PathBuf)> {
+    std::fs::create_dir_all(out_dir)?;
+    let json_path = out_dir.join("trace.json");
+    let text_path = out_dir.join("profile.txt");
+    std::fs::write(&json_path, &out.trace_json)?;
+    std::fs::write(&text_path, &out.profile_text)?;
+    Ok((json_path, text_path))
+}
+
+/// Look up a bundled network by name (`lenet`, `cifar10`, `alexnet`,
+/// `zfnet`, `vgg16`).
+pub fn find_network(name: &str) -> Option<Network> {
+    match name.to_ascii_lowercase().as_str() {
+        "lenet" => models::lenet().ok(),
+        "cifar10" => models::cifar10().ok(),
+        "alexnet" => models::alexnet().ok(),
+        "zfnet" => models::zfnet().ok(),
+        "vgg16" | "vgg" => models::vgg16().ok(),
+        _ => None,
+    }
+}
+
+/// Parse a mechanism from its label or a forgiving lowercase alias.
+pub fn find_mechanism(name: &str) -> Option<Mechanism> {
+    let lower = name.to_ascii_lowercase();
+    Mechanism::ALL.into_iter().find(|m| m.label().to_ascii_lowercase() == lower).or(
+        match lower.as_str() {
+            "opt" => Some(Mechanism::Opt),
+            "mm" | "cudnn" => Some(Mechanism::CudnnMm),
+            "fft" => Some(Mechanism::CudnnFft),
+            "fft-tiling" | "fft-t" => Some(Mechanism::CudnnFftTiling),
+            "best" => Some(Mechanism::CudnnBest),
+            "convnet" | "cuda-convnet2" => Some(Mechanism::CudaConvnet),
+            "caffe" => Some(Mechanism::Caffe),
+            _ => None,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookups_are_forgiving() {
+        assert!(find_network("LeNet").is_some());
+        assert!(find_network("vgg").is_some());
+        assert!(find_network("resnet").is_none());
+        assert_eq!(find_mechanism("Opt"), Some(Mechanism::Opt));
+        assert_eq!(find_mechanism("cuDNN-MM"), Some(Mechanism::CudnnMm));
+        assert_eq!(find_mechanism("fft"), Some(Mechanism::CudnnFft));
+        assert_eq!(find_mechanism("nope"), None);
+    }
+
+    #[test]
+    fn profiling_lenet_produces_consistent_outputs() {
+        let ctx = Ctx::titan_black();
+        let net = find_network("lenet").unwrap();
+        let out = profile_network(&ctx, &net, Mechanism::Opt, false, 10).unwrap();
+        // One layer span per layer, timeline agrees with the report.
+        let layer_spans =
+            out.trace.spans.iter().filter(|sp| sp.track == memcnn_trace::Track::Layers).count();
+        assert_eq!(layer_spans, out.report.layers.len());
+        let total_ms = out.report.total_time() * 1e3;
+        assert!((out.trace.timeline_total_ms() - total_ms).abs() <= 1e-9 * total_ms.max(1.0));
+        // Both exports mention the network and every layer.
+        assert!(out.trace_json.contains("\"traceEvents\""));
+        for l in &out.report.layers {
+            assert!(out.profile_text.contains(&l.name), "{} missing", l.name);
+        }
+    }
+}

@@ -21,6 +21,7 @@ use memcnn_kernels::softmax::{cudnn_pipeline, five_kernel_pipeline, SoftmaxFused
 use memcnn_kernels::transform::{TransformImpl, TransformKernel, VECTORIZE_MIN_N};
 use memcnn_kernels::{ConvShape, PoolShape};
 use memcnn_tensor::{Layout, Shape};
+use memcnn_trace as trace;
 use serde::Serialize;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -212,12 +213,19 @@ impl Engine {
         layout: Layout,
     ) -> Result<(f64, &'static str, bool), SimError> {
         if layout == Layout::CHWN {
+            let _c = trace::scope(trace::Scope::Candidate("direct-chwn".to_string()));
             return Ok((self.sim(&DirectConvChwn::new(*shape))?, "direct-chwn", false));
         }
         let mm = || -> Result<f64, SimError> {
+            let _c = trace::scope(trace::Scope::Candidate("mm".to_string()));
             Ok(MmConvNchw::new(*shape).simulate(&self.device, &self.opts)?.time())
         };
         let fft = |mode: FftConvMode| -> Option<f64> {
+            let label = match mode {
+                FftConvMode::Full => "fft",
+                FftConvMode::Tiled => "fft-tiling",
+            };
+            let _c = trace::scope(trace::Scope::Candidate(label.to_string()));
             FftConvNchw::new(*shape, mode)
                 .ok()
                 .and_then(|p| p.simulate(&self.device, &self.opts).ok())
@@ -257,20 +265,37 @@ impl Engine {
         mech: Mechanism,
         layout: Layout,
     ) -> Result<(f64, &'static str), SimError> {
+        let cand = |name: &'static str| trace::scope(trace::Scope::Candidate(name.to_string()));
         match (mech, layout) {
             (Mechanism::Opt, Layout::CHWN) => {
                 let (ux, uy) = self.tuned_pool_factors(shape);
+                let _c = cand("pool-chwn-opt");
                 Ok((self.sim(&PoolChwn::coarsened(*shape, ux, uy))?, "pool-chwn-opt"))
             }
-            (_, Layout::CHWN) => Ok((self.sim(&PoolChwn::new(*shape))?, "pool-chwn")),
-            (Mechanism::Caffe, _) => Ok((self.sim(&PoolNchwCaffe::new(*shape))?, "pool-caffe")),
+            (_, Layout::CHWN) => {
+                let _c = cand("pool-chwn");
+                Ok((self.sim(&PoolChwn::new(*shape))?, "pool-chwn"))
+            }
+            (Mechanism::Caffe, _) => {
+                let _c = cand("pool-caffe");
+                Ok((self.sim(&PoolNchwCaffe::new(*shape))?, "pool-caffe"))
+            }
             (Mechanism::Opt, _) => {
                 // Opt in NCHW uses the better of the two NCHW baselines.
-                let caffe = self.sim(&PoolNchwCaffe::new(*shape))?;
-                let cudnn = self.sim(&PoolNchwCudnn::new(*shape))?;
+                let caffe = {
+                    let _c = cand("pool-caffe");
+                    self.sim(&PoolNchwCaffe::new(*shape))?
+                };
+                let cudnn = {
+                    let _c = cand("pool-cudnn");
+                    self.sim(&PoolNchwCudnn::new(*shape))?
+                };
                 Ok(if caffe <= cudnn { (caffe, "pool-caffe") } else { (cudnn, "pool-cudnn") })
             }
-            _ => Ok((self.sim(&PoolNchwCudnn::new(*shape))?, "pool-cudnn")),
+            _ => {
+                let _c = cand("pool-cudnn");
+                Ok((self.sim(&PoolNchwCudnn::new(*shape))?, "pool-cudnn"))
+            }
         }
     }
 
@@ -278,6 +303,7 @@ impl Engine {
         if let Some(&f) = self.pool_tune_cache.borrow().get(shape) {
             return f;
         }
+        let _a = trace::scope(trace::Scope::Autotune);
         let r = tune_pooling(&self.device, shape, &self.opts);
         self.pool_tune_cache.borrow_mut().insert(*shape, (r.ux, r.uy));
         (r.ux, r.uy)
@@ -288,6 +314,7 @@ impl Engine {
         if from == to {
             return Ok(0.0);
         }
+        let _t = trace::scope(trace::Scope::Transform);
         let imp = match self.transform_quality {
             TransformQuality::Naive => TransformImpl::Naive,
             TransformQuality::Optimized => {
@@ -321,6 +348,12 @@ impl Engine {
             }
             LayerSpec::Softmax => {
                 let shape = layer.softmax_shape().expect("softmax layer");
+                let name = match mech {
+                    Mechanism::Opt => "softmax-fused",
+                    Mechanism::CudaConvnet | Mechanism::Caffe => "softmax-5k",
+                    _ => "softmax-cudnn",
+                };
+                let _c = trace::scope(trace::Scope::Candidate(name.to_string()));
                 let t = match mech {
                     Mechanism::Opt => self.sim(&SoftmaxFused::new(shape))?,
                     Mechanism::CudaConvnet | Mechanism::Caffe => {
@@ -328,23 +361,20 @@ impl Engine {
                     }
                     _ => self.sim_seq(&cudnn_pipeline(shape))?,
                 };
-                let name = match mech {
-                    Mechanism::Opt => "softmax-fused",
-                    Mechanism::CudaConvnet | Mechanism::Caffe => "softmax-5k",
-                    _ => "softmax-cudnn",
-                };
                 Ok((t, name.to_string(), false))
             }
             LayerSpec::ReLU => {
-                let t =
-                    self.sim(&ElementwiseKernel::new("relu", layer.input.len() as u64, 1))?;
+                let _c = trace::scope(trace::Scope::Candidate("relu".to_string()));
+                let t = self.sim(&ElementwiseKernel::new("relu", layer.input.len() as u64, 1))?;
                 Ok((t, "relu".to_string(), false))
             }
             LayerSpec::Lrn { size } => {
+                let _c = trace::scope(trace::Scope::Candidate("lrn".to_string()));
                 let t = self.sim(&LrnKernel::new(layer.input.len() as u64, *size as u64))?;
                 Ok((t, "lrn".to_string(), false))
             }
             LayerSpec::Fc { outputs } => {
+                let _c = trace::scope(trace::Scope::Candidate("fc-gemm".to_string()));
                 let inputs = layer.input.c * layer.input.h * layer.input.w;
                 let t = self.sim(&gemm_kernel(*outputs, inputs, layer.input.n))?;
                 Ok((t, "fc-gemm".to_string(), false))
@@ -354,16 +384,45 @@ impl Engine {
 
     /// Assign per-layer layouts for the `Opt` mechanism.
     fn opt_layouts(&self, net: &Network) -> Result<Vec<Layout>, SimError> {
+        let _plan = trace::scope(trace::Scope::Plan);
         let layers = net.layers();
         let mut heuristic: Vec<Layout> = Vec::with_capacity(layers.len());
         let mut carried = Layout::NCHW;
         for l in layers {
             let layout = match &l.spec {
                 LayerSpec::Conv { .. } => {
-                    choose_layout(&l.conv_shape().expect("conv"), &self.thresholds)
+                    let shape = l.conv_shape().expect("conv");
+                    let chosen = choose_layout(&shape, &self.thresholds);
+                    let th = &self.thresholds;
+                    trace::record_decision(|| trace::Decision {
+                        layer: l.name.clone(),
+                        layout: chosen.name(),
+                        policy: "heuristic".to_string(),
+                        reason: if chosen == Layout::CHWN {
+                            format!(
+                                "C={} < Ct={} or N={} >= Nt={}",
+                                shape.ci, th.ct, shape.n, th.nt
+                            )
+                        } else {
+                            format!(
+                                "C={} >= Ct={} and N={} < Nt={}",
+                                shape.ci, th.ct, shape.n, th.nt
+                            )
+                        },
+                    });
+                    chosen
                 }
                 // §IV.B: pooling always prefers CHWN.
-                LayerSpec::Pool { .. } => Layout::CHWN,
+                LayerSpec::Pool { .. } => {
+                    trace::record_decision(|| trace::Decision {
+                        layer: l.name.clone(),
+                        layout: Layout::CHWN.name(),
+                        policy: "heuristic".to_string(),
+                        reason: "pooling prefers CHWN (fully coalesced, no Cin reduction)"
+                            .to_string(),
+                    });
+                    Layout::CHWN
+                }
                 // Layout-neutral layers (ReLU, LRN, FC, softmax) inherit
                 // the running layout so they never force a transform.
                 _ => carried,
@@ -423,6 +482,21 @@ impl Engine {
         for i in (0..n).rev() {
             layouts[i] = states[s];
             s = parent[i][s];
+        }
+        for (i, layer) in layers.iter().enumerate() {
+            if layer.layout_sensitive() && layouts[i] != heuristic[i] {
+                trace::record_decision(|| trace::Decision {
+                    layer: layer.name.clone(),
+                    layout: layouts[i].name(),
+                    policy: "profiled".to_string(),
+                    reason: format!(
+                        "DP override: heuristic chose {}, but {} is cheaper once \
+                         boundary transformations are charged",
+                        heuristic[i].name(),
+                        layouts[i].name()
+                    ),
+                });
+            }
         }
         Ok(layouts)
     }
@@ -500,16 +574,55 @@ impl Engine {
         mech: Mechanism,
     ) -> Result<NetworkReport, SimError> {
         let mut report = self.simulate_network(net, mech)?;
+        let forward_end = report.total_time();
         let layouts: Vec<Layout> = report
             .layers
             .iter()
             .map(|l| if l.layout == "CHWN" { Layout::CHWN } else { Layout::NCHW })
             .collect();
-        for (i, (layer, &layout)) in net.layers().iter().zip(&layouts).enumerate() {
-            let bwd = self.layer_backward_time(layer, mech, layout, i == 0)?;
-            let entry = &mut report.layers[i];
-            entry.backward_time = bwd;
-            entry.transform_before *= 2.0;
+        {
+            let _net_scope = trace::scope(trace::Scope::Network(net.name.clone()));
+            let _bwd_scope = trace::scope(trace::Scope::Backward);
+            for (i, (layer, &layout)) in net.layers().iter().zip(&layouts).enumerate() {
+                let bwd = {
+                    let _layer_scope = trace::scope(trace::Scope::Layer(layer.name.clone()));
+                    self.layer_backward_time(layer, mech, layout, i == 0)?
+                };
+                let entry = &mut report.layers[i];
+                entry.backward_time = bwd;
+                entry.transform_before *= 2.0;
+            }
+        }
+        // Backward timeline: gradients flow last layer to first, with the
+        // doubled transformation's second half charged on the way back.
+        let mut clock = forward_end;
+        for entry in report.layers.iter().rev() {
+            if entry.backward_time > 0.0 {
+                let ts = clock;
+                trace::record_span(|| trace::SpanEvent {
+                    name: format!("{} (bwd)", entry.name),
+                    track: trace::Track::Backward,
+                    ts_us: ts * 1e6,
+                    dur_us: entry.backward_time * 1e6,
+                    args: vec![("layout".to_string(), entry.layout.clone())],
+                });
+                clock += entry.backward_time;
+            }
+            let bwd_transform = entry.transform_before / 2.0;
+            if bwd_transform > 0.0 {
+                let ts = clock;
+                trace::record_span(|| trace::SpanEvent {
+                    name: "transform (bwd)".to_string(),
+                    track: trace::Track::Transforms,
+                    ts_us: ts * 1e6,
+                    dur_us: bwd_transform * 1e6,
+                    args: vec![
+                        ("layer".to_string(), entry.name.clone()),
+                        ("phase".to_string(), "backward".to_string()),
+                    ],
+                });
+                clock += bwd_transform;
+            }
         }
         Ok(report)
     }
@@ -521,13 +634,19 @@ impl Engine {
         net: &Network,
         mech: Mechanism,
     ) -> Result<NetworkReport, SimError> {
+        let _net_scope = trace::scope(trace::Scope::Network(net.name.clone()));
         let layouts: Vec<Layout> = match mech.fixed_layout() {
             Some(l) => vec![l; net.layers().len()],
             None => self.opt_layouts(net)?,
         };
         let mut reports = Vec::with_capacity(net.layers().len());
         let mut prev_layout: Option<Layout> = None;
+        // Simulated-time cursor driving the trace timeline: spans are
+        // laid back-to-back, so per-track timestamps are monotonic and
+        // non-overlapping by construction.
+        let mut clock = 0.0f64;
         for (layer, &layout) in net.layers().iter().zip(&layouts) {
+            let _layer_scope = trace::scope(trace::Scope::Layer(layer.name.clone()));
             let transform_before = match prev_layout {
                 Some(p) if layer.layout_sensitive() && mech == Mechanism::Opt => {
                     self.transform_time(layer.input, p, layout)?
@@ -535,13 +654,36 @@ impl Engine {
                 _ => 0.0,
             };
             let (time, impl_name, fell_back) = self.layer_time(layer, mech, layout)?;
+            if transform_before > 0.0 {
+                let (ts, from) = (clock, prev_layout.expect("transform implies a previous layout"));
+                trace::record_span(|| trace::SpanEvent {
+                    name: format!("transform {}->{}", from.name(), layout.name()),
+                    track: trace::Track::Transforms,
+                    ts_us: ts * 1e6,
+                    dur_us: transform_before * 1e6,
+                    args: vec![("layer".to_string(), layer.name.clone())],
+                });
+            }
+            clock += transform_before;
+            {
+                let ts = clock;
+                let imp = impl_name.clone();
+                trace::record_span(|| trace::SpanEvent {
+                    name: layer.name.clone(),
+                    track: trace::Track::Layers,
+                    ts_us: ts * 1e6,
+                    dur_us: time * 1e6,
+                    args: vec![
+                        ("impl".to_string(), imp),
+                        ("layout".to_string(), layout.name()),
+                        ("fell_back".to_string(), fell_back.to_string()),
+                    ],
+                });
+            }
+            clock += time;
             reports.push(LayerReport {
                 name: layer.name.clone(),
-                layout: if layer.layout_sensitive() {
-                    layout.name()
-                } else {
-                    "-".to_string()
-                },
+                layout: if layer.layout_sensitive() { layout.name() } else { "-".to_string() },
                 impl_name,
                 time,
                 backward_time: 0.0,

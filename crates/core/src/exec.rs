@@ -12,7 +12,9 @@ use memcnn_kernels::pool::pool_forward;
 use memcnn_kernels::softmax::softmax_forward;
 use memcnn_kernels::SoftmaxShape;
 use memcnn_tensor::{Layout, Tensor};
+use memcnn_trace as trace;
 use std::fmt;
+use std::time::Instant;
 
 /// Errors from functional execution.
 #[derive(Debug)]
@@ -50,7 +52,7 @@ pub fn layer_weights(net: &Network, index: usize, seed: u64) -> Option<Tensor> {
     match layer.spec {
         LayerSpec::Conv { .. } => {
             let s = layer.conv_shape().expect("conv");
-            Some(Tensor::random(s.filter_shape(), Layout::NCHW, seed ^ (index as u64) << 8))
+            Some(Tensor::random(s.filter_shape(), Layout::NCHW, seed ^ ((index as u64) << 8)))
         }
         _ => None,
     }
@@ -67,11 +69,7 @@ pub fn run_network(
     seed: u64,
 ) -> Result<Vec<f32>, ExecError> {
     if input.shape() != net.input {
-        return Err(ExecError::BadInput(format!(
-            "expected {}, got {}",
-            net.input,
-            input.shape()
-        )));
+        return Err(ExecError::BadInput(format!("expected {}, got {}", net.input, input.shape())));
     }
     if layouts.len() != net.layers().len() {
         return Err(ExecError::BadLayouts(format!(
@@ -80,9 +78,12 @@ pub fn run_network(
             net.layers().len()
         )));
     }
+    let _run_scope = trace::scope(trace::Scope::Run(net.name.clone()));
+    let run_start = Instant::now();
     let mut cur = input.clone();
     let mut flat: Option<Vec<f32>> = None; // set once FC flattens
     for (i, (layer, &layout)) in net.layers().iter().zip(layouts).enumerate() {
+        let layer_start = Instant::now();
         match &layer.spec {
             LayerSpec::Conv { .. } => {
                 let s = layer.conv_shape().expect("conv");
@@ -113,8 +114,7 @@ pub fn run_network(
                 };
                 let out = fc_forward(&cur, &w, *outputs);
                 // Re-tensorize as (n, outputs, 1, 1).
-                cur = Tensor::from_vec(layer.output, Layout::NCHW, out)
-                    .expect("fc output length");
+                cur = Tensor::from_vec(layer.output, Layout::NCHW, out).expect("fc output length");
             }
             LayerSpec::Softmax => {
                 let s = layer.softmax_shape().expect("softmax");
@@ -122,6 +122,13 @@ pub fn run_network(
                 flat = Some(probs);
             }
         }
+        trace::record_span(|| trace::SpanEvent {
+            name: layer.name.clone(),
+            track: trace::Track::Exec,
+            ts_us: layer_start.duration_since(run_start).as_secs_f64() * 1e6,
+            dur_us: layer_start.elapsed().as_secs_f64() * 1e6,
+            args: vec![("layout".to_string(), layout.name())],
+        });
     }
     Ok(match flat {
         Some(v) => v,
@@ -185,9 +192,8 @@ mod tests {
         let n = net.layers().len();
         let all_nchw = run_network(&net, &input, &vec![Layout::NCHW; n], 7).unwrap();
         let all_chwn = run_network(&net, &input, &vec![Layout::CHWN; n], 7).unwrap();
-        let mixed: Vec<Layout> = (0..n)
-            .map(|i| if i % 2 == 0 { Layout::CHWN } else { Layout::NCHW })
-            .collect();
+        let mixed: Vec<Layout> =
+            (0..n).map(|i| if i % 2 == 0 { Layout::CHWN } else { Layout::NCHW }).collect();
         let alternating = run_network(&net, &input, &mixed, 7).unwrap();
         for ((a, b), c) in all_nchw.iter().zip(&all_chwn).zip(&alternating) {
             assert!((a - b).abs() < 1e-3, "{a} vs {b}");
@@ -200,15 +206,32 @@ mod tests {
         let net = tiny_net();
         let bad = Tensor::zeros(Shape::new(4, 3, 10, 10), Layout::NCHW);
         let layouts = vec![Layout::NCHW; net.layers().len()];
-        assert!(matches!(
-            run_network(&net, &bad, &layouts, 0),
-            Err(ExecError::BadInput(_))
-        ));
+        assert!(matches!(run_network(&net, &bad, &layouts, 0), Err(ExecError::BadInput(_))));
         let input = Tensor::zeros(net.input, Layout::NCHW);
         assert!(matches!(
             run_network(&net, &input, &[Layout::NCHW], 0),
             Err(ExecError::BadLayouts(_))
         ));
+    }
+
+    #[test]
+    fn distinct_layers_get_distinct_weight_seeds() {
+        // Two convolutions with identical filter shapes must still draw
+        // different weights: the per-layer seed is `seed ^ (index << 8)`,
+        // which must vary with the layer index.
+        let net = NetworkBuilder::new("twin", Shape::new(2, 8, 8, 8))
+            .conv("cv1", 8, 3, 1, 1)
+            .conv("cv2", 8, 3, 1, 1)
+            .conv("cv3", 8, 3, 1, 1)
+            .build()
+            .unwrap();
+        let w0 = layer_weights(&net, 0, 9).unwrap();
+        let w1 = layer_weights(&net, 1, 9).unwrap();
+        let w2 = layer_weights(&net, 2, 9).unwrap();
+        assert_eq!(w0.shape(), w1.shape());
+        assert_ne!(w0.as_slice(), w1.as_slice());
+        assert_ne!(w1.as_slice(), w2.as_slice());
+        assert_ne!(w0.as_slice(), w2.as_slice());
     }
 
     #[test]

@@ -60,13 +60,7 @@ pub struct NetworkBuilder {
 impl NetworkBuilder {
     /// Start a network taking `input`-shaped batches.
     pub fn new(name: impl Into<String>, input: Shape) -> NetworkBuilder {
-        NetworkBuilder {
-            name: name.into(),
-            input,
-            current: input,
-            layers: Vec::new(),
-            error: None,
-        }
+        NetworkBuilder { name: name.into(), input, current: input, layers: Vec::new(), error: None }
     }
 
     fn push(mut self, name: &str, spec: LayerSpec) -> Self {
@@ -203,10 +197,8 @@ mod tests {
 
     #[test]
     fn softmax_requires_flat_input() {
-        let err = NetworkBuilder::new("bad", Shape::new(1, 3, 8, 8))
-            .softmax("prob")
-            .build()
-            .unwrap_err();
+        let err =
+            NetworkBuilder::new("bad", Shape::new(1, 3, 8, 8)).softmax("prob").build().unwrap_err();
         assert!(matches!(err, NetError::BadShape(_)));
     }
 

@@ -58,9 +58,9 @@ impl From<NetError> for ParseError {
 fn parse_args(line_no: usize, parts: &[&str]) -> Result<HashMap<String, String>, ParseError> {
     let mut map = HashMap::new();
     for p in parts {
-        let (k, v) = p.split_once('=').ok_or_else(|| {
-            ParseError::Syntax(line_no, format!("expected key=value, got {p:?}"))
-        })?;
+        let (k, v) = p
+            .split_once('=')
+            .ok_or_else(|| ParseError::Syntax(line_no, format!("expected key=value, got {p:?}")))?;
         map.insert(k.to_string(), v.to_string());
     }
     Ok(map)
@@ -85,9 +85,9 @@ fn opt_usize(
 ) -> Result<usize, ParseError> {
     match args.get(key) {
         None => Ok(default),
-        Some(v) => v
-            .parse()
-            .map_err(|_| ParseError::Syntax(line_no, format!("{key} must be a number"))),
+        Some(v) => {
+            v.parse().map_err(|_| ParseError::Syntax(line_no, format!("{key} must be a number")))
+        }
     }
 }
 
@@ -142,9 +142,8 @@ pub fn parse_network(text: &str) -> Result<Network, ParseError> {
             .ok_or_else(|| ParseError::Header("input: must precede layers".into()))?;
         let mut parts = line.split_whitespace();
         let kind = parts.next().expect("non-empty line");
-        let lname = parts
-            .next()
-            .ok_or_else(|| ParseError::Syntax(line_no, "layer needs a name".into()))?;
+        let lname =
+            parts.next().ok_or_else(|| ParseError::Syntax(line_no, "layer needs a name".into()))?;
         let rest: Vec<&str> = parts.collect();
         let args = parse_args(line_no, &rest)?;
         builder = Some(match kind {
@@ -209,23 +208,24 @@ mod tests {
         assert_eq!(net.name, "LeNet");
         assert_eq!(net.layers().len(), 8);
         assert_eq!(net.output(), Shape::new(128, 10, 1, 1));
-        assert!(matches!(net.layers()[0].spec, LayerSpec::Conv { co: 16, f: 5, stride: 1, pad: 2 }));
+        assert!(matches!(
+            net.layers()[0].spec,
+            LayerSpec::Conv { co: 16, f: 5, stride: 1, pad: 2 }
+        ));
         assert!(matches!(net.layers()[2].spec, LayerSpec::Pool { window: 2, stride: 2, .. }));
     }
 
     #[test]
     fn comments_and_blank_lines_are_ignored() {
-        let net = parse_network("name: t\n\n# only a conv\ninput: 1 1 8 8\nconv c co=4 f=3\n")
-            .unwrap();
+        let net =
+            parse_network("name: t\n\n# only a conv\ninput: 1 1 8 8\nconv c co=4 f=3\n").unwrap();
         assert_eq!(net.layers().len(), 1);
     }
 
     #[test]
     fn avg_pool_and_lrn() {
-        let net = parse_network(
-            "name: t\ninput: 2 4 8 8\nlrn n1 size=3\npool p window=2 op=avg\n",
-        )
-        .unwrap();
+        let net = parse_network("name: t\ninput: 2 4 8 8\nlrn n1 size=3\npool p window=2 op=avg\n")
+            .unwrap();
         assert!(matches!(net.layers()[0].spec, LayerSpec::Lrn { size: 3 }));
         assert!(matches!(
             net.layers()[1].spec,

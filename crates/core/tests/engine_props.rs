@@ -17,8 +17,7 @@ fn brute_force_best(e: &Engine, net: &Network) -> f64 {
     let states = [Layout::NCHW, Layout::CHWN];
     let mut best = f64::INFINITY;
     for mask in 0..(1u32 << k) {
-        let assignment: Vec<Layout> =
-            (0..k).map(|i| states[(mask >> i) as usize & 1]).collect();
+        let assignment: Vec<Layout> = (0..k).map(|i| states[(mask >> i) as usize & 1]).collect();
         let mut total = 0.0;
         let mut prev: Option<Layout> = None;
         for (layer, &layout) in layers.iter().zip(&assignment) {
@@ -43,11 +42,7 @@ fn check_dp_matches_brute_force(net: &Network) {
     let e = engine();
     let dp = e.simulate_network(net, Mechanism::Opt).unwrap().total_time();
     let bf = brute_force_best(&e, net);
-    assert!(
-        (dp - bf).abs() / bf < 1e-9,
-        "{}: DP {dp:.6e} vs brute force {bf:.6e}",
-        net.name
-    );
+    assert!((dp - bf).abs() / bf < 1e-9, "{}: DP {dp:.6e} vs brute force {bf:.6e}", net.name);
 }
 
 #[test]
@@ -130,10 +125,7 @@ fn network_report_accounting_is_consistent() {
     assert!((sum - r.total_time()).abs() < 1e-12);
     let tsum: f64 = r.layers.iter().map(|l| l.transform_before).sum();
     assert!((tsum - r.transform_time()).abs() < 1e-12);
-    assert_eq!(
-        r.layers.iter().filter(|l| l.transform_before > 0.0).count(),
-        r.transform_count()
-    );
+    assert_eq!(r.layers.iter().filter(|l| l.transform_before > 0.0).count(), r.transform_count());
     // Display renders every layer.
     let text = r.to_string();
     for l in net.layers() {

@@ -132,7 +132,7 @@ mod tests {
     #[test]
     fn working_set_beyond_capacity_thrashes_lru() {
         let mut c = Cache::new(32 * 16, 16, 32); // 16 sectors, fully assoc
-        // Cyclic sweep of 17 sectors over fully-associative LRU: always miss.
+                                                 // Cyclic sweep of 17 sectors over fully-associative LRU: always miss.
         for _ in 0..4 {
             for s in 0..17u64 {
                 c.access(s);

@@ -193,8 +193,7 @@ impl BlockTrace {
         if byte_addrs.is_empty() || times == 0 {
             return;
         }
-        let passes =
-            banks::passes(byte_addrs, bytes_per_lane, self.bank_mode, self.banks) as u64;
+        let passes = banks::passes(byte_addrs, bytes_per_lane, self.bank_mode, self.banks) as u64;
         self.smem_passes += passes * times;
         self.smem_bytes += banks::bytes(byte_addrs, bytes_per_lane) * times;
     }

@@ -34,7 +34,6 @@ pub struct KernelReport {
     /// Scored time and its decomposition.
     pub timing: KernelTime,
     /// Occupancy snapshot.
-    #[serde(skip)]
     pub occupancy: Occupancy,
     /// Total DRAM bytes (post-L2, floored by compulsory traffic).
     pub dram_bytes: f64,
@@ -264,11 +263,10 @@ pub fn simulate(
     // that makes the naive transformation kernel's strided writes so
     // expensive (§IV.C). Coalesced stores are unaffected (their sector
     // count already equals their byte count).
-    totals.dram_store_bytes =
-        (totals.store_sectors * sector).max(work.min_dram_store_bytes);
+    totals.dram_store_bytes = (totals.store_sectors * sector).max(work.min_dram_store_bytes);
 
     let timing = score(device, &launch, &occ, &work, &totals);
-    Ok(KernelReport {
+    let report = KernelReport {
         name: kernel.name(),
         timing,
         occupancy: occ,
@@ -279,7 +277,29 @@ pub fn simulate(
         flops: totals.flops,
         sampled_blocks: sampled.len() as u64,
         grid_blocks: launch.grid_blocks,
-    })
+    };
+    // Publish the report's counters to an active trace collector (the
+    // closure never runs — and allocates nothing — when tracing is off).
+    // `smem_passes`/`smem_bytes` come from the launch totals because the
+    // report itself does not carry them.
+    memcnn_trace::record_kernel(|| memcnn_trace::KernelCounters {
+        name: report.name.clone(),
+        time_s: report.timing.time,
+        dram_bytes: report.dram_bytes,
+        transaction_bytes: report.transaction_bytes,
+        requested_bytes: report.requested_bytes,
+        l2_hit_rate: report.l2_hit_rate,
+        flops: report.flops,
+        smem_passes: totals.smem_passes,
+        smem_bytes: totals.smem_bytes,
+        occupancy: report.occupancy.fraction,
+        occupancy_limiter: format!("{:?}", report.occupancy.limiter),
+        bound: format!("{:?}", report.timing.bound),
+        smem_time_s: report.timing.t_smem,
+        grid_blocks: report.grid_blocks,
+        sampled_blocks: report.sampled_blocks,
+    });
+    Ok(report)
 }
 
 /// Result of simulating a multi-kernel pipeline (e.g. im2col + GEMM, the
@@ -324,10 +344,8 @@ pub fn simulate_sequence(
     kernels: &[&dyn KernelSpec],
     opts: &SimOptions,
 ) -> Result<SequenceReport, SimError> {
-    let reports = kernels
-        .iter()
-        .map(|k| simulate(device, *k, opts))
-        .collect::<Result<Vec<_>, _>>()?;
+    let reports =
+        kernels.iter().map(|k| simulate(device, *k, opts)).collect::<Result<Vec<_>, _>>()?;
     Ok(SequenceReport { kernels: reports })
 }
 

@@ -177,8 +177,7 @@ pub fn score(
         + totals.mem_instrs
         + totals.smem_passes
         + totals.aux_warp_instrs;
-    let issue_rate =
-        device.sms as f64 * issue_width(device) * device.clock_hz * alu_eff.max(1e-6);
+    let issue_rate = device.sms as f64 * issue_width(device) * device.clock_hz * alu_eff.max(1e-6);
     // Per-block startup overlaps across resident blocks on an SM.
     let t_blocks = launch.grid_blocks as f64 * device.block_overhead_cycles
         / (device.sms as f64 * occ.blocks_per_sm.max(1) as f64 * device.clock_hz);
@@ -193,10 +192,8 @@ pub fn score(
         (t_smem, Bound::SharedMem),
         (t_issue, Bound::Issue),
     ];
-    let (t_exec, mut bound) = terms
-        .into_iter()
-        .max_by(|a, b| a.0.total_cmp(&b.0))
-        .expect("non-empty term list");
+    let (t_exec, mut bound) =
+        terms.into_iter().max_by(|a, b| a.0.total_cmp(&b.0)).expect("non-empty term list");
     if t_launch > t_exec {
         bound = Bound::Launch;
     }

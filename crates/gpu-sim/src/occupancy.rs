@@ -11,9 +11,10 @@
 use crate::device::DeviceConfig;
 use crate::kernel::LaunchConfig;
 use crate::SimError;
+use serde::Serialize;
 
 /// Which resource bounds residency.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
 pub enum Limiter {
     /// Thread count per SM.
     Threads,
@@ -28,7 +29,7 @@ pub enum Limiter {
 }
 
 /// Residency of a kernel launch on a device.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Serialize)]
 pub struct Occupancy {
     /// Blocks resident per SM (resource-limited, ignoring grid size).
     pub blocks_per_sm: u32,
@@ -72,8 +73,7 @@ pub fn occupancy(device: &DeviceConfig, launch: &LaunchConfig) -> Result<Occupan
     let by_threads = device.max_threads_per_sm / launch.threads_per_block;
     let regs_per_block = launch.regs_per_thread.max(1) * launch.threads_per_block;
     let by_regs = device.regs_per_sm / regs_per_block;
-    let by_smem =
-        device.smem_per_sm.checked_div(launch.smem_per_block).unwrap_or(u32::MAX);
+    let by_smem = device.smem_per_sm.checked_div(launch.smem_per_block).unwrap_or(u32::MAX);
     let by_blocks = device.max_blocks_per_sm;
 
     let (blocks_per_sm, limiter) = [
@@ -97,8 +97,7 @@ pub fn occupancy(device: &DeviceConfig, launch: &LaunchConfig) -> Result<Occupan
     let warps_per_sm = blocks_per_sm * warps_per_block;
     let device_capacity = blocks_per_sm as u64 * device.sms as u64;
     let concurrent_blocks = launch.grid_blocks.min(device_capacity);
-    let limiter =
-        if launch.grid_blocks < device_capacity { Limiter::GridSize } else { limiter };
+    let limiter = if launch.grid_blocks < device_capacity { Limiter::GridSize } else { limiter };
     Ok(Occupancy {
         blocks_per_sm,
         warps_per_sm,

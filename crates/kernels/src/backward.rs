@@ -20,7 +20,6 @@
 //!   streaming kernels.
 
 use crate::conv::direct_chwn::DirectConvChwn;
-use crate::conv::mm_nchw::MmConvNchw;
 use crate::gemm_model::{GemmConfig, GemmKernel};
 use crate::layers::ElementwiseKernel;
 use crate::pool::chwn::PoolChwn;
@@ -79,7 +78,6 @@ pub fn conv_backward_chwn(shape: &ConvShape) -> Vec<Box<dyn KernelSpec + Send>> 
 /// gradient is another im2col+GEMM pipeline on the transposed shape, plus
 /// the weight-gradient GEMM.
 pub fn conv_backward_nchw(shape: &ConvShape) -> Vec<Box<dyn KernelSpec + Send>> {
-    let data = MmConvNchw::new(backward_data_shape(shape));
     let mut kernels: Vec<Box<dyn KernelSpec + Send>> = Vec::new();
     // MmConvNchw owns its kernels; re-create equivalent specs.
     let s = backward_data_shape(shape);
@@ -87,7 +85,6 @@ pub fn conv_backward_nchw(shape: &ConvShape) -> Vec<Box<dyn KernelSpec + Send>> 
     let k = s.ci * s.fh * s.fw;
     let m = s.n * s.out_h() * s.out_w();
     let gemm = GemmKernel::with_fresh_buffers(s.co, k, m, GemmConfig::default());
-    drop(data);
     kernels.push(Box::new(im2col));
     kernels.push(Box::new(gemm));
     kernels.push(Box::new(weight_grad_gemm(shape)));

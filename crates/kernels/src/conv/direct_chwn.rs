@@ -14,7 +14,9 @@
 //! coalesce too.
 
 use crate::shapes::ConvShape;
-use memcnn_gpusim::{AddressSpace, BankMode, BlockTrace, DeviceBuffer, KernelSpec, LaunchConfig, WorkSummary};
+use memcnn_gpusim::{
+    AddressSpace, BankMode, BlockTrace, DeviceBuffer, KernelSpec, LaunchConfig, WorkSummary,
+};
 use memcnn_tensor::{Layout, Tensor};
 use rayon::prelude::*;
 
@@ -93,7 +95,8 @@ impl KernelSpec for DirectConvChwn {
             grid_blocks: (self.modules() * self.co_groups() * self.img_groups()) as u64,
             threads_per_block: 128,
             // Accumulators (ipt x 4 filters) + staging + addressing.
-            regs_per_thread: (20 + 6 * self.ipt + filters_per_thread(self.shape.co) * self.ipt) as u32,
+            regs_per_thread: (20 + 6 * self.ipt + filters_per_thread(self.shape.co) * self.ipt)
+                as u32,
             // Double-buffered filter tile + image tile.
             smem_per_block: ((filters_per_block(self.shape.co) + 32 * self.ipt) * 4 * 2) as u32,
             bank_mode: BankMode::FourByte,
@@ -222,8 +225,7 @@ pub fn direct_conv_chwn(input: &Tensor, filter: &Tensor, shape: &ConvShape) -> T
                         if w == 0.0 {
                             continue;
                         }
-                        let in_row =
-                            ((ci * shape.h + iy as usize) * shape.w + ix as usize) * n;
+                        let in_row = ((ci * shape.h + iy as usize) * shape.w + ix as usize) * n;
                         for (a, &x) in acc.iter_mut().zip(&in_data[in_row..in_row + n]) {
                             *a += w * x;
                         }

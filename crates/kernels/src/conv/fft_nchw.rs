@@ -311,8 +311,7 @@ impl KernelSpec for FftPointwiseKernel {
     fn launch(&self) -> LaunchConfig {
         let s = &self.shape;
         let bins = self.frame * self.frame;
-        let blocks_per_bin =
-            (s.n * self.tiles).div_ceil(32).max(1) * s.co.div_ceil(32).max(1);
+        let blocks_per_bin = (s.n * self.tiles).div_ceil(32).max(1) * s.co.div_ceil(32).max(1);
         LaunchConfig {
             grid_blocks: (bins * blocks_per_bin) as u64,
             threads_per_block: 256,
@@ -417,8 +416,7 @@ pub fn fft_conv_forward(
                 let ker: Vec<f32> = (0..shape.fh * shape.fw)
                     .map(|e| filter.get(co, ci, e / shape.fw, e % shape.fw))
                     .collect();
-                let part =
-                    fft_correlate2d(&img, shape.h, shape.w, &ker, shape.fh, shape.fw);
+                let part = fft_correlate2d(&img, shape.h, shape.w, &ker, shape.fh, shape.fw);
                 for (a, p) in acc.iter_mut().zip(&part) {
                     *a += p;
                 }
@@ -522,10 +520,7 @@ mod tests {
         let cv6 = ConvShape::table1(64, 256, 55, 5, 96, 2);
         for s in [cv5, cv6] {
             for mode in [FftConvMode::Full, FftConvMode::Tiled] {
-                assert!(matches!(
-                    FftConvNchw::new(s, mode),
-                    Err(ConvError::Unsupported(_))
-                ));
+                assert!(matches!(FftConvNchw::new(s, mode), Err(ConvError::Unsupported(_))));
             }
         }
     }

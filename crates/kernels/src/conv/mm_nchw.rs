@@ -11,8 +11,7 @@ use crate::gemm_model::{GemmConfig, GemmKernel};
 use crate::im2col::Im2colKernel;
 use crate::shapes::ConvShape;
 use memcnn_gpusim::{
-    simulate_sequence, AddressSpace, DeviceConfig, KernelSpec, SequenceReport, SimError,
-    SimOptions,
+    simulate_sequence, AddressSpace, DeviceConfig, KernelSpec, SequenceReport, SimError, SimOptions,
 };
 
 /// The im2col + GEMM convolution pipeline (kernel specs sharing buffers).

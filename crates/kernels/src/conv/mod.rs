@@ -368,10 +368,7 @@ mod tests {
         let s = ConvShape::table1(2, 2, 5, 3, 2, 1);
         let input = Tensor::zeros(s.input_shape(), Layout::NCHW);
         let bad = Tensor::zeros(memcnn_tensor::Shape::new(2, 2, 9, 9), Layout::NCHW);
-        assert!(matches!(
-            conv_backward_filter(&input, &bad, &s),
-            Err(ConvError::ShapeMismatch(_))
-        ));
+        assert!(matches!(conv_backward_filter(&input, &bad, &s), Err(ConvError::ShapeMismatch(_))));
     }
 
     #[test]

@@ -154,12 +154,8 @@ pub fn winograd_conv_forward(
                         let mut d = [[0f32; 4]; 4];
                         for (r, row) in d.iter_mut().enumerate() {
                             for (c, v) in row.iter_mut().enumerate() {
-                                *v = padded_get(
-                                    n,
-                                    ci,
-                                    (ty * M + r) as isize,
-                                    (tx * M + c) as isize,
-                                );
+                                *v =
+                                    padded_get(n, ci, (ty * M + r) as isize, (tx * M + c) as isize);
                             }
                         }
                         let v = transform_input_tile(&d);
@@ -171,11 +167,11 @@ pub fn winograd_conv_forward(
                         }
                     }
                     let y = transform_output_tile(&acc);
-                    for dy in 0..M {
-                        for dx in 0..M {
+                    for (dy, row) in y.iter().enumerate() {
+                        for (dx, &val) in row.iter().enumerate() {
                             let (oy, ox) = (ty * M + dy, tx * M + dx);
                             if oy < oh && ox < ow {
-                                plane[oy * ow + ox] = y[dy][dx];
+                                plane[oy * ow + ox] = val;
                             }
                         }
                     }
@@ -357,9 +353,10 @@ impl KernelSpec for WinogradTransformKernel {
             for plane in 0..(T * T) as u64 {
                 addrs.clear();
                 for lane in 0..lanes as u64 {
-                    addrs.push(self.write.f32(
-                        (plane * self.items as u64 + i0 + lane) % (self.write.bytes / 4),
-                    ));
+                    addrs.push(
+                        self.write
+                            .f32((plane * self.items as u64 + i0 + lane) % (self.write.bytes / 4)),
+                    );
                 }
                 t.global_store(&addrs, 4);
             }
@@ -429,8 +426,7 @@ impl KernelSpec for WinogradPointwiseKernel {
             for kk in 0..k_here {
                 addrs.clear();
                 for lane in 0..32.min(r_here) {
-                    let e = (point * (s.ci * rows) as u64)
-                        + ((k0 + kk) * rows + r0 + lane) as u64;
+                    let e = (point * (s.ci * rows) as u64) + ((k0 + kk) * rows + r0 + lane) as u64;
                     addrs.push(self.v_buf.f32(e % (self.v_buf.bytes / 4)));
                 }
                 t.global_load(&addrs, 4);
@@ -439,8 +435,7 @@ impl KernelSpec for WinogradPointwiseKernel {
             for kk in 0..k_here {
                 addrs.clear();
                 for lane in 0..32.min(c_here) {
-                    let e = (point * (s.ci * s.co) as u64)
-                        + ((k0 + kk) * s.co + c0 + lane) as u64;
+                    let e = (point * (s.ci * s.co) as u64) + ((k0 + kk) * s.co + c0 + lane) as u64;
                     addrs.push(self.u_buf.f32(e % (self.u_buf.bytes / 4)));
                 }
                 t.global_load(&addrs, 4);
@@ -466,7 +461,12 @@ impl KernelSpec for WinogradPointwiseKernel {
 /// Convenience: a GEMM with the same FLOP volume as this Winograd pipeline's
 /// multiply stage, for quick intensity comparisons in tests.
 pub fn equivalent_gemm(shape: &ConvShape, tiles: usize) -> GemmKernel {
-    GemmKernel::with_fresh_buffers(shape.co, shape.ci, shape.n * tiles * T * T, GemmConfig::default())
+    GemmKernel::with_fresh_buffers(
+        shape.co,
+        shape.ci,
+        shape.n * tiles * T * T,
+        GemmConfig::default(),
+    )
 }
 
 #[cfg(test)]

@@ -7,7 +7,9 @@
 //! tile through shared memory, and each thread accumulates an
 //! `RT x RT` register tile.
 
-use memcnn_gpusim::{AddressSpace, BankMode, BlockTrace, DeviceBuffer, KernelSpec, LaunchConfig, WorkSummary};
+use memcnn_gpusim::{
+    AddressSpace, BankMode, BlockTrace, DeviceBuffer, KernelSpec, LaunchConfig, WorkSummary,
+};
 
 /// Tiling parameters of the modelled GEMM kernel.
 #[derive(Clone, Copy, Debug)]
@@ -62,7 +64,10 @@ impl GemmKernel {
         b: DeviceBuffer,
         c: DeviceBuffer,
     ) -> GemmKernel {
-        assert!(cfg.tm.is_multiple_of(cfg.rt) && cfg.tn.is_multiple_of(cfg.rt), "register tile must divide C tile");
+        assert!(
+            cfg.tm.is_multiple_of(cfg.rt) && cfg.tn.is_multiple_of(cfg.rt),
+            "register tile must divide C tile"
+        );
         GemmKernel { m, k, n, cfg, a, b, c, extra_footprint: 0 }
     }
 

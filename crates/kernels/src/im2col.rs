@@ -7,7 +7,9 @@
 //! kernel spec whose traffic is that overhead.
 
 use crate::shapes::ConvShape;
-use memcnn_gpusim::{AddressSpace, BankMode, BlockTrace, DeviceBuffer, KernelSpec, LaunchConfig, WorkSummary};
+use memcnn_gpusim::{
+    AddressSpace, BankMode, BlockTrace, DeviceBuffer, KernelSpec, LaunchConfig, WorkSummary,
+};
 use memcnn_tensor::{Layout, Tensor};
 
 /// Expand an NCHW input into the unrolled matrix
@@ -30,13 +32,15 @@ pub fn im2col(input: &Tensor, shape: &ConvShape) -> Vec<f32> {
                 for ox in 0..ow {
                     let iy = oy * shape.stride + fy;
                     let ix = ox * shape.stride + fx;
-                    let (iy, ix) = (iy as isize - shape.pad as isize, ix as isize - shape.pad as isize);
-                    let v = if iy >= 0 && ix >= 0 && (iy as usize) < shape.h && (ix as usize) < shape.w
-                    {
-                        input.get(n, ci, iy as usize, ix as usize)
-                    } else {
-                        0.0
-                    };
+                    let (iy, ix) =
+                        (iy as isize - shape.pad as isize, ix as isize - shape.pad as isize);
+                    let v =
+                        if iy >= 0 && ix >= 0 && (iy as usize) < shape.h && (ix as usize) < shape.w
+                        {
+                            input.get(n, ci, iy as usize, ix as usize)
+                        } else {
+                            0.0
+                        };
                     col[row * m + (n * oh + oy) * ow + ox] = v;
                 }
             }
@@ -135,12 +139,7 @@ impl KernelSpec for Im2colKernel {
         let s = &self.shape;
         let col_bytes = 4.0 * Self::col_elems(s) as f64;
         let in_bytes = 4.0 * s.input_shape().len() as f64;
-        WorkSummary::new(
-            in_bytes,
-            col_bytes,
-            (in_bytes + col_bytes) as u64,
-        )
-        .with_ilp(2.0)
+        WorkSummary::new(in_bytes, col_bytes, (in_bytes + col_bytes) as u64).with_ilp(2.0)
     }
 
     fn trace_block(&self, block: u64, t: &mut BlockTrace) {
@@ -286,8 +285,10 @@ mod tests {
         let d = DeviceConfig::titan_black();
         let s3 = ConvShape::table1(32, 64, 28, 3, 16, 1);
         let s5 = ConvShape::table1(32, 64, 28, 5, 16, 1);
-        let r3 = simulate(&d, &Im2colKernel::with_fresh_buffers(s3), &SimOptions::default()).unwrap();
-        let r5 = simulate(&d, &Im2colKernel::with_fresh_buffers(s5), &SimOptions::default()).unwrap();
+        let r3 =
+            simulate(&d, &Im2colKernel::with_fresh_buffers(s3), &SimOptions::default()).unwrap();
+        let r5 =
+            simulate(&d, &Im2colKernel::with_fresh_buffers(s5), &SimOptions::default()).unwrap();
         let ratio = r5.dram_bytes / r3.dram_bytes;
         // 25/9 in written elements (output smaller for 5x5, partially offset).
         assert!(ratio > 1.8 && ratio < 2.8, "ratio {ratio}");
@@ -308,8 +309,10 @@ mod tests {
         let d = DeviceConfig::titan_black();
         let s1 = ConvShape::table1(32, 64, 27, 3, 16, 1);
         let s2 = ConvShape::table1(32, 64, 55, 5, 16, 2);
-        let r1 = simulate(&d, &Im2colKernel::with_fresh_buffers(s1), &SimOptions::default()).unwrap();
-        let r2 = simulate(&d, &Im2colKernel::with_fresh_buffers(s2), &SimOptions::default()).unwrap();
+        let r1 =
+            simulate(&d, &Im2colKernel::with_fresh_buffers(s1), &SimOptions::default()).unwrap();
+        let r2 =
+            simulate(&d, &Im2colKernel::with_fresh_buffers(s2), &SimOptions::default()).unwrap();
         let of1 = r1.transaction_bytes / r1.requested_bytes;
         let of2 = r2.transaction_bytes / r2.requested_bytes;
         assert!(of2 > of1, "stride-2 should over-fetch more: {of1} vs {of2}");

@@ -3,7 +3,9 @@
 //! (AlexNet/ZFNet use LRN between their early conv/pool stages).
 
 use crate::gemm_model::{GemmConfig, GemmKernel};
-use memcnn_gpusim::{AddressSpace, BankMode, BlockTrace, DeviceBuffer, KernelSpec, LaunchConfig, WorkSummary};
+use memcnn_gpusim::{
+    AddressSpace, BankMode, BlockTrace, DeviceBuffer, KernelSpec, LaunchConfig, WorkSummary,
+};
 use memcnn_tensor::Tensor;
 use rayon::prelude::*;
 
@@ -275,9 +277,8 @@ mod tests {
 
     #[test]
     fn fc_forward_computes_dot_products() {
-        let input = Tensor::from_fn(Shape::new(2, 1, 1, 3), Layout::NCHW, |n, _, _, w| {
-            (n * 3 + w) as f32
-        });
+        let input =
+            Tensor::from_fn(Shape::new(2, 1, 1, 3), Layout::NCHW, |n, _, _, w| (n * 3 + w) as f32);
         // weights: 2 outputs x 3 inputs.
         let weights = vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0];
         let out = fc_forward(&input, &weights, 2);
@@ -315,7 +316,7 @@ mod tests {
         let mut xb = input.clone();
         xb.set(1, 0, 0, 2, input.get(1, 0, 0, 2) + eps);
         let fd = (loss(&weights, &xb) - loss(&weights, &input)) / eps;
-        let gi = gx[1 * 3 + 2];
+        let gi = gx[3 + 2]; // row 1 (width 3), column 2
         assert!((fd - gi).abs() < 0.02 * (1.0 + gi.abs()), "{fd} vs {gi}");
     }
 

@@ -8,7 +8,9 @@
 //! reduction in off-chip requests that Fig 12's `Opt` bars measure.
 
 use crate::shapes::PoolShape;
-use memcnn_gpusim::{AddressSpace, BankMode, BlockTrace, DeviceBuffer, KernelSpec, LaunchConfig, WorkSummary};
+use memcnn_gpusim::{
+    AddressSpace, BankMode, BlockTrace, DeviceBuffer, KernelSpec, LaunchConfig, WorkSummary,
+};
 
 /// Warps per block.
 const WARPS: usize = 4;
@@ -244,10 +246,21 @@ mod debug_tests {
     fn debug_breakdown() {
         let d = DeviceConfig::titan_black();
         let s = PoolShape::table1(128, 24, 3, 64, 2);
-        for (tag, k) in [("base", PoolChwn::new(s)), ("2x2", PoolChwn::coarsened(s, 2, 2)), ("4x2", PoolChwn::coarsened(s, 4, 2))] {
+        for (tag, k) in [
+            ("base", PoolChwn::new(s)),
+            ("2x2", PoolChwn::coarsened(s, 2, 2)),
+            ("4x2", PoolChwn::coarsened(s, 4, 2)),
+        ] {
             let r = simulate(&d, &k, &SimOptions::default()).unwrap();
             println!("{tag}: {:?}", r.timing);
-            println!("  dram={:.2}MB tx={:.2}MB req={:.2}MB l2hit={:.2} grid={}", r.dram_bytes/1e6, r.transaction_bytes/1e6, r.requested_bytes/1e6, r.l2_hit_rate, r.grid_blocks);
+            println!(
+                "  dram={:.2}MB tx={:.2}MB req={:.2}MB l2hit={:.2} grid={}",
+                r.dram_bytes / 1e6,
+                r.transaction_bytes / 1e6,
+                r.requested_bytes / 1e6,
+                r.l2_hit_rate,
+                r.grid_blocks
+            );
         }
     }
 }

@@ -30,12 +30,7 @@ pub enum PoolOp {
 
 /// Functional pooling over logical coordinates; accepts any input layout
 /// and produces `out_layout`. Parallel over `(n, c)` slices.
-pub fn pool_forward(
-    input: &Tensor,
-    shape: &PoolShape,
-    op: PoolOp,
-    out_layout: Layout,
-) -> Tensor {
+pub fn pool_forward(input: &Tensor, shape: &PoolShape, op: PoolOp, out_layout: Layout) -> Tensor {
     assert_eq!(input.shape(), shape.input_shape(), "input shape mismatch");
     let (oh, ow) = (shape.out_h(), shape.out_w());
     let mut out = Tensor::zeros(shape.output_shape(), out_layout);
@@ -191,7 +186,8 @@ mod tests {
                 (h * 5 + w) as f32
             }
         });
-        let out = pool_forward(&input, &PoolShape::table1(1, 5, 3, 1, 2), PoolOp::Max, Layout::NCHW);
+        let out =
+            pool_forward(&input, &PoolShape::table1(1, 5, 3, 1, 2), PoolOp::Max, Layout::NCHW);
         // The shared center element dominates all four windows.
         for (_, v) in out.iter_logical() {
             assert_eq!(v, 100.0);
@@ -267,8 +263,7 @@ mod ceil_mode_tests {
     fn ceil_mode_edge_windows_clamp() {
         let s = PoolShape::table1(1, 6, 3, 1, 2).with_ceil_mode(true); // out 3: starts 0,2,4 (4..6 clamped)
         assert_eq!(s.out_h(), 3);
-        let input =
-            Tensor::from_fn(s.input_shape(), Layout::NCHW, |_, _, h, w| (h * 6 + w) as f32);
+        let input = Tensor::from_fn(s.input_shape(), Layout::NCHW, |_, _, h, w| (h * 6 + w) as f32);
         let max = pool_forward(&input, &s, PoolOp::Max, Layout::NCHW);
         // Last window covers rows 4..6, cols 4..6; max element = 35.
         assert_eq!(max.get(0, 0, 2, 2), 35.0);

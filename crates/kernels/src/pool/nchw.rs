@@ -8,7 +8,9 @@
 //! efficiency."
 
 use crate::shapes::PoolShape;
-use memcnn_gpusim::{AddressSpace, BankMode, BlockTrace, DeviceBuffer, KernelSpec, LaunchConfig, WorkSummary};
+use memcnn_gpusim::{
+    AddressSpace, BankMode, BlockTrace, DeviceBuffer, KernelSpec, LaunchConfig, WorkSummary,
+};
 
 /// Caffe's pooling kernel: one thread per output element over the flat
 /// `N*C*OH*OW` index space (output-major, `ox` fastest), 256-thread blocks.
@@ -230,9 +232,9 @@ mod tests {
         // layer.
         let d = DeviceConfig::titan_black();
         for s in [
-            PoolShape::table1(128, 28, 2, 16, 2),  // PL1
-            pl5(),                                  // PL5
-            PoolShape::table1(64, 13, 3, 256, 2),   // PL10
+            PoolShape::table1(128, 28, 2, 16, 2), // PL1
+            pl5(),                                // PL5
+            PoolShape::table1(64, 13, 3, 256, 2), // PL10
         ] {
             let chwn = simulate(&d, &PoolChwn::new(s), &SimOptions::default()).unwrap();
             let caffe = simulate(&d, &PoolNchwCaffe::new(s), &SimOptions::default()).unwrap();
@@ -290,7 +292,15 @@ mod debug_tests {
         let cudnn = simulate(&d, &PoolNchwCudnn::new(s), &SimOptions::default()).unwrap();
         for (tag, r) in [("caffe", caffe), ("cudnn", cudnn)] {
             println!("{tag}: {:?}", r.timing);
-            println!("  dram={:.2}MB tx={:.2}MB req={:.2}MB l2hit={:.2} grid={} sampled={}", r.dram_bytes/1e6, r.transaction_bytes/1e6, r.requested_bytes/1e6, r.l2_hit_rate, r.grid_blocks, r.sampled_blocks);
+            println!(
+                "  dram={:.2}MB tx={:.2}MB req={:.2}MB l2hit={:.2} grid={} sampled={}",
+                r.dram_bytes / 1e6,
+                r.transaction_bytes / 1e6,
+                r.requested_bytes / 1e6,
+                r.l2_hit_rate,
+                r.grid_blocks,
+                r.sampled_blocks
+            );
         }
     }
 }

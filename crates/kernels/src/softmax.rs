@@ -20,7 +20,9 @@
 //!    coalesced read and write of the matrix.
 
 use crate::shapes::SoftmaxShape;
-use memcnn_gpusim::{AddressSpace, BankMode, BlockTrace, DeviceBuffer, KernelSpec, LaunchConfig, WorkSummary};
+use memcnn_gpusim::{
+    AddressSpace, BankMode, BlockTrace, DeviceBuffer, KernelSpec, LaunchConfig, WorkSummary,
+};
 
 /// The paper's shared-memory capacity bound on cached categories
 /// (Fig 9: `__shared__ float in_tile[C]; // C < 11K`).
@@ -110,8 +112,9 @@ struct StepKernel {
 impl StepKernel {
     /// (reads-per-category, per-image reads, writes-per-category,
     /// per-image writes, flops-per-element).
-    fn traffic(&self) -> (Vec<DeviceBuffer>, Vec<DeviceBuffer>, Vec<DeviceBuffer>, Vec<DeviceBuffer>, u64)
-    {
+    fn traffic(
+        &self,
+    ) -> (Vec<DeviceBuffer>, Vec<DeviceBuffer>, Vec<DeviceBuffer>, Vec<DeviceBuffer>, u64) {
         let b = &self.buf;
         match self.step {
             Step::Max => (vec![b.input], vec![], vec![], vec![b.maxv], 1),
@@ -242,8 +245,12 @@ impl KernelSpec for BlockPerImageKernel {
 
     fn work(&self) -> WorkSummary {
         let bytes = self.shape.len() as f64 * 4.0;
-        WorkSummary::new(self.reads.len() as f64 * bytes, self.writes.len() as f64 * bytes, self.footprint)
-            .with_ilp(2.0)
+        WorkSummary::new(
+            self.reads.len() as f64 * bytes,
+            self.writes.len() as f64 * bytes,
+            self.footprint,
+        )
+        .with_ilp(2.0)
     }
 
     fn trace_block(&self, block: u64, t: &mut BlockTrace) {
@@ -471,7 +478,13 @@ impl KernelSpec for SoftmaxFused {
         // allows — optimized streaming kernels always do this, and the
         // wider bursts are what push the achieved bandwidth to the paper's
         // ~94% of effective.
-        let vec_w = if c.is_multiple_of(4) { 4 } else if c.is_multiple_of(2) { 2 } else { 1 };
+        let vec_w = if c.is_multiple_of(4) {
+            4
+        } else if c.is_multiple_of(2) {
+            2
+        } else {
+            1
+        };
         let span = 32 * vec_w; // floats covered per warp access
         let sweeps: &[usize] = if self.caches_input() { &[0] } else { &[0, 1, 2] };
         for &sweep in sweeps {
@@ -598,8 +611,9 @@ mod tests {
             let base = five_kernel_pipeline(shape);
             let t_base =
                 simulate_sequence(&d, &boxed_refs(&base), &SimOptions::default()).unwrap().time();
-            let t_serial =
-                simulate(&d, &SoftmaxFusedSerial::new(shape), &SimOptions::default()).unwrap().time();
+            let t_serial = simulate(&d, &SoftmaxFusedSerial::new(shape), &SimOptions::default())
+                .unwrap()
+                .time();
             let t_fused =
                 simulate(&d, &SoftmaxFused::new(shape), &SimOptions::default()).unwrap().time();
             assert!(
@@ -623,9 +637,8 @@ mod tests {
     fn small_configs_are_launch_bound_with_low_bandwidth() {
         // Fig 13's left edge: tiny classifiers cannot utilize bandwidth.
         let d = DeviceConfig::titan_black();
-        let r =
-            simulate(&d, &SoftmaxFused::new(SoftmaxShape::new(32, 10)), &SimOptions::default())
-                .unwrap();
+        let r = simulate(&d, &SoftmaxFused::new(SoftmaxShape::new(32, 10)), &SimOptions::default())
+            .unwrap();
         assert!(r.dram_gbs() < 10.0);
     }
 

@@ -18,7 +18,9 @@
 //! Functional semantics live in `memcnn_tensor::relayout`; these specs are
 //! scored by the simulator to reproduce Fig 10/11.
 
-use memcnn_gpusim::{AddressSpace, BankMode, BlockTrace, DeviceBuffer, KernelSpec, LaunchConfig, WorkSummary};
+use memcnn_gpusim::{
+    AddressSpace, BankMode, BlockTrace, DeviceBuffer, KernelSpec, LaunchConfig, WorkSummary,
+};
 use memcnn_tensor::{Layout, Shape};
 
 /// Which transformation kernel.
@@ -170,15 +172,17 @@ impl TransformKernel {
                     addrs.push(self.src.f32(((tr + r) * self.cols + tc + lane * 2) as u64));
                 }
                 t.global_load(&addrs, 8);
-                let sh: Vec<u64> = (0..addrs.len() as u64).map(|l| (r as u64 * 33 + l) * 8).collect();
+                let sh: Vec<u64> =
+                    (0..addrs.len() as u64).map(|l| (r as u64 * 33 + l) * 8).collect();
                 t.shared(&sh, 8);
             }
             t.sync();
             // Scatter: each float2 column writes two consecutive
             // destination rows as coalesced float stores (Fig 7b, 16-24).
             for c in 0..cols_here {
-                let sh: Vec<u64> =
-                    (0..rows_here as u64).map(|l| (l * 33 + c as u64 / 2) * 8 + (c as u64 % 2) * 4).collect();
+                let sh: Vec<u64> = (0..rows_here as u64)
+                    .map(|l| (l * 33 + c as u64 / 2) * 8 + (c as u64 % 2) * 4)
+                    .collect();
                 t.shared(&sh, 8);
                 addrs.clear();
                 for lane in 0..rows_here {
@@ -194,7 +198,8 @@ impl TransformKernel {
                     addrs.push(self.src.f32(((tr + r) * self.cols + tc + lane) as u64));
                 }
                 t.global_load(&addrs, 4);
-                let sh: Vec<u64> = (0..addrs.len() as u64).map(|l| (r as u64 * 33 + l) * 4).collect();
+                let sh: Vec<u64> =
+                    (0..addrs.len() as u64).map(|l| (r as u64 * 33 + l) * 4).collect();
                 t.shared(&sh, 4);
             }
             t.sync();
@@ -245,8 +250,7 @@ impl KernelSpec for TransformKernel {
                 }
             }
             TransformImpl::Opt2 => {
-                let (tile_r, tile_c) =
-                    if self.n_is_src_inner { (32, 64) } else { (64, 32) };
+                let (tile_r, tile_c) = if self.n_is_src_inner { (32, 64) } else { (64, 32) };
                 let (gr, gc) = self.tile_grid(tile_r, tile_c);
                 LaunchConfig {
                     grid_blocks: (gr * gc) as u64,
@@ -305,8 +309,7 @@ mod tests {
     fn opt1_is_fully_coalesced_and_much_faster() {
         let d = DeviceConfig::titan_black();
         let shape = cv6_input();
-        let naive =
-            TransformKernel::new(shape, Layout::CHWN, Layout::NCHW, TransformImpl::Naive);
+        let naive = TransformKernel::new(shape, Layout::CHWN, Layout::NCHW, TransformImpl::Naive);
         let opt1 = TransformKernel::new(shape, Layout::CHWN, Layout::NCHW, TransformImpl::Opt1);
         let rn = simulate(&d, &naive, &SimOptions::default()).unwrap();
         let r1 = simulate(&d, &opt1, &SimOptions::default()).unwrap();
@@ -352,7 +355,12 @@ mod tests {
     fn opt2_rejects_small_batches() {
         // Fig 11: "Transform-Opt2 is not applicable for CV10, CV11, CV12
         // whose N is smaller than 64."
-        TransformKernel::new(Shape::new(32, 128, 56, 56), Layout::CHWN, Layout::NCHW, TransformImpl::Opt2);
+        TransformKernel::new(
+            Shape::new(32, 128, 56, 56),
+            Layout::CHWN,
+            Layout::NCHW,
+            TransformImpl::Opt2,
+        );
     }
 
     #[test]

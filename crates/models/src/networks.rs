@@ -219,11 +219,8 @@ mod tests {
         assert_eq!((layer("CV11").input.h, layer("CV11").input.c), (28, 256));
         assert_eq!((layer("CV12").input.h, layer("CV12").input.c), (14, 512));
         // 13 convolutions + 5 pools + 3 FC + softmax + ReLUs.
-        let convs = net
-            .layers()
-            .iter()
-            .filter(|l| matches!(l.spec, LayerSpec::Conv { .. }))
-            .count();
+        let convs =
+            net.layers().iter().filter(|l| matches!(l.spec, LayerSpec::Conv { .. })).count();
         assert_eq!(convs, 13);
     }
 }

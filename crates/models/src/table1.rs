@@ -135,11 +135,8 @@ mod tests {
 
     #[test]
     fn only_cv5_and_cv6_are_strided() {
-        let strided: Vec<&str> = CONV_LAYERS
-            .iter()
-            .filter(|e| e.shape.stride > 1)
-            .map(|e| e.name)
-            .collect();
+        let strided: Vec<&str> =
+            CONV_LAYERS.iter().filter(|e| e.shape.stride > 1).map(|e| e.name).collect();
         assert_eq!(strided, vec!["CV5", "CV6"]);
     }
 

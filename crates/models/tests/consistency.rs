@@ -67,18 +67,17 @@ fn zfnet_inner_layers_match_their_table_entries() {
 fn pooling_entries_match_alexnet_and_zfnet_chains() {
     // Table PL5-PL7 are AlexNet's pools; PL8-PL10 ZFNet's.
     let alex = alexnet().unwrap();
-    let pools: Vec<_> = alex
-        .layers()
-        .iter()
-        .filter_map(|l| l.pool_shape())
-        .collect();
+    let pools: Vec<_> = alex.layers().iter().filter_map(|l| l.pool_shape()).collect();
     let expected = [("PL5", 55, 96), ("PL6", 27, 256), ("PL7", 13, 256)];
     for ((name, h, c), got) in expected.iter().zip(&pools) {
         let t = table1::pool(name).unwrap();
         assert_eq!(got.h, *h, "{name}");
         assert_eq!(got.c, *c, "{name}");
-        assert_eq!((t.n, t.h, t.window, t.stride), (got.n, got.h, got.window, got.stride),
-            "{name}: table {t} vs network {got}");
+        assert_eq!(
+            (t.n, t.h, t.window, t.stride),
+            (got.n, got.h, got.window, got.stride),
+            "{name}: table {t} vs network {got}"
+        );
         // Table lists AlexNet PL6/PL7 with the paper's channel counts
         // (192/256 — their AlexNet variant splits channels over 2 GPUs);
         // our single-tower net uses 256 both places, so C may differ on
@@ -91,8 +90,11 @@ fn pooling_entries_match_alexnet_and_zfnet_chains() {
     let zpools: Vec<_> = zf.layers().iter().filter_map(|l| l.pool_shape()).collect();
     for (name, got) in ["PL8", "PL9", "PL10"].iter().zip(&zpools) {
         let t = table1::pool(name).unwrap();
-        assert_eq!((t.n, t.h, t.window, t.stride), (got.n, got.h, got.window, got.stride),
-            "{name}: table {t} vs network {got}");
+        assert_eq!(
+            (t.n, t.h, t.window, t.stride),
+            (got.n, got.h, got.window, got.stride),
+            "{name}: table {t} vs network {got}"
+        );
     }
 }
 

@@ -89,10 +89,7 @@ impl Layout {
     /// Position of `dim` in the order (0 = outermost, 3 = innermost).
     #[inline]
     pub fn position_of(&self, dim: Dim) -> usize {
-        self.order
-            .iter()
-            .position(|&d| d == dim)
-            .expect("layout is a permutation of all dims")
+        self.order.iter().position(|&d| d == dim).expect("layout is a permutation of all dims")
     }
 
     /// Element stride of each logical dimension for a given shape, indexed

@@ -24,12 +24,7 @@ pub struct Tensor {
 impl Tensor {
     /// A tensor of zeros.
     pub fn zeros(shape: Shape, layout: Layout) -> Tensor {
-        Tensor {
-            shape,
-            layout,
-            strides: layout.strides(shape),
-            data: vec![0.0; shape.len()],
-        }
+        Tensor { shape, layout, strides: layout.strides(shape), data: vec![0.0; shape.len()] }
     }
 
     /// A tensor filled with one value.

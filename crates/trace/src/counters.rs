@@ -1,0 +1,211 @@
+//! Typed per-kernel performance counters and their aggregation.
+//!
+//! One [`KernelCounters`] is recorded per simulated kernel launch, copied
+//! verbatim from the simulator's report (plus two internal shared-memory
+//! totals the report does not carry). [`Aggregate`] folds any number of
+//! them into per-layer / per-phase / per-network rollups.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Counters of one simulated kernel launch. Field values are copied
+/// unmodified from `memcnn_gpusim::KernelReport` (and the simulator's
+/// internal launch totals), so a profile rendered from them matches the
+/// report to float round-off.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct KernelCounters {
+    /// Kernel name.
+    pub name: String,
+    /// Simulated wall time, seconds.
+    pub time_s: f64,
+    /// DRAM bytes moved (post-L2).
+    pub dram_bytes: f64,
+    /// L2 sector bytes (pre-cache transactions, i.e. fetched).
+    pub transaction_bytes: f64,
+    /// Bytes the lanes asked for; `transaction_bytes / requested_bytes`
+    /// is the over-fetch factor of an uncoalesced kernel.
+    pub requested_bytes: f64,
+    /// L2 hit rate on the sampled stream.
+    pub l2_hit_rate: f64,
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Shared-memory access passes — each bank conflict adds a replay
+    /// pass, so `smem_passes` above one pass per access means conflicts.
+    pub smem_passes: f64,
+    /// Shared-memory bytes touched.
+    pub smem_bytes: f64,
+    /// Achieved occupancy fraction.
+    pub occupancy: f64,
+    /// What limited occupancy (threads, registers, smem, ...).
+    pub occupancy_limiter: String,
+    /// Bound classification of the scored time (compute, DRAM, ...).
+    pub bound: String,
+    /// Time charged to the shared-memory term (bank-conflict cost).
+    pub smem_time_s: f64,
+    /// Grid size in blocks.
+    pub grid_blocks: u64,
+    /// Blocks actually traced.
+    pub sampled_blocks: u64,
+}
+
+impl KernelCounters {
+    /// Over-fetch factor (1.0 = perfectly coalesced).
+    pub fn overfetch(&self) -> f64 {
+        if self.requested_bytes > 0.0 {
+            self.transaction_bytes / self.requested_bytes
+        } else {
+            1.0
+        }
+    }
+
+    /// Achieved DRAM bandwidth, GB/s.
+    pub fn dram_gbs(&self) -> f64 {
+        if self.time_s > 0.0 {
+            self.dram_bytes / self.time_s / 1e9
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Rollup of many kernels: per layer, per phase, or whole network.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Aggregate {
+    /// Number of kernels folded in.
+    pub kernels: u64,
+    /// Total simulated kernel time, seconds.
+    pub time_s: f64,
+    /// Total DRAM bytes.
+    pub dram_bytes: f64,
+    /// Total fetched (L2 transaction) bytes.
+    pub transaction_bytes: f64,
+    /// Total requested bytes.
+    pub requested_bytes: f64,
+    /// Total FLOPs.
+    pub flops: f64,
+    /// Total shared-memory passes.
+    pub smem_passes: f64,
+    /// Total time charged to shared-memory (bank conflicts), seconds.
+    pub smem_time_s: f64,
+    /// Transaction-byte-weighted L2 hit mass (see [`Aggregate::l2_hit_rate`]).
+    pub l2_hit_weight: f64,
+    /// Kernel time by bound classification.
+    pub time_by_bound: BTreeMap<String, f64>,
+}
+
+impl Aggregate {
+    /// Fold one kernel in.
+    pub fn add(&mut self, c: &KernelCounters) {
+        self.kernels += 1;
+        self.time_s += c.time_s;
+        self.dram_bytes += c.dram_bytes;
+        self.transaction_bytes += c.transaction_bytes;
+        self.requested_bytes += c.requested_bytes;
+        self.flops += c.flops;
+        self.smem_passes += c.smem_passes;
+        self.smem_time_s += c.smem_time_s;
+        self.l2_hit_weight += c.l2_hit_rate * c.transaction_bytes;
+        *self.time_by_bound.entry(c.bound.clone()).or_insert(0.0) += c.time_s;
+    }
+
+    /// Merge another aggregate in.
+    pub fn merge(&mut self, other: &Aggregate) {
+        self.kernels += other.kernels;
+        self.time_s += other.time_s;
+        self.dram_bytes += other.dram_bytes;
+        self.transaction_bytes += other.transaction_bytes;
+        self.requested_bytes += other.requested_bytes;
+        self.flops += other.flops;
+        self.smem_passes += other.smem_passes;
+        self.smem_time_s += other.smem_time_s;
+        self.l2_hit_weight += other.l2_hit_weight;
+        for (k, v) in &other.time_by_bound {
+            *self.time_by_bound.entry(k.clone()).or_insert(0.0) += v;
+        }
+    }
+
+    /// Transaction-weighted mean L2 hit rate.
+    pub fn l2_hit_rate(&self) -> f64 {
+        if self.transaction_bytes > 0.0 {
+            self.l2_hit_weight / self.transaction_bytes
+        } else {
+            0.0
+        }
+    }
+
+    /// Aggregate over-fetch factor.
+    pub fn overfetch(&self) -> f64 {
+        if self.requested_bytes > 0.0 {
+            self.transaction_bytes / self.requested_bytes
+        } else {
+            1.0
+        }
+    }
+
+    /// Aggregate DRAM bandwidth, GB/s.
+    pub fn dram_gbs(&self) -> f64 {
+        if self.time_s > 0.0 {
+            self.dram_bytes / self.time_s / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// Aggregate GFLOP/s.
+    pub fn gflops(&self) -> f64 {
+        if self.time_s > 0.0 {
+            self.flops / self.time_s / 1e9
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel(time_s: f64, bound: &str) -> KernelCounters {
+        KernelCounters {
+            name: "k".to_string(),
+            time_s,
+            dram_bytes: 100.0,
+            transaction_bytes: 200.0,
+            requested_bytes: 100.0,
+            l2_hit_rate: 0.5,
+            flops: 1000.0,
+            bound: bound.to_string(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn aggregate_sums_and_weights() {
+        let mut a = Aggregate::default();
+        a.add(&kernel(1.0, "DramBandwidth"));
+        a.add(&kernel(2.0, "Compute"));
+        a.add(&kernel(3.0, "Compute"));
+        assert_eq!(a.kernels, 3);
+        assert_eq!(a.time_s, 6.0);
+        assert_eq!(a.dram_bytes, 300.0);
+        assert_eq!(a.overfetch(), 2.0);
+        assert!((a.l2_hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(a.time_by_bound["Compute"], 5.0);
+        assert_eq!(a.time_by_bound["DramBandwidth"], 1.0);
+
+        let mut b = Aggregate::default();
+        b.add(&kernel(4.0, "Compute"));
+        a.merge(&b);
+        assert_eq!(a.kernels, 4);
+        assert_eq!(a.time_by_bound["Compute"], 9.0);
+    }
+
+    #[test]
+    fn rates_handle_zero_time() {
+        let a = Aggregate::default();
+        assert_eq!(a.dram_gbs(), 0.0);
+        assert_eq!(a.gflops(), 0.0);
+        assert_eq!(a.l2_hit_rate(), 0.0);
+        assert_eq!(a.overfetch(), 1.0);
+    }
+}

@@ -1,0 +1,414 @@
+//! memcnn-trace: structured tracing for the simulator and engine.
+//!
+//! A thread-local collector records typed spans (layers, transforms,
+//! backward passes on the engine's simulated-time timeline; functional
+//! execution on wall clock), per-kernel performance counters, and layout
+//! decisions. Collection is off by default and every recording entry
+//! point takes a closure, so the disabled path costs one thread-local
+//! check — no allocation, no formatting, and no effect on simulated
+//! timings.
+//!
+//! ```
+//! use memcnn_trace as trace;
+//! trace::start();
+//! {
+//!     let _net = trace::scope(trace::Scope::Network("lenet".into()));
+//!     trace::record_span(|| trace::SpanEvent {
+//!         name: "CV1".into(),
+//!         track: trace::Track::Layers,
+//!         ts_us: 0.0,
+//!         dur_us: 10.0,
+//!         args: vec![("impl".into(), "mm".into())],
+//!     });
+//! }
+//! let t = trace::finish().unwrap();
+//! assert_eq!(t.spans.len(), 1);
+//! ```
+#![forbid(unsafe_code)]
+
+pub mod counters;
+pub mod export;
+
+pub use counters::{Aggregate, KernelCounters};
+
+use std::cell::RefCell;
+
+/// One frame of the collector's scope stack. Kernel records snapshot the
+/// stack, which is how the exporter attributes kernels to layers,
+/// candidate implementations, planning, autotuning, or backward passes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Scope {
+    /// A whole-network simulation.
+    Network(String),
+    /// One named layer.
+    Layer(String),
+    /// A candidate implementation being timed (name matches the
+    /// `impl_name` the engine reports for the layer if chosen).
+    Candidate(String),
+    /// A layout transformation kernel.
+    Transform,
+    /// Layout planning (the heuristic + DP probing pass).
+    Plan,
+    /// Pooling autotune sweeps.
+    Autotune,
+    /// Backward-pass simulation.
+    Backward,
+    /// Functional (on-CPU) execution of a network.
+    Run(String),
+}
+
+impl Scope {
+    /// Short label for display.
+    pub fn label(&self) -> String {
+        match self {
+            Scope::Network(n) => format!("net:{n}"),
+            Scope::Layer(n) => format!("layer:{n}"),
+            Scope::Candidate(n) => format!("cand:{n}"),
+            Scope::Transform => "transform".to_string(),
+            Scope::Plan => "plan".to_string(),
+            Scope::Autotune => "autotune".to_string(),
+            Scope::Backward => "backward".to_string(),
+            Scope::Run(n) => format!("run:{n}"),
+        }
+    }
+}
+
+/// Timeline tracks of the exported trace. `Layers`..`Backward` use the
+/// engine's simulated clock; `Exec` uses the host's wall clock and is
+/// exported as a separate process so the two time bases never mix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Track {
+    /// Chosen per-layer forward work (simulated time).
+    Layers,
+    /// Inserted layout transformations (simulated time).
+    Transforms,
+    /// Individual kernels of the chosen implementations (simulated time).
+    Kernels,
+    /// Backward-pass work (simulated time).
+    Backward,
+    /// Functional execution on the host (wall clock).
+    Exec,
+}
+
+impl Track {
+    /// Thread id in the Chrome trace.
+    pub fn tid(self) -> u64 {
+        match self {
+            Track::Layers => 1,
+            Track::Transforms => 2,
+            Track::Kernels => 3,
+            Track::Backward => 4,
+            Track::Exec => 1,
+        }
+    }
+
+    /// Process id in the Chrome trace (simulated vs wall clock).
+    pub fn pid(self) -> u64 {
+        match self {
+            Track::Exec => 2,
+            _ => 1,
+        }
+    }
+
+    /// Human-readable track name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Track::Layers => "layers",
+            Track::Transforms => "transforms",
+            Track::Kernels => "kernels",
+            Track::Backward => "backward",
+            Track::Exec => "exec (wall clock)",
+        }
+    }
+}
+
+/// A completed interval on one track.
+#[derive(Clone, Debug)]
+pub struct SpanEvent {
+    /// Span name (layer name, kernel name, ...).
+    pub name: String,
+    /// Track the span lives on.
+    pub track: Track,
+    /// Start, microseconds on the track's time base.
+    pub ts_us: f64,
+    /// Duration, microseconds.
+    pub dur_us: f64,
+    /// Key/value annotations (layout, impl, ...).
+    pub args: Vec<(String, String)>,
+}
+
+/// Counters of one simulated kernel plus the scope path it ran under.
+#[derive(Clone, Debug)]
+pub struct KernelRecord {
+    /// The counters, copied from the simulator's report.
+    pub counters: KernelCounters,
+    /// Scope stack at record time, outermost first.
+    pub path: Vec<Scope>,
+}
+
+impl KernelRecord {
+    /// Whether the path contains a given scope frame.
+    pub fn in_scope(&self, s: &Scope) -> bool {
+        self.path.contains(s)
+    }
+
+    /// The layer name on the path, if any.
+    pub fn layer(&self) -> Option<&str> {
+        self.path.iter().find_map(|s| match s {
+            Scope::Layer(n) => Some(n.as_str()),
+            _ => None,
+        })
+    }
+
+    /// The candidate implementation on the path, if any.
+    pub fn candidate(&self) -> Option<&str> {
+        self.path.iter().find_map(|s| match s {
+            Scope::Candidate(n) => Some(n.as_str()),
+            _ => None,
+        })
+    }
+}
+
+/// One layout decision with its stated reason (heuristic rule firing, or
+/// a profiled-DP override of the heuristic).
+#[derive(Clone, Debug)]
+pub struct Decision {
+    /// Layer the decision applies to.
+    pub layer: String,
+    /// Chosen layout name.
+    pub layout: String,
+    /// `"heuristic"` or `"profiled"`.
+    pub policy: String,
+    /// Why (rule values, or what the DP overrode).
+    pub reason: String,
+}
+
+/// Everything one collection window captured.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Timeline spans.
+    pub spans: Vec<SpanEvent>,
+    /// Per-kernel counter records.
+    pub kernels: Vec<KernelRecord>,
+    /// Layout decisions.
+    pub decisions: Vec<Decision>,
+    /// Free-form metadata (network, mechanism, device, ...).
+    pub meta: Vec<(String, String)>,
+}
+
+impl Trace {
+    /// Total number of recorded events of all kinds.
+    pub fn event_count(&self) -> usize {
+        self.spans.len() + self.kernels.len() + self.decisions.len() + self.meta.len()
+    }
+
+    /// Metadata value by key.
+    pub fn meta(&self, key: &str) -> Option<&str> {
+        self.meta.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Sum of span durations on one track, milliseconds.
+    pub fn track_total_ms(&self, track: Track) -> f64 {
+        // `+ 0.0` normalizes the empty sum: `Sum for f64` folds from -0.0.
+        self.spans.iter().filter(|s| s.track == track).map(|s| s.dur_us).sum::<f64>() / 1e3 + 0.0
+    }
+
+    /// Sum of all simulated-timeline span durations (layers, transforms
+    /// and backward), milliseconds. For a traced `simulate_network` run
+    /// this equals `NetworkReport::total_time()` in ms.
+    pub fn timeline_total_ms(&self) -> f64 {
+        self.track_total_ms(Track::Layers)
+            + self.track_total_ms(Track::Transforms)
+            + self.track_total_ms(Track::Backward)
+    }
+
+    /// Aggregate counters over kernels selected by `filter`.
+    pub fn aggregate_kernels<F: Fn(&KernelRecord) -> bool>(&self, filter: F) -> Aggregate {
+        let mut agg = Aggregate::default();
+        for k in self.kernels.iter().filter(|k| filter(k)) {
+            agg.add(&k.counters);
+        }
+        agg
+    }
+}
+
+#[derive(Default)]
+struct Collector {
+    trace: Trace,
+    stack: Vec<Scope>,
+}
+
+thread_local! {
+    static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+/// Begin collecting on this thread. Replaces any trace in progress.
+pub fn start() {
+    COLLECTOR.with(|c| *c.borrow_mut() = Some(Collector::default()));
+}
+
+/// Stop collecting and return the captured trace, or `None` if
+/// collection was never started on this thread.
+pub fn finish() -> Option<Trace> {
+    COLLECTOR.with(|c| c.borrow_mut().take()).map(|col| col.trace)
+}
+
+/// Whether collection is active on this thread.
+pub fn active() -> bool {
+    COLLECTOR.with(|c| c.borrow().is_some())
+}
+
+/// Push a scope frame; the returned guard pops it on drop. A no-op when
+/// collection is inactive.
+#[must_use = "the scope pops when this guard drops"]
+pub fn scope(s: Scope) -> ScopeGuard {
+    let pushed = COLLECTOR.with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            col.stack.push(s);
+            true
+        } else {
+            false
+        }
+    });
+    ScopeGuard { pushed }
+}
+
+/// Guard returned by [`scope`].
+pub struct ScopeGuard {
+    pushed: bool,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        if self.pushed {
+            COLLECTOR.with(|c| {
+                if let Some(col) = c.borrow_mut().as_mut() {
+                    col.stack.pop();
+                }
+            });
+        }
+    }
+}
+
+fn with_active<F: FnOnce(&mut Collector)>(f: F) {
+    COLLECTOR.with(|c| {
+        if let Some(col) = c.borrow_mut().as_mut() {
+            f(col);
+        }
+    });
+}
+
+/// Record a timeline span. The closure only runs when collection is
+/// active, so disabled call sites do no work.
+pub fn record_span<F: FnOnce() -> SpanEvent>(f: F) {
+    with_active(|col| {
+        let s = f();
+        col.trace.spans.push(s);
+    });
+}
+
+/// Record one simulated kernel's counters, tagged with the current scope
+/// path. The closure only runs when collection is active.
+pub fn record_kernel<F: FnOnce() -> KernelCounters>(f: F) {
+    with_active(|col| {
+        let counters = f();
+        let path = col.stack.clone();
+        col.trace.kernels.push(KernelRecord { counters, path });
+    });
+}
+
+/// Record a layout decision. The closure only runs when collection is
+/// active.
+pub fn record_decision<F: FnOnce() -> Decision>(f: F) {
+    with_active(|col| {
+        let d = f();
+        col.trace.decisions.push(d);
+    });
+}
+
+/// Attach a metadata key/value to the trace in progress.
+pub fn set_meta(key: &str, value: &str) {
+    with_active(|col| {
+        col.trace.meta.push((key.to_string(), value.to_string()));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, track: Track, ts: f64, dur: f64) -> SpanEvent {
+        SpanEvent { name: name.to_string(), track, ts_us: ts, dur_us: dur, args: vec![] }
+    }
+
+    #[test]
+    fn disabled_collection_records_nothing_and_runs_no_closures() {
+        assert!(finish().is_none());
+        assert!(!active());
+        record_span(|| unreachable!("closure must not run while disabled"));
+        record_kernel(|| unreachable!("closure must not run while disabled"));
+        record_decision(|| unreachable!("closure must not run while disabled"));
+        let _g = scope(Scope::Plan);
+        assert!(finish().is_none());
+    }
+
+    #[test]
+    fn collects_spans_kernels_and_scopes() {
+        start();
+        assert!(active());
+        set_meta("network", "test-net");
+        {
+            let _n = scope(Scope::Network("test-net".to_string()));
+            let _l = scope(Scope::Layer("CV1".to_string()));
+            {
+                let _c = scope(Scope::Candidate("mm".to_string()));
+                record_kernel(|| KernelCounters {
+                    name: "gemm".to_string(),
+                    time_s: 1e-3,
+                    ..Default::default()
+                });
+            }
+            record_span(|| span("CV1", Track::Layers, 0.0, 1000.0));
+        }
+        record_span(|| span("transform", Track::Transforms, 1000.0, 50.0));
+        let t = finish().unwrap();
+        assert!(!active());
+        assert_eq!(t.spans.len(), 2);
+        assert_eq!(t.kernels.len(), 1);
+        assert_eq!(t.meta("network"), Some("test-net"));
+        let k = &t.kernels[0];
+        assert_eq!(k.layer(), Some("CV1"));
+        assert_eq!(k.candidate(), Some("mm"));
+        assert!(k.in_scope(&Scope::Network("test-net".to_string())));
+        assert!((t.timeline_total_ms() - 1.05).abs() < 1e-12);
+        assert_eq!(t.aggregate_kernels(|k| k.layer() == Some("CV1")).kernels, 1);
+        assert_eq!(t.aggregate_kernels(|k| k.in_scope(&Scope::Plan)).kernels, 0);
+    }
+
+    #[test]
+    fn scope_guard_pops_in_reverse_order() {
+        start();
+        {
+            let _a = scope(Scope::Plan);
+            {
+                let _b = scope(Scope::Autotune);
+                record_kernel(KernelCounters::default);
+            }
+            record_kernel(KernelCounters::default);
+        }
+        record_kernel(KernelCounters::default);
+        let t = finish().unwrap();
+        assert_eq!(t.kernels[0].path, vec![Scope::Plan, Scope::Autotune]);
+        assert_eq!(t.kernels[1].path, vec![Scope::Plan]);
+        assert!(t.kernels[2].path.is_empty());
+    }
+
+    #[test]
+    fn start_resets_previous_window() {
+        start();
+        record_span(|| span("a", Track::Layers, 0.0, 1.0));
+        start();
+        let t = finish().unwrap();
+        assert_eq!(t.event_count(), 0);
+    }
+}

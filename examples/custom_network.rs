@@ -30,8 +30,9 @@ softmax prob
 
 fn main() {
     let text = match std::env::args().nth(1) {
-        Some(path) => std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
         None => DEMO.to_string(),
     };
     let net = match parse_network(&text) {
@@ -43,8 +44,7 @@ fn main() {
     };
     println!("parsed {} ({} layers, input {})\n", net.name, net.layers().len(), net.input);
 
-    let engine =
-        Engine::new(DeviceConfig::titan_black(), LayoutThresholds::titan_black_paper());
+    let engine = Engine::new(DeviceConfig::titan_black(), LayoutThresholds::titan_black_paper());
     for mech in [Mechanism::CudaConvnet, Mechanism::CudnnBest, Mechanism::Opt] {
         let r = engine.simulate_network(&net, mech).expect("simulates");
         println!(

@@ -20,8 +20,7 @@ fn main() {
     let n_layers = net.layers().len();
 
     // The Opt engine's layout assignment, read off the simulated report.
-    let engine =
-        Engine::new(DeviceConfig::titan_black(), LayoutThresholds::titan_black_paper());
+    let engine = Engine::new(DeviceConfig::titan_black(), LayoutThresholds::titan_black_paper());
     let report = engine.simulate_network(&net, Mechanism::Opt).expect("simulates");
     let mixed: Vec<Layout> = report
         .layers
@@ -47,12 +46,8 @@ fn main() {
     println!("\nimage  argmax  p(argmax)");
     for n in 0..5.min(net.input.n) {
         let row = &opt[n * categories..(n + 1) * categories];
-        let (arg, p) = row
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, &p)| (i, p))
-            .unwrap();
+        let (arg, p) =
+            row.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, &p)| (i, p)).unwrap();
         println!("{n:>5}  {arg:>6}  {p:.4}");
     }
     println!("\nall three layout plans classify identically ✓");

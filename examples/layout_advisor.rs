@@ -58,15 +58,16 @@ fn main() {
 
     let th = LayoutThresholds::titan_black_paper();
     let pick = choose_layout(&shape, &th);
-    let (pref, alt) =
-        if pick == Layout::CHWN { (direct, nchw_best) } else { (nchw_best, direct) };
+    let (pref, alt) = if pick == Layout::CHWN { (direct, nchw_best) } else { (nchw_best, direct) };
     println!("\nheuristic pick: {pick}  (bare gain: {:.2}x)", alt / pref);
 
     // Would converting from the other layout pay off for this layer alone?
-    let imp =
-        if shape.n >= VECTORIZE_MIN_N { TransformImpl::Opt2 } else { TransformImpl::Opt1 };
-    let (from, to) =
-        if pick == Layout::CHWN { (Layout::NCHW, Layout::CHWN) } else { (Layout::CHWN, Layout::NCHW) };
+    let imp = if shape.n >= VECTORIZE_MIN_N { TransformImpl::Opt2 } else { TransformImpl::Opt1 };
+    let (from, to) = if pick == Layout::CHWN {
+        (Layout::NCHW, Layout::CHWN)
+    } else {
+        (Layout::CHWN, Layout::NCHW)
+    };
     let t_in = simulate(&device, &TransformKernel::new(shape.input_shape(), from, to, imp), &opts)
         .expect("transform")
         .time();

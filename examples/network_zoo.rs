@@ -13,8 +13,7 @@ use memcnn::models::all_networks;
 
 fn main() {
     let filter: Option<String> = std::env::args().nth(1);
-    let engine =
-        Engine::new(DeviceConfig::titan_black(), LayoutThresholds::titan_black_paper());
+    let engine = Engine::new(DeviceConfig::titan_black(), LayoutThresholds::titan_black_paper());
     let nets: Vec<_> = all_networks()
         .into_iter()
         .filter(|n| filter.as_deref().map(|f| n.name.eq_ignore_ascii_case(f)).unwrap_or(true))
@@ -24,7 +23,10 @@ fn main() {
         std::process::exit(2);
     }
 
-    println!("{:<10} {:>12} {:>12} {:>12} {:>12}", "network", "cuDNN-MM", "cuda-convnet", "cuDNN-Best", "Opt");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "network", "cuDNN-MM", "cuda-convnet", "cuDNN-Best", "Opt"
+    );
     let mut details = Vec::new();
     for net in &nets {
         let time = |m: Mechanism| {

@@ -7,8 +7,14 @@
 //! cargo run --release --example profiler -- pool  N C H win S
 //! cargo run --release --example profiler -- softmax batch categories
 //! cargo run --release --example profiler -- transform N C H W
+//! cargo run --release --example profiler -- network <net> [mechanism]
 //! cargo run --release --example profiler                # demo set
 //! ```
+//!
+//! The `network` kind traces a whole-network simulation and prints the
+//! text profile (layer timeline, bound breakdown, layout decisions); the
+//! `profile` binary in `memcnn-bench` additionally writes the Perfetto
+//! `trace.json`.
 
 use memcnn::gpusim::{simulate, DeviceConfig, KernelSpec, SimOptions};
 use memcnn::kernels::conv::direct_chwn::DirectConvChwn;
@@ -66,10 +72,7 @@ fn main() {
                 if imp == TransformImpl::Opt2 && shape.n < 64 {
                     continue;
                 }
-                profile(
-                    &device,
-                    &[&TransformKernel::new(shape, Layout::CHWN, Layout::NCHW, imp)],
-                );
+                profile(&device, &[&TransformKernel::new(shape, Layout::CHWN, Layout::NCHW, imp)]);
             }
         }
         None => {
@@ -82,8 +85,21 @@ fn main() {
             println!("-- softmax 128/1000, fused --");
             profile(&device, &[&SoftmaxFused::new(SoftmaxShape::new(128, 1000))]);
         }
+        Some("network") => {
+            use memcnn_bench::profile::{find_mechanism, find_network, profile_network};
+            use memcnn_bench::util::Ctx;
+            let net = args
+                .get(1)
+                .and_then(|n| find_network(n))
+                .unwrap_or_else(|| memcnn::models::alexnet().unwrap());
+            let mech =
+                args.get(2).and_then(|m| find_mechanism(m)).unwrap_or(memcnn::core::Mechanism::Opt);
+            let out = profile_network(&Ctx::titan_black(), &net, mech, false, 10)
+                .expect("network simulation");
+            print!("{}", out.profile_text);
+        }
         Some(other) => {
-            eprintln!("unknown kind {other:?}; use conv|pool|softmax|transform");
+            eprintln!("unknown kind {other:?}; use conv|pool|softmax|transform|network");
             std::process::exit(2);
         }
     }

@@ -11,9 +11,9 @@
 
 use memcnn::core::{choose_layout, LayoutThresholds};
 use memcnn::gpusim::{simulate, DeviceConfig, SimOptions};
+use memcnn::kernels::conv::conv_forward;
 use memcnn::kernels::conv::direct_chwn::DirectConvChwn;
 use memcnn::kernels::conv::mm_nchw::MmConvNchw;
-use memcnn::kernels::conv::conv_forward;
 use memcnn::kernels::ConvShape;
 use memcnn::tensor::{Layout, Tensor};
 

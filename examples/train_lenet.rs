@@ -74,8 +74,7 @@ fn main() {
         for (n, &lab) in labels.iter().enumerate() {
             let row = &probs[n * CLASSES..(n + 1) * CLASSES];
             loss -= row[lab].max(1e-9).ln();
-            let argmax =
-                row.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+            let argmax = row.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
             if argmax == lab {
                 correct += 1;
             }
@@ -86,10 +85,8 @@ fn main() {
         last_loss = loss;
 
         // ---- backward
-        let dlogits: Vec<f32> = softmax_xent_backward(&logits, &labels, sm)
-            .iter()
-            .map(|g| g / BATCH as f32)
-            .collect();
+        let dlogits: Vec<f32> =
+            softmax_xent_backward(&logits, &labels, sm).iter().map(|g| g / BATCH as f32).collect();
         let (dfc_w, dp1_flat) = fc_backward(&p1, &fc_w, &dlogits, CLASSES);
         let dp1 = Tensor::from_vec(p1.shape(), Layout::NCHW, dp1_flat).unwrap();
         let da1 = pool_backward_max(&a1, &dp1, &pool, Layout::NCHW);

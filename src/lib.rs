@@ -15,6 +15,9 @@
 //!   layout transformation orchestration, auto-tuning, execution engine and
 //!   library presets (cuda-convnet / Caffe / cuDNN modes / Opt).
 //! - [`models`]: the Table-1 layer zoo and the five evaluated networks.
+//! - [`trace`]: structured tracing — spans, kernel perf counters, layout
+//!   decisions — with Chrome/Perfetto JSON and text-profile exporters.
+//!   Off by default and zero-cost until [`trace::start`] is called.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 //!
@@ -43,3 +46,4 @@ pub use memcnn_gpusim as gpusim;
 pub use memcnn_kernels as kernels;
 pub use memcnn_models as models;
 pub use memcnn_tensor as tensor;
+pub use memcnn_trace as trace;

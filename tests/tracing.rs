@@ -1,0 +1,161 @@
+//! Integration tests for the tracing pipeline against the real engine:
+//! the exported JSON is valid and timeline-consistent, the captured
+//! spans account for exactly the engine's reported time, and disabled
+//! instrumentation is a true no-op (zero events, identical timings).
+
+use memcnn::core::Mechanism;
+use memcnn::trace::{self, export, Track};
+use memcnn_bench::util::Ctx;
+
+/// Run one traced simulation and return (report, trace).
+fn traced_forward(
+    ctx: &Ctx,
+    net: &memcnn::core::Network,
+    mech: Mechanism,
+) -> (memcnn::core::NetworkReport, trace::Trace) {
+    trace::start();
+    let result = ctx.engine.simulate_network(net, mech);
+    let captured = trace::finish().expect("collector was started");
+    (result.expect("simulation succeeds"), captured)
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_ordered_tracks() {
+    let ctx = Ctx::titan_black();
+    let net = memcnn::models::cifar10().unwrap();
+    let (_, captured) = traced_forward(&ctx, &net, Mechanism::Opt);
+    let json = export::chrome_trace(&captured);
+
+    let doc = serde_json::from_str(&json).expect("exporter emits valid JSON");
+    let events =
+        doc.get("traceEvents").and_then(|v| v.as_array()).expect("traceEvents array").clone();
+    assert!(!events.is_empty());
+
+    // Per-(pid, tid) track, "X" spans must be monotonic and non-overlapping.
+    let mut tracks: std::collections::BTreeMap<(u64, u64), Vec<(f64, f64)>> = Default::default();
+    for ev in &events {
+        let obj = ev.as_object().expect("event object");
+        if obj.get("ph").and_then(|p| p.as_str()) != Some("X") {
+            continue;
+        }
+        let key = (obj["pid"].as_u64().expect("pid"), obj["tid"].as_u64().expect("tid"));
+        let ts = obj["ts"].as_f64().expect("ts");
+        let dur = obj["dur"].as_f64().expect("dur");
+        assert!(ts >= 0.0 && dur >= 0.0, "negative ts/dur in {key:?}");
+        tracks.entry(key).or_default().push((ts, dur));
+    }
+    assert!(!tracks.is_empty());
+    for (key, spans) in &tracks {
+        for w in spans.windows(2) {
+            let (a_ts, a_dur) = w[0];
+            let (b_ts, _) = w[1];
+            assert!(
+                a_ts + a_dur <= b_ts + 1e-6,
+                "track {key:?}: span at {a_ts}+{a_dur} overlaps next at {b_ts}"
+            );
+        }
+    }
+}
+
+#[test]
+fn forward_timeline_matches_the_report_exactly() {
+    let ctx = Ctx::titan_black();
+    let net = memcnn::models::cifar10().unwrap();
+    for mech in [Mechanism::Opt, Mechanism::CudnnMm, Mechanism::Caffe] {
+        let (report, captured) = traced_forward(&ctx, &net, mech);
+        let total_ms = report.total_time() * 1e3;
+        let diff = (captured.timeline_total_ms() - total_ms).abs();
+        assert!(
+            diff <= 1e-9 * total_ms.max(1.0),
+            "{mech:?}: trace says {} ms, report says {} ms",
+            captured.timeline_total_ms(),
+            total_ms
+        );
+        // One layer span per reported layer, in the same order.
+        let layer_spans: Vec<&str> = captured
+            .spans
+            .iter()
+            .filter(|sp| sp.track == Track::Layers)
+            .map(|sp| sp.name.as_str())
+            .collect();
+        let report_layers: Vec<&str> = report.layers.iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(layer_spans, report_layers, "{mech:?}");
+    }
+}
+
+#[test]
+fn training_timeline_matches_the_report_exactly() {
+    let ctx = Ctx::titan_black();
+    let net = memcnn::models::cifar10().unwrap();
+    trace::start();
+    let report = ctx.engine.simulate_network_training(&net, Mechanism::Opt).unwrap();
+    let captured = trace::finish().unwrap();
+    let total_ms = report.total_time() * 1e3;
+    let diff = (captured.timeline_total_ms() - total_ms).abs();
+    assert!(
+        diff <= 1e-9 * total_ms.max(1.0),
+        "trace says {} ms, training report says {} ms",
+        captured.timeline_total_ms(),
+        total_ms
+    );
+    // The backward track is populated and starts after the forward pass.
+    let bwd: Vec<_> = captured.spans.iter().filter(|sp| sp.track == Track::Backward).collect();
+    assert!(!bwd.is_empty());
+    let forward_end_us: f64 = captured
+        .spans
+        .iter()
+        .filter(|sp| sp.track == Track::Layers || sp.track == Track::Transforms)
+        .map(|sp| {
+            if sp.args.iter().any(|(k, v)| k == "phase" && v == "backward") {
+                0.0
+            } else {
+                sp.dur_us
+            }
+        })
+        .sum();
+    for sp in &bwd {
+        assert!(
+            sp.ts_us >= forward_end_us - 1e-6,
+            "backward span {} at {} us precedes forward end {} us",
+            sp.name,
+            sp.ts_us,
+            forward_end_us
+        );
+    }
+}
+
+#[test]
+fn disabled_instrumentation_captures_nothing_and_changes_nothing() {
+    let ctx = Ctx::titan_black();
+    let net = memcnn::models::cifar10().unwrap();
+
+    // Untraced run: the thread-local collector is inactive.
+    let untraced = ctx.engine.simulate_network(&net, Mechanism::Opt).unwrap();
+    // Nothing leaked into a collector started afterwards.
+    trace::start();
+    let empty = trace::finish().unwrap();
+    assert_eq!(empty.event_count(), 0, "untraced run must record nothing");
+
+    // Tracing must not perturb the simulated timings at all.
+    let (traced, _) = traced_forward(&ctx, &net, Mechanism::Opt);
+    assert_eq!(untraced.total_time(), traced.total_time());
+    assert_eq!(untraced.layers.len(), traced.layers.len());
+    for (a, b) in untraced.layers.iter().zip(&traced.layers) {
+        assert_eq!(a.time, b.time, "layer {}", a.name);
+        assert_eq!(a.transform_before, b.transform_before, "layer {}", a.name);
+        assert_eq!(a.layout, b.layout, "layer {}", a.name);
+    }
+}
+
+#[test]
+fn text_profile_reports_every_layer_and_decision() {
+    let ctx = Ctx::titan_black();
+    let net = memcnn::models::cifar10().unwrap();
+    let (report, captured) = traced_forward(&ctx, &net, Mechanism::Opt);
+    let text = export::text_profile(&captured, 5);
+    for layer in &report.layers {
+        assert!(text.contains(&layer.name), "profile misses {}", layer.name);
+    }
+    assert!(text.contains("== layout decisions =="));
+    assert!(!captured.decisions.is_empty());
+}

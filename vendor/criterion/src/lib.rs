@@ -1,0 +1,76 @@
+//! An offline micro stand-in for `criterion`'s harness API: enough for
+//! `criterion_group!` / `criterion_main!` benches to compile and produce
+//! rough timings (median of a few batches) without crates.io access. No
+//! statistics, plots, or baselines — just name + time per iteration.
+
+pub use std::hint::black_box;
+
+use std::time::Instant;
+
+/// Minimal benchmark driver.
+pub struct Criterion {
+    batches: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { batches: 5 }
+    }
+}
+
+/// Timing handle passed to the closure of [`Criterion::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, timing the batch.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos() as f64;
+    }
+}
+
+impl Criterion {
+    /// Time a named closure and print a one-line summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Calibrate the iteration count to roughly 20 ms per batch.
+        let mut b = Bencher { iters: 1, elapsed_ns: 0.0 };
+        f(&mut b);
+        let per_iter = b.elapsed_ns.max(1.0);
+        let iters = ((20e6 / per_iter) as u64).clamp(1, 1_000_000);
+        let mut best = f64::INFINITY;
+        for _ in 0..self.batches {
+            let mut b = Bencher { iters, elapsed_ns: 0.0 };
+            f(&mut b);
+            best = best.min(b.elapsed_ns / iters as f64);
+        }
+        println!("{name:<50} {:>12.1} ns/iter", best);
+        self
+    }
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` for a set of groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

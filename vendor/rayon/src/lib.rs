@@ -1,0 +1,126 @@
+//! A sequential, offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the subset of rayon's prelude the workspace uses — `par_iter`,
+//! `par_iter_mut`, `into_par_iter`, `par_chunks_mut` — as plain sequential
+//! std iterators. Every adaptor the call sites chain afterwards (`map`,
+//! `collect`, `for_each`, `zip`, `enumerate`, `sum`, ...) is then the
+//! ordinary `Iterator` machinery, so behaviour is identical minus the
+//! parallelism. Determinism actually improves: there is no scheduling
+//! nondeterminism to reason about.
+
+pub mod prelude {
+    /// Sequential `par_iter` over collections that view as slices.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The iterator type.
+        type Iter;
+        /// "Parallel" (here: sequential) iteration by reference.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// Sequential `par_iter_mut`.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// The iterator type.
+        type Iter;
+        /// "Parallel" (here: sequential) iteration by mutable reference.
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Iter = std::slice::IterMut<'a, T>;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Iter = std::slice::IterMut<'a, T>;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    /// Sequential `into_par_iter`.
+    pub trait IntoParallelIterator {
+        /// The iterator type.
+        type Iter;
+        /// "Parallel" (here: sequential) owning iteration.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = std::ops::Range<usize>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<u64> {
+        type Iter = std::ops::Range<u64>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<u32> {
+        type Iter = std::ops::Range<u32>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    /// Sequential `par_chunks` / `par_chunks_mut` over slices.
+    pub trait ParallelSliceExt<T> {
+        /// Non-overlapping chunks by reference.
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
+        /// Non-overlapping chunks by mutable reference.
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceExt<T> for [T] {
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(size)
+        }
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn sequential_equivalents_work() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: usize = (0..10usize).into_par_iter().sum();
+        assert_eq!(sum, 45);
+        let mut buf = [0u8; 8];
+        buf.par_chunks_mut(4).enumerate().for_each(|(i, c)| c.fill(i as u8));
+        assert_eq!(buf, [0, 0, 0, 0, 1, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,213 @@
+//! A minimal, offline, API-compatible subset of `serde`.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the workspace vendors a tiny serde whose surface covers exactly what
+//! the codebase uses: `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! on non-generic structs and unit enums, plus enough `impl Serialize`
+//! coverage for primitives and containers. Serialization is JSON-directed:
+//! `Serialize::serialize_json` appends the JSON encoding of `self` to a
+//! string buffer, and the sibling `serde_json` stub builds `to_string` /
+//! `to_string_pretty` on top of it.
+//!
+//! The derive macro lives in `serde_derive` and understands named-field
+//! structs, unit-variant enums, and the `#[serde(skip)]` field attribute.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can append their JSON encoding to a buffer.
+///
+/// This is the vendored stand-in for `serde::Serialize`. Derived impls and
+/// the manual impls below are the only producers; `serde_json::to_string`
+/// is the only consumer.
+pub trait Serialize {
+    /// Append the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Marker trait mirroring `serde::Deserialize`.
+///
+/// Nothing in the workspace deserializes through serde (parsing goes
+/// through `serde_json::Value`), so the derive only needs to prove the
+/// trait is implemented.
+pub trait Deserialize: Sized {}
+
+/// Escape and append a JSON string literal.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a finite-checked JSON number (NaN/inf become `null`, as
+/// `serde_json` does for lossy float modes).
+pub fn write_json_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // Shortest roundtrip formatting via Rust's float Display.
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&format!("{self}"));
+            }
+        }
+    )*};
+}
+
+serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_f64(*self as f64, out);
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_f64(*self, out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(',');
+        self.2.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<K: AsRef<str>, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(k.as_ref(), out);
+            out.push(':');
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_encode_as_json() {
+        let mut s = String::new();
+        42u32.serialize_json(&mut s);
+        s.push(' ');
+        (-1.5f64).serialize_json(&mut s);
+        s.push(' ');
+        true.serialize_json(&mut s);
+        s.push(' ');
+        "a\"b".serialize_json(&mut s);
+        assert_eq!(s, "42 -1.5 true \"a\\\"b\"");
+    }
+
+    #[test]
+    fn containers_encode_as_json() {
+        let mut s = String::new();
+        vec![1u8, 2, 3].serialize_json(&mut s);
+        assert_eq!(s, "[1,2,3]");
+        let mut s = String::new();
+        Option::<u8>::None.serialize_json(&mut s);
+        assert_eq!(s, "null");
+        let mut s = String::new();
+        f64::NAN.serialize_json(&mut s);
+        assert_eq!(s, "null");
+    }
+}

@@ -1,0 +1,230 @@
+//! Derive macros for the vendored serde subset.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` by
+//! hand-parsing the item's token stream (the offline build has no
+//! `syn`/`quote`). Supported shapes — which cover every derive site in
+//! this workspace:
+//!
+//! - structs with named fields (honouring `#[serde(skip)]` on fields),
+//! - unit structs,
+//! - enums whose variants are all unit variants (serialized as their name,
+//!   matching serde's externally-tagged default for unit variants).
+//!
+//! Anything else produces a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<String> },
+    Unsupported(String),
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Consume leading attributes; returns true if any was `#[serde(skip)]`.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut skip = false;
+    while *pos < tokens.len() && is_punct(&tokens[*pos], '#') {
+        *pos += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if inner.first().is_some_and(|t| is_ident(t, "serde")) {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    if args.stream().into_iter().any(|t| is_ident(&t, "skip")) {
+                        skip = true;
+                    }
+                }
+            }
+            *pos += 1;
+        }
+    }
+    skip
+}
+
+/// Skip an optional visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if *pos < tokens.len() && is_ident(&tokens[*pos], "pub") {
+        *pos += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *pos += 1;
+            }
+        }
+    }
+}
+
+/// Parse `field: Type,` items of a named-field struct body, returning the
+/// names of fields that are not `#[serde(skip)]`-ed.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let skip = skip_attrs(&tokens, &mut pos);
+        skip_vis(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            _ => break,
+        };
+        pos += 1;
+        if !matches!(tokens.get(pos), Some(t) if is_punct(t, ':')) {
+            break;
+        }
+        pos += 1;
+        // Consume the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                t if is_punct(t, '<') => depth += 1,
+                t if is_punct(t, '>') => depth -= 1,
+                t if is_punct(t, ',') && depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        if !skip {
+            fields.push(name);
+        }
+    }
+    fields
+}
+
+/// Parse enum variants; `None` if any variant carries data.
+fn parse_unit_variants(body: TokenStream) -> Option<Vec<String>> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            _ => break,
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            None => {}
+            Some(t) if is_punct(t, ',') => {
+                pos += 1;
+            }
+            Some(t) if is_punct(t, '=') => {
+                // Explicit discriminant: consume until the next comma.
+                while pos < tokens.len() && !is_punct(&tokens[pos], ',') {
+                    pos += 1;
+                }
+                pos += 1;
+            }
+            Some(TokenTree::Group(_)) => return None, // data-carrying variant
+            Some(_) => return None,
+        }
+        variants.push(name);
+    }
+    Some(variants)
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs(&tokens, &mut pos);
+    skip_vis(&tokens, &mut pos);
+    let is_enum = match tokens.get(pos) {
+        Some(t) if is_ident(t, "struct") => false,
+        Some(t) if is_ident(t, "enum") => true,
+        _ => return Item::Unsupported("expected `struct` or `enum`".to_string()),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Item::Unsupported("missing item name".to_string()),
+    };
+    pos += 1;
+    if matches!(tokens.get(pos), Some(t) if is_punct(t, '<')) {
+        return Item::Unsupported(format!(
+            "vendored serde derive does not support generics on `{name}`"
+        ));
+    }
+    match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                match parse_unit_variants(g.stream()) {
+                    Some(variants) => Item::Enum { name, variants },
+                    None => Item::Unsupported(format!(
+                        "vendored serde derive only supports unit variants; \
+                         `{name}` has a data-carrying variant"
+                    )),
+                }
+            } else {
+                Item::Struct { name, fields: parse_named_fields(g.stream()) }
+            }
+        }
+        Some(t) if is_punct(t, ';') && !is_enum => Item::UnitStruct { name },
+        _ => Item::Unsupported(format!(
+            "vendored serde derive only supports brace bodies on `{name}`"
+        )),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut body = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\n\
+                     ::serde::Serialize::serialize_json(&self.{f}, out);\n"
+                ));
+            }
+            body.push_str("out.push('}');");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_json(&self, out: &mut String) {{\n{body}\n}}\n}}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut String) {{ out.push_str(\"null\"); }}\n}}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_json(&self, out: &mut String) {{\n\
+                 let s = match self {{\n{arms}}};\n\
+                 ::serde::write_json_string(s, out);\n}}\n}}"
+            )
+        }
+        Item::Unsupported(msg) => format!("compile_error!(\"{msg}\");"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => {
+            format!("impl ::serde::Deserialize for {name} {{}}")
+        }
+        Item::Unsupported(msg) => format!("compile_error!(\"{msg}\");"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
