@@ -86,6 +86,18 @@ pub trait KernelSpec: Sync {
     /// Replay the memory/compute behaviour of `block` (0-based flat id)
     /// into `trace`. Must be deterministic.
     fn trace_block(&self, block: u64, trace: &mut BlockTrace);
+    /// Canonical identity of this kernel for simulation memoization: two
+    /// specs with equal keys must trace identically on every block.
+    ///
+    /// `None` (the default) opts the kernel out of the cache — the safe
+    /// choice for specs whose trace depends on state their key cannot see.
+    /// Specs that are pure functions of their fields (every spec in
+    /// `memcnn-kernels` is) should return
+    /// [`derived_cache_key`](crate::simcache::derived_cache_key)`(self)`,
+    /// which needs only `#[derive(Debug)]`.
+    fn cache_key(&self) -> Option<String> {
+        None
+    }
 }
 
 /// Per-block trace accumulator handed to [`KernelSpec::trace_block`].

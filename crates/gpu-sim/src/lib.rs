@@ -68,6 +68,7 @@ pub mod kernel;
 pub mod launch;
 pub mod model;
 pub mod occupancy;
+pub mod simcache;
 
 pub use address::{AddressSpace, DeviceBuffer};
 pub use device::{BankMode, DeviceConfig};
@@ -75,6 +76,7 @@ pub use kernel::{BlockTrace, KernelSpec, LaunchConfig, WorkSummary};
 pub use launch::{simulate, simulate_sequence, KernelReport, SequenceReport, SimOptions};
 pub use model::{Bound, KernelTime};
 pub use occupancy::{occupancy, Limiter, Occupancy};
+pub use simcache::derived_cache_key;
 
 use std::fmt;
 

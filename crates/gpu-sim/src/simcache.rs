@@ -1,0 +1,294 @@
+//! Process-wide memoization of [`simulate`](crate::simulate) results.
+//!
+//! The simulator is a *pure function*: a [`KernelReport`] is fully determined
+//! by the device configuration, the kernel's launch-relevant parameters, and
+//! the simulation options (the analytic-model property DeLTA exploits for
+//! the same reason). The engine above re-simulates identical triples
+//! hundreds of times — mechanism scoring, the layout DP's two-state probing,
+//! and autotune sweeps all revisit the same kernels — so this module keeps a
+//! sharded, read-mostly map from a canonical [`SimKey`] to the finished
+//! report.
+//!
+//! **Key derivation.** A key is the concatenation of (a) the `Debug`
+//! rendering of the `DeviceConfig` (every field participates; `f64` Debug is
+//! round-trip exact), (b) the kernel's [`cache_key`](crate::KernelSpec::cache_key)
+//! — for the workspace's kernels, `type name + Debug of all fields` via
+//! [`derived_cache_key`] — and (c) the launch-relevant `SimOptions` fields
+//! (`max_sampled_blocks`, `l2_enabled`; `use_cache` itself is excluded since
+//! it cannot change the report). Kernels whose key cannot capture their
+//! behaviour return `None` and bypass the cache entirely.
+//!
+//! **Invalidation by construction.** There is none, deliberately: keys embed
+//! every input the simulator reads, so a stale entry cannot exist — a
+//! changed device, kernel field, or option is a *different key*. Buffer
+//! addresses inside kernel specs are assigned by per-construction
+//! [`AddressSpace`](crate::AddressSpace) bump allocation starting at a fixed
+//! origin, so two constructions of the same logical kernel render identical
+//! Debug strings and share an entry.
+//!
+//! **Concurrency.** The map is sharded 16 ways by key hash; each shard is an
+//! `RwLock<HashMap>` taken for read on lookup and briefly for write on
+//! insert. Rayon probe workers therefore contend only when they hash to the
+//! same shard *and* one is inserting. Statistics go to the global
+//! [`memcnn_trace::perf`] registry (`sim.cache.hit` / `.miss` / `.bypass`,
+//! `sim.kernels.cold`) so parallel workers' counts are never lost.
+
+use crate::device::DeviceConfig;
+use crate::launch::{KernelReport, SimOptions};
+use memcnn_trace::perf;
+use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Canonical identity of one `simulate` invocation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SimKey {
+    device: String,
+    kernel: String,
+    max_sampled_blocks: u64,
+    l2_enabled: bool,
+}
+
+impl SimKey {
+    /// Build the key for `(device, kernel_key, opts)`. `kernel_key` is the
+    /// spec's [`cache_key`](crate::KernelSpec::cache_key) payload.
+    pub fn new(device: &DeviceConfig, kernel_key: String, opts: &SimOptions) -> SimKey {
+        SimKey {
+            device: format!("{device:?}"),
+            kernel: kernel_key,
+            max_sampled_blocks: opts.max_sampled_blocks,
+            l2_enabled: opts.l2_enabled,
+        }
+    }
+}
+
+/// A memoized simulation: the report plus the two launch-total counters the
+/// trace collector publishes but the report does not carry. Storing them
+/// makes a cache hit's `record_kernel` replay byte-identical to a cold run.
+#[derive(Clone, Debug)]
+pub struct CachedSim {
+    /// The simulator's report, returned verbatim on every hit.
+    pub report: KernelReport,
+    /// Shared-memory passes from the launch totals (for trace replay).
+    pub smem_passes: f64,
+    /// Shared-memory bytes from the launch totals (for trace replay).
+    pub smem_bytes: f64,
+}
+
+const SHARDS: usize = 16;
+
+struct Store {
+    shards: Vec<RwLock<HashMap<SimKey, Arc<CachedSim>>>>,
+}
+
+fn store() -> &'static Store {
+    static STORE: OnceLock<Store> = OnceLock::new();
+    STORE.get_or_init(|| Store {
+        shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+    })
+}
+
+fn shard(key: &SimKey) -> &'static RwLock<HashMap<SimKey, Arc<CachedSim>>> {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    &store().shards[(h.finish() as usize) % SHARDS]
+}
+
+struct Counters {
+    hit: perf::Counter,
+    miss: perf::Counter,
+    bypass: perf::Counter,
+    cold: perf::Counter,
+}
+
+fn counters() -> &'static Counters {
+    static COUNTERS: OnceLock<Counters> = OnceLock::new();
+    COUNTERS.get_or_init(|| Counters {
+        hit: perf::counter("sim.cache.hit"),
+        miss: perf::counter("sim.cache.miss"),
+        bypass: perf::counter("sim.cache.bypass"),
+        cold: perf::counter("sim.kernels.cold"),
+    })
+}
+
+use std::sync::atomic::Ordering;
+
+/// Look `key` up, counting a hit or miss.
+pub fn lookup(key: &SimKey) -> Option<Arc<CachedSim>> {
+    let found = shard(key).read().expect("sim cache poisoned").get(key).cloned();
+    let c = counters();
+    match &found {
+        Some(_) => c.hit.fetch_add(1, Ordering::Relaxed),
+        None => c.miss.fetch_add(1, Ordering::Relaxed),
+    };
+    found
+}
+
+/// Insert a finished simulation. Concurrent inserts of the same key are
+/// idempotent (the simulator is deterministic), so last-write-wins is fine.
+pub fn insert(key: SimKey, value: CachedSim) {
+    shard(&key).write().expect("sim cache poisoned").insert(key, Arc::new(value));
+}
+
+/// Count one cache-ineligible simulation (spec opted out, or caching was
+/// switched off in the options).
+pub fn note_bypass() {
+    counters().bypass.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Count one cold (fully executed) simulation.
+pub fn note_cold() {
+    counters().cold.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Number of memoized entries across all shards.
+pub fn len() -> usize {
+    store().shards.iter().map(|s| s.read().expect("sim cache poisoned").len()).sum()
+}
+
+/// Drop every entry (the perf counters are left untouched; reset those via
+/// [`memcnn_trace::perf::reset`]).
+pub fn clear() {
+    for s in &store().shards {
+        s.write().expect("sim cache poisoned").clear();
+    }
+}
+
+/// Point-in-time cache statistics, read from the perf registry.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CacheStats {
+    /// Lookups that returned a memoized report.
+    pub hits: u64,
+    /// Lookups that found nothing (a cold simulation follows).
+    pub misses: u64,
+    /// Simulations that never consulted the cache.
+    pub bypasses: u64,
+    /// Simulations executed in full.
+    pub cold: u64,
+    /// Live entries.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Hits over lookups; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Snapshot the cache statistics.
+pub fn stats() -> CacheStats {
+    let c = counters();
+    CacheStats {
+        hits: c.hit.load(Ordering::Relaxed),
+        misses: c.miss.load(Ordering::Relaxed),
+        bypasses: c.bypass.load(Ordering::Relaxed),
+        cold: c.cold.load(Ordering::Relaxed),
+        entries: len() as u64,
+    }
+}
+
+/// Derive a cache key from a spec's type and `Debug` rendering: sound
+/// whenever the spec's trace is a pure function of its (Debug-visible)
+/// fields. The type name disambiguates structurally identical specs of
+/// different types; the Debug body captures every field, including buffer
+/// base addresses.
+pub fn derived_cache_key<K: std::fmt::Debug + ?Sized>(kernel: &K) -> Option<String> {
+    Some(format!("{}::{:?}", std::any::type_name::<K>(), kernel))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Bound, KernelTime};
+    use crate::occupancy::{Limiter, Occupancy};
+
+    fn dummy_report(name: &str, time: f64) -> KernelReport {
+        KernelReport {
+            name: name.to_string(),
+            timing: KernelTime {
+                time,
+                t_launch: 0.0,
+                t_compute: 0.0,
+                t_dram: 0.0,
+                t_l2: 0.0,
+                t_latency: 0.0,
+                t_smem: 0.0,
+                t_issue: 0.0,
+                bound: Bound::Launch,
+                dram_gbs: 0.0,
+                flops_rate: 0.0,
+                alu_utilization: 0.0,
+                alu_eff: 1.0,
+            },
+            occupancy: Occupancy {
+                blocks_per_sm: 1,
+                warps_per_sm: 1,
+                concurrent_blocks: 1,
+                concurrent_warps: 1,
+                fraction: 1.0,
+                limiter: Limiter::Blocks,
+            },
+            dram_bytes: 0.0,
+            transaction_bytes: 0.0,
+            requested_bytes: 0.0,
+            l2_hit_rate: 0.0,
+            flops: 0.0,
+            sampled_blocks: 1,
+            grid_blocks: 1,
+        }
+    }
+
+    #[test]
+    fn distinct_options_and_kernels_get_distinct_keys() {
+        let d = DeviceConfig::titan_black();
+        let base = SimOptions::default();
+        let k1 = SimKey::new(&d, "A".to_string(), &base);
+        let k2 = SimKey::new(&d, "B".to_string(), &base);
+        assert_ne!(k1, k2);
+        let no_l2 = SimOptions { l2_enabled: false, ..base };
+        assert_ne!(k1, SimKey::new(&d, "A".to_string(), &no_l2));
+        let more = SimOptions { max_sampled_blocks: 48, ..base };
+        assert_ne!(k1, SimKey::new(&d, "A".to_string(), &more));
+        let dx = DeviceConfig::titan_x();
+        assert_ne!(k1, SimKey::new(&dx, "A".to_string(), &base));
+        // use_cache is *not* part of the key: it cannot change the report.
+        let cold = SimOptions { use_cache: false, ..base };
+        assert_eq!(k1, SimKey::new(&d, "A".to_string(), &cold));
+    }
+
+    #[test]
+    fn insert_then_lookup_round_trips() {
+        let d = DeviceConfig::titan_black();
+        let key = SimKey::new(&d, "simcache-test-roundtrip".to_string(), &SimOptions::default());
+        assert!(lookup(&key).is_none());
+        insert(
+            key.clone(),
+            CachedSim { report: dummy_report("rt", 1e-6), smem_passes: 3.0, smem_bytes: 96.0 },
+        );
+        let hit = lookup(&key).expect("inserted entry is retrievable");
+        assert_eq!(hit.report.name, "rt");
+        assert_eq!(hit.smem_passes, 3.0);
+        assert!(len() >= 1);
+    }
+
+    #[test]
+    fn derived_key_includes_type_and_fields() {
+        // The field is only ever read through the derived Debug impl,
+        // which dead-code analysis deliberately ignores.
+        #[derive(Debug)]
+        struct Probe {
+            #[allow(dead_code)]
+            n: u64,
+        }
+        let key = derived_cache_key(&Probe { n: 7 }).unwrap();
+        assert!(key.contains("Probe"), "type name missing: {key}");
+        assert!(key.contains("n: 7"), "field missing: {key}");
+        assert_ne!(key, derived_cache_key(&Probe { n: 8 }).unwrap());
+    }
+}

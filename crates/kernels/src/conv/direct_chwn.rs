@@ -86,6 +86,10 @@ impl DirectConvChwn {
 }
 
 impl KernelSpec for DirectConvChwn {
+    fn cache_key(&self) -> Option<String> {
+        memcnn_gpusim::derived_cache_key(self)
+    }
+
     fn name(&self) -> String {
         format!("direct-conv-chwn {} (ipt={})", self.shape, self.ipt)
     }

@@ -208,6 +208,7 @@ impl FftConvNchw {
 
 /// Batched 2D FFT kernel (forward or inverse): streams frames through
 /// shared memory with `log2` butterfly stages.
+#[derive(Debug)]
 struct FftTransformKernel {
     name: String,
     batch: usize,
@@ -228,6 +229,10 @@ impl FftTransformKernel {
 }
 
 impl KernelSpec for FftTransformKernel {
+    fn cache_key(&self) -> Option<String> {
+        memcnn_gpusim::derived_cache_key(self)
+    }
+
     fn name(&self) -> String {
         self.name.clone()
     }
@@ -293,6 +298,7 @@ impl KernelSpec for FftTransformKernel {
 
 /// Per-frequency complex products accumulated over `Ci`: `frame^2`
 /// independent CGEMMs of `[N x Ci] x [Ci x Co]` (tiled 32x32).
+#[derive(Debug)]
 struct FftPointwiseKernel {
     shape: ConvShape,
     frame: usize,
@@ -304,6 +310,10 @@ struct FftPointwiseKernel {
 }
 
 impl KernelSpec for FftPointwiseKernel {
+    fn cache_key(&self) -> Option<String> {
+        memcnn_gpusim::derived_cache_key(self)
+    }
+
     fn name(&self) -> String {
         format!("fft-pointwise cgemm x{}", self.frame * self.frame)
     }

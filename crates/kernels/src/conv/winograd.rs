@@ -296,6 +296,7 @@ impl WinogradConvNchw {
 }
 
 /// Streaming tile-transform kernel: one item = one 4x4 tile (or filter).
+#[derive(Debug)]
 struct WinogradTransformKernel {
     name: String,
     items: usize,
@@ -307,6 +308,10 @@ struct WinogradTransformKernel {
 }
 
 impl KernelSpec for WinogradTransformKernel {
+    fn cache_key(&self) -> Option<String> {
+        memcnn_gpusim::derived_cache_key(self)
+    }
+
     fn name(&self) -> String {
         self.name.clone()
     }
@@ -367,6 +372,7 @@ impl KernelSpec for WinogradTransformKernel {
 }
 
 /// The 16 batched GEMMs `M_p[N*tiles x Co] = V_p[N*tiles x Ci] x U_p[Ci x Co]`.
+#[derive(Debug)]
 struct WinogradPointwiseKernel {
     shape: ConvShape,
     tiles: usize,
@@ -377,6 +383,10 @@ struct WinogradPointwiseKernel {
 }
 
 impl KernelSpec for WinogradPointwiseKernel {
+    fn cache_key(&self) -> Option<String> {
+        memcnn_gpusim::derived_cache_key(self)
+    }
+
     fn name(&self) -> String {
         format!("winograd-pointwise x{}", T * T)
     }

@@ -97,6 +97,10 @@ impl GemmKernel {
 }
 
 impl KernelSpec for GemmKernel {
+    fn cache_key(&self) -> Option<String> {
+        memcnn_gpusim::derived_cache_key(self)
+    }
+
     fn name(&self) -> String {
         format!("sgemm {}x{}x{}", self.m, self.k, self.n)
     }

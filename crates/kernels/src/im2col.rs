@@ -121,6 +121,10 @@ impl Im2colKernel {
 }
 
 impl KernelSpec for Im2colKernel {
+    fn cache_key(&self) -> Option<String> {
+        memcnn_gpusim::derived_cache_key(self)
+    }
+
     fn name(&self) -> String {
         format!("im2col {}", self.shape)
     }

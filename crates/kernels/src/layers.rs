@@ -128,6 +128,10 @@ impl ElementwiseKernel {
 }
 
 impl KernelSpec for ElementwiseKernel {
+    fn cache_key(&self) -> Option<String> {
+        memcnn_gpusim::derived_cache_key(self)
+    }
+
     fn name(&self) -> String {
         self.name.clone()
     }
@@ -220,6 +224,10 @@ impl LrnKernel {
 }
 
 impl KernelSpec for LrnKernel {
+    fn cache_key(&self) -> Option<String> {
+        memcnn_gpusim::derived_cache_key(self)
+    }
+
     fn name(&self) -> String {
         format!("lrn size={}", self.size)
     }

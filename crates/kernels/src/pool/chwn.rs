@@ -68,6 +68,10 @@ impl PoolChwn {
 }
 
 impl KernelSpec for PoolChwn {
+    fn cache_key(&self) -> Option<String> {
+        memcnn_gpusim::derived_cache_key(self)
+    }
+
     fn name(&self) -> String {
         if (self.ux, self.uy) == (1, 1) {
             format!("pool-chwn {}", self.shape)

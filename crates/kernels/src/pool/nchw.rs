@@ -32,6 +32,10 @@ impl PoolNchwCaffe {
 }
 
 impl KernelSpec for PoolNchwCaffe {
+    fn cache_key(&self) -> Option<String> {
+        memcnn_gpusim::derived_cache_key(self)
+    }
+
     fn name(&self) -> String {
         format!("pool-nchw-caffe {}", self.shape)
     }
@@ -137,6 +141,10 @@ impl PoolNchwCudnn {
 }
 
 impl KernelSpec for PoolNchwCudnn {
+    fn cache_key(&self) -> Option<String> {
+        memcnn_gpusim::derived_cache_key(self)
+    }
+
     fn name(&self) -> String {
         format!("pool-nchw-cudnn {}", self.shape)
     }

@@ -103,6 +103,7 @@ enum Step {
 
 /// One step of the cuda-convnet/Caffe softmax: thread per image, serial
 /// inner loop over categories, lane addresses strided by `C`.
+#[derive(Debug)]
 struct StepKernel {
     shape: SoftmaxShape,
     step: Step,
@@ -127,6 +128,10 @@ impl StepKernel {
 }
 
 impl KernelSpec for StepKernel {
+    fn cache_key(&self) -> Option<String> {
+        memcnn_gpusim::derived_cache_key(self)
+    }
+
     fn name(&self) -> String {
         format!("softmax-step-{:?} {}", self.step, self.shape)
     }
@@ -214,6 +219,7 @@ pub fn five_kernel_pipeline(shape: SoftmaxShape) -> Vec<Box<dyn KernelSpec + Sen
 /// A block-per-image kernel with parallel inner loop, used by the stronger
 /// `cudnn_pipeline` baseline: performs `passes_read` coalesced reads and
 /// `passes_write` coalesced writes of the matrix plus a block reduction.
+#[derive(Debug)]
 struct BlockPerImageKernel {
     shape: SoftmaxShape,
     name: &'static str,
@@ -229,6 +235,10 @@ fn block_threads(categories: usize) -> u32 {
 }
 
 impl KernelSpec for BlockPerImageKernel {
+    fn cache_key(&self) -> Option<String> {
+        memcnn_gpusim::derived_cache_key(self)
+    }
+
     fn name(&self) -> String {
         format!("softmax-{} {}", self.name, self.shape)
     }
@@ -366,6 +376,10 @@ impl SoftmaxFusedSerial {
 }
 
 impl KernelSpec for SoftmaxFusedSerial {
+    fn cache_key(&self) -> Option<String> {
+        memcnn_gpusim::derived_cache_key(self)
+    }
+
     fn name(&self) -> String {
         format!("softmax-fused-serial {}", self.shape)
     }
@@ -445,6 +459,10 @@ impl SoftmaxFused {
 }
 
 impl KernelSpec for SoftmaxFused {
+    fn cache_key(&self) -> Option<String> {
+        memcnn_gpusim::derived_cache_key(self)
+    }
+
     fn name(&self) -> String {
         format!("softmax-fused {}", self.shape)
     }

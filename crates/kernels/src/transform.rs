@@ -220,6 +220,10 @@ impl TransformKernel {
 }
 
 impl KernelSpec for TransformKernel {
+    fn cache_key(&self) -> Option<String> {
+        memcnn_gpusim::derived_cache_key(self)
+    }
+
     fn name(&self) -> String {
         format!(
             "transform-{:?} {}x{}{}",

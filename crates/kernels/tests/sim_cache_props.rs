@@ -1,0 +1,74 @@
+//! Cache-transparency properties: for arbitrary kernel specs, the memoized
+//! simulation path must return reports bit-identical to a cold run, and
+//! distinct specs must never share a cache key.
+//!
+//! `{:?}` comparison is exact: Rust's `f64` Debug rendering round-trips, so
+//! two reports render identically iff every field is bit-identical.
+
+use memcnn_gpusim::{simulate, DeviceConfig, KernelSpec, SimOptions};
+use memcnn_kernels::conv::direct_chwn::DirectConvChwn;
+use memcnn_kernels::pool::chwn::PoolChwn;
+use memcnn_kernels::pool::nchw::{PoolNchwCaffe, PoolNchwCudnn};
+use memcnn_kernels::transform::{TransformImpl, TransformKernel};
+use memcnn_kernels::{ConvShape, PoolShape};
+use memcnn_tensor::{Layout, Shape};
+use proptest::prelude::*;
+
+fn small_conv() -> impl Strategy<Value = ConvShape> {
+    (1usize..4, 1usize..5, 5usize..10, 1usize..5, 1usize..4, 1usize..3, 0usize..3).prop_map(
+        |(n, ci, h, co, f, s, pad)| {
+            let f = f * 2 + 1;
+            ConvShape { n, ci, h, w: h, co: co * 2, fh: f, fw: f, stride: s, pad }
+        },
+    )
+}
+
+/// Simulate `k` cold, then twice through the cache (a miss-and-fill followed
+/// by a guaranteed hit), and require all three reports bit-identical.
+fn assert_cache_transparent<K: KernelSpec>(k: &K) {
+    let d = DeviceConfig::titan_black();
+    let cold_opts = SimOptions { use_cache: false, ..SimOptions::default() };
+    let warm_opts = SimOptions::default();
+    let cold = simulate(&d, k, &cold_opts).unwrap();
+    let warm = simulate(&d, k, &warm_opts).unwrap();
+    let hit = simulate(&d, k, &warm_opts).unwrap();
+    assert_eq!(format!("{cold:?}"), format!("{warm:?}"), "cold vs cache-fill");
+    assert_eq!(format!("{warm:?}"), format!("{hit:?}"), "cache-fill vs hit");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Conv, pooling, and transform specs all report bit-identically
+    /// through the cache for arbitrary shapes.
+    #[test]
+    fn cached_reports_equal_cold_reports(shape in small_conv(), hw in 4usize..12, win in 2usize..4) {
+        prop_assume!(shape.validate().is_ok());
+        prop_assume!(win <= hw);
+        assert_cache_transparent(&DirectConvChwn::new(shape));
+        let p = PoolShape::table1(shape.n, hw, win, shape.ci, 2);
+        assert_cache_transparent(&PoolNchwCaffe::new(p));
+        assert_cache_transparent(&PoolChwn::new(p));
+        let t = Shape::new(shape.n * 32, shape.ci, hw, hw);
+        assert_cache_transparent(&TransformKernel::new(t, Layout::NCHW, Layout::CHWN, TransformImpl::Opt1));
+    }
+
+    /// Distinct specs get distinct cache keys: different shapes never
+    /// collide, and neither do structurally identical specs of different
+    /// types (the key embeds the type name).
+    #[test]
+    fn distinct_specs_never_share_a_key(a in small_conv(), b in small_conv()) {
+        prop_assume!(a.validate().is_ok() && b.validate().is_ok());
+        let ka = DirectConvChwn::new(a).cache_key().unwrap();
+        let kb = DirectConvChwn::new(b).cache_key().unwrap();
+        prop_assert_eq!(a == b, ka == kb, "key equality must track spec equality");
+        // Same construction twice -> same key (addresses are
+        // per-construction, bump-allocated from a fixed origin).
+        prop_assert_eq!(&ka, &DirectConvChwn::new(a).cache_key().unwrap());
+        // Same shape, different kernel type -> different key.
+        let p = PoolShape::table1(a.n, a.h, 2, a.ci, 2);
+        let caffe = PoolNchwCaffe::new(p).cache_key().unwrap();
+        let cudnn = PoolNchwCudnn::new(p).cache_key().unwrap();
+        prop_assert_ne!(caffe, cudnn);
+    }
+}

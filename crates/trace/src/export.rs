@@ -386,6 +386,16 @@ pub fn text_profile(trace: &Trace, top_n: usize) -> String {
             writeln!(out, "  {:<10} {:<5} [{}] {}", d.layer, d.layout, d.policy, d.reason).unwrap();
         }
     }
+
+    // Process-wide perf counters (cache hits, parallel-worker kernel counts,
+    // ...) — the per-thread collector above cannot see work done on rayon
+    // workers, but the global registry can.
+    let perf = crate::perf::render();
+    if !perf.is_empty() {
+        writeln!(out).unwrap();
+        writeln!(out, "== perf counters (process-wide) ==").unwrap();
+        out.push_str(&perf);
+    }
     out
 }
 

@@ -28,6 +28,7 @@
 
 pub mod counters;
 pub mod export;
+pub mod perf;
 
 pub use counters::{Aggregate, KernelCounters};
 

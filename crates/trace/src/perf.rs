@@ -1,0 +1,132 @@
+//! Global, thread-safe named performance counters.
+//!
+//! The span/kernel collector in this crate is thread-local by design: it
+//! attributes simulated kernels to the scope stack of the *orchestrating*
+//! thread. Work fanned out to rayon workers has no scope stack, so anything
+//! counted only there would silently vanish from `profile.txt`. This module
+//! is the complement: a process-wide registry of monotonically increasing
+//! `u64` counters that any thread can bump cheaply (one atomic add after a
+//! shared-lock name lookup; hot paths can hold on to the returned handle and
+//! skip the lookup entirely).
+//!
+//! Unlike the collector, the registry is always on — counters cost an atomic
+//! increment whether or not a trace is being recorded. They carry *counts*,
+//! not timings, so there is no per-record allocation and no distortion of the
+//! traced timeline.
+//!
+//! Naming convention: dotted lowercase paths, e.g. `sim.cache.hit`,
+//! `engine.probe.parallel`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A live handle to one named counter. Cloning is cheap (`Arc`); keep one
+/// around to bump a hot counter without re-resolving its name.
+pub type Counter = Arc<AtomicU64>;
+
+fn registry() -> &'static RwLock<BTreeMap<&'static str, Counter>> {
+    static REGISTRY: OnceLock<RwLock<BTreeMap<&'static str, Counter>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(BTreeMap::new()))
+}
+
+/// Resolve (registering on first use) the counter named `name`.
+pub fn counter(name: &'static str) -> Counter {
+    if let Some(c) = registry().read().expect("perf registry poisoned").get(name) {
+        return Arc::clone(c);
+    }
+    let mut map = registry().write().expect("perf registry poisoned");
+    Arc::clone(map.entry(name).or_default())
+}
+
+/// Increment `name` by one.
+pub fn incr(name: &'static str) {
+    add(name, 1);
+}
+
+/// Increment `name` by `n`.
+pub fn add(name: &'static str, n: u64) {
+    counter(name).fetch_add(n, Ordering::Relaxed);
+}
+
+/// Current value of `name` (0 if it was never touched).
+pub fn get(name: &'static str) -> u64 {
+    registry()
+        .read()
+        .expect("perf registry poisoned")
+        .get(name)
+        .map_or(0, |c| c.load(Ordering::Relaxed))
+}
+
+/// Snapshot every registered counter. Values are read individually and
+/// relaxed, so a snapshot taken during concurrent updates is a consistent
+/// *per-counter* view, not a global atomic cut — fine for reporting.
+pub fn snapshot() -> BTreeMap<String, u64> {
+    registry()
+        .read()
+        .expect("perf registry poisoned")
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.load(Ordering::Relaxed)))
+        .collect()
+}
+
+/// Reset every registered counter to zero. Handles held by hot paths stay
+/// valid (the `Arc`s are reused, not replaced).
+pub fn reset() {
+    for c in registry().read().expect("perf registry poisoned").values() {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Render the non-zero counters as a text block (used by the profile
+/// exporter); empty string when nothing has been counted.
+pub fn render() -> String {
+    let snap = snapshot();
+    let mut out = String::new();
+    for (name, value) in snap.iter().filter(|(_, v)| **v > 0) {
+        out.push_str(&format!("  {name:<28} {value:>12}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_accumulate_and_reset() {
+        // One test exercises the whole lifecycle: the registry is global,
+        // so parallel tests sharing names would race on asserts.
+        let c = counter("test.perf.lifecycle");
+        assert_eq!(c.load(Ordering::Relaxed), 0);
+        incr("test.perf.lifecycle");
+        add("test.perf.lifecycle", 41);
+        assert_eq!(get("test.perf.lifecycle"), 42);
+        // The handle observes the same cell the free functions use.
+        assert_eq!(c.load(Ordering::Relaxed), 42);
+        assert_eq!(snapshot().get("test.perf.lifecycle"), Some(&42));
+        assert!(render().contains("test.perf.lifecycle"));
+
+        reset();
+        assert_eq!(get("test.perf.lifecycle"), 0);
+        // Held handles survive a reset.
+        c.fetch_add(7, Ordering::Relaxed);
+        assert_eq!(get("test.perf.lifecycle"), 7);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let threads = 8;
+        let per_thread = 1000u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for _ in 0..per_thread {
+                        incr("test.perf.concurrent");
+                    }
+                });
+            }
+        });
+        assert_eq!(get("test.perf.concurrent"), threads * per_thread);
+    }
+}

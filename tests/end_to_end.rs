@@ -42,33 +42,56 @@ fn cifar_functional_forward_with_engine_layouts() {
     assert!(assert_valid_probabilities(&probs, SoftmaxShape::new(net.input.n, 10), 1e-4));
 }
 
-#[test]
-fn all_networks_simulate_under_all_mechanisms() {
+/// Simulate one network under a mechanism set and assert Opt never loses
+/// to any mechanism it subsumes. One `#[test]` per network (below) keeps
+/// any failure localized to its network and lets the harness run the five
+/// simulations on separate test threads.
+fn simulate_under_mechanisms(name: &str) {
+    let net = all_networks().into_iter().find(|n| n.name == name).expect("known network");
     let e = engine();
-    for net in all_networks() {
-        // Keep the heavy nets to the three interesting mechanisms.
-        let mechs: &[Mechanism] = if net.name == "LeNet" || net.name == "CIFAR" {
-            &Mechanism::ALL
-        } else {
-            &[Mechanism::CudnnMm, Mechanism::CudaConvnet, Mechanism::Opt]
-        };
-        let mut times = Vec::new();
-        for &m in mechs {
-            let r = e.simulate_network(&net, m).unwrap();
-            assert_eq!(r.layers.len(), net.layers().len(), "{} {m}", net.name);
-            assert!(r.total_time() > 0.0);
-            times.push((m, r.total_time()));
-        }
-        // Opt never loses to any mechanism it subsumes.
-        let opt = times.iter().find(|(m, _)| *m == Mechanism::Opt).unwrap().1;
-        for (m, t) in &times {
-            assert!(
-                opt <= t * 1.02,
-                "{}: Opt ({opt:.2e}) should not lose to {m} ({t:.2e})",
-                net.name
-            );
-        }
+    // Keep the heavy nets to the three interesting mechanisms.
+    let mechs: &[Mechanism] = if net.name == "LeNet" || net.name == "CIFAR" {
+        &Mechanism::ALL
+    } else {
+        &[Mechanism::CudnnMm, Mechanism::CudaConvnet, Mechanism::Opt]
+    };
+    let mut times = Vec::new();
+    for &m in mechs {
+        let r = e.simulate_network(&net, m).unwrap();
+        assert_eq!(r.layers.len(), net.layers().len(), "{} {m}", net.name);
+        assert!(r.total_time() > 0.0);
+        times.push((m, r.total_time()));
     }
+    // Opt never loses to any mechanism it subsumes.
+    let opt = times.iter().find(|(m, _)| *m == Mechanism::Opt).unwrap().1;
+    for (m, t) in &times {
+        assert!(opt <= t * 1.02, "{}: Opt ({opt:.2e}) should not lose to {m} ({t:.2e})", net.name);
+    }
+}
+
+#[test]
+fn lenet_simulates_under_all_mechanisms() {
+    simulate_under_mechanisms("LeNet");
+}
+
+#[test]
+fn cifar_simulates_under_all_mechanisms() {
+    simulate_under_mechanisms("CIFAR");
+}
+
+#[test]
+fn alexnet_simulates_under_core_mechanisms() {
+    simulate_under_mechanisms("AlexNet");
+}
+
+#[test]
+fn zfnet_simulates_under_core_mechanisms() {
+    simulate_under_mechanisms("ZFNet");
+}
+
+#[test]
+fn vgg16_simulates_under_core_mechanisms() {
+    simulate_under_mechanisms("VGG");
 }
 
 #[test]
