@@ -1,0 +1,148 @@
+//! Latency-vs-throughput serving sweep with batch-size-aware layout plans.
+//!
+//! ```text
+//! cargo run -p memcnn-bench --release --bin serve
+//! cargo run -p memcnn-bench --release --bin serve -- --out target/BENCH_serve.json
+//! ```
+//!
+//! For AlexNet and VGG-16 (the deeper network), prints the per-bucket plan
+//! table — the same network compiles different convolution layouts at
+//! different bucket sizes — then serves seeded Poisson streams at
+//! fractions of saturation throughput and tabulates p50/p95/p99 latency
+//! and throughput per operating point. A fixed reference point
+//! (70% of capacity, seed 42) is written as one line of JSON to
+//! `BENCH_serve.json` for CI trend tracking, next to `BENCH_engine.json`.
+
+use memcnn_bench::serving::{
+    self, capacity_images_per_sec, feasible_max_batch, plan_table, run_point, sweep, sweep_policy,
+};
+use memcnn_bench::util::Ctx;
+use memcnn_models::{alexnet, vgg16};
+use memcnn_trace::perf;
+use serde::Serialize;
+use std::path::PathBuf;
+
+#[derive(Serialize)]
+struct NetworkRow {
+    name: String,
+    max_batch: usize,
+    /// Offered request rate at the reference point, requests/second.
+    reference_rate_rps: f64,
+    requests: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+    throughput_images_per_sec: f64,
+    /// Buckets that actually served batches at the reference point.
+    buckets_used: Vec<usize>,
+    /// Distinct conv-layout signatures across compiled buckets (> 1 means
+    /// the server flips plans with load).
+    distinct_conv_signatures: usize,
+    /// Layout-DP compiles during the reference run (== buckets touched).
+    plan_compiles: u64,
+    /// Plan-cache hits during the reference run (repeat buckets).
+    plan_hits: u64,
+}
+
+#[derive(Serialize)]
+struct Summary {
+    bench: &'static str,
+    device: String,
+    seed: u64,
+    reference_load_frac: f64,
+    networks: Vec<NetworkRow>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: serve [--out PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = PathBuf::from("BENCH_serve.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = PathBuf::from(p),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let ctx = Ctx::titan_black();
+    let fracs = [0.2, 0.5, 0.8, 1.1];
+    let mut rows = Vec::new();
+
+    for net in [alexnet().expect("alexnet"), vgg16().expect("vgg16")] {
+        // Deep networks can exhaust simulated device memory at large N;
+        // cap the top bucket at the largest batch that still plans.
+        let (max_batch, top_plan) = feasible_max_batch(&ctx, &net, &[256, 128, 64, 32])
+            .unwrap_or_else(|| panic!("{}: no feasible batch size", net.name));
+        let capacity = capacity_images_per_sec(max_batch, &top_plan);
+        let policy = sweep_policy(max_batch, top_plan.total_time());
+        println!(
+            "\n{}: max_batch={max_batch}, saturation ≈ {capacity:.0} images/s, \
+             queue-delay cap {:.1} ms",
+            net.name,
+            policy.max_queue_delay * 1e3
+        );
+
+        let table = plan_table(&ctx, &net, &policy).expect("plan table");
+        table.print();
+
+        let (_, sweep_table) = sweep(&ctx, &net, &policy, &fracs, capacity).expect("latency sweep");
+        sweep_table.print();
+
+        // Reference point for CI: fixed load fraction and seed.
+        let (c0, h0) = (perf::get("engine.plan.compile"), perf::get("serve.plan.hit"));
+        let reference = run_point(&ctx, &net, &policy, serving::REFERENCE_FRAC, capacity)
+            .expect("reference point");
+        let (compiles, hits) =
+            (perf::get("engine.plan.compile") - c0, perf::get("serve.plan.hit") - h0);
+        let lat = reference.report.latency();
+        println!(
+            "reference @{:.0}%: p50 {:.3} ms, p99 {:.3} ms, {:.0} images/s \
+             ({compiles} plan compiles, {hits} cache hits)",
+            serving::REFERENCE_FRAC * 100.0,
+            lat.p50 * 1e3,
+            lat.p99 * 1e3,
+            reference.report.throughput_images_per_sec()
+        );
+        rows.push(NetworkRow {
+            name: net.name.clone(),
+            max_batch,
+            reference_rate_rps: reference.rate,
+            requests: reference.report.requests,
+            p50_ms: lat.p50 * 1e3,
+            p99_ms: lat.p99 * 1e3,
+            throughput_images_per_sec: reference.report.throughput_images_per_sec(),
+            buckets_used: reference
+                .report
+                .buckets
+                .iter()
+                .filter(|b| b.batches > 0)
+                .map(|b| b.bucket)
+                .collect(),
+            distinct_conv_signatures: reference.report.distinct_conv_signatures(),
+            plan_compiles: compiles,
+            plan_hits: hits,
+        });
+    }
+
+    let summary = Summary {
+        bench: "serve",
+        device: ctx.device.name.clone(),
+        seed: serving::SWEEP_SEED,
+        reference_load_frac: serving::REFERENCE_FRAC,
+        networks: rows,
+    };
+    let line = serde_json::to_string(&summary).expect("serialize summary");
+    println!("\n{line}");
+    if let Err(e) = std::fs::write(&out, format!("{line}\n")) {
+        eprintln!("failed to write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", out.display());
+}

@@ -11,10 +11,15 @@
 //! mechanism with the [`memcnn_trace`] collector enabled and writes a
 //! Perfetto-loadable `trace.json` plus a human-readable `profile.txt`
 //! (exposed as the `profile` binary).
+//!
+//! [`serving`] drives the `memcnn-serve` dynamic-batching simulator
+//! through latency-vs-throughput sweeps (exposed as the `serve` binary,
+//! which also emits `BENCH_serve.json` for CI).
 
 #![warn(missing_docs)]
 
 pub mod figures;
 pub mod layer_times;
 pub mod profile;
+pub mod serving;
 pub mod util;

@@ -1,0 +1,218 @@
+//! Latency-vs-throughput serving sweeps: the harness behind the `serve`
+//! binary and `BENCH_serve.json`.
+//!
+//! A sweep fixes a network and a batching policy, estimates the device's
+//! saturation throughput from the largest bucket's plan, then serves
+//! seeded Poisson streams at fractions of that capacity. Low fractions
+//! launch part-full batches (small buckets, small-`N` plans); high
+//! fractions fill every batch (the top bucket's plan). Because the layout
+//! heuristic keys on `N`, the per-bucket plan table shows the layout
+//! decisions changing across buckets of the *same* network.
+
+use crate::util::{ms, Ctx, Table};
+use memcnn_core::{Network, Plan};
+use memcnn_gpusim::SimError;
+use memcnn_serve::{
+    buckets, serve, BatchPolicy, PlanCache, ServeConfig, ServeReport, WorkloadConfig,
+};
+
+/// One sweep operating point: a Poisson stream at `frac` of capacity.
+pub struct SweepRow {
+    /// Fraction of the saturation throughput offered.
+    pub frac: f64,
+    /// Offered request rate, requests/second.
+    pub rate: f64,
+    /// The finished run.
+    pub report: ServeReport,
+}
+
+/// Per-request image counts used by every sweep (mean 2.5 images).
+pub const IMAGES_MIN: usize = 1;
+/// See [`IMAGES_MIN`].
+pub const IMAGES_MAX: usize = 4;
+/// Seed shared by every sweep stream; a fixed seed keeps
+/// `BENCH_serve.json` comparable across commits.
+pub const SWEEP_SEED: u64 = 42;
+/// Requests per operating point (duration adapts to the rate).
+pub const SWEEP_REQUESTS: usize = 240;
+/// Offered-load fraction used for the `BENCH_serve.json` reference point.
+pub const REFERENCE_FRAC: f64 = 0.7;
+
+/// The sweep's batching policy for `max_batch_images`: the queue-delay cap
+/// is tied to the largest bucket's service time — short enough that low
+/// load launches part-full batches (small buckets, small-`N` plans), long
+/// enough that high load still fills the top bucket.
+pub fn sweep_policy(max_batch_images: usize, top_service_time: f64) -> BatchPolicy {
+    BatchPolicy::new(max_batch_images, (0.25 * top_service_time).max(1e-4))
+}
+
+/// Largest `max_batch_images` from `candidates` (descending) whose top
+/// bucket actually plans on the device — deep networks can exhaust
+/// simulated device memory at large `N`, and the serving policy must not
+/// promise buckets it cannot compile.
+pub fn feasible_max_batch(ctx: &Ctx, net: &Network, candidates: &[usize]) -> Option<(usize, Plan)> {
+    for &max in candidates {
+        match ctx.engine.plan_at(net, ctx.mechanism(), max) {
+            Ok(plan) => return Some((max, plan)),
+            Err(SimError::OutOfMemory { .. }) => continue,
+            Err(SimError::Unlaunchable(_)) => continue,
+        }
+    }
+    None
+}
+
+/// Saturation throughput implied by the top bucket's plan, images/second.
+pub fn capacity_images_per_sec(max_batch: usize, top_plan: &Plan) -> f64 {
+    max_batch as f64 / top_plan.total_time()
+}
+
+/// Compile every bucket of `policy` and tabulate its plan: the layout
+/// decisions per bucket, inserted transforms, and per-bucket throughput.
+pub fn plan_table(ctx: &Ctx, net: &Network, policy: &BatchPolicy) -> Result<Table, SimError> {
+    let mut cache = PlanCache::new(&ctx.engine, net, ctx.mechanism());
+    let all = buckets(policy);
+    cache.prewarm(&all)?;
+    let mut t = Table::new(
+        format!("{}: layout plan per batch-size bucket", net.name),
+        &["bucket N", "conv layouts", "transforms", "service ms", "images/s"],
+    );
+    for &b in &all {
+        let plan = cache.get(b)?;
+        let service = plan.total_time();
+        t.row(vec![
+            b.to_string(),
+            plan.conv_layout_signature(),
+            plan.transform_count().to_string(),
+            ms(service),
+            format!("{:.0}", b as f64 / service),
+        ]);
+    }
+    Ok(t)
+}
+
+/// Workload at `frac` of capacity: Poisson arrivals sized so the stream
+/// carries roughly [`SWEEP_REQUESTS`] requests.
+pub fn workload_at(frac: f64, capacity_ips: f64, seed: u64) -> WorkloadConfig {
+    let mean_images = (IMAGES_MIN + IMAGES_MAX) as f64 / 2.0;
+    let rate = (frac * capacity_ips / mean_images).max(1.0);
+    let duration = SWEEP_REQUESTS as f64 / rate;
+    let mut cfg = WorkloadConfig::poisson(rate, duration, seed);
+    cfg.images_min = IMAGES_MIN;
+    cfg.images_max = IMAGES_MAX;
+    cfg
+}
+
+/// Serve one operating point.
+pub fn run_point(
+    ctx: &Ctx,
+    net: &Network,
+    policy: &BatchPolicy,
+    frac: f64,
+    capacity_ips: f64,
+) -> Result<SweepRow, SimError> {
+    let workload = workload_at(frac, capacity_ips, SWEEP_SEED);
+    let rate = match workload.phases[0].arrival {
+        memcnn_serve::Arrival::Poisson { rate } | memcnn_serve::Arrival::Uniform { rate } => rate,
+    };
+    let cfg = ServeConfig { workload, policy: *policy, mechanism: ctx.mechanism() };
+    let report = serve(&ctx.engine, net, &cfg)?;
+    Ok(SweepRow { frac, rate, report })
+}
+
+/// Serve every fraction in `fracs` and tabulate latency vs throughput.
+pub fn sweep(
+    ctx: &Ctx,
+    net: &Network,
+    policy: &BatchPolicy,
+    fracs: &[f64],
+    capacity_ips: f64,
+) -> Result<(Vec<SweepRow>, Table), SimError> {
+    let mut rows = Vec::new();
+    let mut t = Table::new(
+        format!(
+            "{}: latency vs throughput (max_batch={}, delay={:.1} ms)",
+            net.name,
+            policy.max_batch_images,
+            policy.max_queue_delay * 1e3
+        ),
+        &[
+            "load",
+            "req/s",
+            "reqs",
+            "batches",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "images/s",
+            "mean fill",
+            "buckets used",
+        ],
+    );
+    for &frac in fracs {
+        let row = run_point(ctx, net, policy, frac, capacity_ips)?;
+        let lat = row.report.latency();
+        let used: Vec<String> = row
+            .report
+            .buckets
+            .iter()
+            .filter(|b| b.batches > 0)
+            .map(|b| b.bucket.to_string())
+            .collect();
+        let fill = {
+            let (mut imgs, mut cap) = (0usize, 0usize);
+            for b in row.report.buckets.iter().filter(|b| b.batches > 0) {
+                imgs += b.images;
+                cap += b.batches * b.bucket;
+            }
+            if cap > 0 {
+                imgs as f64 / cap as f64
+            } else {
+                0.0
+            }
+        };
+        t.row(vec![
+            format!("{:.0}%", frac * 100.0),
+            format!("{:.1}", row.rate),
+            row.report.requests.to_string(),
+            row.report.batches.len().to_string(),
+            ms(lat.p50),
+            ms(lat.p95),
+            ms(lat.p99),
+            format!("{:.0}", row.report.throughput_images_per_sec()),
+            format!("{:.2}", fill),
+            used.join(","),
+        ]);
+        rows.push(row);
+    }
+    Ok((rows, t))
+}
+
+impl Ctx {
+    /// The mechanism serving sweeps plan under (the paper's `Opt`).
+    pub fn mechanism(&self) -> memcnn_core::Mechanism {
+        memcnn_core::Mechanism::Opt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcnn_models::alexnet;
+
+    #[test]
+    fn workload_scales_duration_to_rate() {
+        let w = workload_at(0.5, 1000.0, 1);
+        // rate = 0.5 * 1000 / 2.5 = 200 req/s; duration = 240 / 200.
+        assert!((w.duration() - 1.2).abs() < 1e-12);
+        assert_eq!(w.images_max, IMAGES_MAX);
+    }
+
+    #[test]
+    fn feasible_max_batch_falls_back() {
+        let ctx = Ctx::titan_black();
+        let net = alexnet().unwrap();
+        let (max, plan) = feasible_max_batch(&ctx, &net, &[256, 128, 64]).expect("alexnet fits");
+        assert_eq!(plan.batch, max);
+        assert!(capacity_images_per_sec(max, &plan) > 0.0);
+    }
+}

@@ -144,6 +144,85 @@ impl fmt::Display for NetworkReport {
     }
 }
 
+/// One layer of a compiled [`Plan`]: the planned layout, implementation
+/// and simulated times, replayable without re-running selection.
+#[derive(Clone, Debug)]
+pub struct PlannedLayer {
+    /// Layer name.
+    pub name: String,
+    /// Working layout the plan assigns the layer.
+    pub layout: Layout,
+    /// Whether the layer is sensitive to the 4D layout (FC/softmax end the
+    /// layout-constrained region and report `-`).
+    pub layout_sensitive: bool,
+    /// Whether the layer is a convolution (the layers the `(Ct, Nt)`
+    /// heuristic actually decides; pooling always prefers CHWN).
+    pub is_conv: bool,
+    /// Chosen implementation (e.g. `direct-chwn`, `mm`, `fft`).
+    pub impl_name: String,
+    /// Simulated forward time, seconds.
+    pub time: f64,
+    /// Layout transformation inserted before this layer, seconds (0: none).
+    pub transform_before: f64,
+    /// Source layout of that transformation, when one is inserted.
+    pub transform_from: Option<Layout>,
+    /// Whether an FFT mode failed and fell back to MM.
+    pub fell_back: bool,
+}
+
+/// A compiled network plan: the output of layout assignment (heuristic or
+/// DP) plus per-layer implementation selection at one batch size. Produced
+/// once by [`Engine::plan`] and replayed any number of times by
+/// [`Engine::execute`] — the split that lets callers (serving, benches,
+/// functional execution) stop re-planning implicitly on every run.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// Network name.
+    pub network: String,
+    /// Batch size (`N`) the plan was compiled at.
+    pub batch: usize,
+    /// Mechanism it was compiled under.
+    pub mechanism: Mechanism,
+    /// Per-layer decisions in network order.
+    pub layers: Vec<PlannedLayer>,
+}
+
+impl Plan {
+    /// Total simulated forward time including transformations, seconds.
+    pub fn total_time(&self) -> f64 {
+        self.layers.iter().map(|l| l.time + l.transform_before).sum()
+    }
+
+    /// The per-layer layout assignment, in network order (the vector
+    /// [`crate::exec::run_network`] takes).
+    pub fn layouts(&self) -> Vec<Layout> {
+        self.layers.iter().map(|l| l.layout).collect()
+    }
+
+    /// Layout of a named layer, if it exists and is layout-sensitive.
+    pub fn layout_of(&self, name: &str) -> Option<Layout> {
+        self.layers.iter().find(|l| l.name == name && l.layout_sensitive).map(|l| l.layout)
+    }
+
+    /// Compact signature of the convolution-layer layout decisions, e.g.
+    /// `"CHWN"` when uniform or `"CHWN,NCHW,NCHW"` in layer order — the
+    /// string the serving tables print per batch-size bucket.
+    pub fn conv_layout_signature(&self) -> String {
+        let convs: Vec<String> =
+            self.layers.iter().filter(|l| l.is_conv).map(|l| l.layout.name()).collect();
+        if !convs.is_empty() && convs.iter().all(|c| *c == convs[0]) {
+            convs[0].clone()
+        } else {
+            convs.join(",")
+        }
+    }
+
+    /// Number of layout transformations the plan inserts.
+    pub fn transform_count(&self) -> usize {
+        self.layers.iter().filter(|l| l.transform_before > 0.0).count()
+    }
+}
+
 /// The engine: a device, simulation options, thresholds and caches.
 ///
 /// `Engine` is `Sync`: its only interior mutability is a `Mutex`-guarded
@@ -716,14 +795,16 @@ impl Engine {
         Ok(report)
     }
 
-    /// Simulate a whole network under a mechanism, producing the per-layer
-    /// report (the Fig 14/15 generator).
-    pub fn simulate_network(
-        &self,
-        net: &Network,
-        mech: Mechanism,
-    ) -> Result<NetworkReport, SimError> {
+    /// Compile `net` under `mech` into a reusable [`Plan`]: layout
+    /// assignment (heuristic or the profiling DP), per-layer implementation
+    /// selection, and boundary-transformation costing. This is the
+    /// expensive half of [`Engine::simulate_network`]; the plan replays
+    /// through [`Engine::execute`] without touching the simulator again.
+    /// Every compile bumps the `engine.plan.compile` perf counter, so plan
+    /// caches can prove they never re-run the DP for a cached entry.
+    pub fn plan(&self, net: &Network, mech: Mechanism) -> Result<Plan, SimError> {
         let _net_scope = trace::scope(trace::Scope::Network(net.name.clone()));
+        trace::perf::incr("engine.plan.compile");
         let layouts: Vec<Layout> = match mech.fixed_layout() {
             Some(l) => vec![l; net.layers().len()],
             None => self.opt_layouts(net)?,
@@ -737,12 +818,8 @@ impl Engine {
                 let _ = self.layer_time(&layers[i], mech, layouts[i]).is_ok();
             });
         }
-        let mut reports = Vec::with_capacity(net.layers().len());
+        let mut planned = Vec::with_capacity(net.layers().len());
         let mut prev_layout: Option<Layout> = None;
-        // Simulated-time cursor driving the trace timeline: spans are
-        // laid back-to-back, so per-track timestamps are monotonic and
-        // non-overlapping by construction.
-        let mut clock = 0.0f64;
         for (layer, &layout) in net.layers().iter().zip(&layouts) {
             let _layer_scope = trace::scope(trace::Scope::Layer(layer.name.clone()));
             let transform_before = match prev_layout {
@@ -752,51 +829,100 @@ impl Engine {
                 _ => 0.0,
             };
             let (time, impl_name, fell_back) = self.layer_time(layer, mech, layout)?;
-            if transform_before > 0.0 {
-                let (ts, from) = (clock, prev_layout.expect("transform implies a previous layout"));
-                trace::record_span(|| trace::SpanEvent {
-                    name: format!("transform {}->{}", from.name(), layout.name()),
-                    track: trace::Track::Transforms,
-                    ts_us: ts * 1e6,
-                    dur_us: transform_before * 1e6,
-                    args: vec![("layer".to_string(), layer.name.clone())],
-                });
-            }
-            clock += transform_before;
-            {
-                let ts = clock;
-                let imp = impl_name.clone();
-                trace::record_span(|| trace::SpanEvent {
-                    name: layer.name.clone(),
-                    track: trace::Track::Layers,
-                    ts_us: ts * 1e6,
-                    dur_us: time * 1e6,
-                    args: vec![
-                        ("impl".to_string(), imp),
-                        ("layout".to_string(), layout.name()),
-                        ("fell_back".to_string(), fell_back.to_string()),
-                    ],
-                });
-            }
-            clock += time;
-            reports.push(LayerReport {
+            planned.push(PlannedLayer {
                 name: layer.name.clone(),
-                layout: if layer.layout_sensitive() { layout.name() } else { "-".to_string() },
+                layout,
+                layout_sensitive: layer.layout_sensitive(),
+                is_conv: matches!(layer.spec, LayerSpec::Conv { .. }),
                 impl_name,
                 time,
-                backward_time: 0.0,
                 transform_before,
+                transform_from: if transform_before > 0.0 { prev_layout } else { None },
                 fell_back,
             });
             if layer.layout_sensitive() {
                 prev_layout = Some(layout);
             }
         }
-        Ok(NetworkReport {
-            network: net.name.clone(),
-            mechanism: mech.label().to_string(),
+        Ok(Plan { network: net.name.clone(), batch: net.input.n, mechanism: mech, layers: planned })
+    }
+
+    /// Compile a plan for the same architecture at batch size `n` — the
+    /// serving path, where the optimal layouts are a function of the
+    /// effective batch (`C < Ct || N >= Nt`), so each batch-size bucket
+    /// compiles its own plan.
+    pub fn plan_at(&self, net: &Network, mech: Mechanism, n: usize) -> Result<Plan, SimError> {
+        let rebatched = net
+            .with_batch(n)
+            .map_err(|e| SimError::Unlaunchable(format!("cannot rebatch network: {e}")))?;
+        self.plan(&rebatched, mech)
+    }
+
+    /// Replay a compiled [`Plan`] into a [`NetworkReport`], emitting the
+    /// timeline trace spans. Pure bookkeeping: no simulation runs, so
+    /// executing a plan twice is free and bit-identical.
+    pub fn execute(&self, plan: &Plan) -> NetworkReport {
+        let mut reports = Vec::with_capacity(plan.layers.len());
+        // Simulated-time cursor driving the trace timeline: spans are
+        // laid back-to-back, so per-track timestamps are monotonic and
+        // non-overlapping by construction.
+        let mut clock = 0.0f64;
+        for pl in &plan.layers {
+            if pl.transform_before > 0.0 {
+                let (ts, from) =
+                    (clock, pl.transform_from.expect("transform implies a source layout"));
+                trace::record_span(|| trace::SpanEvent {
+                    name: format!("transform {}->{}", from.name(), pl.layout.name()),
+                    track: trace::Track::Transforms,
+                    ts_us: ts * 1e6,
+                    dur_us: pl.transform_before * 1e6,
+                    args: vec![("layer".to_string(), pl.name.clone())],
+                });
+            }
+            clock += pl.transform_before;
+            {
+                let ts = clock;
+                let imp = pl.impl_name.clone();
+                trace::record_span(|| trace::SpanEvent {
+                    name: pl.name.clone(),
+                    track: trace::Track::Layers,
+                    ts_us: ts * 1e6,
+                    dur_us: pl.time * 1e6,
+                    args: vec![
+                        ("impl".to_string(), imp),
+                        ("layout".to_string(), pl.layout.name()),
+                        ("fell_back".to_string(), pl.fell_back.to_string()),
+                    ],
+                });
+            }
+            clock += pl.time;
+            reports.push(LayerReport {
+                name: pl.name.clone(),
+                layout: if pl.layout_sensitive { pl.layout.name() } else { "-".to_string() },
+                impl_name: pl.impl_name.clone(),
+                time: pl.time,
+                backward_time: 0.0,
+                transform_before: pl.transform_before,
+                fell_back: pl.fell_back,
+            });
+        }
+        NetworkReport {
+            network: plan.network.clone(),
+            mechanism: plan.mechanism.label().to_string(),
             layers: reports,
-        })
+        }
+    }
+
+    /// Simulate a whole network under a mechanism, producing the per-layer
+    /// report (the Fig 14/15 generator). Thin wrapper over
+    /// [`Engine::plan`] + [`Engine::execute`]; callers that re-run the
+    /// same network should plan once and execute the plan instead.
+    pub fn simulate_network(
+        &self,
+        net: &Network,
+        mech: Mechanism,
+    ) -> Result<NetworkReport, SimError> {
+        Ok(self.execute(&self.plan(net, mech)?))
     }
 }
 
@@ -917,6 +1043,46 @@ mod tests {
         let r = e.simulate_network(&net, Mechanism::CudnnFft).unwrap();
         assert!(r.layers[0].fell_back);
         assert_eq!(r.layers[0].impl_name, "mm");
+    }
+
+    #[test]
+    fn plan_then_execute_matches_simulate_network() {
+        let e = engine();
+        let net = lenet_like();
+        for m in [Mechanism::Opt, Mechanism::CudnnMm, Mechanism::CudaConvnet] {
+            let direct = e.simulate_network(&net, m).unwrap();
+            let plan = e.plan(&net, m).unwrap();
+            assert_eq!(plan.batch, 128);
+            assert!((plan.total_time() - direct.total_time()).abs() == 0.0, "{m}");
+            let replayed = e.execute(&plan);
+            assert_eq!(replayed.layers.len(), direct.layers.len());
+            for (a, b) in direct.layers.iter().zip(&replayed.layers) {
+                assert_eq!(a.time, b.time, "{m} {}", a.name);
+                assert_eq!(a.layout, b.layout, "{m} {}", a.name);
+                assert_eq!(a.impl_name, b.impl_name, "{m} {}", a.name);
+                assert_eq!(a.transform_before, b.transform_before, "{m} {}", a.name);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_at_rebatches_and_layouts_track_n() {
+        // The heuristic (Ct=32, Nt=128): C=96 convs flip NCHW -> CHWN when
+        // the plan's batch size crosses Nt.
+        let e = Engine::new(DeviceConfig::titan_black(), LayoutThresholds::titan_black_paper())
+            .with_layout_policy(LayoutPolicy::Heuristic);
+        let net = NetworkBuilder::new("bucketed", Shape::new(1, 96, 28, 28))
+            .conv("CV", 128, 3, 1, 1)
+            .build()
+            .unwrap();
+        let small = e.plan_at(&net, Mechanism::Opt, 32).unwrap();
+        let large = e.plan_at(&net, Mechanism::Opt, 256).unwrap();
+        assert_eq!(small.batch, 32);
+        assert_eq!(large.batch, 256);
+        assert_eq!(small.layout_of("CV"), Some(Layout::NCHW));
+        assert_eq!(large.layout_of("CV"), Some(Layout::CHWN));
+        assert_eq!(small.conv_layout_signature(), "NCHW");
+        assert_eq!(large.conv_layout_signature(), "CHWN");
     }
 
     #[test]

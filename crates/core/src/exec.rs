@@ -136,6 +136,27 @@ pub fn run_network(
     })
 }
 
+/// Run the network functionally under a compiled [`crate::engine::Plan`]'s
+/// layout assignment — the plan-reuse entry point: callers that already
+/// planned (serving, benches) execute without re-deriving layouts.
+pub fn run_network_planned(
+    net: &Network,
+    input: &Tensor,
+    plan: &crate::engine::Plan,
+    seed: u64,
+) -> Result<Vec<f32>, ExecError> {
+    if plan.layers.len() != net.layers().len() {
+        return Err(ExecError::BadLayouts(format!(
+            "plan for {} has {} layers, network {} has {}",
+            plan.network,
+            plan.layers.len(),
+            net.name,
+            net.layers().len()
+        )));
+    }
+    run_network(net, input, &plan.layouts(), seed)
+}
+
 fn index_hash(i: usize) -> u64 {
     (i as u64).wrapping_mul(0x9E3779B97F4A7C15)
 }
@@ -199,6 +220,32 @@ mod tests {
             assert!((a - b).abs() < 1e-3, "{a} vs {b}");
             assert!((a - c).abs() < 1e-3, "{a} vs {c}");
         }
+    }
+
+    #[test]
+    fn planned_execution_matches_explicit_layouts() {
+        use crate::heuristic::LayoutThresholds;
+        use crate::library::Mechanism;
+        use memcnn_gpusim::DeviceConfig;
+
+        let net = tiny_net();
+        let engine =
+            crate::Engine::new(DeviceConfig::titan_black(), LayoutThresholds::titan_black_paper());
+        let plan = engine.plan(&net, Mechanism::Opt).unwrap();
+        let input = Tensor::random(net.input, Layout::NCHW, 3);
+        let planned = run_network_planned(&net, &input, &plan, 11).unwrap();
+        let explicit = run_network(&net, &input, &plan.layouts(), 11).unwrap();
+        assert_eq!(planned, explicit);
+        // A plan for a different architecture is rejected.
+        let other = NetworkBuilder::new("other", Shape::new(4, 3, 12, 12))
+            .conv("cv", 8, 3, 1, 0)
+            .build()
+            .unwrap();
+        let bad = engine.plan(&other, Mechanism::Opt).unwrap();
+        assert!(matches!(
+            run_network_planned(&net, &input, &bad, 11),
+            Err(ExecError::BadLayouts(_))
+        ));
     }
 
     #[test]

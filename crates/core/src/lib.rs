@@ -29,7 +29,9 @@ pub mod library;
 pub mod net;
 pub mod parser;
 
-pub use engine::{Engine, LayerReport, LayoutPolicy, NetworkReport, TransformQuality};
+pub use engine::{
+    Engine, LayerReport, LayoutPolicy, NetworkReport, Plan, PlannedLayer, TransformQuality,
+};
 pub use heuristic::{choose_layout, derive_thresholds, LayoutThresholds};
 pub use layer::{Layer, LayerSpec};
 pub use library::Mechanism;

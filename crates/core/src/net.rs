@@ -45,6 +45,25 @@ impl Network {
     pub fn output(&self) -> Shape {
         self.layers.last().map(|l| l.output).unwrap_or(self.input)
     }
+
+    /// The same architecture at a different batch size: every layer spec is
+    /// replayed through the builder with `n` images, re-resolving shapes.
+    /// Spatial dims are independent of `N`, so any network that builds at
+    /// one batch size builds at all of them; the `Result` only guards
+    /// against `n == 0` style misuse.
+    pub fn with_batch(&self, n: usize) -> Result<Network, NetError> {
+        if n == 0 {
+            return Err(NetError::BadShape(format!("{}: batch size must be >= 1", self.name)));
+        }
+        let mut b = NetworkBuilder::new(
+            self.name.clone(),
+            Shape::new(n, self.input.c, self.input.h, self.input.w),
+        );
+        for l in &self.layers {
+            b = b.push(&l.name, l.spec.clone());
+        }
+        b.build()
+    }
 }
 
 /// Builder that tracks the running shape and resolves each layer.
@@ -211,6 +230,27 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("CV1"));
+    }
+
+    #[test]
+    fn with_batch_rescales_every_layer_shape() {
+        let net = NetworkBuilder::new("rebatch", Shape::new(128, 3, 24, 24))
+            .conv("CV", 64, 5, 1, 2)
+            .max_pool("PL", 3, 2)
+            .fc("fc", 10)
+            .softmax("prob")
+            .build()
+            .unwrap();
+        let small = net.with_batch(16).unwrap();
+        assert_eq!(small.input, Shape::new(16, 3, 24, 24));
+        assert_eq!(small.layers().len(), net.layers().len());
+        for (a, b) in net.layers().iter().zip(small.layers()) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(b.input.n, 16, "{}", b.name);
+            // Only N changes: C/H/W are batch-independent.
+            assert_eq!((a.input.c, a.input.h, a.input.w), (b.input.c, b.input.h, b.input.w));
+        }
+        assert!(net.with_batch(0).is_err());
     }
 
     #[test]

@@ -31,7 +31,17 @@
 //! insert. Rayon probe workers therefore contend only when they hash to the
 //! same shard *and* one is inserting. Statistics go to the global
 //! [`memcnn_trace::perf`] registry (`sim.cache.hit` / `.miss` / `.bypass`,
-//! `sim.kernels.cold`) so parallel workers' counts are never lost.
+//! `sim.kernels.cold`, `sim.cache.evict`) so parallel workers' counts are
+//! never lost.
+//!
+//! **Bounded capacity.** The cache is capped (default [`DEFAULT_CAPACITY`]
+//! entries, overridable via the `MEMCNN_SIMCACHE_CAP` environment variable,
+//! read once at first use). Each shard holds at most `capacity / 16`
+//! entries and evicts its least-recently-used entry on overflow — recency
+//! is a per-entry atomic stamp from a global logical clock, updated on
+//! every hit without taking the shard's write lock. Evictions only cost a
+//! re-simulation, never correctness, so an approximate per-shard LRU is
+//! exactly the right price point.
 
 use crate::device::DeviceConfig;
 use crate::launch::{KernelReport, SimOptions};
@@ -77,21 +87,58 @@ pub struct CachedSim {
 
 const SHARDS: usize = 16;
 
+/// Default total capacity (entries across all shards). Deliberately
+/// generous: the full five-network evaluation sweep populates ~400
+/// entries, so evictions only start under workloads two orders of
+/// magnitude beyond anything the repo ships today.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+struct Entry {
+    value: Arc<CachedSim>,
+    /// Logical-clock stamp of the last touch (read under the shard's
+    /// *read* lock, so hits never serialize on the write lock).
+    last_used: AtomicU64,
+}
+
 struct Store {
-    shards: Vec<RwLock<HashMap<SimKey, Arc<CachedSim>>>>,
+    shards: Vec<RwLock<HashMap<SimKey, Entry>>>,
+    clock: AtomicU64,
+    per_shard_cap: usize,
+}
+
+impl Store {
+    fn with_capacity(capacity: usize) -> Store {
+        Store {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            clock: AtomicU64::new(0),
+            per_shard_cap: capacity.div_ceil(SHARDS).max(1),
+        }
+    }
+}
+
+/// Total capacity the process-wide cache was configured with:
+/// `MEMCNN_SIMCACHE_CAP` if set to a positive integer, else
+/// [`DEFAULT_CAPACITY`]. Read once, at the cache's first use.
+pub fn capacity() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("MEMCNN_SIMCACHE_CAP")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(DEFAULT_CAPACITY)
+    })
 }
 
 fn store() -> &'static Store {
     static STORE: OnceLock<Store> = OnceLock::new();
-    STORE.get_or_init(|| Store {
-        shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
-    })
+    STORE.get_or_init(|| Store::with_capacity(capacity()))
 }
 
-fn shard(key: &SimKey) -> &'static RwLock<HashMap<SimKey, Arc<CachedSim>>> {
+fn shard_index(key: &SimKey) -> usize {
     let mut h = DefaultHasher::new();
     key.hash(&mut h);
-    &store().shards[(h.finish() as usize) % SHARDS]
+    (h.finish() as usize) % SHARDS
 }
 
 struct Counters {
@@ -99,6 +146,7 @@ struct Counters {
     miss: perf::Counter,
     bypass: perf::Counter,
     cold: perf::Counter,
+    evict: perf::Counter,
 }
 
 fn counters() -> &'static Counters {
@@ -108,14 +156,46 @@ fn counters() -> &'static Counters {
         miss: perf::counter("sim.cache.miss"),
         bypass: perf::counter("sim.cache.bypass"),
         cold: perf::counter("sim.kernels.cold"),
+        evict: perf::counter("sim.cache.evict"),
     })
 }
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Look `key` up, counting a hit or miss.
+fn lookup_in(store: &Store, key: &SimKey) -> Option<Arc<CachedSim>> {
+    let shard = store.shards[shard_index(key)].read().expect("sim cache poisoned");
+    shard.get(key).map(|e| {
+        e.last_used.store(store.clock.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+        Arc::clone(&e.value)
+    })
+}
+
+/// Insert into `store`, evicting the shard's least-recently-used entry when
+/// the shard is at capacity. Returns the number of evictions (0 or 1).
+fn insert_in(store: &Store, key: SimKey, value: CachedSim) -> u64 {
+    let mut shard = store.shards[shard_index(&key)].write().expect("sim cache poisoned");
+    let mut evicted = 0;
+    if shard.len() >= store.per_shard_cap && !shard.contains_key(&key) {
+        // O(shard) scan: shards stay small (cap/16), and eviction is the
+        // rare path — a heap or linked order would cost more on every hit.
+        if let Some(victim) = shard
+            .iter()
+            .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+            .map(|(k, _)| k.clone())
+        {
+            shard.remove(&victim);
+            evicted = 1;
+        }
+    }
+    let stamp = store.clock.fetch_add(1, Ordering::Relaxed);
+    shard.insert(key, Entry { value: Arc::new(value), last_used: AtomicU64::new(stamp) });
+    evicted
+}
+
+/// Look `key` up, counting a hit or miss. A hit refreshes the entry's
+/// LRU stamp.
 pub fn lookup(key: &SimKey) -> Option<Arc<CachedSim>> {
-    let found = shard(key).read().expect("sim cache poisoned").get(key).cloned();
+    let found = lookup_in(store(), key);
     let c = counters();
     match &found {
         Some(_) => c.hit.fetch_add(1, Ordering::Relaxed),
@@ -124,10 +204,14 @@ pub fn lookup(key: &SimKey) -> Option<Arc<CachedSim>> {
     found
 }
 
-/// Insert a finished simulation. Concurrent inserts of the same key are
+/// Insert a finished simulation, evicting the least-recently-used entry of
+/// the target shard when it is full. Concurrent inserts of the same key are
 /// idempotent (the simulator is deterministic), so last-write-wins is fine.
 pub fn insert(key: SimKey, value: CachedSim) {
-    shard(&key).write().expect("sim cache poisoned").insert(key, Arc::new(value));
+    let evicted = insert_in(store(), key, value);
+    if evicted > 0 {
+        counters().evict.fetch_add(evicted, Ordering::Relaxed);
+    }
 }
 
 /// Count one cache-ineligible simulation (spec opted out, or caching was
@@ -167,6 +251,8 @@ pub struct CacheStats {
     pub cold: u64,
     /// Live entries.
     pub entries: u64,
+    /// Entries dropped by the LRU bound.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -190,6 +276,7 @@ pub fn stats() -> CacheStats {
         bypasses: c.bypass.load(Ordering::Relaxed),
         cold: c.cold.load(Ordering::Relaxed),
         entries: len() as u64,
+        evictions: c.evict.load(Ordering::Relaxed),
     }
 }
 
@@ -275,6 +362,67 @@ mod tests {
         assert_eq!(hit.report.name, "rt");
         assert_eq!(hit.smem_passes, 3.0);
         assert!(len() >= 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry_at_capacity() {
+        // A private store with one entry per shard: inserting two keys that
+        // hash to the same shard must evict the less recently used one.
+        let store = Store::with_capacity(SHARDS); // per-shard cap = 1
+        let d = DeviceConfig::titan_black();
+        let opts = SimOptions::default();
+        let key = |i: usize| SimKey::new(&d, format!("lru-{i}"), &opts);
+        let sim = |i: usize| CachedSim {
+            report: dummy_report(&format!("lru-{i}"), 1e-6),
+            smem_passes: 0.0,
+            smem_bytes: 0.0,
+        };
+        // Find two distinct keys in the same shard.
+        let k0 = key(0);
+        let k1 = (1..64).map(key).find(|k| shard_index(k) == shard_index(&k0)).unwrap();
+        assert_eq!(insert_in(&store, k0.clone(), sim(0)), 0);
+        // Touch k0, then overflow the shard: k0 was just used, so it stays
+        // only if k1 is the newcomer... the newcomer always stays; the
+        // victim is the stale resident.
+        assert!(lookup_in(&store, &k0).is_some());
+        assert_eq!(insert_in(&store, k1.clone(), sim(1)), 1);
+        assert!(lookup_in(&store, &k0).is_none(), "resident k0 was the LRU victim");
+        assert!(lookup_in(&store, &k1).is_some(), "newcomer survives");
+        // Re-inserting an existing key is an update, not an eviction.
+        assert_eq!(insert_in(&store, k1.clone(), sim(1)), 0);
+    }
+
+    #[test]
+    fn lru_victim_is_least_recently_used_not_oldest_inserted() {
+        let store = Store::with_capacity(2 * SHARDS); // per-shard cap = 2
+        let d = DeviceConfig::titan_black();
+        let opts = SimOptions::default();
+        let key = |i: usize| SimKey::new(&d, format!("lru2-{i}"), &opts);
+        let k0 = key(0);
+        let mut same_shard = (1..256).map(key).filter(|k| shard_index(k) == shard_index(&k0));
+        let k1 = same_shard.next().unwrap();
+        let k2 = same_shard.next().unwrap();
+        let sim =
+            || CachedSim { report: dummy_report("x", 1e-6), smem_passes: 0.0, smem_bytes: 0.0 };
+        insert_in(&store, k0.clone(), sim());
+        insert_in(&store, k1.clone(), sim());
+        // Refresh the *older* entry: the victim must now be k1.
+        assert!(lookup_in(&store, &k0).is_some());
+        assert_eq!(insert_in(&store, k2.clone(), sim()), 1);
+        assert!(lookup_in(&store, &k0).is_some(), "refreshed entry survives");
+        assert!(lookup_in(&store, &k1).is_none(), "stale entry evicted");
+        assert!(lookup_in(&store, &k2).is_some());
+    }
+
+    #[test]
+    fn capacity_defaults_are_sane() {
+        // The env override is read once per process; this test only checks
+        // the default path plus the derived per-shard arithmetic.
+        const { assert!(DEFAULT_CAPACITY >= 1024) };
+        let s = Store::with_capacity(1); // degenerate cap still works
+        assert_eq!(s.per_shard_cap, 1);
+        let s = Store::with_capacity(DEFAULT_CAPACITY);
+        assert_eq!(s.per_shard_cap, DEFAULT_CAPACITY / SHARDS);
     }
 
     #[test]

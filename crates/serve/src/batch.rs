@@ -1,0 +1,88 @@
+//! The dynamic-batching policy and batch-size buckets.
+//!
+//! A batch launches at `max(gpu_free, min(T_full, T_deadline))`: as soon
+//! as the device is free *and* either the queue holds a full batch or the
+//! oldest queued request has waited `max_queue_delay`. The launched batch
+//! is then rounded up to a small set of batch-size buckets (powers of two
+//! by default) so the plan cache compiles one layout plan per bucket
+//! instead of one per distinct batch size.
+
+use serde::Serialize;
+
+/// Dynamic-batching policy knobs.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct BatchPolicy {
+    /// Maximum images per launched batch — also the largest bucket, and
+    /// the `N` the largest layout plan is compiled at.
+    pub max_batch_images: usize,
+    /// Longest the oldest queued request may wait before its batch
+    /// launches part-full, seconds.
+    pub max_queue_delay: f64,
+}
+
+impl BatchPolicy {
+    /// A policy with the given knobs.
+    pub fn new(max_batch_images: usize, max_queue_delay: f64) -> BatchPolicy {
+        BatchPolicy { max_batch_images, max_queue_delay }
+    }
+}
+
+/// Round a launched batch's image count up to its bucket: the next power
+/// of two, clamped to `[1, max]`. Plans are compiled at the bucket's `N`
+/// (short batches are padded), so a handful of buckets covers every batch
+/// size the policy can produce.
+pub fn bucket_for(images: usize, max: usize) -> usize {
+    images.max(1).next_power_of_two().min(max.max(1))
+}
+
+/// All buckets a policy can produce, ascending (powers of two up to and
+/// including the clamp at `max_batch_images`).
+pub fn buckets(policy: &BatchPolicy) -> Vec<usize> {
+    let max = policy.max_batch_images.max(1);
+    let mut out = Vec::new();
+    let mut b = 1usize;
+    while b < max {
+        out.push(b);
+        b *= 2;
+    }
+    out.push(max);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two_clamped() {
+        assert_eq!(bucket_for(1, 256), 1);
+        assert_eq!(bucket_for(3, 256), 4);
+        assert_eq!(bucket_for(64, 256), 64);
+        assert_eq!(bucket_for(65, 256), 128);
+        assert_eq!(bucket_for(200, 256), 256);
+        // Clamp: the top bucket is max_batch_images itself, power of two
+        // or not.
+        assert_eq!(bucket_for(97, 100), 100);
+        assert_eq!(bucket_for(0, 8), 1);
+    }
+
+    #[test]
+    fn bucket_covers_the_batch_unless_clamped() {
+        for images in 1..=256usize {
+            let b = bucket_for(images, 256);
+            assert!(b >= images, "bucket {b} < batch {images}");
+            assert!(b <= 256);
+        }
+    }
+
+    #[test]
+    fn bucket_list_matches_bucket_for() {
+        let p = BatchPolicy::new(256, 0.01);
+        assert_eq!(buckets(&p), vec![1, 2, 4, 8, 16, 32, 64, 128, 256]);
+        let odd = BatchPolicy::new(100, 0.01);
+        assert_eq!(buckets(&odd), vec![1, 2, 4, 8, 16, 32, 64, 100]);
+        for images in 1..=100usize {
+            assert!(buckets(&odd).contains(&bucket_for(images, 100)));
+        }
+    }
+}

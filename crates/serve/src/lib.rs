@@ -1,0 +1,40 @@
+//! memcnn-serve: a deterministic discrete-event inference-serving
+//! simulator with dynamic batching and batch-size-aware layout plans.
+//!
+//! The paper's central observation — the best data layout depends on the
+//! batch size `N` — has a serving-side consequence: a server that batches
+//! dynamically changes `N` from batch to batch, so the optimal layout
+//! plan changes *while serving*. This crate closes that loop on top of
+//! `memcnn-core`'s planner and the GPU simulator:
+//!
+//! 1. [`workload`] generates a seeded synthetic request stream (Poisson
+//!    or uniform arrivals in phases, per-request image counts).
+//! 2. [`batch`] forms batches under a `max_batch_images` /
+//!    `max_queue_delay` policy and rounds them up to power-of-two
+//!    buckets.
+//! 3. [`plan_cache`] compiles one layout plan per bucket on first use
+//!    (`Engine::plan_at`: layout DP + mechanism selection at that `N`)
+//!    and reuses it for every later batch in the bucket — so the server
+//!    observably flips between CHWN and NCHW plans as load changes.
+//! 4. [`server`] advances a simulated clock through the event loop and
+//!    reports p50/p95/p99 latency, throughput, queue depth, bucket
+//!    occupancy, and plan-cache hits/misses (via `trace::perf`), plus a
+//!    `Track::Serve` span per launched batch when tracing is active.
+//!
+//! Everything is a pure function of `(engine config, network,
+//! ServeConfig)`: same inputs give bit-identical reports, independent of
+//! `MEMCNN_THREADS`.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod metrics;
+pub mod plan_cache;
+pub mod server;
+pub mod workload;
+
+pub use batch::{bucket_for, buckets, BatchPolicy};
+pub use metrics::{latency_stats, percentile, LatencyStats};
+pub use plan_cache::PlanCache;
+pub use server::{serve, BatchRecord, BucketStats, ServeConfig, ServeReport};
+pub use workload::{generate, Arrival, Phase, Request, WorkloadConfig};

@@ -1,0 +1,77 @@
+//! Deterministic latency/throughput summaries. Percentiles use the
+//! nearest-rank method over an explicitly sorted copy, so two runs with
+//! bit-identical latency vectors summarize bit-identically.
+
+use serde::Serialize;
+
+/// Summary of a latency sample, seconds.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest rank).
+    pub p50: f64,
+    /// 95th percentile (nearest rank).
+    pub p95: f64,
+    /// 99th percentile (nearest rank).
+    pub p99: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (`p` in [0, 100]).
+/// Empty input yields 0.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Summarize a latency sample (any order; a sorted copy is made).
+pub fn latency_stats(latencies: &[f64]) -> LatencyStats {
+    if latencies.is_empty() {
+        return LatencyStats::default();
+    }
+    let mut sorted = latencies.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    LatencyStats {
+        count: sorted.len(),
+        mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        p50: percentile(&sorted, 50.0),
+        p95: percentile(&sorted, 95.0),
+        p99: percentile(&sorted, 99.0),
+        max: *sorted.last().expect("non-empty"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50.0);
+        assert_eq!(percentile(&sorted, 95.0), 95.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&sorted, 100.0), 100.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        // Small samples: ceil(0.5 * 3) = 2nd of three.
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], 50.0), 2.0);
+    }
+
+    #[test]
+    fn stats_are_order_independent() {
+        let a = latency_stats(&[3.0, 1.0, 2.0, 4.0]);
+        let b = latency_stats(&[4.0, 3.0, 2.0, 1.0]);
+        assert_eq!(a.p50.to_bits(), b.p50.to_bits());
+        assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+        assert_eq!(a.max, 4.0);
+        assert_eq!(a.count, 4);
+    }
+}

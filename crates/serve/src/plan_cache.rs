@@ -1,0 +1,100 @@
+//! The per-bucket plan cache: first use of a batch-size bucket compiles
+//! the network at that `N` through [`Engine::plan`] (layout DP + mechanism
+//! selection, accelerated by the simulation cache's prewarms); every later
+//! batch in the bucket reuses the compiled plan. Hits and misses go to the
+//! global perf registry (`serve.plan.hit` / `serve.plan.miss`), and each
+//! compile bumps `engine.plan.compile` inside the engine — together they
+//! prove repeat buckets never re-run the layout DP.
+
+use memcnn_core::{Engine, Mechanism, Network, Plan};
+use memcnn_gpusim::SimError;
+use memcnn_trace::perf;
+use std::collections::BTreeMap;
+
+/// Compiled plans keyed by batch-size bucket, for one network under one
+/// mechanism on one engine.
+pub struct PlanCache<'e> {
+    engine: &'e Engine,
+    mech: Mechanism,
+    template: Network,
+    plans: BTreeMap<usize, Plan>,
+}
+
+impl<'e> PlanCache<'e> {
+    /// Empty cache for `net` (any batch size; it is re-batched per bucket)
+    /// under `mech`.
+    pub fn new(engine: &'e Engine, net: &Network, mech: Mechanism) -> PlanCache<'e> {
+        PlanCache { engine, mech, template: net.clone(), plans: BTreeMap::new() }
+    }
+
+    /// The plan for `bucket`, compiling it on first use.
+    pub fn get(&mut self, bucket: usize) -> Result<&Plan, SimError> {
+        if self.plans.contains_key(&bucket) {
+            perf::incr("serve.plan.hit");
+        } else {
+            perf::incr("serve.plan.miss");
+            let plan = self.engine.plan_at(&self.template, self.mech, bucket)?;
+            self.plans.insert(bucket, plan);
+        }
+        Ok(&self.plans[&bucket])
+    }
+
+    /// Compile every bucket in `buckets` up front (e.g. to move all plan
+    /// compiles before the event loop). Counted as misses, not hits.
+    pub fn prewarm(&mut self, buckets: &[usize]) -> Result<(), SimError> {
+        for &b in buckets {
+            if !self.plans.contains_key(&b) {
+                perf::incr("serve.plan.miss");
+                let plan = self.engine.plan_at(&self.template, self.mech, b)?;
+                self.plans.insert(b, plan);
+            }
+        }
+        Ok(())
+    }
+
+    /// All compiled plans, ascending by bucket.
+    pub fn plans(&self) -> &BTreeMap<usize, Plan> {
+        &self.plans
+    }
+
+    /// Number of compiled buckets.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Whether nothing has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcnn_core::{LayoutThresholds, NetworkBuilder};
+    use memcnn_gpusim::DeviceConfig;
+    use memcnn_tensor::Shape;
+
+    #[test]
+    fn first_use_compiles_and_repeats_reuse() {
+        let engine =
+            Engine::new(DeviceConfig::titan_black(), LayoutThresholds::titan_black_paper());
+        let net = NetworkBuilder::new("pc", Shape::new(8, 4, 12, 12))
+            .conv("CV", 8, 3, 1, 1)
+            .build()
+            .unwrap();
+        let mut cache = PlanCache::new(&engine, &net, Mechanism::Opt);
+        assert!(cache.is_empty());
+        let compiles0 = perf::get("engine.plan.compile");
+        let t1 = cache.get(16).unwrap().total_time();
+        let after_first = perf::get("engine.plan.compile");
+        assert!(after_first > compiles0, "first use must compile");
+        let t2 = cache.get(16).unwrap().total_time();
+        assert_eq!(perf::get("engine.plan.compile"), after_first, "repeat must not compile");
+        assert_eq!(t1.to_bits(), t2.to_bits());
+        assert_eq!(cache.len(), 1);
+        // A different bucket compiles a different plan at its own N.
+        assert_eq!(cache.get(64).unwrap().batch, 64);
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -1,0 +1,367 @@
+//! The discrete-event serving loop: one simulated device draining an
+//! open-loop request stream through the dynamic batcher and the per-bucket
+//! plan cache.
+//!
+//! All time is simulated. A batch's service time is its bucket plan's
+//! simulated forward time (`Plan::total_time` — layers plus inserted
+//! layout transformations), and queueing delay falls out of the event
+//! loop. The loop itself is single-threaded and touches the engine only
+//! through `PlanCache`, whose plans are bit-identical across thread counts
+//! (the PR-2 cache guarantee), so an entire run is a pure function of
+//! `(engine config, network, ServeConfig)`.
+
+use crate::batch::{bucket_for, BatchPolicy};
+use crate::metrics::{latency_stats, LatencyStats};
+use crate::plan_cache::PlanCache;
+use crate::workload::{self, Request, WorkloadConfig};
+use memcnn_core::{Engine, Mechanism, Network};
+use memcnn_gpusim::SimError;
+use memcnn_trace as trace;
+use memcnn_trace::perf;
+use serde::Serialize;
+
+/// Everything a serving run needs besides the engine and the network.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServeConfig {
+    /// The synthetic request stream.
+    pub workload: WorkloadConfig,
+    /// The dynamic-batching policy.
+    pub policy: BatchPolicy,
+    /// Mechanism plans are compiled under (the paper's `Opt` by default).
+    pub mechanism: Mechanism,
+}
+
+impl ServeConfig {
+    /// `Opt`-mechanism config from a workload and policy.
+    pub fn new(workload: WorkloadConfig, policy: BatchPolicy) -> ServeConfig {
+        ServeConfig { workload, policy, mechanism: Mechanism::Opt }
+    }
+}
+
+/// One launched batch.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct BatchRecord {
+    /// Launch time (GPU start), seconds.
+    pub launch: f64,
+    /// Completion time, seconds.
+    pub done: f64,
+    /// Requests folded into the batch.
+    pub requests: usize,
+    /// Images in the batch (before bucket rounding).
+    pub images: usize,
+    /// Bucket the batch executed in (plan's `N`).
+    pub bucket: usize,
+    /// Arrived-but-unserved requests left behind at launch.
+    pub queue_depth: usize,
+}
+
+/// Per-bucket aggregate of a finished run.
+#[derive(Clone, Debug, Serialize)]
+pub struct BucketStats {
+    /// Bucket size (`N` its plan was compiled at).
+    pub bucket: usize,
+    /// Batches executed in this bucket.
+    pub batches: usize,
+    /// Total images those batches carried.
+    pub images: usize,
+    /// Mean fill: images per batch over bucket capacity, in (0, 1].
+    pub fill: f64,
+    /// The plan's convolution-layout signature (e.g. `CHWN` or
+    /// `CHWN,NCHW,...`) — the paper-flavored observable: this string
+    /// changes across buckets of the same network.
+    pub conv_layouts: String,
+    /// Layout transformations the plan inserts.
+    pub transforms: usize,
+    /// The plan's simulated service time, seconds.
+    pub service_time: f64,
+}
+
+/// A finished serving run.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServeReport {
+    /// Network name.
+    pub network: String,
+    /// The config the run used.
+    pub config: ServeConfig,
+    /// Requests served (== generated requests).
+    pub requests: usize,
+    /// Images served.
+    pub images: usize,
+    /// Completion time of the last batch, seconds.
+    pub makespan: f64,
+    /// Per-request latency (completion - arrival), in request-id order —
+    /// the determinism tests compare this vector bit for bit.
+    pub latencies: Vec<f64>,
+    /// Every launched batch, in launch order.
+    pub batches: Vec<BatchRecord>,
+    /// Per-bucket aggregates, ascending by bucket.
+    pub buckets: Vec<BucketStats>,
+}
+
+impl ServeReport {
+    /// Latency summary over all requests.
+    pub fn latency(&self) -> LatencyStats {
+        latency_stats(&self.latencies)
+    }
+
+    /// Served images per second of makespan.
+    pub fn throughput_images_per_sec(&self) -> f64 {
+        if self.makespan > 0.0 {
+            self.images as f64 / self.makespan
+        } else {
+            0.0
+        }
+    }
+
+    /// Served requests per second of makespan.
+    pub fn throughput_requests_per_sec(&self) -> f64 {
+        if self.makespan > 0.0 {
+            self.requests as f64 / self.makespan
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean queue depth observed at batch launches.
+    pub fn mean_queue_depth(&self) -> f64 {
+        if self.batches.is_empty() {
+            return 0.0;
+        }
+        self.batches.iter().map(|b| b.queue_depth as f64).sum::<f64>() / self.batches.len() as f64
+    }
+
+    /// Distinct convolution-layout signatures across buckets — `> 1`
+    /// means the server observably flipped plans as load changed.
+    pub fn distinct_conv_signatures(&self) -> usize {
+        let mut sigs: Vec<&str> = self.buckets.iter().map(|b| b.conv_layouts.as_str()).collect();
+        sigs.sort_unstable();
+        sigs.dedup();
+        sigs.len()
+    }
+}
+
+/// Greedy FIFO batch formation at time `launch`: take requests arrived by
+/// `launch` (starting at `next`) while their images fit in `max`. Returns
+/// `(end_index, images, full)`; `full` means the batch cannot grow even if
+/// more requests were queued.
+fn form(requests: &[Request], next: usize, launch: f64, max: usize) -> (usize, usize, bool) {
+    let mut images = 0usize;
+    let mut j = next;
+    while j < requests.len() && requests[j].arrival <= launch {
+        // A request larger than the whole batch is clamped rather than
+        // rejected: it becomes a lone full batch.
+        let imgs = requests[j].images.min(max);
+        if images + imgs > max {
+            return (j, images, true);
+        }
+        images += imgs;
+        j += 1;
+        if images == max {
+            return (j, images, true);
+        }
+    }
+    (j, images, false)
+}
+
+/// Run the serving simulation to completion (every generated request is
+/// served). Deterministic: same engine config + network + `cfg` gives a
+/// bit-identical [`ServeReport`], independent of `MEMCNN_THREADS`.
+pub fn serve(engine: &Engine, net: &Network, cfg: &ServeConfig) -> Result<ServeReport, SimError> {
+    let requests = workload::generate(&cfg.workload);
+    perf::add("serve.requests", requests.len() as u64);
+    let max = cfg.policy.max_batch_images.max(1);
+    let mut cache = PlanCache::new(engine, net, cfg.mechanism);
+    let mut latencies = vec![0.0f64; requests.len()];
+    let mut batches: Vec<BatchRecord> = Vec::new();
+    let mut gpu_free = 0.0f64;
+    let mut next = 0usize;
+
+    while next < requests.len() {
+        let oldest = requests[next].arrival;
+        let deadline = oldest + cfg.policy.max_queue_delay;
+        // The batch launches at max(gpu_free, min(T_full, T_deadline)):
+        // grow the admission window arrival by arrival until the batch is
+        // full or the oldest request's deadline stops the wait.
+        let mut launch = gpu_free.max(oldest);
+        loop {
+            let (j_after, _, full) = form(&requests, next, launch, max);
+            if full || launch >= deadline {
+                break;
+            }
+            match requests.get(j_after) {
+                Some(r) if r.arrival <= deadline => launch = r.arrival,
+                _ => {
+                    launch = deadline;
+                    break;
+                }
+            }
+        }
+        let (j_end, images, _) = form(&requests, next, launch, max);
+        debug_assert!(j_end > next, "a batch always serves at least one request");
+        let bucket = bucket_for(images, max);
+        let service = cache.get(bucket)?.total_time();
+        let done = launch + service;
+        for r in &requests[next..j_end] {
+            latencies[r.id as usize] = done - r.arrival;
+        }
+        // Queue pressure left behind: arrived by launch but not taken.
+        let mut depth = 0usize;
+        let mut k = j_end;
+        while k < requests.len() && requests[k].arrival <= launch {
+            depth += 1;
+            k += 1;
+        }
+        {
+            let (idx, reqs) = (batches.len(), j_end - next);
+            trace::record_span(|| trace::SpanEvent {
+                name: format!("batch {idx} (N={bucket})"),
+                track: trace::Track::Serve,
+                ts_us: launch * 1e6,
+                dur_us: service * 1e6,
+                args: vec![
+                    ("requests".to_string(), reqs.to_string()),
+                    ("images".to_string(), images.to_string()),
+                    ("bucket".to_string(), bucket.to_string()),
+                ],
+            });
+        }
+        batches.push(BatchRecord {
+            launch,
+            done,
+            requests: j_end - next,
+            images,
+            bucket,
+            queue_depth: depth,
+        });
+        gpu_free = done;
+        next = j_end;
+    }
+    perf::add("serve.batches", batches.len() as u64);
+
+    // Per-bucket rollup against the compiled plans.
+    let mut buckets: Vec<BucketStats> = Vec::new();
+    for (&bucket, plan) in cache.plans() {
+        let hits: Vec<&BatchRecord> = batches.iter().filter(|b| b.bucket == bucket).collect();
+        let images: usize = hits.iter().map(|b| b.images).sum();
+        buckets.push(BucketStats {
+            bucket,
+            batches: hits.len(),
+            images,
+            fill: if hits.is_empty() { 0.0 } else { images as f64 / (hits.len() * bucket) as f64 },
+            conv_layouts: plan.conv_layout_signature(),
+            transforms: plan.transform_count(),
+            service_time: plan.total_time(),
+        });
+    }
+
+    Ok(ServeReport {
+        network: net.name.clone(),
+        config: cfg.clone(),
+        requests: requests.len(),
+        images: requests.iter().map(|r| r.images.min(max)).sum(),
+        makespan: gpu_free,
+        latencies,
+        batches,
+        buckets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{Arrival, Phase};
+    use memcnn_core::{LayoutThresholds, NetworkBuilder};
+    use memcnn_gpusim::DeviceConfig;
+    use memcnn_tensor::Shape;
+
+    fn tiny_engine() -> Engine {
+        Engine::new(DeviceConfig::titan_black(), LayoutThresholds::titan_black_paper())
+    }
+
+    fn tiny_net() -> Network {
+        NetworkBuilder::new("tiny-serve", Shape::new(1, 4, 16, 16))
+            .conv("CV", 8, 3, 1, 1)
+            .max_pool("PL", 2, 2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn every_request_is_served_with_positive_latency() {
+        let engine = tiny_engine();
+        let net = tiny_net();
+        let cfg = ServeConfig::new(
+            WorkloadConfig {
+                phases: vec![Phase { arrival: Arrival::Poisson { rate: 400.0 }, duration: 0.2 }],
+                images_min: 1,
+                images_max: 4,
+                seed: 5,
+            },
+            BatchPolicy::new(32, 0.005),
+        );
+        let report = serve(&engine, &net, &cfg).unwrap();
+        assert!(report.requests > 0);
+        assert_eq!(report.latencies.len(), report.requests);
+        assert!(report.latencies.iter().all(|&l| l > 0.0));
+        assert_eq!(report.batches.iter().map(|b| b.requests).sum::<usize>(), report.requests);
+        assert!(report.makespan > 0.0);
+        let lat = report.latency();
+        assert!(lat.p50 <= lat.p95 && lat.p95 <= lat.p99 && lat.p99 <= lat.max);
+    }
+
+    #[test]
+    fn batches_respect_policy_and_buckets_cover_batches() {
+        let engine = tiny_engine();
+        let net = tiny_net();
+        let cfg = ServeConfig::new(
+            WorkloadConfig {
+                phases: vec![Phase { arrival: Arrival::Poisson { rate: 2000.0 }, duration: 0.1 }],
+                images_min: 1,
+                images_max: 3,
+                seed: 9,
+            },
+            BatchPolicy::new(16, 0.002),
+        );
+        let report = serve(&engine, &net, &cfg).unwrap();
+        for b in &report.batches {
+            assert!(b.images <= 16);
+            assert!(b.bucket >= b.images);
+            assert!(b.done > b.launch);
+        }
+        // Batches never overlap on the single device.
+        for w in report.batches.windows(2) {
+            assert!(w[0].done <= w[1].launch + 1e-12);
+        }
+        // Every bucket used by a batch has stats and a compiled plan.
+        for b in &report.batches {
+            assert!(report.buckets.iter().any(|s| s.bucket == b.bucket));
+        }
+        for s in &report.buckets {
+            assert!(s.fill > 0.0 && s.fill <= 1.0);
+            assert!(!s.conv_layouts.is_empty());
+        }
+    }
+
+    #[test]
+    fn quiet_stream_launches_on_deadline_not_full() {
+        // 10 req/s with a 1 ms delay cap: every batch is a single request
+        // launched at its deadline (service time is far below the gap).
+        let engine = tiny_engine();
+        let net = tiny_net();
+        let cfg = ServeConfig::new(
+            WorkloadConfig {
+                phases: vec![Phase { arrival: Arrival::Uniform { rate: 10.0 }, duration: 1.0 }],
+                images_min: 1,
+                images_max: 1,
+                seed: 2,
+            },
+            BatchPolicy::new(64, 0.001),
+        );
+        let report = serve(&engine, &net, &cfg).unwrap();
+        assert!(report.batches.iter().all(|b| b.requests == 1 && b.bucket == 1));
+        for (b, r) in report.batches.iter().zip(&report.latencies) {
+            // Latency = queue delay cap + service time.
+            assert!((r - (0.001 + (b.done - b.launch))).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Seeded synthetic request streams: the open-loop arrival side of the
+//! serving simulation. Every stream is a pure function of its
+//! [`WorkloadConfig`] (the RNG is seeded and consumed in a fixed order),
+//! so the same config always produces the same requests — the foundation
+//! of the server's bit-identical determinism guarantee.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// Arrival process of one workload phase.
+#[derive(Clone, Copy, Debug)]
+pub enum Arrival {
+    /// Poisson arrivals at `rate` requests/second (i.i.d. exponential
+    /// inter-arrival gaps) — the standard open-loop serving model.
+    Poisson {
+        /// Mean arrival rate, requests per second.
+        rate: f64,
+    },
+    /// Evenly spaced arrivals at `rate` requests/second (zero jitter;
+    /// useful for reasoning about batcher edge cases).
+    Uniform {
+        /// Arrival rate, requests per second.
+        rate: f64,
+    },
+}
+
+impl Arrival {
+    fn rate(&self) -> f64 {
+        match *self {
+            Arrival::Poisson { rate } | Arrival::Uniform { rate } => rate,
+        }
+    }
+}
+
+// Manual impl: the vendored serde derive handles unit enums only.
+impl Serialize for Arrival {
+    fn serialize_json(&self, out: &mut String) {
+        let (process, rate) = match *self {
+            Arrival::Poisson { rate } => ("poisson", rate),
+            Arrival::Uniform { rate } => ("uniform", rate),
+        };
+        out.push_str("{\"process\":");
+        process.serialize_json(out);
+        out.push_str(",\"rate\":");
+        rate.serialize_json(out);
+        out.push('}');
+    }
+}
+
+/// One phase of the workload: an arrival process held for `duration`
+/// seconds. Chaining phases at different rates makes the effective batch
+/// size — and therefore the optimal layout plan — change over one run.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Phase {
+    /// The arrival process during this phase.
+    pub arrival: Arrival,
+    /// Phase length, seconds of simulated time.
+    pub duration: f64,
+}
+
+/// A complete workload description.
+#[derive(Clone, Debug, Serialize)]
+pub struct WorkloadConfig {
+    /// Phases, played back to back starting at t = 0.
+    pub phases: Vec<Phase>,
+    /// Smallest per-request image count (>= 1).
+    pub images_min: usize,
+    /// Largest per-request image count (>= `images_min`).
+    pub images_max: usize,
+    /// RNG seed; same seed + config = same stream, bit for bit.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// Single-phase Poisson workload of single-image requests.
+    pub fn poisson(rate: f64, duration: f64, seed: u64) -> WorkloadConfig {
+        WorkloadConfig {
+            phases: vec![Phase { arrival: Arrival::Poisson { rate }, duration }],
+            images_min: 1,
+            images_max: 1,
+            seed,
+        }
+    }
+
+    /// Total simulated duration across phases, seconds.
+    pub fn duration(&self) -> f64 {
+        self.phases.iter().map(|p| p.duration).sum()
+    }
+}
+
+/// One inference request: `images` images arriving together at `arrival`.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Request {
+    /// Stable id (generation order == arrival order).
+    pub id: u64,
+    /// Arrival time, seconds from stream start.
+    pub arrival: f64,
+    /// Number of images the request carries.
+    pub images: usize,
+}
+
+/// Generate the request stream for `cfg`. Arrival times are strictly
+/// increasing; phases with a non-positive rate contribute nothing.
+pub fn generate(cfg: &WorkloadConfig) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let (lo, hi) = (cfg.images_min.max(1), cfg.images_max.max(cfg.images_min.max(1)));
+    let mut out = Vec::new();
+    let mut phase_start = 0.0f64;
+    for ph in &cfg.phases {
+        let end = phase_start + ph.duration;
+        let rate = ph.arrival.rate();
+        if rate > 0.0 && ph.duration > 0.0 {
+            let mut t = phase_start;
+            loop {
+                let gap = match ph.arrival {
+                    Arrival::Poisson { rate } => {
+                        let u: f64 = rng.gen_range(0.0f64..1.0);
+                        -(1.0 - u).ln() / rate
+                    }
+                    Arrival::Uniform { rate } => 1.0 / rate,
+                };
+                t += gap;
+                if t >= end {
+                    break;
+                }
+                let images = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+                out.push(Request { id: out.len() as u64, arrival: t, images });
+            }
+        }
+        phase_start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let cfg = WorkloadConfig {
+            phases: vec![
+                Phase { arrival: Arrival::Poisson { rate: 500.0 }, duration: 0.5 },
+                Phase { arrival: Arrival::Uniform { rate: 100.0 }, duration: 0.5 },
+            ],
+            images_min: 1,
+            images_max: 4,
+            seed: 42,
+        };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival.to_bits(), y.arrival.to_bits());
+            assert_eq!(x.images, y.images);
+        }
+        let c = generate(&WorkloadConfig { seed: 43, ..cfg });
+        assert_ne!(
+            a.iter().map(|r| r.arrival.to_bits()).collect::<Vec<_>>(),
+            c.iter().map(|r| r.arrival.to_bits()).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_bounded() {
+        let cfg = WorkloadConfig {
+            phases: vec![
+                Phase { arrival: Arrival::Poisson { rate: 2000.0 }, duration: 0.25 },
+                Phase { arrival: Arrival::Poisson { rate: 50.0 }, duration: 0.25 },
+            ],
+            images_min: 2,
+            images_max: 8,
+            seed: 7,
+        };
+        let reqs = generate(&cfg);
+        for w in reqs.windows(2) {
+            assert!(w[0].arrival < w[1].arrival);
+        }
+        for r in &reqs {
+            assert!(r.arrival > 0.0 && r.arrival < 0.5);
+            assert!((2..=8).contains(&r.images));
+        }
+        // The fast phase dominates the count.
+        let fast = reqs.iter().filter(|r| r.arrival < 0.25).count();
+        assert!(fast > reqs.len() / 2);
+    }
+
+    #[test]
+    fn uniform_rate_yields_expected_count() {
+        let cfg = WorkloadConfig {
+            phases: vec![Phase { arrival: Arrival::Uniform { rate: 100.0 }, duration: 1.0 }],
+            images_min: 1,
+            images_max: 1,
+            seed: 0,
+        };
+        let reqs = generate(&cfg);
+        // Gaps of 10 ms over 1 s -> 99 arrivals strictly inside (0, 1).
+        assert_eq!(reqs.len(), 99);
+        assert_eq!(reqs.last().unwrap().id, 98);
+    }
+
+    #[test]
+    fn zero_rate_phase_contributes_nothing() {
+        let cfg = WorkloadConfig {
+            phases: vec![
+                Phase { arrival: Arrival::Poisson { rate: 0.0 }, duration: 1.0 },
+                Phase { arrival: Arrival::Uniform { rate: 10.0 }, duration: 1.0 },
+            ],
+            images_min: 1,
+            images_max: 1,
+            seed: 1,
+        };
+        let reqs = generate(&cfg);
+        assert!(!reqs.is_empty());
+        assert!(reqs.iter().all(|r| r.arrival >= 1.0), "first phase must be silent");
+    }
+}

@@ -123,6 +123,9 @@ pub fn chrome_trace(trace: &Trace) -> String {
     for track in [Track::Layers, Track::Transforms, Track::Kernels, Track::Backward] {
         events.push(thread_meta(track));
     }
+    if trace.spans.iter().any(|sp| sp.track == Track::Serve) {
+        events.push(thread_meta(Track::Serve));
+    }
     if trace.spans.iter().any(|sp| sp.track == Track::Exec) {
         events.push(process_meta(2, "memcnn functional execution"));
         events.push(thread_meta(Track::Exec));

@@ -87,6 +87,9 @@ pub enum Track {
     Kernels,
     /// Backward-pass work (simulated time).
     Backward,
+    /// Served inference batches (simulated serving-clock time; one span
+    /// per launched batch).
+    Serve,
     /// Functional execution on the host (wall clock).
     Exec,
 }
@@ -99,6 +102,7 @@ impl Track {
             Track::Transforms => 2,
             Track::Kernels => 3,
             Track::Backward => 4,
+            Track::Serve => 5,
             Track::Exec => 1,
         }
     }
@@ -118,6 +122,7 @@ impl Track {
             Track::Transforms => "transforms",
             Track::Kernels => "kernels",
             Track::Backward => "backward",
+            Track::Serve => "serving",
             Track::Exec => "exec (wall clock)",
         }
     }
