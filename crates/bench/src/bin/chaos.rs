@@ -1,0 +1,70 @@
+//! Chaos sweep: serving under seeded fault injection.
+//!
+//! ```text
+//! cargo run -p memcnn-bench --release --bin chaos
+//! cargo run -p memcnn-bench --release --bin chaos -- --out target/BENCH_chaos.json
+//! ```
+//!
+//! Serves the fixed reference stream (AlexNet, 70% of saturation
+//! capacity, seed 42) under increasing fault rates — 0%, 1%, 5%, 10%
+//! transient launch failures, each with OOM at one fifth of the transient
+//! rate — and tabulates p99 latency, shed rate, and the fault accounting
+//! per point. The whole sweep is written as one line of JSON to
+//! `BENCH_chaos.json` for CI trend tracking, next to `BENCH_serve.json`.
+//!
+//! Exits non-zero if any point violates the counter-discipline invariant
+//! (`injected == retried + degraded + shed`): that invariant is the
+//! machine-checkable statement that every injected fault was handled.
+
+use memcnn_bench::chaos::chaos_sweep;
+use memcnn_bench::util::Ctx;
+use memcnn_models::alexnet;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!("usage: chaos [--out PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = PathBuf::from("BENCH_chaos.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = PathBuf::from(p),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let ctx = Ctx::titan_black();
+    let net = alexnet().expect("alexnet");
+    let (summary, table) = match chaos_sweep(&ctx, &net) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("chaos sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    table.print();
+
+    if let Some(bad) = summary.points.iter().find(|p| !p.balanced) {
+        eprintln!(
+            "counter discipline violated at transient rate {}: \
+             injected {} != retried {} + degraded {} + shed {}",
+            bad.transient_rate, bad.injected, bad.retried, bad.degraded, bad.shed_faults
+        );
+        std::process::exit(1);
+    }
+
+    let line = serde_json::to_string(&summary).expect("serialize summary");
+    println!("\n{line}");
+    if let Err(e) = std::fs::write(&out, format!("{line}\n")) {
+        eprintln!("failed to write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", out.display());
+}

@@ -13,11 +13,10 @@
 //! (70% of capacity, seed 42) is written as one line of JSON to
 //! `BENCH_serve.json` for CI trend tracking, next to `BENCH_engine.json`.
 
-use memcnn_bench::serving::{
-    self, capacity_images_per_sec, feasible_max_batch, plan_table, run_point, sweep, sweep_policy,
-};
+use memcnn_bench::serving::{self, plan_table, run_point, sweep, sweep_policy};
 use memcnn_bench::util::Ctx;
 use memcnn_models::{alexnet, vgg16};
+use memcnn_serve::{capacity_images_per_sec, feasible_max_batch};
 use memcnn_trace::perf;
 use serde::Serialize;
 use std::path::PathBuf;
@@ -78,8 +77,9 @@ fn main() {
     for net in [alexnet().expect("alexnet"), vgg16().expect("vgg16")] {
         // Deep networks can exhaust simulated device memory at large N;
         // cap the top bucket at the largest batch that still plans.
-        let (max_batch, top_plan) = feasible_max_batch(&ctx, &net, &[256, 128, 64, 32])
-            .unwrap_or_else(|| panic!("{}: no feasible batch size", net.name));
+        let (max_batch, top_plan) =
+            feasible_max_batch(&ctx.engine, &net, ctx.mechanism(), &[256, 128, 64, 32])
+                .unwrap_or_else(|| panic!("{}: no feasible batch size", net.name));
         let capacity = capacity_images_per_sec(max_batch, &top_plan);
         let policy = sweep_policy(max_batch, top_plan.total_time());
         println!(

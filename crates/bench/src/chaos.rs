@@ -1,0 +1,217 @@
+//! Chaos sweeps: the harness behind the `chaos` binary and
+//! `BENCH_chaos.json`.
+//!
+//! A chaos sweep holds the workload fixed — AlexNet at
+//! [`crate::serving::REFERENCE_FRAC`] of capacity, seed
+//! [`crate::serving::SWEEP_SEED`] — and turns the fault-injection dial:
+//! each operating point serves the *same* request stream under a
+//! different seeded [`FaultPlan`] (transient launch failures plus a
+//! smaller OOM rate), measuring what the degradation ladder costs in p99
+//! latency and shed rate. The zero-rate point is the fault-free baseline;
+//! the counter-discipline invariant (`injected == retried + degraded +
+//! shed`) is asserted on every point.
+
+use crate::serving::{sweep_policy, workload_at, REFERENCE_FRAC, SWEEP_SEED};
+use crate::util::{ms, Ctx, Table};
+use memcnn_core::{EngineError, Network};
+use memcnn_gpusim::FaultPlan;
+use memcnn_serve::{
+    capacity_images_per_sec, feasible_max_batch, serve, FaultPolicy, ServeConfig, ServeReport,
+};
+use serde::Serialize;
+
+/// Transient-fault rates swept by the chaos harness; every point also
+/// injects OOM at [`oom_rate`] of the transient rate.
+pub const TRANSIENT_RATES: [f64; 4] = [0.0, 0.01, 0.05, 0.10];
+
+/// OOM rate injected alongside a transient rate (one fifth of it — OOM
+/// should be the rarer failure, as on real devices).
+pub fn oom_rate(transient: f64) -> f64 {
+    transient / 5.0
+}
+
+/// One operating point of the chaos sweep.
+#[derive(Serialize)]
+pub struct ChaosRow {
+    /// Injected transient (launch-failure) probability per kernel launch.
+    pub transient_rate: f64,
+    /// Injected device-OOM probability per kernel launch.
+    pub oom_rate: f64,
+    /// Requests the stream carried.
+    pub requests: usize,
+    /// Requests shed (deadline or fault shedding).
+    pub shed_requests: usize,
+    /// Shed fraction, in [0, 1].
+    pub shed_rate: f64,
+    /// p50 latency over served requests, milliseconds.
+    pub p50_ms: f64,
+    /// p99 latency over served requests, milliseconds.
+    pub p99_ms: f64,
+    /// Faults fired by the plan.
+    pub injected: u64,
+    /// Faults answered with a retry.
+    pub retried: u64,
+    /// Faults absorbed by degrading (throttles + OOM downshifts).
+    pub degraded: u64,
+    /// Faults resolved by shedding the batch.
+    pub shed_faults: u64,
+    /// Times the server entered degraded mode.
+    pub degraded_entries: u64,
+    /// Whether the counter-discipline invariant held.
+    pub balanced: bool,
+}
+
+/// The whole sweep, serialized as one line of `BENCH_chaos.json`.
+#[derive(Serialize)]
+pub struct ChaosSummary {
+    /// Bench name tag (`"chaos"`).
+    pub bench: &'static str,
+    /// Device the engine simulated.
+    pub device: String,
+    /// Workload and fault seed.
+    pub seed: u64,
+    /// Offered-load fraction of saturation capacity.
+    pub load_frac: f64,
+    /// Network under chaos.
+    pub network: String,
+    /// The fault policy every point ran under.
+    pub policy: FaultPolicy,
+    /// One row per transient rate.
+    pub points: Vec<ChaosRow>,
+}
+
+/// The fault policy the sweep runs under: bounded retries, a shed
+/// deadline wide enough that the fault-free point sheds nothing, and a
+/// short recovery streak so degraded-mode exits show up in-sweep.
+pub fn chaos_policy(top_service_time: f64) -> FaultPolicy {
+    FaultPolicy {
+        max_retries: 3,
+        backoff_base: (0.05 * top_service_time).max(1e-5),
+        shed_deadline: Some(20.0 * top_service_time),
+        recovery_batches: 4,
+    }
+}
+
+/// Serve the reference stream under one fault plan.
+pub fn run_chaos_point(
+    ctx: &Ctx,
+    net: &Network,
+    cfg: &ServeConfig,
+    transient: f64,
+) -> Result<(ChaosRow, ServeReport), EngineError> {
+    let mut cfg = cfg.clone();
+    if transient > 0.0 {
+        cfg.faults = Some(FaultPlan::new(SWEEP_SEED, transient, oom_rate(transient), 0.0));
+    }
+    let report = serve(&ctx.engine, net, &cfg)?;
+    let lat = report.latency();
+    let row = ChaosRow {
+        transient_rate: transient,
+        oom_rate: oom_rate(transient),
+        requests: report.requests,
+        shed_requests: report.shed_requests,
+        shed_rate: report.shed_rate(),
+        p50_ms: lat.p50 * 1e3,
+        p99_ms: lat.p99 * 1e3,
+        injected: report.faults.injected,
+        retried: report.faults.retried,
+        degraded: report.faults.degraded,
+        shed_faults: report.faults.shed,
+        degraded_entries: report.faults.degraded_entries,
+        balanced: report.faults.balanced(),
+    };
+    Ok((row, report))
+}
+
+/// Run the whole sweep for `net` and tabulate it. The returned rows are
+/// what the binary serializes; `Err` only for plan-time failures (injected
+/// faults never abort a run).
+pub fn chaos_sweep(ctx: &Ctx, net: &Network) -> Result<(ChaosSummary, Table), EngineError> {
+    let (max_batch, top_plan) =
+        feasible_max_batch(&ctx.engine, net, ctx.mechanism(), &[256, 128, 64, 32])
+            .ok_or_else(|| EngineError::Fatal(format!("{}: no feasible batch size", net.name)))?;
+    let capacity = capacity_images_per_sec(max_batch, &top_plan);
+    let policy = sweep_policy(max_batch, top_plan.total_time());
+    let fault_policy = chaos_policy(top_plan.total_time());
+    let base = ServeConfig {
+        workload: workload_at(REFERENCE_FRAC, capacity, SWEEP_SEED),
+        policy,
+        mechanism: ctx.mechanism(),
+        faults: None,
+        fault_policy,
+    };
+
+    let mut t = Table::new(
+        format!(
+            "{}: p99 latency and shed rate vs fault probability ({}% load, seed {})",
+            net.name,
+            (REFERENCE_FRAC * 100.0) as u32,
+            SWEEP_SEED
+        ),
+        &[
+            "transient",
+            "oom",
+            "reqs",
+            "shed",
+            "shed %",
+            "p50 ms",
+            "p99 ms",
+            "injected",
+            "retried",
+            "degraded",
+            "shed flts",
+            "balanced",
+        ],
+    );
+    let mut points = Vec::new();
+    for &rate in &TRANSIENT_RATES {
+        let (row, _) = run_chaos_point(ctx, net, &base, rate)?;
+        t.row(vec![
+            format!("{:.0}%", row.transient_rate * 100.0),
+            format!("{:.1}%", row.oom_rate * 100.0),
+            row.requests.to_string(),
+            row.shed_requests.to_string(),
+            format!("{:.1}%", row.shed_rate * 100.0),
+            ms(row.p50_ms / 1e3),
+            ms(row.p99_ms / 1e3),
+            row.injected.to_string(),
+            row.retried.to_string(),
+            row.degraded.to_string(),
+            row.shed_faults.to_string(),
+            row.balanced.to_string(),
+        ]);
+        points.push(row);
+    }
+    let summary = ChaosSummary {
+        bench: "chaos",
+        device: ctx.device.name.clone(),
+        seed: SWEEP_SEED,
+        load_frac: REFERENCE_FRAC,
+        network: net.name.clone(),
+        policy: fault_policy,
+        points,
+    };
+    Ok((summary, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcnn_models::alexnet;
+
+    #[test]
+    fn fault_free_point_is_clean_and_faulted_points_balance() {
+        let ctx = Ctx::titan_black();
+        let net = alexnet().unwrap();
+        let (summary, _) = chaos_sweep(&ctx, &net).expect("chaos sweep");
+        assert_eq!(summary.points.len(), TRANSIENT_RATES.len());
+        let clean = &summary.points[0];
+        assert_eq!(clean.injected, 0);
+        assert_eq!(clean.shed_requests, 0);
+        for p in &summary.points {
+            assert!(p.balanced, "counter discipline violated at rate {}", p.transient_rate);
+        }
+        // More faults cannot make the tail faster than fault-free.
+        assert!(summary.points.iter().all(|p| p.p99_ms >= clean.p99_ms - 1e-9));
+    }
+}

@@ -15,9 +15,15 @@
 //! [`serving`] drives the `memcnn-serve` dynamic-batching simulator
 //! through latency-vs-throughput sweeps (exposed as the `serve` binary,
 //! which also emits `BENCH_serve.json` for CI).
+//!
+//! [`chaos`] holds the serving workload fixed and sweeps the seeded
+//! fault-injection rate instead, measuring what the retry/downshift/shed
+//! ladder costs in p99 latency and shed rate (exposed as the `chaos`
+//! binary, which emits `BENCH_chaos.json` for CI).
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod figures;
 pub mod layer_times;
 pub mod profile;

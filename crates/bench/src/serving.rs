@@ -10,10 +10,9 @@
 //! decisions changing across buckets of the *same* network.
 
 use crate::util::{ms, Ctx, Table};
-use memcnn_core::{Network, Plan};
-use memcnn_gpusim::SimError;
+use memcnn_core::{EngineError, Network};
 use memcnn_serve::{
-    buckets, serve, BatchPolicy, PlanCache, ServeConfig, ServeReport, WorkloadConfig,
+    buckets, serve, BatchPolicy, FaultPolicy, PlanCache, ServeConfig, ServeReport, WorkloadConfig,
 };
 
 /// One sweep operating point: a Poisson stream at `frac` of capacity.
@@ -46,29 +45,9 @@ pub fn sweep_policy(max_batch_images: usize, top_service_time: f64) -> BatchPoli
     BatchPolicy::new(max_batch_images, (0.25 * top_service_time).max(1e-4))
 }
 
-/// Largest `max_batch_images` from `candidates` (descending) whose top
-/// bucket actually plans on the device — deep networks can exhaust
-/// simulated device memory at large `N`, and the serving policy must not
-/// promise buckets it cannot compile.
-pub fn feasible_max_batch(ctx: &Ctx, net: &Network, candidates: &[usize]) -> Option<(usize, Plan)> {
-    for &max in candidates {
-        match ctx.engine.plan_at(net, ctx.mechanism(), max) {
-            Ok(plan) => return Some((max, plan)),
-            Err(SimError::OutOfMemory { .. }) => continue,
-            Err(SimError::Unlaunchable(_)) => continue,
-        }
-    }
-    None
-}
-
-/// Saturation throughput implied by the top bucket's plan, images/second.
-pub fn capacity_images_per_sec(max_batch: usize, top_plan: &Plan) -> f64 {
-    max_batch as f64 / top_plan.total_time()
-}
-
 /// Compile every bucket of `policy` and tabulate its plan: the layout
 /// decisions per bucket, inserted transforms, and per-bucket throughput.
-pub fn plan_table(ctx: &Ctx, net: &Network, policy: &BatchPolicy) -> Result<Table, SimError> {
+pub fn plan_table(ctx: &Ctx, net: &Network, policy: &BatchPolicy) -> Result<Table, EngineError> {
     let mut cache = PlanCache::new(&ctx.engine, net, ctx.mechanism());
     let all = buckets(policy);
     cache.prewarm(&all)?;
@@ -109,12 +88,18 @@ pub fn run_point(
     policy: &BatchPolicy,
     frac: f64,
     capacity_ips: f64,
-) -> Result<SweepRow, SimError> {
+) -> Result<SweepRow, EngineError> {
     let workload = workload_at(frac, capacity_ips, SWEEP_SEED);
     let rate = match workload.phases[0].arrival {
         memcnn_serve::Arrival::Poisson { rate } | memcnn_serve::Arrival::Uniform { rate } => rate,
     };
-    let cfg = ServeConfig { workload, policy: *policy, mechanism: ctx.mechanism() };
+    let cfg = ServeConfig {
+        workload,
+        policy: *policy,
+        mechanism: ctx.mechanism(),
+        faults: None,
+        fault_policy: FaultPolicy::default(),
+    };
     let report = serve(&ctx.engine, net, &cfg)?;
     Ok(SweepRow { frac, rate, report })
 }
@@ -126,7 +111,7 @@ pub fn sweep(
     policy: &BatchPolicy,
     fracs: &[f64],
     capacity_ips: f64,
-) -> Result<(Vec<SweepRow>, Table), SimError> {
+) -> Result<(Vec<SweepRow>, Table), EngineError> {
     let mut rows = Vec::new();
     let mut t = Table::new(
         format!(
@@ -209,9 +194,11 @@ mod tests {
 
     #[test]
     fn feasible_max_batch_falls_back() {
+        use memcnn_serve::{capacity_images_per_sec, feasible_max_batch};
         let ctx = Ctx::titan_black();
         let net = alexnet().unwrap();
-        let (max, plan) = feasible_max_batch(&ctx, &net, &[256, 128, 64]).expect("alexnet fits");
+        let (max, plan) = feasible_max_batch(&ctx.engine, &net, ctx.mechanism(), &[256, 128, 64])
+            .expect("alexnet fits");
         assert_eq!(plan.batch, max);
         assert!(capacity_images_per_sec(max, &plan) > 0.0);
     }

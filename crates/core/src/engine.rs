@@ -5,11 +5,14 @@
 //! layer, if different, the transformation ... will be performed").
 
 use crate::autotune::tune_pooling;
+use crate::error::EngineError;
 use crate::heuristic::{choose_layout, LayoutThresholds};
 use crate::layer::{Layer, LayerSpec};
 use crate::library::Mechanism;
 use crate::net::Network;
-use memcnn_gpusim::{simulate, simulate_sequence, DeviceConfig, KernelSpec, SimError, SimOptions};
+use memcnn_gpusim::{
+    simulate, simulate_sequence, DeviceConfig, Fault, FaultPlan, KernelSpec, SimError, SimOptions,
+};
 use memcnn_kernels::conv::direct_chwn::DirectConvChwn;
 use memcnn_kernels::conv::fft_nchw::{FftConvMode, FftConvNchw};
 use memcnn_kernels::conv::mm_nchw::MmConvNchw;
@@ -221,6 +224,31 @@ impl Plan {
     pub fn transform_count(&self) -> usize {
         self.layers.iter().filter(|l| l.transform_before > 0.0).count()
     }
+
+    /// Stable fault-roll identity of one planned layer's launch:
+    /// `network/N{batch}/layer/impl`. Fault plans key on this (plus the
+    /// launch index), so the same plan replayed at the same index always
+    /// rolls the same fault, while distinct buckets of the same network
+    /// fault independently.
+    pub fn launch_key(&self, layer: &PlannedLayer) -> String {
+        format!("{}/N{}/{}/{}", self.network, self.batch, layer.name, layer.impl_name)
+    }
+}
+
+/// Outcome of one fault-aware launch attempt of a [`Plan`]
+/// ([`Engine::execute_attempt`]). Not a `Result`: a failing attempt still
+/// made progress — simulated time elapsed, throttles were absorbed — and
+/// retry policies must charge that progress before rolling again.
+#[derive(Clone, Debug)]
+pub struct LaunchAttempt {
+    /// Simulated time the attempt consumed (up to the faulting layer when
+    /// `error` is set; the full plan time otherwise).
+    pub time: f64,
+    /// Throttle faults absorbed during the attempt (execution continued,
+    /// stretched by the throttle factor).
+    pub throttled: u32,
+    /// The fault that stopped the attempt, if one did.
+    pub error: Option<EngineError>,
 }
 
 /// The engine: a device, simulation options, thresholds and caches.
@@ -418,9 +446,16 @@ impl Engine {
         }
     }
 
+    /// Lock the autotune cache, surviving poisoning: the map holds plain
+    /// `(usize, usize)` pairs inserted atomically, so a panicking worker
+    /// cannot leave a torn entry — recovering the guard is always safe and
+    /// keeps this path panic-free.
+    fn pool_tune_lock(&self) -> std::sync::MutexGuard<'_, HashMap<PoolShape, (usize, usize)>> {
+        self.pool_tune_cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     fn tuned_pool_factors(&self, shape: &PoolShape) -> (usize, usize) {
-        if let Some(&f) = self.pool_tune_cache.lock().expect("pool tune cache poisoned").get(shape)
-        {
+        if let Some(&f) = self.pool_tune_lock().get(shape) {
             return f;
         }
         // The lock is *not* held while tuning: concurrent workers may race
@@ -429,7 +464,7 @@ impl Engine {
         let _a = trace::scope(trace::Scope::Autotune);
         trace::perf::incr("engine.autotune.pool");
         let r = tune_pooling(&self.device, shape, &self.opts);
-        self.pool_tune_cache.lock().expect("pool tune cache poisoned").insert(*shape, (r.ux, r.uy));
+        self.pool_tune_lock().insert(*shape, (r.ux, r.uy));
         (r.ux, r.uy)
     }
 
@@ -461,17 +496,23 @@ impl Engine {
     ) -> Result<(f64, String, bool), SimError> {
         match &layer.spec {
             LayerSpec::Conv { .. } => {
-                let shape = layer.conv_shape().expect("conv layer");
+                let shape = layer
+                    .conv_shape()
+                    .expect("invariant: matched LayerSpec::Conv, so conv_shape() is Some");
                 let (t, name, fb) = self.conv_time(&shape, mech, layout)?;
                 Ok((t, name.to_string(), fb))
             }
             LayerSpec::Pool { .. } => {
-                let shape = layer.pool_shape().expect("pool layer");
+                let shape = layer
+                    .pool_shape()
+                    .expect("invariant: matched LayerSpec::Pool, so pool_shape() is Some");
                 let (t, name) = self.pool_time(&shape, mech, layout)?;
                 Ok((t, name.to_string(), false))
             }
             LayerSpec::Softmax => {
-                let shape = layer.softmax_shape().expect("softmax layer");
+                let shape = layer
+                    .softmax_shape()
+                    .expect("invariant: matched LayerSpec::Softmax, so softmax_shape() is Some");
                 let name = match mech {
                     Mechanism::Opt => "softmax-fused",
                     Mechanism::CudaConvnet | Mechanism::Caffe => "softmax-5k",
@@ -515,7 +556,9 @@ impl Engine {
         for l in layers {
             let layout = match &l.spec {
                 LayerSpec::Conv { .. } => {
-                    let shape = l.conv_shape().expect("conv");
+                    let shape = l
+                        .conv_shape()
+                        .expect("invariant: matched LayerSpec::Conv, so conv_shape() is Some");
                     let chosen = choose_layout(&shape, &self.thresholds);
                     let th = &self.thresholds;
                     trace::record_decision(|| trace::Decision {
@@ -673,7 +716,9 @@ impl Engine {
         use memcnn_kernels::backward as bwd;
         match &layer.spec {
             LayerSpec::Conv { .. } => {
-                let shape = layer.conv_shape().expect("conv layer");
+                let shape = layer
+                    .conv_shape()
+                    .expect("invariant: matched LayerSpec::Conv, so conv_shape() is Some");
                 // Data gradient: a convolution on the transposed shape,
                 // using the same implementation selection as the forward
                 // pass (cuDNN's BwdData has MM and FFT algorithms too).
@@ -698,7 +743,9 @@ impl Engine {
                 Ok(t_data + t_w)
             }
             LayerSpec::Pool { .. } => {
-                let shape = layer.pool_shape().expect("pool layer");
+                let shape = layer
+                    .pool_shape()
+                    .expect("invariant: matched LayerSpec::Pool, so pool_shape() is Some");
                 self.sim(bwd::pool_backward_spec(&shape, layout).as_ref())
             }
             LayerSpec::ReLU => {
@@ -868,9 +915,11 @@ impl Engine {
         // non-overlapping by construction.
         let mut clock = 0.0f64;
         for pl in &plan.layers {
-            if pl.transform_before > 0.0 {
-                let (ts, from) =
-                    (clock, pl.transform_from.expect("transform implies a source layout"));
+            // `transform_from` is Some whenever `transform_before > 0`
+            // (set together at plan time); matching on it instead of
+            // unwrapping keeps this path panic-free on a hand-built plan.
+            if let (true, Some(from)) = (pl.transform_before > 0.0, pl.transform_from) {
+                let ts = clock;
                 trace::record_span(|| trace::SpanEvent {
                     name: format!("transform {}->{}", from.name(), pl.layout.name()),
                     track: trace::Track::Transforms,
@@ -910,6 +959,84 @@ impl Engine {
             network: plan.network.clone(),
             mechanism: plan.mechanism.label().to_string(),
             layers: reports,
+        }
+    }
+
+    /// Execute one *launch attempt* of a plan under a fault plan: the
+    /// fault-aware counterpart of [`Engine::execute`], returning a
+    /// [`LaunchAttempt`] rather than a `Result` so partial progress — time
+    /// elapsed before a mid-plan fault, throttles absorbed along the way —
+    /// survives a failing attempt (a retry policy charges that time; a
+    /// `Result` would throw it away).
+    ///
+    /// Each planned layer rolls the fault plan once at
+    /// ([`Plan::launch_key`], `launch_index`); the caller supplies the
+    /// index from its launch-attempt counter so retries roll fresh.
+    /// Throttles stretch the layer (and its preceding transform) by the
+    /// fault's factor and execution continues; launch failures and OOM
+    /// stop the attempt at that layer with the elapsed time kept.
+    ///
+    /// With no plan — or a [`FaultPlan::is_noop`] plan — the attempt
+    /// returns exactly [`Plan::total_time`], bit for bit: zero-fault
+    /// injection is indistinguishable from no injection.
+    pub fn execute_attempt(
+        &self,
+        plan: &Plan,
+        faults: Option<&FaultPlan>,
+        launch_index: u64,
+    ) -> LaunchAttempt {
+        let Some(fp) = faults.filter(|p| !p.is_noop()) else {
+            return LaunchAttempt { time: plan.total_time(), throttled: 0, error: None };
+        };
+        let mut time = 0.0f64;
+        let mut throttled = 0u32;
+        for pl in &plan.layers {
+            match fp.roll(&plan.launch_key(pl), launch_index) {
+                None => time += pl.transform_before + pl.time,
+                Some(Fault::Throttled { factor }) => {
+                    throttled += 1;
+                    time += (pl.transform_before + pl.time) * factor;
+                }
+                Some(fault @ Fault::LaunchFailed) => {
+                    return LaunchAttempt {
+                        time,
+                        throttled,
+                        error: Some(EngineError::Transient {
+                            layer: pl.name.clone(),
+                            launch: launch_index,
+                            fault,
+                        }),
+                    };
+                }
+                Some(Fault::DeviceOom) => {
+                    return LaunchAttempt {
+                        time,
+                        throttled,
+                        error: Some(EngineError::ExecOom {
+                            layer: pl.name.clone(),
+                            launch: launch_index,
+                        }),
+                    };
+                }
+            }
+        }
+        LaunchAttempt { time, throttled, error: None }
+    }
+
+    /// [`Engine::execute_attempt`] as a typed `Result`: the attempt's time
+    /// on success, its [`EngineError`] on any injected failure. For
+    /// callers that don't charge partial progress (tests, one-shot runs);
+    /// composes with [`crate::error::with_retries`].
+    pub fn try_execute(
+        &self,
+        plan: &Plan,
+        faults: Option<&FaultPlan>,
+        launch_index: u64,
+    ) -> Result<f64, EngineError> {
+        let att = self.execute_attempt(plan, faults, launch_index);
+        match att.error {
+            None => Ok(att.time),
+            Some(e) => Err(e),
         }
     }
 

@@ -22,6 +22,7 @@
 
 pub mod autotune;
 pub mod engine;
+pub mod error;
 pub mod exec;
 pub mod heuristic;
 pub mod layer;
@@ -30,8 +31,10 @@ pub mod net;
 pub mod parser;
 
 pub use engine::{
-    Engine, LayerReport, LayoutPolicy, NetworkReport, Plan, PlannedLayer, TransformQuality,
+    Engine, LaunchAttempt, LayerReport, LayoutPolicy, NetworkReport, Plan, PlannedLayer,
+    TransformQuality,
 };
+pub use error::{with_retries, EngineError};
 pub use heuristic::{choose_layout, derive_thresholds, LayoutThresholds};
 pub use layer::{Layer, LayerSpec};
 pub use library::Mechanism;

@@ -1,0 +1,235 @@
+//! Deterministic, seeded fault injection.
+//!
+//! Production GPUs fail in ways the clean simulator never does: kernel
+//! launches error out, allocations fail under memory pressure, and thermal
+//! or power throttling stretches execution times. This module models those
+//! failure classes the same way the rest of the simulator models timing —
+//! as a *pure function of its inputs* — so chaos experiments replay
+//! bit-identically.
+//!
+//! A [`FaultPlan`] is a seed plus per-launch probabilities for the three
+//! fault classes. Whether a given launch faults is decided by
+//! [`FaultPlan::roll`], a stateless hash of `(seed, kernel key, launch
+//! index)`: no RNG object, no interior mutability, no dependence on thread
+//! interleaving. Two processes — or two thread counts — rolling the same
+//! triple always see the same fault. The *launch index* is supplied by the
+//! caller (the serving event loop counts launch attempts on its simulated
+//! device), which is what makes a retry a fresh roll rather than a
+//! guaranteed repeat of the last failure.
+//!
+//! The plan rides on [`SimOptions`](crate::SimOptions) (`faults` field) and
+//! is consulted by [`simulate_injected`](crate::simulate_injected) at the
+//! kernel level, and by the engine's fault-aware plan execution at the
+//! batch level. It is deliberately excluded from the simulation cache key:
+//! faults are rolled *before* the cache is consulted, so the cache only
+//! ever stores clean results.
+
+use serde::Serialize;
+
+/// One injected fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Fault {
+    /// The kernel launch errored (a transient: retrying may succeed).
+    LaunchFailed,
+    /// The device rejected the allocation (retrying the same size will
+    /// keep failing; callers must shrink the work instead).
+    DeviceOom,
+    /// The device is throttled: execution completes, `factor` times
+    /// slower.
+    Throttled {
+        /// Slowdown multiplier (> 1).
+        factor: f64,
+    },
+}
+
+impl Fault {
+    /// The fault's class, without payload (usable in `Eq` contexts).
+    pub fn kind(&self) -> FaultKind {
+        match self {
+            Fault::LaunchFailed => FaultKind::LaunchFailed,
+            Fault::DeviceOom => FaultKind::DeviceOom,
+            Fault::Throttled { .. } => FaultKind::Throttled,
+        }
+    }
+}
+
+/// Payload-free fault class (carried by error types that need `Eq`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// See [`Fault::LaunchFailed`].
+    LaunchFailed,
+    /// See [`Fault::DeviceOom`].
+    DeviceOom,
+    /// See [`Fault::Throttled`].
+    Throttled,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::LaunchFailed => write!(f, "launch-failed"),
+            FaultKind::DeviceOom => write!(f, "device-oom"),
+            FaultKind::Throttled => write!(f, "throttled"),
+        }
+    }
+}
+
+/// A seeded fault-injection plan: per-kernel-launch probabilities for each
+/// fault class. `Copy` and stateless — the same plan value can be shared
+/// freely across threads and the rolls stay bit-identical.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct FaultPlan {
+    /// Seed of the fault stream. Different seeds give independent streams
+    /// over the same workload.
+    pub seed: u64,
+    /// Probability a launch fails transiently, in `[0, 1]`.
+    pub launch_failed: f64,
+    /// Probability a launch hits an allocation failure, in `[0, 1]`.
+    pub device_oom: f64,
+    /// Probability a launch is throttled, in `[0, 1]`.
+    pub throttled: f64,
+    /// Slowdown multiplier applied when a throttle fires (> 1).
+    pub throttle_factor: f64,
+}
+
+impl FaultPlan {
+    /// A plan that never fires (all probabilities zero).
+    pub fn quiet(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            launch_failed: 0.0,
+            device_oom: 0.0,
+            throttled: 0.0,
+            throttle_factor: 2.0,
+        }
+    }
+
+    /// A plan with the given transient / OOM / throttle rates.
+    pub fn new(seed: u64, launch_failed: f64, device_oom: f64, throttled: f64) -> FaultPlan {
+        FaultPlan { seed, launch_failed, device_oom, throttled, throttle_factor: 2.0 }
+    }
+
+    /// Override the throttle slowdown factor.
+    pub fn with_throttle_factor(mut self, factor: f64) -> FaultPlan {
+        self.throttle_factor = factor;
+        self
+    }
+
+    /// Whether the plan can never fire. A no-op plan is required to be
+    /// indistinguishable from no plan at all (the chaos tests check this
+    /// byte for byte), so callers short-circuit on it before rolling.
+    pub fn is_noop(&self) -> bool {
+        self.launch_failed <= 0.0 && self.device_oom <= 0.0 && self.throttled <= 0.0
+    }
+
+    /// Decide the fault (if any) for one launch of the kernel identified
+    /// by `key` at launch attempt `launch_index`.
+    ///
+    /// Pure and deterministic: the decision is a hash of `(seed, key,
+    /// launch_index)` mapped to a uniform draw in `[0, 1)`, compared
+    /// against the cumulative probabilities in the fixed order
+    /// launch-failed, device-OOM, throttled. No state is consumed, so the
+    /// same triple always rolls the same fault on any thread, process, or
+    /// replay.
+    pub fn roll(&self, key: &str, launch_index: u64) -> Option<Fault> {
+        if self.is_noop() {
+            return None;
+        }
+        let u = unit_draw(self.seed, key, launch_index);
+        let mut edge = self.launch_failed;
+        if u < edge {
+            return Some(Fault::LaunchFailed);
+        }
+        edge += self.device_oom;
+        if u < edge {
+            return Some(Fault::DeviceOom);
+        }
+        edge += self.throttled;
+        if u < edge {
+            return Some(Fault::Throttled { factor: self.throttle_factor.max(1.0) });
+        }
+        None
+    }
+}
+
+/// Uniform draw in `[0, 1)` from `(seed, key, index)`: FNV-1a over the
+/// inputs, finalized with the SplitMix64 mixer so nearby indices decorrelate.
+fn unit_draw(seed: u64, key: &str, index: u64) -> f64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for chunk in [seed, index] {
+        for b in chunk.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+    for b in key.bytes() {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    // SplitMix64 finalizer.
+    let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    // Top 53 bits -> [0, 1).
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roll_is_a_pure_function_of_its_inputs() {
+        let plan = FaultPlan::new(42, 0.05, 0.01, 0.02);
+        for i in 0..256u64 {
+            assert_eq!(plan.roll("k", i), plan.roll("k", i));
+        }
+        // Distinct seeds give distinct streams (somewhere in 256 rolls).
+        let other = FaultPlan::new(43, 0.05, 0.01, 0.02);
+        assert!((0..256).any(|i| plan.roll("k", i) != other.roll("k", i)));
+        // Distinct keys give distinct streams too.
+        assert!((0..256).any(|i| plan.roll("k", i) != plan.roll("j", i)));
+    }
+
+    #[test]
+    fn noop_plan_never_fires_and_certain_plan_always_fires() {
+        let quiet = FaultPlan::quiet(7);
+        assert!(quiet.is_noop());
+        assert!((0..1000).all(|i| quiet.roll("any", i).is_none()));
+
+        let certain = FaultPlan::new(7, 1.0, 0.0, 0.0);
+        assert!((0..1000).all(|i| certain.roll("any", i) == Some(Fault::LaunchFailed)));
+        let oom = FaultPlan::new(7, 0.0, 1.0, 0.0);
+        assert!((0..1000).all(|i| oom.roll("any", i) == Some(Fault::DeviceOom)));
+        let throttle = FaultPlan::new(7, 0.0, 0.0, 1.0).with_throttle_factor(3.0);
+        assert!(
+            (0..1000).all(|i| throttle.roll("any", i) == Some(Fault::Throttled { factor: 3.0 }))
+        );
+    }
+
+    #[test]
+    fn observed_rates_track_configured_rates() {
+        let plan = FaultPlan::new(1, 0.05, 0.01, 0.02);
+        let n = 20_000u64;
+        let mut counts = [0u64; 3];
+        for i in 0..n {
+            match plan.roll("conv/CV1/mm", i) {
+                Some(Fault::LaunchFailed) => counts[0] += 1,
+                Some(Fault::DeviceOom) => counts[1] += 1,
+                Some(Fault::Throttled { .. }) => counts[2] += 1,
+                None => {}
+            }
+        }
+        let rate = |c: u64| c as f64 / n as f64;
+        assert!((rate(counts[0]) - 0.05).abs() < 0.01, "transient rate {}", rate(counts[0]));
+        assert!((rate(counts[1]) - 0.01).abs() < 0.005, "oom rate {}", rate(counts[1]));
+        assert!((rate(counts[2]) - 0.02).abs() < 0.007, "throttle rate {}", rate(counts[2]));
+    }
+
+    #[test]
+    fn throttle_factor_is_clamped_to_at_least_one() {
+        let plan = FaultPlan::new(7, 0.0, 0.0, 1.0).with_throttle_factor(0.5);
+        assert_eq!(plan.roll("k", 0), Some(Fault::Throttled { factor: 1.0 }));
+    }
+}

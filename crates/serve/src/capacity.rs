@@ -1,0 +1,56 @@
+//! OOM-aware capacity planning, promoted from the bench binary into the
+//! library: pick the largest batch-size cap whose bucket actually plans on
+//! the device. Deep networks can exhaust simulated device memory at large
+//! `N` (the paper's CV5/CV6 FFT "execution failures" take the same path),
+//! and a serving policy must not promise buckets it cannot compile.
+
+use memcnn_core::{Engine, EngineError, Mechanism, Network, Plan};
+
+/// Largest `max_batch_images` from `candidates` (try them descending)
+/// whose top bucket plans successfully. Batch sizes whose plans fail with
+/// a degradable error ([`EngineError::PlanOom`]) or a structural one
+/// ([`EngineError::PlanInfeasible`]) are skipped; `None` means no
+/// candidate fits.
+pub fn feasible_max_batch(
+    engine: &Engine,
+    net: &Network,
+    mech: Mechanism,
+    candidates: &[usize],
+) -> Option<(usize, Plan)> {
+    for &max in candidates {
+        match engine.plan_at(net, mech, max).map_err(|e| EngineError::plan(max, e)) {
+            Ok(plan) => return Some((max, plan)),
+            Err(_) => continue,
+        }
+    }
+    None
+}
+
+/// Saturation throughput implied by the top bucket's plan, images/second.
+pub fn capacity_images_per_sec(max_batch: usize, top_plan: &Plan) -> f64 {
+    max_batch as f64 / top_plan.total_time()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memcnn_core::{LayoutThresholds, NetworkBuilder};
+    use memcnn_gpusim::DeviceConfig;
+    use memcnn_tensor::Shape;
+
+    #[test]
+    fn picks_the_first_candidate_that_plans() {
+        let engine =
+            Engine::new(DeviceConfig::titan_black(), LayoutThresholds::titan_black_paper());
+        let net = NetworkBuilder::new("cap", Shape::new(1, 4, 12, 12))
+            .conv("CV", 8, 3, 1, 1)
+            .build()
+            .unwrap();
+        let (max, plan) =
+            feasible_max_batch(&engine, &net, Mechanism::Opt, &[64, 32]).expect("tiny net fits");
+        assert_eq!(max, 64);
+        assert_eq!(plan.batch, 64);
+        assert!(capacity_images_per_sec(max, &plan) > 0.0);
+        assert!(feasible_max_batch(&engine, &net, Mechanism::Opt, &[]).is_none());
+    }
+}

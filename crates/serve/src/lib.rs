@@ -23,18 +23,28 @@
 //!
 //! Everything is a pure function of `(engine config, network,
 //! ServeConfig)`: same inputs give bit-identical reports, independent of
-//! `MEMCNN_THREADS`.
+//! `MEMCNN_THREADS`. That purity extends to fault injection: with a
+//! seeded [`FaultPlan`](memcnn_gpusim::FaultPlan) in the config, [`serve`]
+//! answers injected faults with [`policy`]'s degradation ladder (bounded
+//! retry, OOM bucket downshift, deadline shedding, circuit-style degraded
+//! mode) and still replays bit-identically.
 
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod batch;
+pub mod capacity;
 pub mod metrics;
 pub mod plan_cache;
+pub mod policy;
 pub mod server;
 pub mod workload;
 
 pub use batch::{bucket_for, buckets, BatchPolicy};
+pub use capacity::{capacity_images_per_sec, feasible_max_batch};
 pub use metrics::{latency_stats, percentile, LatencyStats};
 pub use plan_cache::PlanCache;
+pub use policy::{FaultPolicy, FaultStats};
 pub use server::{serve, BatchRecord, BucketStats, ServeConfig, ServeReport};
 pub use workload::{generate, Arrival, Phase, Request, WorkloadConfig};

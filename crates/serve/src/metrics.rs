@@ -37,14 +37,15 @@ pub fn latency_stats(latencies: &[f64]) -> LatencyStats {
         return LatencyStats::default();
     }
     let mut sorted = latencies.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    // total_cmp is a total order, so no panic path even on NaN input.
+    sorted.sort_by(f64::total_cmp);
     LatencyStats {
         count: sorted.len(),
         mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
         p50: percentile(&sorted, 50.0),
         p95: percentile(&sorted, 95.0),
         p99: percentile(&sorted, 99.0),
-        max: *sorted.last().expect("non-empty"),
+        max: sorted[sorted.len() - 1],
     }
 }
 

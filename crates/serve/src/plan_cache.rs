@@ -6,8 +6,7 @@
 //! compile bumps `engine.plan.compile` inside the engine — together they
 //! prove repeat buckets never re-run the layout DP.
 
-use memcnn_core::{Engine, Mechanism, Network, Plan};
-use memcnn_gpusim::SimError;
+use memcnn_core::{Engine, EngineError, Mechanism, Network, Plan};
 use memcnn_trace::perf;
 use std::collections::BTreeMap;
 
@@ -27,25 +26,35 @@ impl<'e> PlanCache<'e> {
         PlanCache { engine, mech, template: net.clone(), plans: BTreeMap::new() }
     }
 
-    /// The plan for `bucket`, compiling it on first use.
-    pub fn get(&mut self, bucket: usize) -> Result<&Plan, SimError> {
+    /// The plan for `bucket`, compiling it on first use. Plan failures are
+    /// classified through [`EngineError::plan`] so callers can tell
+    /// degradable plan-time OOM from structural infeasibility.
+    pub fn get(&mut self, bucket: usize) -> Result<&Plan, EngineError> {
         if self.plans.contains_key(&bucket) {
             perf::incr("serve.plan.hit");
         } else {
             perf::incr("serve.plan.miss");
-            let plan = self.engine.plan_at(&self.template, self.mech, bucket)?;
+            let plan = self
+                .engine
+                .plan_at(&self.template, self.mech, bucket)
+                .map_err(|e| EngineError::plan(bucket, e))?;
             self.plans.insert(bucket, plan);
         }
-        Ok(&self.plans[&bucket])
+        self.plans
+            .get(&bucket)
+            .ok_or_else(|| EngineError::Fatal(format!("plan cache lost bucket {bucket}")))
     }
 
     /// Compile every bucket in `buckets` up front (e.g. to move all plan
     /// compiles before the event loop). Counted as misses, not hits.
-    pub fn prewarm(&mut self, buckets: &[usize]) -> Result<(), SimError> {
+    pub fn prewarm(&mut self, buckets: &[usize]) -> Result<(), EngineError> {
         for &b in buckets {
             if !self.plans.contains_key(&b) {
                 perf::incr("serve.plan.miss");
-                let plan = self.engine.plan_at(&self.template, self.mech, b)?;
+                let plan = self
+                    .engine
+                    .plan_at(&self.template, self.mech, b)
+                    .map_err(|e| EngineError::plan(b, e))?;
                 self.plans.insert(b, plan);
             }
         }

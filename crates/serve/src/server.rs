@@ -9,13 +9,33 @@
 //! through `PlanCache`, whose plans are bit-identical across thread counts
 //! (the PR-2 cache guarantee), so an entire run is a pure function of
 //! `(engine config, network, ServeConfig)`.
+//!
+//! # Fault handling
+//!
+//! With a [`FaultPlan`] in the config, every batch launch rolls the plan
+//! (through [`Engine::execute_attempt`]) and the loop answers faults with
+//! the [`FaultPolicy`]'s degradation ladder instead of failing the run:
+//! transients retry with deterministic backoff, execute-time OOM downshifts
+//! the bucket and pins it (degraded mode) until a clean streak passes,
+//! plan-time OOM permanently lowers the batch cap (the library home of the
+//! bench's OOM-aware fallback), and hopeless work is shed — requests whose
+//! queue wait exceeds the shed deadline, or batches whose retry budget ran
+//! out. Every fault is accounted exactly once in [`FaultStats`]
+//! (`injected == retried + degraded + shed`), mirrored to the global perf
+//! registry (`fault.injected/retried/degraded/shed`, `serve.shed`,
+//! `serve.degraded.enter/exit`, `serve.plan.oom`), and emitted as a span
+//! on the `faults` Perfetto track. Because the fault stream is a pure
+//! function of `(seed, launch key, launch index)` and the loop is
+//! single-threaded, a faulted run replays bit-identically, independent of
+//! `MEMCNN_THREADS`.
 
 use crate::batch::{bucket_for, BatchPolicy};
 use crate::metrics::{latency_stats, LatencyStats};
 use crate::plan_cache::PlanCache;
+use crate::policy::{FaultPolicy, FaultStats};
 use crate::workload::{self, Request, WorkloadConfig};
-use memcnn_core::{Engine, Mechanism, Network};
-use memcnn_gpusim::SimError;
+use memcnn_core::{Engine, EngineError, Mechanism, Network};
+use memcnn_gpusim::FaultPlan;
 use memcnn_trace as trace;
 use memcnn_trace::perf;
 use serde::Serialize;
@@ -29,19 +49,37 @@ pub struct ServeConfig {
     pub policy: BatchPolicy,
     /// Mechanism plans are compiled under (the paper's `Opt` by default).
     pub mechanism: Mechanism,
+    /// Seeded fault injection. `None` — or a plan with all-zero rates —
+    /// leaves the run bit-identical to the fault-free loop.
+    pub faults: Option<FaultPlan>,
+    /// How the loop responds to faults and queue pressure.
+    pub fault_policy: FaultPolicy,
 }
 
 impl ServeConfig {
-    /// `Opt`-mechanism config from a workload and policy.
+    /// `Opt`-mechanism config from a workload and policy, fault-free.
     pub fn new(workload: WorkloadConfig, policy: BatchPolicy) -> ServeConfig {
-        ServeConfig { workload, policy, mechanism: Mechanism::Opt }
+        ServeConfig {
+            workload,
+            policy,
+            mechanism: Mechanism::Opt,
+            faults: None,
+            fault_policy: FaultPolicy::default(),
+        }
+    }
+
+    /// The same config with fault injection enabled.
+    pub fn with_faults(mut self, faults: FaultPlan, policy: FaultPolicy) -> ServeConfig {
+        self.faults = Some(faults);
+        self.fault_policy = policy;
+        self
     }
 }
 
 /// One launched batch.
 #[derive(Clone, Copy, Debug, Serialize)]
 pub struct BatchRecord {
-    /// Launch time (GPU start), seconds.
+    /// Launch time (GPU start of the first attempt), seconds.
     pub launch: f64,
     /// Completion time, seconds.
     pub done: f64,
@@ -53,6 +91,10 @@ pub struct BatchRecord {
     pub bucket: usize,
     /// Arrived-but-unserved requests left behind at launch.
     pub queue_depth: usize,
+    /// Failed launch attempts before the one that completed (0: clean).
+    pub attempts: u32,
+    /// Throttle faults absorbed across the batch's attempts.
+    pub throttled: u32,
 }
 
 /// Per-bucket aggregate of a finished run.
@@ -83,25 +125,37 @@ pub struct ServeReport {
     pub network: String,
     /// The config the run used.
     pub config: ServeConfig,
-    /// Requests served (== generated requests).
+    /// Requests generated by the workload (served + shed).
     pub requests: usize,
-    /// Images served.
+    /// Images actually served (shed requests excluded).
     pub images: usize,
     /// Completion time of the last batch, seconds.
     pub makespan: f64,
     /// Per-request latency (completion - arrival), in request-id order —
-    /// the determinism tests compare this vector bit for bit.
+    /// the determinism tests compare this vector bit for bit. Shed
+    /// requests keep the 0.0 sentinel (no request can complete with zero
+    /// latency, so the encoding is unambiguous).
     pub latencies: Vec<f64>,
-    /// Every launched batch, in launch order.
+    /// Every *completed* batch, in launch order (shed batches never
+    /// complete and are accounted in `faults`/`shed_requests` instead).
     pub batches: Vec<BatchRecord>,
     /// Per-bucket aggregates, ascending by bucket.
     pub buckets: Vec<BucketStats>,
+    /// Requests dropped (deadline shedding plus fault shedding).
+    pub shed_requests: usize,
+    /// Fault accounting for the run (all zero when injection is off).
+    pub faults: FaultStats,
 }
 
 impl ServeReport {
-    /// Latency summary over all requests.
+    /// Latency summary over served requests (shed requests — the 0.0
+    /// sentinels — are excluded; a shed request has no latency).
     pub fn latency(&self) -> LatencyStats {
-        latency_stats(&self.latencies)
+        if self.shed_requests == 0 {
+            return latency_stats(&self.latencies);
+        }
+        let served: Vec<f64> = self.latencies.iter().copied().filter(|&l| l > 0.0).collect();
+        latency_stats(&served)
     }
 
     /// Served images per second of makespan.
@@ -116,7 +170,16 @@ impl ServeReport {
     /// Served requests per second of makespan.
     pub fn throughput_requests_per_sec(&self) -> f64 {
         if self.makespan > 0.0 {
-            self.requests as f64 / self.makespan
+            (self.requests - self.shed_requests) as f64 / self.makespan
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of generated requests that were shed, in [0, 1].
+    pub fn shed_rate(&self) -> f64 {
+        if self.requests > 0 {
+            self.shed_requests as f64 / self.requests as f64
         } else {
             0.0
         }
@@ -163,20 +226,89 @@ fn form(requests: &[Request], next: usize, launch: f64, max: usize) -> (usize, u
     (j, images, false)
 }
 
+/// Emit a span on the faults track (a no-op unless tracing is active).
+fn fault_span(name: String, ts: f64, dur: f64, args: Vec<(String, String)>) {
+    trace::record_span(|| trace::SpanEvent {
+        name,
+        track: trace::Track::Faults,
+        ts_us: ts * 1e6,
+        dur_us: dur * 1e6,
+        args,
+    });
+}
+
+/// How one batch's launch-attempt loop ended.
+enum Outcome {
+    /// The batch completed at `done`.
+    Done { done: f64 },
+    /// The batch was shed (retry exhaustion, or OOM at bucket 1); the
+    /// device is busy until `at`.
+    Shed { at: f64 },
+    /// Execute-time OOM: re-form the batch at half the bucket; the device
+    /// is busy until `at`.
+    Downshift { at: f64 },
+}
+
 /// Run the serving simulation to completion (every generated request is
-/// served). Deterministic: same engine config + network + `cfg` gives a
-/// bit-identical [`ServeReport`], independent of `MEMCNN_THREADS`.
-pub fn serve(engine: &Engine, net: &Network, cfg: &ServeConfig) -> Result<ServeReport, SimError> {
+/// served or shed). Deterministic: same engine config + network + `cfg`
+/// gives a bit-identical [`ServeReport`] — latencies, batch records, and
+/// fault statistics — independent of `MEMCNN_THREADS`.
+///
+/// Errors are typed and terminal: plan-time OOM that cannot downshift
+/// further (bucket 1 does not fit) or a structurally infeasible plan.
+/// Injected faults never surface as `Err` — they are retried, degraded,
+/// or shed per `cfg.fault_policy`.
+pub fn serve(
+    engine: &Engine,
+    net: &Network,
+    cfg: &ServeConfig,
+) -> Result<ServeReport, EngineError> {
     let requests = workload::generate(&cfg.workload);
     perf::add("serve.requests", requests.len() as u64);
     let max = cfg.policy.max_batch_images.max(1);
+    let fplan = cfg.faults.filter(|p| !p.is_noop());
+    let pol = cfg.fault_policy;
     let mut cache = PlanCache::new(engine, net, cfg.mechanism);
     let mut latencies = vec![0.0f64; requests.len()];
     let mut batches: Vec<BatchRecord> = Vec::new();
+    let mut stats = FaultStats::default();
+    let mut shed_requests = 0usize;
+    let mut plan_ooms = 0u64;
     let mut gpu_free = 0.0f64;
     let mut next = 0usize;
+    // Monotonic launch-attempt counter: the fault stream's index. Every
+    // attempt (retries included) consumes one index, so retries roll
+    // fresh faults and the whole timeline is replayable from the seed.
+    let mut launches: u64 = 0;
+    // Permanent batch cap learned from plan-time OOM (buckets the device
+    // cannot even compile), and the circuit-breaker pin from execute-time
+    // OOM (buckets it currently cannot run).
+    let mut plan_cap = max;
+    let mut pin: Option<usize> = None;
+    let mut clean_streak: u64 = 0;
 
     while next < requests.len() {
+        // Deadline-based load shedding: when the device frees up, drop
+        // head-of-line requests that have already waited past the shed
+        // deadline — serving them would only make everyone later.
+        if let Some(deadline) = pol.shed_deadline {
+            while next < requests.len() && gpu_free - requests[next].arrival > deadline {
+                let r = &requests[next];
+                fault_span(
+                    format!("shed request {}", r.id),
+                    gpu_free,
+                    0.0,
+                    vec![("reason".to_string(), "deadline".to_string())],
+                );
+                shed_requests += 1;
+                next += 1;
+            }
+            if next >= requests.len() {
+                break;
+            }
+        }
+
+        let emax = plan_cap.min(pin.unwrap_or(plan_cap)).max(1);
         let oldest = requests[next].arrival;
         let deadline = oldest + cfg.policy.max_queue_delay;
         // The batch launches at max(gpu_free, min(T_full, T_deadline)):
@@ -184,7 +316,7 @@ pub fn serve(engine: &Engine, net: &Network, cfg: &ServeConfig) -> Result<ServeR
         // full or the oldest request's deadline stops the wait.
         let mut launch = gpu_free.max(oldest);
         loop {
-            let (j_after, _, full) = form(&requests, next, launch, max);
+            let (j_after, _, full) = form(&requests, next, launch, emax);
             if full || launch >= deadline {
                 break;
             }
@@ -196,47 +328,191 @@ pub fn serve(engine: &Engine, net: &Network, cfg: &ServeConfig) -> Result<ServeR
                 }
             }
         }
-        let (j_end, images, _) = form(&requests, next, launch, max);
+        let (j_end, images, _) = form(&requests, next, launch, emax);
         debug_assert!(j_end > next, "a batch always serves at least one request");
-        let bucket = bucket_for(images, max);
-        let service = cache.get(bucket)?.total_time();
-        let done = launch + service;
-        for r in &requests[next..j_end] {
-            latencies[r.id as usize] = done - r.arrival;
+        let bucket = bucket_for(images, emax);
+        let plan = match cache.get(bucket) {
+            Ok(plan) => plan,
+            Err(err @ EngineError::PlanOom { .. }) => {
+                // The bucket does not even compile on this device: lower
+                // the cap permanently and re-form (the library home of the
+                // bench binary's OOM-aware max-batch fallback).
+                if bucket <= 1 {
+                    return Err(err);
+                }
+                plan_ooms += 1;
+                fault_span(
+                    format!("plan OOM at bucket {bucket}"),
+                    launch,
+                    0.0,
+                    vec![("new_cap".to_string(), (bucket / 2).to_string())],
+                );
+                plan_cap = (bucket / 2).max(1);
+                continue;
+            }
+            Err(err) => return Err(err),
+        };
+        let service = plan.total_time();
+
+        // Launch-attempt loop: retry transients with backoff, downshift on
+        // OOM, shed at exhaustion. Each attempt consumes one launch index.
+        let mut launch_at = launch;
+        let mut attempt: u32 = 0;
+        let mut throttles: u32 = 0;
+        let outcome = loop {
+            let att = engine.execute_attempt(plan, fplan.as_ref(), launches);
+            launches += 1;
+            // Throttles are injected faults absorbed by degrading speed:
+            // execution continued, slower. Counted immediately.
+            stats.injected += att.throttled as u64;
+            stats.degraded += att.throttled as u64;
+            stats.throttled += att.throttled as u64;
+            throttles += att.throttled;
+            match att.error {
+                None => break Outcome::Done { done: launch_at + att.time },
+                Some(EngineError::Transient { layer, launch: idx, .. }) => {
+                    stats.injected += 1;
+                    if attempt < pol.max_retries {
+                        attempt += 1;
+                        stats.retried += 1;
+                        let backoff = pol.backoff(attempt);
+                        fault_span(
+                            format!("retry {attempt} after {layer}"),
+                            launch_at + att.time,
+                            backoff,
+                            vec![("launch_index".to_string(), idx.to_string())],
+                        );
+                        // The failed attempt's partial time is real device
+                        // occupancy; the backoff is the policy's pause.
+                        launch_at += att.time + backoff;
+                    } else {
+                        stats.shed += 1;
+                        fault_span(
+                            format!("retries exhausted at {layer}"),
+                            launch_at + att.time,
+                            0.0,
+                            vec![("attempts".to_string(), (attempt + 1).to_string())],
+                        );
+                        break Outcome::Shed { at: launch_at + att.time };
+                    }
+                }
+                Some(EngineError::ExecOom { layer, .. }) => {
+                    stats.injected += 1;
+                    if bucket > 1 {
+                        stats.degraded += 1;
+                        stats.oom_downshifts += 1;
+                        fault_span(
+                            format!("OOM at {layer}: downshift {bucket} -> {}", bucket / 2),
+                            launch_at + att.time,
+                            0.0,
+                            vec![("bucket".to_string(), bucket.to_string())],
+                        );
+                        break Outcome::Downshift { at: launch_at + att.time };
+                    } else {
+                        stats.shed += 1;
+                        fault_span(
+                            format!("OOM at {layer} with bucket 1: shed"),
+                            launch_at + att.time,
+                            0.0,
+                            vec![],
+                        );
+                        break Outcome::Shed { at: launch_at + att.time };
+                    }
+                }
+                Some(other) => return Err(other),
+            }
+        };
+
+        match outcome {
+            Outcome::Done { done } => {
+                for r in &requests[next..j_end] {
+                    latencies[r.id as usize] = done - r.arrival;
+                }
+                // Queue pressure left behind: arrived by launch, not taken.
+                let mut depth = 0usize;
+                let mut k = j_end;
+                while k < requests.len() && requests[k].arrival <= launch {
+                    depth += 1;
+                    k += 1;
+                }
+                {
+                    let (idx, reqs) = (batches.len(), j_end - next);
+                    trace::record_span(|| trace::SpanEvent {
+                        name: format!("batch {idx} (N={bucket})"),
+                        track: trace::Track::Serve,
+                        ts_us: launch * 1e6,
+                        dur_us: service * 1e6,
+                        args: vec![
+                            ("requests".to_string(), reqs.to_string()),
+                            ("images".to_string(), images.to_string()),
+                            ("bucket".to_string(), bucket.to_string()),
+                        ],
+                    });
+                }
+                batches.push(BatchRecord {
+                    launch,
+                    done,
+                    requests: j_end - next,
+                    images,
+                    bucket,
+                    queue_depth: depth,
+                    attempts: attempt,
+                    throttled: throttles,
+                });
+                // Circuit breaker: a clean batch (no retries, no throttles)
+                // extends the recovery streak; enough of them unpin the
+                // bucket cap.
+                if pin.is_some() {
+                    if attempt == 0 && throttles == 0 {
+                        clean_streak += 1;
+                        if clean_streak >= pol.recovery_batches {
+                            stats.degraded_exits += 1;
+                            fault_span(
+                                "leave degraded mode".to_string(),
+                                done,
+                                0.0,
+                                vec![("clean_batches".to_string(), clean_streak.to_string())],
+                            );
+                            pin = None;
+                            clean_streak = 0;
+                        }
+                    } else {
+                        clean_streak = 0;
+                    }
+                }
+                gpu_free = done;
+                next = j_end;
+            }
+            Outcome::Shed { at } => {
+                // The batch's requests are dropped; their latencies keep
+                // the 0.0 sentinel. The device time burned is real.
+                shed_requests += j_end - next;
+                gpu_free = at;
+                next = j_end;
+            }
+            Outcome::Downshift { at } => {
+                // Pin the halved bucket and re-form the same requests at
+                // the smaller cap; entering degraded mode is counted once
+                // per excursion (deeper downshifts just lower the pin).
+                if pin.is_none() {
+                    stats.degraded_entries += 1;
+                }
+                pin = Some((bucket / 2).max(1));
+                clean_streak = 0;
+                gpu_free = at;
+            }
         }
-        // Queue pressure left behind: arrived by launch but not taken.
-        let mut depth = 0usize;
-        let mut k = j_end;
-        while k < requests.len() && requests[k].arrival <= launch {
-            depth += 1;
-            k += 1;
-        }
-        {
-            let (idx, reqs) = (batches.len(), j_end - next);
-            trace::record_span(|| trace::SpanEvent {
-                name: format!("batch {idx} (N={bucket})"),
-                track: trace::Track::Serve,
-                ts_us: launch * 1e6,
-                dur_us: service * 1e6,
-                args: vec![
-                    ("requests".to_string(), reqs.to_string()),
-                    ("images".to_string(), images.to_string()),
-                    ("bucket".to_string(), bucket.to_string()),
-                ],
-            });
-        }
-        batches.push(BatchRecord {
-            launch,
-            done,
-            requests: j_end - next,
-            images,
-            bucket,
-            queue_depth: depth,
-        });
-        gpu_free = done;
-        next = j_end;
     }
     perf::add("serve.batches", batches.len() as u64);
+    perf::add("serve.shed", shed_requests as u64);
+    perf::add("serve.plan.oom", plan_ooms);
+    perf::add("fault.injected", stats.injected);
+    perf::add("fault.retried", stats.retried);
+    perf::add("fault.degraded", stats.degraded);
+    perf::add("fault.shed", stats.shed);
+    perf::add("serve.degraded.enter", stats.degraded_entries);
+    perf::add("serve.degraded.exit", stats.degraded_exits);
+    debug_assert!(stats.balanced(), "fault accounting out of balance: {stats:?}");
 
     // Per-bucket rollup against the compiled plans.
     let mut buckets: Vec<BucketStats> = Vec::new();
@@ -258,11 +534,13 @@ pub fn serve(engine: &Engine, net: &Network, cfg: &ServeConfig) -> Result<ServeR
         network: net.name.clone(),
         config: cfg.clone(),
         requests: requests.len(),
-        images: requests.iter().map(|r| r.images.min(max)).sum(),
+        images: batches.iter().map(|b| b.images).sum(),
         makespan: gpu_free,
         latencies,
         batches,
         buckets,
+        shed_requests,
+        faults: stats,
     })
 }
 
@@ -305,6 +583,9 @@ mod tests {
         assert!(report.latencies.iter().all(|&l| l > 0.0));
         assert_eq!(report.batches.iter().map(|b| b.requests).sum::<usize>(), report.requests);
         assert!(report.makespan > 0.0);
+        assert_eq!(report.shed_requests, 0);
+        assert_eq!(report.faults, FaultStats::default());
+        assert!(report.batches.iter().all(|b| b.attempts == 0 && b.throttled == 0));
         let lat = report.latency();
         assert!(lat.p50 <= lat.p95 && lat.p95 <= lat.p99 && lat.p99 <= lat.max);
     }
@@ -363,5 +644,65 @@ mod tests {
             // Latency = queue delay cap + service time.
             assert!((r - (0.001 + (b.done - b.launch))).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn certain_transients_shed_everything_without_panicking() {
+        // launch_failed = 1.0: every attempt of every batch fails, retries
+        // exhaust, every request is shed — and the run still returns Ok
+        // with balanced accounting.
+        let engine = tiny_engine();
+        let net = tiny_net();
+        let cfg = ServeConfig::new(
+            WorkloadConfig {
+                phases: vec![Phase { arrival: Arrival::Uniform { rate: 100.0 }, duration: 0.1 }],
+                images_min: 1,
+                images_max: 2,
+                seed: 3,
+            },
+            BatchPolicy::new(8, 0.002),
+        )
+        .with_faults(
+            FaultPlan::new(7, 1.0, 0.0, 0.0),
+            FaultPolicy { max_retries: 2, ..FaultPolicy::default() },
+        );
+        let report = serve(&engine, &net, &cfg).unwrap();
+        assert_eq!(report.shed_requests, report.requests);
+        assert!(report.batches.is_empty());
+        assert!(report.latencies.iter().all(|&l| l == 0.0));
+        assert!(report.faults.balanced());
+        // Every batch tried 1 + max_retries times: 2 retried + 1 shed per
+        // formed batch, all injected.
+        assert_eq!(report.faults.injected, report.faults.retried + report.faults.shed);
+        assert_eq!(report.faults.retried, 2 * report.faults.shed);
+        assert_eq!(report.latency().count, 0);
+    }
+
+    #[test]
+    fn certain_throttles_slow_everything_but_serve_everything() {
+        let engine = tiny_engine();
+        let net = tiny_net();
+        let workload = WorkloadConfig {
+            phases: vec![Phase { arrival: Arrival::Uniform { rate: 100.0 }, duration: 0.1 }],
+            images_min: 1,
+            images_max: 2,
+            seed: 3,
+        };
+        let policy = BatchPolicy::new(8, 0.002);
+        let clean = serve(&engine, &net, &ServeConfig::new(workload.clone(), policy)).unwrap();
+        let cfg = ServeConfig::new(workload, policy).with_faults(
+            FaultPlan::new(7, 0.0, 0.0, 1.0).with_throttle_factor(3.0),
+            FaultPolicy::default(),
+        );
+        let throttled = serve(&engine, &net, &cfg).unwrap();
+        assert_eq!(throttled.shed_requests, 0);
+        assert_eq!(throttled.requests, clean.requests);
+        assert!(throttled.faults.balanced());
+        assert_eq!(throttled.faults.injected, throttled.faults.throttled);
+        assert_eq!(throttled.faults.degraded, throttled.faults.throttled);
+        assert!(throttled.faults.throttled > 0);
+        // Everything served, just slower.
+        assert!(throttled.makespan > clean.makespan);
+        assert!(throttled.latency().mean > clean.latency().mean);
     }
 }

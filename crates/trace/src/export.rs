@@ -126,6 +126,9 @@ pub fn chrome_trace(trace: &Trace) -> String {
     if trace.spans.iter().any(|sp| sp.track == Track::Serve) {
         events.push(thread_meta(Track::Serve));
     }
+    if trace.spans.iter().any(|sp| sp.track == Track::Faults) {
+        events.push(thread_meta(Track::Faults));
+    }
     if trace.spans.iter().any(|sp| sp.track == Track::Exec) {
         events.push(process_meta(2, "memcnn functional execution"));
         events.push(thread_meta(Track::Exec));

@@ -90,6 +90,10 @@ pub enum Track {
     /// Served inference batches (simulated serving-clock time; one span
     /// per launched batch).
     Serve,
+    /// Fault-handling events on the serving clock: injected-fault
+    /// retries (the span covers the backoff), OOM bucket downshifts,
+    /// sheds, and degraded-mode transitions.
+    Faults,
     /// Functional execution on the host (wall clock).
     Exec,
 }
@@ -103,6 +107,7 @@ impl Track {
             Track::Kernels => 3,
             Track::Backward => 4,
             Track::Serve => 5,
+            Track::Faults => 6,
             Track::Exec => 1,
         }
     }
@@ -123,6 +128,7 @@ impl Track {
             Track::Kernels => "kernels",
             Track::Backward => "backward",
             Track::Serve => "serving",
+            Track::Faults => "faults",
             Track::Exec => "exec (wall clock)",
         }
     }

@@ -1,0 +1,149 @@
+//! Chaos-suite integration tests: deterministic replay of injected fault
+//! timelines, the zero-fault no-op guarantee, typed retry exhaustion, and
+//! the counter-discipline invariant.
+//!
+//! Like `serve.rs` and `sim_cache.rs`, these assertions read
+//! process-global state (the perf-counter registry and the env-configured
+//! thread count), so everything lives in ONE `#[test]` — a second test in
+//! this binary would race the counters on the harness's concurrent
+//! threads.
+
+use memcnn::core::{
+    with_retries, Engine, EngineError, LayoutThresholds, Mechanism, NetworkBuilder,
+};
+use memcnn::gpusim::{DeviceConfig, Fault, FaultPlan};
+use memcnn::serve::{
+    serve, Arrival, BatchPolicy, FaultPolicy, Phase, ServeConfig, ServeReport, WorkloadConfig,
+};
+use memcnn::tensor::Shape;
+use memcnn::trace::perf;
+
+/// Everything the ISSUE requires a chaos run to reproduce bit-for-bit:
+/// the full latency vector, every batch's (bucket, images, attempts,
+/// throttled) tuple, the shed count, and the complete fault accounting.
+#[allow(clippy::type_complexity)]
+fn digest(r: &ServeReport) -> (Vec<u64>, Vec<(usize, usize, u32, u32)>, usize, String) {
+    (
+        r.latencies.iter().map(|l| l.to_bits()).collect(),
+        r.batches.iter().map(|b| (b.bucket, b.images, b.attempts, b.throttled)).collect(),
+        r.shed_requests,
+        format!("{:?}", r.faults),
+    )
+}
+
+#[test]
+fn fault_timelines_replay_bit_identically_and_every_fault_is_accounted() {
+    let net = NetworkBuilder::new("chaos-it", Shape::new(1, 64, 8, 8))
+        .conv("CV1", 64, 3, 1, 1)
+        .max_pool("PL1", 2, 2)
+        .build()
+        .unwrap();
+    let engine = || Engine::new(DeviceConfig::titan_black(), LayoutThresholds::titan_black_paper());
+    let workload = WorkloadConfig {
+        phases: vec![
+            Phase { arrival: Arrival::Poisson { rate: 50.0 }, duration: 0.3 },
+            Phase { arrival: Arrival::Poisson { rate: 4000.0 }, duration: 0.3 },
+        ],
+        images_min: 1,
+        images_max: 8,
+        seed: 1234,
+    };
+    let clean_cfg = ServeConfig {
+        workload,
+        policy: BatchPolicy::new(256, 0.004),
+        mechanism: Mechanism::Opt,
+        faults: None,
+        fault_policy: FaultPolicy::default(),
+    };
+    // A plan hot enough to exercise every ladder rung: retries, OOM
+    // downshifts, throttles, and (at burst depth) shedding.
+    let faulty_cfg = ServeConfig {
+        faults: Some(FaultPlan::new(42, 0.05, 0.01, 0.02)),
+        fault_policy: FaultPolicy {
+            max_retries: 2,
+            shed_deadline: Some(0.25),
+            recovery_batches: 3,
+            ..FaultPolicy::default()
+        },
+        ..clean_cfg.clone()
+    };
+
+    // (1) Bit-identical fault timelines across runs and MEMCNN_THREADS:
+    // the fault stream keys on (launch key, launch index), never on
+    // worker scheduling. (Safe to set here: one test per binary.)
+    std::env::set_var("MEMCNN_THREADS", "1");
+    let base = digest(&serve(&engine(), &net, &faulty_cfg).unwrap());
+    for threads in ["4", "13"] {
+        std::env::set_var("MEMCNN_THREADS", threads);
+        let rerun = digest(&serve(&engine(), &net, &faulty_cfg).unwrap());
+        assert_eq!(base, rerun, "fault timeline diverged at MEMCNN_THREADS={threads}");
+    }
+    // The injected run really did inject (the determinism is not vacuous)
+    // and survived without a panic or terminal error.
+    let faulted = serve(&engine(), &net, &faulty_cfg).unwrap();
+    assert!(faulted.faults.injected > 0, "fault plan never fired");
+    assert!(faulted.faults.retried > 0, "no transient was retried");
+    // A different fault seed changes the timeline.
+    let mut reseeded = faulty_cfg.clone();
+    reseeded.faults = Some(FaultPlan::new(43, 0.05, 0.01, 0.02));
+    assert_ne!(base, digest(&serve(&engine(), &net, &reseeded).unwrap()));
+
+    // (2) Counter discipline: the report balances, and the global perf
+    // mirror agrees with it exactly.
+    assert!(
+        faulted.faults.balanced(),
+        "injected != retried + degraded + shed: {:?}",
+        faulted.faults
+    );
+    let before = (
+        perf::get("fault.injected"),
+        perf::get("fault.retried"),
+        perf::get("fault.degraded"),
+        perf::get("fault.shed"),
+        perf::get("serve.shed"),
+    );
+    let again = serve(&engine(), &net, &faulty_cfg).unwrap();
+    assert_eq!(perf::get("fault.injected") - before.0, again.faults.injected);
+    assert_eq!(perf::get("fault.retried") - before.1, again.faults.retried);
+    assert_eq!(perf::get("fault.degraded") - before.2, again.faults.degraded);
+    assert_eq!(perf::get("fault.shed") - before.3, again.faults.shed);
+    assert_eq!(perf::get("serve.shed") - before.4, again.shed_requests as u64);
+
+    // (3) A zero-rate FaultPlan is a byte-identical no-op against no plan
+    // at all: the fault path must not even perturb float evaluation order.
+    let clean = digest(&serve(&engine(), &net, &clean_cfg).unwrap());
+    let mut quiet_cfg = clean_cfg.clone();
+    quiet_cfg.faults = Some(FaultPlan::quiet(42));
+    let quiet = digest(&serve(&engine(), &net, &quiet_cfg).unwrap());
+    assert_eq!(clean, quiet, "zero-fault plan perturbed the run");
+    let clean_report = serve(&engine(), &net, &clean_cfg).unwrap();
+    assert_eq!(clean_report.faults.injected, 0);
+    assert_eq!(clean_report.shed_requests, 0);
+
+    // (4) Retry exhaustion surfaces a typed error, never a panic: both at
+    // the `with_retries` combinator...
+    let exhausted = with_retries(2, |attempt| -> Result<(), EngineError> {
+        Err(EngineError::Transient {
+            layer: "CV1".to_string(),
+            launch: attempt as u64,
+            fault: Fault::LaunchFailed,
+        })
+    })
+    .unwrap_err();
+    match exhausted {
+        EngineError::RetriesExhausted { attempts, last } => {
+            assert_eq!(attempts, 3);
+            assert!(matches!(*last, EngineError::Transient { .. }));
+        }
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+    // ...and through the server: with every launch failing, every request
+    // is shed, the run still returns Ok, and the accounting still balances.
+    let mut doomed_cfg = faulty_cfg.clone();
+    doomed_cfg.faults = Some(FaultPlan::new(7, 1.0, 0.0, 0.0));
+    let doomed = serve(&engine(), &net, &doomed_cfg).unwrap();
+    assert_eq!(doomed.shed_requests, doomed.requests);
+    assert!(doomed.batches.is_empty());
+    assert!(doomed.faults.balanced());
+    assert_eq!(doomed.latency().count, 0);
+}

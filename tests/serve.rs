@@ -9,7 +9,7 @@
 
 use memcnn::core::{Engine, LayoutPolicy, LayoutThresholds, Mechanism, NetworkBuilder};
 use memcnn::gpusim::DeviceConfig;
-use memcnn::serve::{serve, Arrival, BatchPolicy, Phase, ServeConfig, WorkloadConfig};
+use memcnn::serve::{serve, Arrival, BatchPolicy, FaultPolicy, Phase, ServeConfig, WorkloadConfig};
 use memcnn::tensor::{Layout, Shape};
 use memcnn::trace::perf;
 
@@ -54,6 +54,8 @@ fn serving_is_deterministic_and_plans_flip_layouts_across_buckets() {
         },
         policy: BatchPolicy::new(256, 0.004),
         mechanism: Mechanism::Opt,
+        faults: None,
+        fault_policy: FaultPolicy::default(),
     };
 
     // (1) Determinism across runs and across MEMCNN_THREADS: the report —
