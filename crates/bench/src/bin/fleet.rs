@@ -1,0 +1,221 @@
+//! Multi-device fleet-serving scaling bench.
+//!
+//! ```text
+//! cargo run -p memcnn-bench --release --bin fleet
+//! cargo run -p memcnn-bench --release --bin fleet -- --out target/BENCH_fleet.json
+//! ```
+//!
+//! For AlexNet and VGG-16, serves the same seeded Poisson stream on
+//! homogeneous Titan-Black fleets of 1/2/4/8 devices at a fixed 70%
+//! per-device offered load, under each placement policy, and tabulates
+//! images/sec, p99, and speedup over the single device. A bursty
+//! two-phase stream then compares least-loaded against round-robin at
+//! 4 devices. The whole summary is written as one line of JSON to
+//! `BENCH_fleet.json` for CI trend tracking.
+//!
+//! Exits non-zero if 4-device least-loaded throughput falls below 3x
+//! the single device — the scaling regression gate.
+
+use memcnn_bench::fleet::{
+    bursty_workload, run_fleet, scaling, FLEET_LOAD_FRAC, FLEET_SEED, FLEET_SIZES,
+};
+use memcnn_bench::serving::sweep_policy;
+use memcnn_bench::util::{Ctx, Table};
+use memcnn_models::{alexnet, vgg16};
+use memcnn_serve::{capacity_images_per_sec, feasible_max_batch, Placement};
+use serde::Serialize;
+use std::path::PathBuf;
+
+#[derive(Serialize)]
+struct PolicyRow {
+    devices: usize,
+    policy: &'static str,
+    requests: usize,
+    shed: usize,
+    images_per_sec: f64,
+    p99_ms: f64,
+    /// Throughput relative to the same policy's single-device run.
+    speedup_vs_1: f64,
+}
+
+#[derive(Serialize)]
+struct BurstyRow {
+    devices: usize,
+    rr_p99_ms: f64,
+    ll_p99_ms: f64,
+    rr_shed: usize,
+    ll_shed: usize,
+}
+
+#[derive(Serialize)]
+struct NetworkFleet {
+    name: String,
+    max_batch: usize,
+    capacity_images_per_sec: f64,
+    rows: Vec<PolicyRow>,
+    bursty: BurstyRow,
+}
+
+#[derive(Serialize)]
+struct Summary {
+    bench: &'static str,
+    device: String,
+    seed: u64,
+    load_frac: f64,
+    networks: Vec<NetworkFleet>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: fleet [--out PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = PathBuf::from("BENCH_fleet.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = PathBuf::from(p),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let ctx = Ctx::titan_black();
+    let placements = [Placement::RoundRobin, Placement::LeastLoaded, Placement::MemoryAware];
+    let mut networks = Vec::new();
+    let mut gate_failed = false;
+
+    for net in [alexnet().expect("alexnet"), vgg16().expect("vgg16")] {
+        let (max_batch, top_plan) =
+            feasible_max_batch(&ctx.engine, &net, ctx.mechanism(), &[256, 128, 64, 32])
+                .unwrap_or_else(|| panic!("{}: no feasible batch size", net.name));
+        let capacity = capacity_images_per_sec(max_batch, &top_plan);
+        let policy = sweep_policy(max_batch, top_plan.total_time());
+        println!(
+            "\n{}: max_batch={max_batch}, single-device saturation ≈ {capacity:.0} images/s, \
+             offered load {:.0}% per device",
+            net.name,
+            FLEET_LOAD_FRAC * 100.0
+        );
+
+        let runs = scaling(&ctx, &net, policy, capacity, &placements, &FLEET_SIZES)
+            .expect("scaling sweep");
+        let mut table = Table::new(
+            format!(
+                "{}: fleet scaling at {:.0}% per-device load",
+                net.name,
+                FLEET_LOAD_FRAC * 100.0
+            ),
+            &["devices", "policy", "images/s", "p99 ms", "shed", "speedup"],
+        );
+        let mut rows = Vec::new();
+        for run in &runs {
+            let tput = run.report.throughput_images_per_sec();
+            let base = runs
+                .iter()
+                .find(|r| r.devices == 1 && r.placement == run.placement)
+                .map_or(tput, |r| r.report.throughput_images_per_sec());
+            let speedup = if base > 0.0 { tput / base } else { 0.0 };
+            let p99 = run.report.latency().p99;
+            table.row(vec![
+                run.devices.to_string(),
+                run.placement.name().to_string(),
+                format!("{tput:.0}"),
+                format!("{:.3}", p99 * 1e3),
+                run.report.shed_requests.to_string(),
+                format!("{speedup:.2}x"),
+            ]);
+            rows.push(PolicyRow {
+                devices: run.devices,
+                policy: run.placement.name(),
+                requests: run.report.requests,
+                shed: run.report.shed_requests,
+                images_per_sec: tput,
+                p99_ms: p99 * 1e3,
+                speedup_vs_1: speedup,
+            });
+        }
+        table.print();
+
+        // Scaling gate: 4-device least-loaded must beat 3x one device.
+        let ll = |k: usize| {
+            rows.iter()
+                .find(|r| r.devices == k && r.policy == Placement::LeastLoaded.name())
+                .expect("least-loaded row")
+                .images_per_sec
+        };
+        let (one, four) = (ll(1), ll(4));
+        if four < 3.0 * one {
+            eprintln!(
+                "GATE FAILED: {}: 4-device least-loaded {four:.0} images/s < 3x \
+                 single-device {one:.0} images/s",
+                net.name
+            );
+            gate_failed = true;
+        } else {
+            println!("gate ok: 4-device least-loaded scales {:.2}x over one device", four / one);
+        }
+
+        // Bursty comparison at 4 devices: least-loaded vs round-robin.
+        let k = 4;
+        let rr = run_fleet(
+            &ctx,
+            &net,
+            policy,
+            bursty_workload(k, capacity, FLEET_SEED),
+            Placement::RoundRobin,
+            k,
+        )
+        .expect("bursty round-robin");
+        let ll_run = run_fleet(
+            &ctx,
+            &net,
+            policy,
+            bursty_workload(k, capacity, FLEET_SEED),
+            Placement::LeastLoaded,
+            k,
+        )
+        .expect("bursty least-loaded");
+        let (rr_p99, ll_p99) = (rr.latency().p99, ll_run.latency().p99);
+        println!(
+            "bursty @{k} devices: round-robin p99 {:.3} ms vs least-loaded p99 {:.3} ms",
+            rr_p99 * 1e3,
+            ll_p99 * 1e3
+        );
+        networks.push(NetworkFleet {
+            name: net.name.clone(),
+            max_batch,
+            capacity_images_per_sec: capacity,
+            rows,
+            bursty: BurstyRow {
+                devices: k,
+                rr_p99_ms: rr_p99 * 1e3,
+                ll_p99_ms: ll_p99 * 1e3,
+                rr_shed: rr.shed_requests,
+                ll_shed: ll_run.shed_requests,
+            },
+        });
+    }
+
+    let summary = Summary {
+        bench: "fleet",
+        device: ctx.device.name.clone(),
+        seed: FLEET_SEED,
+        load_frac: FLEET_LOAD_FRAC,
+        networks,
+    };
+    let line = serde_json::to_string(&summary).expect("serialize summary");
+    println!("\n{line}");
+    if let Err(e) = std::fs::write(&out, format!("{line}\n")) {
+        eprintln!("failed to write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", out.display());
+    if gate_failed {
+        std::process::exit(1);
+    }
+}

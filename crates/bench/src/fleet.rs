@@ -1,0 +1,136 @@
+//! Multi-device fleet-serving scaling sweeps: the harness behind the
+//! `fleet` binary and `BENCH_fleet.json`.
+//!
+//! The sweep holds per-device offered load fixed at
+//! [`FLEET_LOAD_FRAC`] of single-device saturation and scales the fleet
+//! 1 → 2 → 4 → 8 homogeneous devices, so ideal scaling is linear
+//! images/sec at flat p99 — each device sees the same stream intensity
+//! regardless of K. Every [`Placement`] policy runs the same seeded
+//! stream; a separate bursty two-phase stream compares least-loaded
+//! against round-robin where placement actually matters (round-robin
+//! keeps feeding a backlogged device during a burst; least-loaded
+//! spills to whichever frees up first).
+
+use crate::serving::{IMAGES_MAX, IMAGES_MIN};
+use crate::util::Ctx;
+use memcnn_core::{EngineError, Network};
+use memcnn_serve::{
+    serve_fleet, Arrival, BatchPolicy, FleetConfig, FleetReport, Phase, Placement, WorkloadConfig,
+};
+
+/// Seed shared by every fleet stream (`BENCH_fleet.json` comparability).
+pub const FLEET_SEED: u64 = 42;
+/// Offered load per device, as a fraction of single-device saturation.
+pub const FLEET_LOAD_FRAC: f64 = 0.7;
+/// Requests per device in the scaling stream (total scales with K, so
+/// stream duration stays constant and throughput ratios read as speedup).
+pub const REQUESTS_PER_DEVICE: usize = 160;
+/// Fleet sizes swept by the scaling run.
+pub const FLEET_SIZES: [usize; 4] = [1, 2, 4, 8];
+
+/// One (fleet size, placement policy) operating point.
+pub struct FleetRow {
+    /// Devices in the fleet.
+    pub devices: usize,
+    /// Placement policy the point ran.
+    pub placement: Placement,
+    /// The finished run.
+    pub report: FleetReport,
+}
+
+/// Poisson stream at [`FLEET_LOAD_FRAC`] of the K-device aggregate
+/// capacity, carrying [`REQUESTS_PER_DEVICE`] · K requests. Duration is
+/// independent of K by construction.
+pub fn fleet_workload(k: usize, capacity_ips: f64, seed: u64) -> WorkloadConfig {
+    let mean_images = (IMAGES_MIN + IMAGES_MAX) as f64 / 2.0;
+    let rate = (FLEET_LOAD_FRAC * capacity_ips * k as f64 / mean_images).max(1.0);
+    let duration = (REQUESTS_PER_DEVICE * k) as f64 / rate;
+    let mut cfg = WorkloadConfig::poisson(rate, duration, seed);
+    cfg.images_min = IMAGES_MIN;
+    cfg.images_max = IMAGES_MAX;
+    cfg
+}
+
+/// A two-phase stream for the K-device fleet: a quiet spell at 30% of
+/// aggregate capacity, then a burst at 150% — placement policy decides
+/// who absorbs the backlog.
+pub fn bursty_workload(k: usize, capacity_ips: f64, seed: u64) -> WorkloadConfig {
+    let mean_images = (IMAGES_MIN + IMAGES_MAX) as f64 / 2.0;
+    let agg = capacity_ips * k as f64;
+    let quiet = (0.3 * agg / mean_images).max(1.0);
+    let burst = (1.5 * agg / mean_images).max(1.0);
+    WorkloadConfig {
+        phases: vec![
+            Phase {
+                arrival: Arrival::Poisson { rate: quiet },
+                duration: (REQUESTS_PER_DEVICE * k / 4) as f64 / quiet,
+            },
+            Phase {
+                arrival: Arrival::Poisson { rate: burst },
+                duration: (REQUESTS_PER_DEVICE * k) as f64 / burst,
+            },
+        ],
+        images_min: IMAGES_MIN,
+        images_max: IMAGES_MAX,
+        seed,
+    }
+}
+
+/// Run one fleet point: K copies of the context's engine (homogeneous —
+/// they share plan shapes and the process-wide sim cache) draining
+/// `workload` under `placement`.
+pub fn run_fleet(
+    ctx: &Ctx,
+    net: &Network,
+    policy: BatchPolicy,
+    workload: WorkloadConfig,
+    placement: Placement,
+    k: usize,
+) -> Result<FleetReport, EngineError> {
+    let engines: Vec<&memcnn_core::Engine> = (0..k).map(|_| &ctx.engine).collect();
+    let mut cfg = FleetConfig::new(workload, policy, placement);
+    cfg.mechanism = ctx.mechanism();
+    serve_fleet(&engines, std::slice::from_ref(net), &cfg)
+}
+
+/// The scaling sweep: every fleet size in `sizes` × every policy in
+/// `placements`, each at [`FLEET_LOAD_FRAC`] per-device load on the
+/// seeded stream.
+pub fn scaling(
+    ctx: &Ctx,
+    net: &Network,
+    policy: BatchPolicy,
+    capacity_ips: f64,
+    placements: &[Placement],
+    sizes: &[usize],
+) -> Result<Vec<FleetRow>, EngineError> {
+    let mut rows = Vec::new();
+    for &k in sizes {
+        for &placement in placements {
+            let workload = fleet_workload(k, capacity_ips, FLEET_SEED);
+            let report = run_fleet(ctx, net, policy, workload, placement, k)?;
+            rows.push(FleetRow { devices: k, placement, report });
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_scale_requests_not_duration() {
+        let rate = |a: &Arrival| match *a {
+            Arrival::Poisson { rate } | Arrival::Uniform { rate } => rate,
+        };
+        let w1 = fleet_workload(1, 1000.0, 7);
+        let w4 = fleet_workload(4, 1000.0, 7);
+        assert!((w1.duration() - w4.duration()).abs() < 1e-9, "duration must not scale with K");
+        let (r1, r4) = (rate(&w1.phases[0].arrival), rate(&w4.phases[0].arrival));
+        assert!((r4 / r1 - 4.0).abs() < 1e-9, "rate must scale linearly with K");
+        let b = bursty_workload(2, 1000.0, 7);
+        assert_eq!(b.phases.len(), 2);
+        assert!(rate(&b.phases[1].arrival) > rate(&b.phases[0].arrival));
+    }
+}

@@ -20,11 +20,18 @@
 //! fault-injection rate instead, measuring what the retry/downshift/shed
 //! ladder costs in p99 latency and shed rate (exposed as the `chaos`
 //! binary, which emits `BENCH_chaos.json` for CI).
+//!
+//! [`fleet`] scales the serving simulator out to multi-device fleets:
+//! fixed per-device offered load, 1/2/4/8 homogeneous devices, every
+//! placement policy, plus a bursty least-loaded-vs-round-robin
+//! comparison (exposed as the `fleet` binary, which emits
+//! `BENCH_fleet.json` for CI and gates on 4-device scaling).
 
 #![warn(missing_docs)]
 
 pub mod chaos;
 pub mod figures;
+pub mod fleet;
 pub mod layer_times;
 pub mod profile;
 pub mod serving;

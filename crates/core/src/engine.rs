@@ -313,11 +313,12 @@ impl Engine {
 
     /// Whether speculative parallel probing can help *and* cannot be
     /// observed: it needs the simulation cache (the sequential re-read must
-    /// hit), more than one worker thread, and no active trace collector
-    /// (candidate kernels must be recorded under their scopes, on the
-    /// orchestrating thread, in deterministic order).
+    /// hit) and more than one worker thread. Under an active trace the
+    /// workers record into per-worker collectors (`trace::fork`) whose
+    /// records merge back tagged `Scope::Worker`, so the orchestrator's
+    /// own deterministic records are untouched and fan-out stays on.
     fn parallel_probes_enabled(&self) -> bool {
-        self.opts.use_cache && rayon::max_threads() > 1 && !trace::active()
+        self.opts.use_cache && rayon::max_threads() > 1
     }
 
     /// Fan the NCHW convolution candidates (mm, fft, fft-tiling) out across
@@ -330,7 +331,9 @@ impl Engine {
             return;
         }
         trace::perf::add("engine.probe.fanout", 3);
+        let fork = trace::fork();
         (0..3usize).into_par_iter().for_each(|i| {
+            let _w = fork.attach(i);
             let _ = match i {
                 0 => MmConvNchw::new(*shape).simulate(&self.device, &self.opts).is_ok(),
                 1 => FftConvNchw::new(*shape, FftConvMode::Full)
@@ -343,6 +346,7 @@ impl Engine {
                     .is_some(),
             };
         });
+        fork.merge();
     }
 
     fn sim_seq(&self, ks: &[Box<dyn KernelSpec + Send>]) -> Result<f64, SimError> {
@@ -632,7 +636,9 @@ impl Engine {
                 }
             }
             trace::perf::add("engine.probe.fanout", jobs.len() as u64);
-            jobs.par_iter().for_each(|job| {
+            let fork = trace::fork();
+            jobs.par_iter().enumerate().for_each(|(ji, job)| {
+                let _w = fork.attach(ji);
                 let _ = match job {
                     Job::Time(layer, layout) => {
                         self.layer_time(layer, Mechanism::Opt, *layout).map(|_| ()).is_ok()
@@ -642,6 +648,7 @@ impl Engine {
                     }
                 };
             });
+            fork.merge();
         }
         let mut cost = vec![[f64::INFINITY; 2]; n];
         let mut parent = vec![[0usize; 2]; n];
@@ -791,9 +798,12 @@ impl Engine {
         if self.parallel_probes_enabled() {
             let layers = net.layers();
             trace::perf::add("engine.probe.fanout", layers.len() as u64);
+            let fork = trace::fork();
             (0..layers.len()).into_par_iter().for_each(|i| {
+                let _w = fork.attach(i);
                 let _ = self.layer_backward_time(&layers[i], mech, layouts[i], i == 0).is_ok();
             });
+            fork.merge();
         }
         {
             let _net_scope = trace::scope(trace::Scope::Network(net.name.clone()));
@@ -861,9 +871,12 @@ impl Engine {
         if self.parallel_probes_enabled() {
             let layers = net.layers();
             trace::perf::add("engine.probe.fanout", layers.len() as u64);
+            let fork = trace::fork();
             (0..layers.len()).into_par_iter().for_each(|i| {
+                let _w = fork.attach(i);
                 let _ = self.layer_time(&layers[i], mech, layouts[i]).is_ok();
             });
+            fork.merge();
         }
         let mut planned = Vec::with_capacity(net.layers().len());
         let mut prev_layout: Option<Layout> = None;

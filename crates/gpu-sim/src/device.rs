@@ -162,6 +162,39 @@ impl DeviceConfig {
         }
     }
 
+    /// The device models the repo ships, for fleet construction and
+    /// lookup by short name.
+    pub fn catalog() -> Vec<DeviceConfig> {
+        vec![DeviceConfig::titan_black(), DeviceConfig::titan_x()]
+    }
+
+    /// Look a shipped device up by short name (`"titan-black"` /
+    /// `"titan-x"`), case-insensitive.
+    pub fn by_name(name: &str) -> Option<DeviceConfig> {
+        match name.to_ascii_lowercase().as_str() {
+            "titan-black" | "titan_black" => Some(DeviceConfig::titan_black()),
+            "titan-x" | "titan_x" => Some(DeviceConfig::titan_x()),
+            _ => None,
+        }
+    }
+
+    /// The same device under a different display name. Note the name is
+    /// part of the `Debug` rendering and therefore of the simulation
+    /// cache key, so renamed copies do not share cache entries — fleets
+    /// that want shared warmup should keep identical configs identical.
+    pub fn with_name(mut self, name: &str) -> DeviceConfig {
+        self.name = name.to_string();
+        self
+    }
+
+    /// `k` copies of this device for a homogeneous fleet. The configs are
+    /// identical (names included) so every device shares the same plans
+    /// and simulation-cache entries; per-device identity in reports comes
+    /// from the device *index*, not the name.
+    pub fn homogeneous_fleet(&self, k: usize) -> Vec<DeviceConfig> {
+        vec![self.clone(); k]
+    }
+
     /// Aggregate shared-memory bandwidth in bytes/s under a bank mode:
     /// `SMs x banks x bank_width x clock`.
     pub fn smem_bw(&self, mode: BankMode) -> f64 {
@@ -219,5 +252,25 @@ mod tests {
     fn bank_mode_bytes() {
         assert_eq!(BankMode::FourByte.bytes(), 4);
         assert_eq!(BankMode::EightByte.bytes(), 8);
+    }
+
+    #[test]
+    fn catalog_lookup_and_fleet_helpers() {
+        assert_eq!(DeviceConfig::catalog().len(), 2);
+        assert_eq!(
+            DeviceConfig::by_name("Titan-Black").map(|d| d.name),
+            Some(DeviceConfig::titan_black().name)
+        );
+        assert_eq!(
+            DeviceConfig::by_name("titan_x").map(|d| d.sms),
+            Some(DeviceConfig::titan_x().sms)
+        );
+        assert!(DeviceConfig::by_name("k80").is_none());
+        let renamed = DeviceConfig::titan_black().with_name("dev0");
+        assert_eq!(renamed.name, "dev0");
+        assert_eq!(renamed.sms, 15);
+        let fleet = DeviceConfig::titan_black().homogeneous_fleet(4);
+        assert_eq!(fleet.len(), 4);
+        assert!(fleet.iter().all(|d| d.name == fleet[0].name));
     }
 }

@@ -118,16 +118,31 @@ impl Store {
 
 /// Total capacity the process-wide cache was configured with:
 /// `MEMCNN_SIMCACHE_CAP` if set to a positive integer, else
-/// [`DEFAULT_CAPACITY`]. Read once, at the cache's first use.
+/// [`DEFAULT_CAPACITY`]. Read once, at the cache's first use; a malformed
+/// override warns once on stderr and falls back to the default.
 pub fn capacity() -> usize {
     static CAP: OnceLock<usize> = OnceLock::new();
-    *CAP.get_or_init(|| {
-        std::env::var("MEMCNN_SIMCACHE_CAP")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&c| c > 0)
-            .unwrap_or(DEFAULT_CAPACITY)
-    })
+    *CAP.get_or_init(|| capacity_from(std::env::var("MEMCNN_SIMCACHE_CAP").ok().as_deref()))
+}
+
+/// Parse a `MEMCNN_SIMCACHE_CAP` value, warning on stderr and returning
+/// [`DEFAULT_CAPACITY`] when it is present but not a positive integer.
+/// Pure so the fallback path is unit-testable; the `OnceLock` in
+/// [`capacity`] guarantees the warning fires at most once per process.
+fn capacity_from(raw: Option<&str>) -> usize {
+    match raw {
+        None => DEFAULT_CAPACITY,
+        Some(v) => match v.parse::<usize>() {
+            Ok(c) if c > 0 => c,
+            _ => {
+                eprintln!(
+                    "memcnn: ignoring malformed MEMCNN_SIMCACHE_CAP={v:?} \
+                     (want a positive integer); using {DEFAULT_CAPACITY}"
+                );
+                DEFAULT_CAPACITY
+            }
+        },
+    }
 }
 
 fn store() -> &'static Store {
@@ -429,6 +444,16 @@ mod tests {
         assert_eq!(s.per_shard_cap, 1);
         let s = Store::with_capacity(DEFAULT_CAPACITY);
         assert_eq!(s.per_shard_cap, DEFAULT_CAPACITY / SHARDS);
+    }
+
+    #[test]
+    fn malformed_capacity_override_warns_and_falls_back() {
+        assert_eq!(capacity_from(None), DEFAULT_CAPACITY);
+        assert_eq!(capacity_from(Some("4096")), 4096);
+        assert_eq!(capacity_from(Some("lots")), DEFAULT_CAPACITY);
+        assert_eq!(capacity_from(Some("0")), DEFAULT_CAPACITY);
+        assert_eq!(capacity_from(Some("-1")), DEFAULT_CAPACITY);
+        assert_eq!(capacity_from(Some("")), DEFAULT_CAPACITY);
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Adaptive batching: re-estimate `max_queue_delay` from observed load.
+//!
+//! A fixed `max_queue_delay` is a bet about the arrival rate: too short
+//! and quiet periods launch tiny batches in sub-optimal buckets; too
+//! long and bursts queue pointlessly behind a full window. The
+//! [`AdaptivePolicy`] closes the loop deterministically: the fleet
+//! tracks an exponential moving average of inter-arrival gaps and, at
+//! each workload *phase boundary* (never mid-phase, so one run's batch
+//! boundaries cannot feed back into its own estimate), sets the delay to
+//! the time `target_batch` arrivals take at the observed rate, clamped
+//! to `[min_delay, max_delay]`. All inputs are simulated observations of
+//! a seeded stream, so the estimator replays bit-identically.
+
+use serde::Serialize;
+
+/// Bounded EMA-driven `max_queue_delay` estimator.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct AdaptivePolicy {
+    /// EMA smoothing factor in (0, 1]: weight of the newest gap.
+    pub alpha: f64,
+    /// Images the window should collect at the observed rate (the delay
+    /// aims for `target_batch` arrivals per window).
+    pub target_batch: f64,
+    /// Lower clamp on the derived delay, seconds.
+    pub min_delay: f64,
+    /// Upper clamp on the derived delay, seconds.
+    pub max_delay: f64,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> AdaptivePolicy {
+        AdaptivePolicy { alpha: 0.1, target_batch: 16.0, min_delay: 1e-4, max_delay: 0.05 }
+    }
+}
+
+impl AdaptivePolicy {
+    /// The delay for an observed mean inter-arrival gap: `target_batch *
+    /// ema_gap`, clamped to `[min_delay, max_delay]`.
+    pub fn delay(&self, ema_gap: f64) -> f64 {
+        (self.target_batch * ema_gap).clamp(self.min_delay, self.max_delay)
+    }
+
+    /// Fold one observed gap into the EMA (`None` seeds it).
+    pub fn update_ema(&self, ema: Option<f64>, gap: f64) -> f64 {
+        match ema {
+            None => gap,
+            Some(e) => self.alpha * gap + (1.0 - self.alpha) * e,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_tracks_rate_within_bounds() {
+        let p = AdaptivePolicy { target_batch: 10.0, min_delay: 1e-3, max_delay: 0.02, alpha: 0.5 };
+        // 1000 req/s -> 1 ms gaps -> 10 ms window.
+        assert_eq!(p.delay(1e-3), 0.01);
+        // Very fast arrivals clamp at min.
+        assert_eq!(p.delay(1e-6), 1e-3);
+        // Very slow arrivals clamp at max.
+        assert_eq!(p.delay(1.0), 0.02);
+    }
+
+    #[test]
+    fn ema_seeds_then_smooths() {
+        let p = AdaptivePolicy { alpha: 0.25, ..AdaptivePolicy::default() };
+        let e0 = p.update_ema(None, 4e-3);
+        assert_eq!(e0, 4e-3);
+        let e1 = p.update_ema(Some(e0), 8e-3);
+        assert!((e1 - (0.25 * 8e-3 + 0.75 * 4e-3)).abs() < 1e-18);
+    }
+}

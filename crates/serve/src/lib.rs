@@ -28,22 +28,43 @@
 //! answers injected faults with [`policy`]'s degradation ladder (bounded
 //! retry, OOM bucket downshift, deadline shedding, circuit-style degraded
 //! mode) and still replays bit-identically.
+//!
+//! # Multi-device fleets
+//!
+//! [`fleet`] scales the same loop out to K simulated devices
+//! (heterogeneous allowed — the same bucket compiles different layout
+//! plans on devices with different `(Ct, Nt)` thresholds): one request
+//! stream, per-(device, network, bucket) plan caches for cross-network
+//! multiplexing, a pluggable [`placement`] policy per arrival
+//! (round-robin, least-loaded, memory-aware), and an optional
+//! [`adaptive`] estimator that re-derives `max_queue_delay` from the
+//! observed inter-arrival EMA at workload phase boundaries. The fleet
+//! event loop is single-threaded and bit-deterministic; a K = 1 fleet
+//! reproduces [`serve`]'s report byte for byte.
 
 #![warn(missing_docs)]
 #![deny(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod adaptive;
 pub mod batch;
 pub mod capacity;
+pub mod fleet;
 pub mod metrics;
+pub mod placement;
 pub mod plan_cache;
 pub mod policy;
 pub mod server;
 pub mod workload;
 
+pub use adaptive::AdaptivePolicy;
 pub use batch::{bucket_for, buckets, BatchPolicy};
 pub use capacity::{capacity_images_per_sec, feasible_max_batch};
-pub use metrics::{latency_stats, percentile, LatencyStats};
+pub use fleet::{serve_fleet, DeviceReport, FleetBatch, FleetConfig, FleetReport, NetworkBuckets};
+pub use metrics::{latency_stats, latency_stats_sorted, percentile, LatencyStats};
+pub use placement::{
+    DeviceLoad, LeastLoaded, MemoryAware, Placement, PlacementCtx, PlacementPolicy, RoundRobin,
+};
 pub use plan_cache::PlanCache;
 pub use policy::{FaultPolicy, FaultStats};
 pub use server::{serve, BatchRecord, BucketStats, ServeConfig, ServeReport};

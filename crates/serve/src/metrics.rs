@@ -31,7 +31,8 @@ pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
-/// Summarize a latency sample (any order; a sorted copy is made).
+/// Summarize a latency sample (any order; a sorted copy is made once and
+/// reused for every percentile).
 pub fn latency_stats(latencies: &[f64]) -> LatencyStats {
     if latencies.is_empty() {
         return LatencyStats::default();
@@ -39,12 +40,24 @@ pub fn latency_stats(latencies: &[f64]) -> LatencyStats {
     let mut sorted = latencies.to_vec();
     // total_cmp is a total order, so no panic path even on NaN input.
     sorted.sort_by(f64::total_cmp);
+    latency_stats_sorted(&sorted)
+}
+
+/// Summarize an *already ascending-sorted* latency sample without
+/// re-sorting. Callers that compute several summaries from one report
+/// sort once and reuse the slice; results are bit-identical to
+/// [`latency_stats`] on the unsorted input.
+pub fn latency_stats_sorted(sorted: &[f64]) -> LatencyStats {
+    if sorted.is_empty() {
+        return LatencyStats::default();
+    }
+    debug_assert!(sorted.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()), "input must be sorted");
     LatencyStats {
         count: sorted.len(),
         mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
-        p50: percentile(&sorted, 50.0),
-        p95: percentile(&sorted, 95.0),
-        p99: percentile(&sorted, 99.0),
+        p50: percentile(sorted, 50.0),
+        p95: percentile(sorted, 95.0),
+        p99: percentile(sorted, 99.0),
         max: sorted[sorted.len() - 1],
     }
 }
@@ -64,6 +77,22 @@ mod tests {
         assert_eq!(percentile(&[], 50.0), 0.0);
         // Small samples: ceil(0.5 * 3) = 2nd of three.
         assert_eq!(percentile(&[1.0, 2.0, 3.0], 50.0), 2.0);
+    }
+
+    #[test]
+    fn presorted_stats_match_the_sorting_path_bit_for_bit() {
+        let raw = [0.004, 0.001, 0.003, 0.002, 0.009, 0.0055];
+        let mut sorted = raw.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let a = latency_stats(&raw);
+        let b = latency_stats_sorted(&sorted);
+        assert_eq!(a.count, b.count);
+        for (x, y) in
+            [(a.mean, b.mean), (a.p50, b.p50), (a.p95, b.p95), (a.p99, b.p99), (a.max, b.max)]
+        {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(latency_stats_sorted(&[]).count, 0);
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Placement policies: which device a routed request joins.
+//!
+//! The fleet's event loop routes every arrival through a
+//! [`PlacementPolicy`] with a snapshot of per-device load
+//! ([`DeviceLoad`]). Policies are deterministic — same snapshot, same
+//! answer — so the whole fleet run stays a pure function of its config.
+//!
+//! Three implementations ship:
+//!
+//! - [`RoundRobin`]: rotate through devices, ignoring load. The baseline
+//!   the bench compares against.
+//! - [`LeastLoaded`]: the device that frees up earliest (ties broken by
+//!   queued images, then index). Under bursty phases this shields a hot
+//!   device by spilling to idle ones.
+//! - [`MemoryAware`]: like `LeastLoaded`, but first drop devices whose
+//!   [`feasible_max_batch`](crate::capacity::feasible_max_batch) cap is
+//!   below the request's natural bucket — on a heterogeneous fleet the
+//!   small-memory device would downshift (or plan-OOM) batches the big
+//!   one runs natively.
+
+use crate::batch::bucket_for;
+use serde::Serialize;
+
+/// Load snapshot of one device at routing time.
+#[derive(Clone, Copy, Debug)]
+pub struct DeviceLoad {
+    /// Device index in the fleet.
+    pub device: usize,
+    /// When the device's GPU frees up (simulated seconds).
+    pub gpu_free: f64,
+    /// Requests routed to the device and not yet launched.
+    pub queued_requests: usize,
+    /// Images those requests carry.
+    pub queued_images: usize,
+    /// Largest bucket the device can compile for the request's network
+    /// (`0`: none — plan-time OOM at every candidate bucket).
+    pub feasible_cap: usize,
+}
+
+/// Everything a placement decision may read.
+#[derive(Clone, Copy, Debug)]
+pub struct PlacementCtx<'a> {
+    /// The request's arrival time.
+    pub now: f64,
+    /// Images the request carries.
+    pub images: usize,
+    /// Index of the network the request targets.
+    pub network: usize,
+    /// The batching policy's image cap.
+    pub max_batch: usize,
+    /// Per-device load snapshots, indexed by device.
+    pub devices: &'a [DeviceLoad],
+}
+
+/// A deterministic routing decision. `place` returns the chosen device
+/// index; implementations may keep internal state (e.g. a round-robin
+/// cursor) but must not consult any source of nondeterminism.
+pub trait PlacementPolicy {
+    /// Choose a device for one request.
+    fn place(&mut self, ctx: &PlacementCtx) -> usize;
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Rotate through devices in index order, ignoring load.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundRobin {
+    counter: usize,
+}
+
+impl PlacementPolicy for RoundRobin {
+    fn place(&mut self, ctx: &PlacementCtx) -> usize {
+        let d = self.counter % ctx.devices.len().max(1);
+        self.counter = self.counter.wrapping_add(1);
+        d
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Pick the least-loaded candidate from `devices`: earliest effective
+/// free time (`max(gpu_free, now)` — an idle device is "free now", not
+/// "free in the past"), then fewest queued images, then lowest index.
+fn least_loaded_of(devices: &[DeviceLoad], now: f64) -> usize {
+    let mut best = 0usize;
+    for (i, d) in devices.iter().enumerate() {
+        if i == 0 {
+            best = 0;
+            continue;
+        }
+        let b = &devices[best];
+        let key = (d.gpu_free.max(now), d.queued_images);
+        let best_key = (b.gpu_free.max(now), b.queued_images);
+        if key.0.total_cmp(&best_key.0).is_lt()
+            || (key.0.total_cmp(&best_key.0).is_eq() && key.1 < best_key.1)
+        {
+            best = i;
+        }
+    }
+    devices[best].device
+}
+
+/// Route to the device that frees up earliest.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LeastLoaded;
+
+impl PlacementPolicy for LeastLoaded {
+    fn place(&mut self, ctx: &PlacementCtx) -> usize {
+        least_loaded_of(ctx.devices, ctx.now)
+    }
+
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+}
+
+/// Route like [`LeastLoaded`], but skip devices whose feasible batch cap
+/// is below the request's natural bucket. When every device is capped
+/// (or none can compile anything), fall back to the full candidate set —
+/// the serving loop's own downshift ladder then absorbs the mismatch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemoryAware;
+
+impl PlacementPolicy for MemoryAware {
+    fn place(&mut self, ctx: &PlacementCtx) -> usize {
+        let natural = bucket_for(ctx.images, ctx.max_batch.max(1));
+        let fit: Vec<DeviceLoad> =
+            ctx.devices.iter().filter(|d| d.feasible_cap >= natural).copied().collect();
+        if fit.is_empty() {
+            least_loaded_of(ctx.devices, ctx.now)
+        } else {
+            least_loaded_of(&fit, ctx.now)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "memory-aware"
+    }
+}
+
+/// Serializable selector for the shipped policies (configs carry this;
+/// [`Placement::build`] instantiates the live state).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Placement {
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`LeastLoaded`].
+    LeastLoaded,
+    /// [`MemoryAware`].
+    MemoryAware,
+}
+
+impl Placement {
+    /// Instantiate the policy's live state.
+    pub fn build(self) -> Box<dyn PlacementPolicy> {
+        match self {
+            Placement::RoundRobin => Box::new(RoundRobin::default()),
+            Placement::LeastLoaded => Box::new(LeastLoaded),
+            Placement::MemoryAware => Box::new(MemoryAware),
+        }
+    }
+
+    /// Short policy name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Placement::RoundRobin => "round-robin",
+            Placement::LeastLoaded => "least-loaded",
+            Placement::MemoryAware => "memory-aware",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(device: usize, gpu_free: f64, queued_images: usize, cap: usize) -> DeviceLoad {
+        DeviceLoad {
+            device,
+            gpu_free,
+            queued_requests: queued_images,
+            queued_images,
+            feasible_cap: cap,
+        }
+    }
+
+    fn ctx<'a>(devices: &'a [DeviceLoad], now: f64, images: usize) -> PlacementCtx<'a> {
+        PlacementCtx { now, images, network: 0, max_batch: 64, devices }
+    }
+
+    #[test]
+    fn round_robin_cycles_in_index_order() {
+        let devs = [load(0, 0.0, 0, 64), load(1, 0.0, 0, 64), load(2, 0.0, 0, 64)];
+        let mut p = RoundRobin::default();
+        let picks: Vec<usize> = (0..6).map(|_| p.place(&ctx(&devs, 0.0, 1))).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_loaded_prefers_earliest_free_then_fewest_images_then_index() {
+        let devs = [load(0, 5.0, 0, 64), load(1, 2.0, 9, 64), load(2, 2.0, 3, 64)];
+        assert_eq!(LeastLoaded.place(&ctx(&devs, 1.0, 1)), 2);
+        // Idle devices are "free now": past free times do not rank one
+        // idle device above another.
+        let idle = [load(0, 0.5, 2, 64), load(1, 0.1, 2, 64)];
+        assert_eq!(LeastLoaded.place(&ctx(&idle, 1.0, 1)), 0);
+    }
+
+    #[test]
+    fn memory_aware_skips_capped_devices_unless_all_are_capped() {
+        // Request of 40 images -> natural bucket 64.
+        let devs = [load(0, 0.0, 0, 32), load(1, 3.0, 5, 64)];
+        assert_eq!(MemoryAware.place(&ctx(&devs, 0.0, 40)), 1);
+        // Small request: both fit, earliest-free wins.
+        assert_eq!(MemoryAware.place(&ctx(&devs, 0.0, 2)), 0);
+        // All capped: fall back to the full set.
+        let capped = [load(0, 4.0, 0, 16), load(1, 1.0, 0, 16)];
+        assert_eq!(MemoryAware.place(&ctx(&capped, 0.0, 40)), 1);
+    }
+
+    #[test]
+    fn selector_builds_matching_policies() {
+        for (sel, name) in [
+            (Placement::RoundRobin, "round-robin"),
+            (Placement::LeastLoaded, "least-loaded"),
+            (Placement::MemoryAware, "memory-aware"),
+        ] {
+            assert_eq!(sel.name(), name);
+            assert_eq!(sel.build().name(), name);
+        }
+    }
+}

@@ -207,7 +207,12 @@ impl ServeReport {
 /// `launch` (starting at `next`) while their images fit in `max`. Returns
 /// `(end_index, images, full)`; `full` means the batch cannot grow even if
 /// more requests were queued.
-fn form(requests: &[Request], next: usize, launch: f64, max: usize) -> (usize, usize, bool) {
+pub(crate) fn form(
+    requests: &[Request],
+    next: usize,
+    launch: f64,
+    max: usize,
+) -> (usize, usize, bool) {
     let mut images = 0usize;
     let mut j = next;
     while j < requests.len() && requests[j].arrival <= launch {
@@ -227,7 +232,7 @@ fn form(requests: &[Request], next: usize, launch: f64, max: usize) -> (usize, u
 }
 
 /// Emit a span on the faults track (a no-op unless tracing is active).
-fn fault_span(name: String, ts: f64, dur: f64, args: Vec<(String, String)>) {
+pub(crate) fn fault_span(name: String, ts: f64, dur: f64, args: Vec<(String, String)>) {
     trace::record_span(|| trace::SpanEvent {
         name,
         track: trace::Track::Faults,

@@ -37,6 +37,12 @@ pub enum KernelClass {
     Autotune,
     /// Simulated for the backward pass.
     Backward,
+    /// Simulated speculatively on a parallel probe worker (cache
+    /// prewarms carrying a [`Scope::Worker`] frame). Never paired to a
+    /// timeline span; counts may vary with thread scheduling because
+    /// workers race to warm shared memoization, so they are reported
+    /// separately and excluded from the deterministic timeline.
+    Speculative,
 }
 
 /// Classify every kernel record and, for timeline kernels, pair it with
@@ -49,7 +55,9 @@ pub fn classify_kernels(trace: &Trace) -> Vec<(KernelClass, Option<usize>)> {
         .kernels
         .iter()
         .map(|k| {
-            if k.in_scope(&Scope::Plan) {
+            if k.path.iter().any(|f| matches!(f, Scope::Worker(_))) {
+                (KernelClass::Speculative, None)
+            } else if k.in_scope(&Scope::Plan) {
                 (KernelClass::Planning, None)
             } else if k.in_scope(&Scope::Autotune) {
                 (KernelClass::Autotune, None)
@@ -128,6 +136,9 @@ pub fn chrome_trace(trace: &Trace) -> String {
     }
     if trace.spans.iter().any(|sp| sp.track == Track::Faults) {
         events.push(thread_meta(Track::Faults));
+    }
+    if trace.spans.iter().any(|sp| sp.track == Track::Fleet) {
+        events.push(thread_meta(Track::Fleet));
     }
     if trace.spans.iter().any(|sp| sp.track == Track::Exec) {
         events.push(process_meta(2, "memcnn functional execution"));
@@ -233,6 +244,7 @@ pub fn text_profile(trace: &Trace, top_n: usize) -> String {
         KernelClass::Planning,
         KernelClass::Autotune,
         KernelClass::Backward,
+        KernelClass::Speculative,
     ] {
         agg.insert(format!("{class:?}"), Aggregate::default());
     }
@@ -483,6 +495,22 @@ mod tests {
         assert_eq!(classes[1], (KernelClass::Timeline, Some(0)));
         assert_eq!(classes[2], (KernelClass::Timeline, Some(0)));
         assert_eq!(classes[3].0, KernelClass::Candidate); // fft not chosen
+    }
+
+    #[test]
+    fn worker_frame_classifies_speculative_and_stays_off_the_timeline() {
+        let mut t = sample_trace();
+        // A speculative prewarm of the very kernel the chosen impl runs:
+        // the Worker frame must win over layer/candidate matching.
+        let mut spec = t.kernels[1].clone();
+        spec.path.push(Scope::Worker(0));
+        t.kernels.push(spec);
+        let classes = classify_kernels(&t);
+        assert_eq!(classes[4], (KernelClass::Speculative, None));
+        // Timeline pairing of the orchestrator's records is unchanged.
+        assert_eq!(classes[1], (KernelClass::Timeline, Some(0)));
+        let text = text_profile(&t, 10);
+        assert!(text.contains("speculative"), "missing speculative row:\n{text}");
     }
 
     #[test]

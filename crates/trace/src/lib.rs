@@ -56,6 +56,11 @@ pub enum Scope {
     Backward,
     /// Functional (on-CPU) execution of a network.
     Run(String),
+    /// Speculative work on a parallel probe worker (the index is the
+    /// worker's job index within its fan-out). Records carrying this
+    /// frame are cache prewarms, not part of the deterministic
+    /// orchestrator timeline.
+    Worker(usize),
 }
 
 impl Scope {
@@ -70,6 +75,7 @@ impl Scope {
             Scope::Autotune => "autotune".to_string(),
             Scope::Backward => "backward".to_string(),
             Scope::Run(n) => format!("run:{n}"),
+            Scope::Worker(i) => format!("worker:{i}"),
         }
     }
 }
@@ -94,6 +100,9 @@ pub enum Track {
     /// retries (the span covers the backoff), OOM bucket downshifts,
     /// sheds, and degraded-mode transitions.
     Faults,
+    /// Multi-device fleet serving (simulated serving-clock time; one
+    /// span per launched batch, tagged with its device and network).
+    Fleet,
     /// Functional execution on the host (wall clock).
     Exec,
 }
@@ -108,6 +117,7 @@ impl Track {
             Track::Backward => 4,
             Track::Serve => 5,
             Track::Faults => 6,
+            Track::Fleet => 7,
             Track::Exec => 1,
         }
     }
@@ -129,6 +139,7 @@ impl Track {
             Track::Backward => "backward",
             Track::Serve => "serving",
             Track::Faults => "faults",
+            Track::Fleet => "fleet",
             Track::Exec => "exec (wall clock)",
         }
     }
@@ -345,6 +356,125 @@ pub fn set_meta(key: &str, value: &str) {
     });
 }
 
+/// Capture the active collection window for a parallel fan-out.
+///
+/// `fork()` snapshots the orchestrator's scope stack; each worker calls
+/// [`Fork::attach`] to record into its own collector seeded with that
+/// stack plus a [`Scope::Worker`] frame, and [`Fork::merge`] folds every
+/// worker's records back into the orchestrator's trace in worker-index
+/// order. When collection is inactive the whole cycle is a no-op, so
+/// call sites need no `if trace::active()` gate.
+pub fn fork() -> Fork {
+    let seed = COLLECTOR.with(|c| c.borrow().as_ref().map(|col| col.stack.clone()));
+    Fork { seed, sink: std::sync::Mutex::new(Vec::new()) }
+}
+
+/// A parallel fan-out's collection state: the orchestrator's scope stack
+/// at fork time plus the sink worker traces merge into. See [`fork`].
+pub struct Fork {
+    /// Orchestrator stack at fork time; `None` when collection was
+    /// inactive (attach/merge become no-ops).
+    seed: Option<Vec<Scope>>,
+    /// Completed worker traces, tagged with their worker index.
+    sink: std::sync::Mutex<Vec<(usize, Trace)>>,
+}
+
+impl Fork {
+    /// Begin collecting on the calling worker thread under a
+    /// `Scope::Worker(index)` frame. Drop the guard when the worker's
+    /// job finishes; its records then wait in the fork until
+    /// [`Fork::merge`]. If the caller *is* the orchestrator (the
+    /// parallel runtime fell back to inline execution), the frame is
+    /// pushed onto the live collector instead and the records land
+    /// directly.
+    #[must_use = "the worker's records are captured while this guard lives"]
+    pub fn attach(&self, index: usize) -> WorkerGuard<'_> {
+        let Some(seed) = &self.seed else {
+            return WorkerGuard { fork: self, index, mode: WorkerMode::Inactive };
+        };
+        let installed = COLLECTOR.with(|c| {
+            let mut slot = c.borrow_mut();
+            match slot.as_mut() {
+                Some(col) => {
+                    // Inline fallback: the orchestrator itself runs the
+                    // job. Tag its records with the worker frame only.
+                    col.stack.push(Scope::Worker(index));
+                    false
+                }
+                None => {
+                    let mut stack = seed.clone();
+                    stack.push(Scope::Worker(index));
+                    *slot = Some(Collector { trace: Trace::default(), stack });
+                    true
+                }
+            }
+        });
+        let mode = if installed { WorkerMode::Installed } else { WorkerMode::Pushed };
+        WorkerGuard { fork: self, index, mode }
+    }
+
+    /// Fold every detached worker's records into the active collector,
+    /// ordered by worker index so merged traces are independent of
+    /// thread scheduling. A no-op when collection is inactive.
+    pub fn merge(self) {
+        let mut parts = match self.sink.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        parts.sort_by_key(|(i, _)| *i);
+        with_active(move |col| {
+            for (_, t) in parts {
+                col.trace.spans.extend(t.spans);
+                col.trace.kernels.extend(t.kernels);
+                col.trace.decisions.extend(t.decisions);
+                col.trace.meta.extend(t.meta);
+            }
+        });
+    }
+}
+
+enum WorkerMode {
+    /// Collection inactive at fork time: nothing to do.
+    Inactive,
+    /// Inline fallback on the orchestrator: pop the worker frame.
+    Pushed,
+    /// Detached worker: take the collector and park its trace in the
+    /// fork's sink.
+    Installed,
+}
+
+/// Guard returned by [`Fork::attach`]; finishing the worker's collection
+/// window on drop.
+pub struct WorkerGuard<'f> {
+    fork: &'f Fork,
+    index: usize,
+    mode: WorkerMode,
+}
+
+impl Drop for WorkerGuard<'_> {
+    fn drop(&mut self) {
+        match self.mode {
+            WorkerMode::Inactive => {}
+            WorkerMode::Pushed => {
+                COLLECTOR.with(|c| {
+                    if let Some(col) = c.borrow_mut().as_mut() {
+                        col.stack.pop();
+                    }
+                });
+            }
+            WorkerMode::Installed => {
+                if let Some(col) = COLLECTOR.with(|c| c.borrow_mut().take()) {
+                    let mut sink = match self.fork.sink.lock() {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    sink.push((self.index, col.trace));
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,5 +552,76 @@ mod tests {
         start();
         let t = finish().unwrap();
         assert_eq!(t.event_count(), 0);
+    }
+
+    /// What one synthetic worker job records under a fork.
+    fn worker_job(i: usize) {
+        record_kernel(|| KernelCounters {
+            name: format!("probe-{i}"),
+            time_s: 1e-3,
+            ..Default::default()
+        });
+        record_span(|| span(&format!("w{i}"), Track::Kernels, i as f64, 1.0));
+    }
+
+    #[test]
+    fn forked_workers_merge_in_index_order_with_seeded_stacks() {
+        start();
+        let _p = scope(Scope::Plan);
+        let fork = fork();
+        std::thread::scope(|s| {
+            // Spawn in reverse so scheduling order differs from index
+            // order; merge must still sort by index.
+            for i in (0..4).rev() {
+                let fork = &fork;
+                s.spawn(move || {
+                    let _w = fork.attach(i);
+                    worker_job(i);
+                });
+            }
+        });
+        fork.merge();
+        worker_job(99); // orchestrator record, after the merge
+        drop(_p);
+        let t = finish().unwrap();
+        assert_eq!(t.kernels.len(), 5);
+        assert_eq!(t.spans.len(), 5);
+        for i in 0..4 {
+            assert_eq!(t.kernels[i].counters.name, format!("probe-{i}"));
+            assert_eq!(t.kernels[i].path, vec![Scope::Plan, Scope::Worker(i)]);
+        }
+        assert_eq!(t.kernels[4].path, vec![Scope::Plan]);
+    }
+
+    #[test]
+    fn inline_fallback_tags_orchestrator_records_with_worker_frame() {
+        start();
+        let _p = scope(Scope::Autotune);
+        let fork = fork();
+        {
+            let _w = fork.attach(7);
+            record_kernel(KernelCounters::default);
+        }
+        record_kernel(KernelCounters::default);
+        fork.merge();
+        drop(_p);
+        let t = finish().unwrap();
+        assert_eq!(t.kernels[0].path, vec![Scope::Autotune, Scope::Worker(7)]);
+        assert_eq!(t.kernels[1].path, vec![Scope::Autotune]);
+    }
+
+    #[test]
+    fn fork_is_a_noop_when_collection_is_inactive() {
+        assert!(!active());
+        let fork = fork();
+        std::thread::scope(|s| {
+            let fork = &fork;
+            s.spawn(move || {
+                let _w = fork.attach(0);
+                record_kernel(|| unreachable!("collection must stay inactive"));
+            });
+        });
+        fork.merge();
+        assert!(finish().is_none());
     }
 }

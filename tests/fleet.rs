@@ -1,0 +1,195 @@
+//! Fleet-serving integration tests: bit-identical determinism across
+//! thread counts, exact K = 1 equivalence with the single-device server,
+//! balanced per-device and aggregate fault accounting, and load-aware
+//! placement actually spreading a heterogeneous fleet.
+//!
+//! Like `tests/serve.rs`, this binary reads process-global state (the
+//! perf registry and the once-locked `MEMCNN_THREADS`), so everything
+//! lives in ONE `#[test]`. The env var is set to 4 FIRST — before any
+//! engine call — so the fleet's plan compiles exercise the parallel
+//! probe fan-out (and its per-worker trace merge path) rather than the
+//! single-threaded fallback.
+
+use memcnn::core::{Engine, LayoutPolicy, LayoutThresholds, NetworkBuilder};
+use memcnn::gpusim::{DeviceConfig, FaultPlan};
+use memcnn::serve::{
+    serve, serve_fleet, Arrival, BatchPolicy, FaultPolicy, FleetConfig, FleetReport, Phase,
+    Placement, ServeConfig, WorkloadConfig,
+};
+use memcnn::tensor::Shape;
+
+/// One batch's replay-relevant bits: (launch, done, bucket, network).
+type BatchBits = (u64, u64, usize, u32);
+
+/// Digest of everything the ISSUE requires to replay bit-identically:
+/// the full latency vector, every placement decision, and every
+/// device's batch timeline (launch/done bits, bucket, network).
+fn digest(r: &FleetReport) -> (Vec<u64>, Vec<u32>, Vec<Vec<BatchBits>>) {
+    (
+        r.latencies.iter().map(|l| l.to_bits()).collect(),
+        r.placements.clone(),
+        r.devices
+            .iter()
+            .map(|d| {
+                d.batches
+                    .iter()
+                    .map(|b| {
+                        (
+                            b.record.launch.to_bits(),
+                            b.record.done.to_bits(),
+                            b.record.bucket,
+                            b.network,
+                        )
+                    })
+                    .collect()
+            })
+            .collect(),
+    )
+}
+
+fn black() -> Engine {
+    Engine::new(DeviceConfig::titan_black(), LayoutThresholds::titan_black_paper())
+        .with_layout_policy(LayoutPolicy::Heuristic)
+}
+
+fn titan_x() -> Engine {
+    Engine::new(DeviceConfig::titan_x(), LayoutThresholds::titan_x_paper())
+        .with_layout_policy(LayoutPolicy::Heuristic)
+}
+
+#[test]
+fn fleet_is_deterministic_exact_at_k1_and_balanced_under_faults() {
+    // Must precede every engine call in this process: the thread count
+    // is read once and cached, so this binary runs its fan-outs at 4.
+    std::env::set_var("MEMCNN_THREADS", "4");
+
+    let net_a = NetworkBuilder::new("fleet-a", Shape::new(1, 64, 8, 8))
+        .conv("CV1", 64, 3, 1, 1)
+        .max_pool("PL1", 2, 2)
+        .build()
+        .unwrap();
+    let net_b = NetworkBuilder::new("fleet-b", Shape::new(1, 32, 8, 8))
+        .conv("CV1", 48, 3, 1, 1)
+        .build()
+        .unwrap();
+    let nets = [net_a.clone(), net_b.clone()];
+
+    // A quiet spell then a hard burst: the burst forces queueing, which
+    // is what makes placement observable.
+    let wl = WorkloadConfig {
+        phases: vec![
+            Phase { arrival: Arrival::Poisson { rate: 100.0 }, duration: 0.2 },
+            Phase { arrival: Arrival::Poisson { rate: 4000.0 }, duration: 0.1 },
+        ],
+        images_min: 1,
+        images_max: 8,
+        seed: 77,
+    };
+    let cfg = FleetConfig::new(wl.clone(), BatchPolicy::new(128, 0.004), Placement::LeastLoaded);
+
+    // (1) Heterogeneous 2-device, 2-network fleet is bit-deterministic
+    // across runs; re-setting MEMCNN_THREADS is nominal after the first
+    // read, so these reruns double as same-process replay checks.
+    let base = digest(&serve_fleet(&[&black(), &titan_x()], &nets, &cfg).unwrap());
+    for threads in ["1", "13"] {
+        std::env::set_var("MEMCNN_THREADS", threads);
+        let rerun = digest(&serve_fleet(&[&black(), &titan_x()], &nets, &cfg).unwrap());
+        assert_eq!(base, rerun, "fleet diverged after re-setting MEMCNN_THREADS={threads}");
+    }
+    let hetero = serve_fleet(&[&black(), &titan_x()], &nets, &cfg).unwrap();
+    assert_eq!(hetero.placements.len(), hetero.requests);
+    assert!(hetero.placements.iter().all(|&p| p < 2), "placement out of range");
+    assert!(
+        hetero.devices.iter().all(|d| !d.batches.is_empty()),
+        "least-loaded must spread the burst across both devices"
+    );
+    assert_eq!(hetero.devices.iter().map(|d| d.requests).sum::<usize>(), hetero.requests);
+    // Both networks multiplex through the fleet.
+    for n in [0u32, 1u32] {
+        assert!(
+            hetero.devices.iter().any(|d| d.batches.iter().any(|b| b.network == n)),
+            "network {n} never served"
+        );
+    }
+    // Per-device batches never overlap on that device.
+    for dev in &hetero.devices {
+        for w in dev.batches.windows(2) {
+            assert!(w[0].record.done <= w[1].record.launch + 1e-12);
+        }
+    }
+
+    // (2) K = 1, one network: the fleet IS the single-device server,
+    // field for field, bit for bit.
+    let policy = BatchPolicy::new(128, 0.004);
+    let scfg = ServeConfig::new(wl.clone(), policy);
+    let fcfg = FleetConfig::new(wl.clone(), policy, Placement::RoundRobin);
+    let s = serve(&black(), &net_a, &scfg).unwrap();
+    let f = serve_fleet(&[&black()], std::slice::from_ref(&net_a), &fcfg).unwrap();
+    assert_eq!(s.requests, f.requests);
+    assert_eq!(s.shed_requests, f.shed_requests);
+    assert_eq!(s.makespan.to_bits(), f.makespan.to_bits());
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+    assert_eq!(bits(&s.latencies), bits(&f.latencies), "K=1 latencies diverged from serve()");
+    let dev = &f.devices[0];
+    assert_eq!(s.batches.len(), dev.batches.len());
+    for (a, b) in s.batches.iter().zip(&dev.batches) {
+        assert_eq!(a.launch.to_bits(), b.record.launch.to_bits());
+        assert_eq!(a.done.to_bits(), b.record.done.to_bits());
+        assert_eq!(a.requests, b.record.requests);
+        assert_eq!(a.images, b.record.images);
+        assert_eq!(a.bucket, b.record.bucket);
+        assert_eq!(a.queue_depth, b.record.queue_depth);
+        assert_eq!(a.attempts, b.record.attempts);
+        assert_eq!(a.throttled, b.record.throttled);
+        assert_eq!(b.network, 0);
+    }
+    assert_eq!(dev.networks.len(), 1);
+    assert_eq!(s.buckets.len(), dev.networks[0].buckets.len());
+    for (a, b) in s.buckets.iter().zip(&dev.networks[0].buckets) {
+        assert_eq!(a.bucket, b.bucket);
+        assert_eq!(a.batches, b.batches);
+        assert_eq!(a.images, b.images);
+        assert_eq!(a.fill.to_bits(), b.fill.to_bits());
+        assert_eq!(a.conv_layouts, b.conv_layouts);
+        assert_eq!(a.transforms, b.transforms);
+        assert_eq!(a.service_time.to_bits(), b.service_time.to_bits());
+    }
+    assert_eq!(s.faults, f.faults);
+    assert_eq!(s.images, f.images());
+
+    // (3) Injected faults: accounting balances per device AND in the
+    // fleet aggregate (which must be exactly the per-device sum).
+    let fpol = FaultPolicy { max_retries: 2, shed_deadline: Some(0.02), ..FaultPolicy::default() };
+    let faulted = serve_fleet(
+        &[&black(), &titan_x()],
+        &nets,
+        &cfg.clone().with_faults(FaultPlan::new(33, 0.15, 0.05, 0.15), fpol),
+    )
+    .unwrap();
+    let mut injected = 0u64;
+    let mut handled = 0u64;
+    for dev in &faulted.devices {
+        assert!(
+            dev.faults.balanced(),
+            "device {} fault accounting out of balance: {:?}",
+            dev.device,
+            dev.faults
+        );
+        injected += dev.faults.injected;
+        handled += dev.faults.retried + dev.faults.degraded + dev.faults.shed;
+    }
+    assert!(injected > 0, "the fault plan must actually inject at these rates");
+    assert_eq!(faulted.faults.injected, injected, "aggregate != per-device sum");
+    assert_eq!(faulted.faults.injected, handled, "fleet-wide injected != retried+degraded+shed");
+    assert!(faulted.faults.balanced());
+    // Latency sentinels agree with the shed count.
+    assert_eq!(
+        faulted.latencies.iter().filter(|&&l| l == 0.0).count(),
+        faulted.shed_requests,
+        "0.0 sentinels must be exactly the shed requests"
+    );
+    assert_eq!(
+        faulted.devices.iter().map(|d| d.shed_requests).sum::<usize>(),
+        faulted.shed_requests
+    );
+}

@@ -29,16 +29,34 @@ use std::sync::OnceLock;
 pub const MIN_PARALLEL_ITEMS: usize = 4;
 
 /// Worker-thread budget: `MEMCNN_THREADS` env override, else the number of
-/// available cores. Computed once per process.
+/// available cores. Computed once per process; a malformed override warns
+/// once on stderr and falls back to the core count.
 pub fn max_threads() -> usize {
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| {
-        std::env::var("MEMCNN_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        let fallback = std::thread::available_parallelism().map_or(1, |n| n.get());
+        threads_from(std::env::var("MEMCNN_THREADS").ok().as_deref(), fallback)
     })
+}
+
+/// Parse a `MEMCNN_THREADS` value, warning on stderr and returning
+/// `fallback` when it is present but not a positive integer. Pure so the
+/// fallback path is unit-testable; the `OnceLock` in [`max_threads`]
+/// guarantees the warning fires at most once per process.
+fn threads_from(raw: Option<&str>, fallback: usize) -> usize {
+    match raw {
+        None => fallback,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!(
+                    "memcnn: ignoring malformed MEMCNN_THREADS={v:?} \
+                     (want a positive integer); using {fallback}"
+                );
+                fallback
+            }
+        },
+    }
 }
 
 thread_local! {
@@ -326,6 +344,16 @@ mod tests {
         for (i, v) in buf.iter().enumerate() {
             assert_eq!(*v, (i / 8) as u32);
         }
+    }
+
+    #[test]
+    fn malformed_thread_override_warns_and_falls_back() {
+        assert_eq!(super::threads_from(None, 6), 6);
+        assert_eq!(super::threads_from(Some("4"), 6), 4);
+        assert_eq!(super::threads_from(Some("zero"), 6), 6);
+        assert_eq!(super::threads_from(Some("0"), 6), 6);
+        assert_eq!(super::threads_from(Some("-2"), 6), 6);
+        assert_eq!(super::threads_from(Some(""), 6), 6);
     }
 
     #[test]
