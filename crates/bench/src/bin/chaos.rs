@@ -15,6 +15,10 @@
 //! Exits non-zero if any point violates the counter-discipline invariant
 //! (`injected == retried + degraded + shed`): that invariant is the
 //! machine-checkable statement that every injected fault was handled.
+//!
+//! `--metrics PATH` additionally writes the highest-rate point's metrics
+//! timeline (gauges plus windowed latency percentiles on simulated time)
+//! as JSON.
 
 use memcnn_bench::chaos::chaos_sweep;
 use memcnn_bench::util::Ctx;
@@ -22,18 +26,23 @@ use memcnn_models::alexnet;
 use std::path::PathBuf;
 
 fn usage() -> ! {
-    eprintln!("usage: chaos [--out PATH]");
+    eprintln!("usage: chaos [--out PATH] [--metrics PATH]");
     std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out = PathBuf::from("BENCH_chaos.json");
+    let mut metrics: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" => match it.next() {
                 Some(p) => out = PathBuf::from(p),
+                None => usage(),
+            },
+            "--metrics" => match it.next() {
+                Some(p) => metrics = Some(PathBuf::from(p)),
                 None => usage(),
             },
             _ => usage(),
@@ -42,7 +51,7 @@ fn main() {
 
     let ctx = Ctx::titan_black();
     let net = alexnet().expect("alexnet");
-    let (summary, table) = match chaos_sweep(&ctx, &net) {
+    let (summary, table, timeline) = match chaos_sweep(&ctx, &net) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("chaos sweep failed: {e}");
@@ -50,6 +59,14 @@ fn main() {
         }
     };
     table.print();
+
+    if let Some(path) = metrics {
+        if let Err(e) = std::fs::write(&path, format!("{}\n", timeline.to_json())) {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote {}", path.display());
+    }
 
     if let Some(bad) = summary.points.iter().find(|p| !p.balanced) {
         eprintln!(

@@ -9,9 +9,18 @@
 //! homogeneous Titan-Black fleets of 1/2/4/8 devices at a fixed 70%
 //! per-device offered load, under each placement policy, and tabulates
 //! images/sec, p99, and speedup over the single device. A bursty
-//! two-phase stream then compares least-loaded against round-robin at
-//! 4 devices. The whole summary is written as one line of JSON to
+//! two-phase stream then compares round-robin, least-loaded, and
+//! queue-weighted at 4 devices — the burst is where least-loaded's
+//! convoy defect shows (its frozen free-time key routes a whole burst to
+//! one device between commits; queue-weighted's queued-images key does
+//! not), so the steady-state scaling sweep keeps the original three
+//! policies. The whole summary is written as one line of JSON to
 //! `BENCH_fleet.json` for CI trend tracking.
+//!
+//! `--metrics PATH` additionally writes the bursty runs' metrics
+//! timelines as one JSON object keyed `<network>.bursty.<policy>` — the
+//! per-device `dev{d}.queue.images` series inside make the convoy (and
+//! its absence under queue-weighted) directly visible.
 //!
 //! Exits non-zero if 4-device least-loaded throughput falls below 3x
 //! the single device — the scaling regression gate.
@@ -21,9 +30,11 @@ use memcnn_bench::fleet::{
 };
 use memcnn_bench::serving::sweep_policy;
 use memcnn_bench::util::{Ctx, Table};
+use memcnn_metrics::MetricsTimeline;
 use memcnn_models::{alexnet, vgg16};
 use memcnn_serve::{capacity_images_per_sec, feasible_max_batch, Placement};
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 #[derive(Serialize)]
@@ -43,8 +54,16 @@ struct BurstyRow {
     devices: usize,
     rr_p99_ms: f64,
     ll_p99_ms: f64,
+    qw_p99_ms: f64,
     rr_shed: usize,
     ll_shed: usize,
+    qw_shed: usize,
+    /// Peak single-device queued-images backlog during the burst, per
+    /// policy — the convoy observable (least-loaded spikes, queue-weighted
+    /// stays near the even share).
+    rr_peak_queue: f64,
+    ll_peak_queue: f64,
+    qw_peak_queue: f64,
 }
 
 #[derive(Serialize)]
@@ -65,19 +84,36 @@ struct Summary {
     networks: Vec<NetworkFleet>,
 }
 
+/// Peak queued-images backlog on any one device, read from the fleet
+/// timeline's per-device `dev{d}.queue.images` series.
+fn peak_device_queue(timeline: &MetricsTimeline, k: usize) -> f64 {
+    (0..k)
+        .map(|d| {
+            timeline
+                .series(&format!("dev{d}.queue.images"))
+                .map_or(0.0, |s| s.samples.iter().map(|p| p.value).fold(0.0, f64::max))
+        })
+        .fold(0.0, f64::max)
+}
+
 fn usage() -> ! {
-    eprintln!("usage: fleet [--out PATH]");
+    eprintln!("usage: fleet [--out PATH] [--metrics PATH]");
     std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out = PathBuf::from("BENCH_fleet.json");
+    let mut metrics: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" => match it.next() {
                 Some(p) => out = PathBuf::from(p),
+                None => usage(),
+            },
+            "--metrics" => match it.next() {
+                Some(p) => metrics = Some(PathBuf::from(p)),
                 None => usage(),
             },
             _ => usage(),
@@ -87,6 +123,7 @@ fn main() {
     let ctx = Ctx::titan_black();
     let placements = [Placement::RoundRobin, Placement::LeastLoaded, Placement::MemoryAware];
     let mut networks = Vec::new();
+    let mut timelines: BTreeMap<String, MetricsTimeline> = BTreeMap::new();
     let mut gate_failed = false;
 
     for net in [alexnet().expect("alexnet"), vgg16().expect("vgg16")] {
@@ -160,31 +197,41 @@ fn main() {
             println!("gate ok: 4-device least-loaded scales {:.2}x over one device", four / one);
         }
 
-        // Bursty comparison at 4 devices: least-loaded vs round-robin.
+        // Bursty comparison at 4 devices: round-robin vs least-loaded vs
+        // queue-weighted (the convoy fix).
         let k = 4;
-        let rr = run_fleet(
-            &ctx,
-            &net,
-            policy,
-            bursty_workload(k, capacity, FLEET_SEED),
-            Placement::RoundRobin,
-            k,
-        )
-        .expect("bursty round-robin");
-        let ll_run = run_fleet(
-            &ctx,
-            &net,
-            policy,
-            bursty_workload(k, capacity, FLEET_SEED),
-            Placement::LeastLoaded,
-            k,
-        )
-        .expect("bursty least-loaded");
-        let (rr_p99, ll_p99) = (rr.latency().p99, ll_run.latency().p99);
+        let mut bursty_run = |placement: Placement| {
+            let report = run_fleet(
+                &ctx,
+                &net,
+                policy,
+                bursty_workload(k, capacity, FLEET_SEED),
+                placement,
+                k,
+            )
+            .unwrap_or_else(|e| panic!("bursty {}: {e}", placement.name()));
+            let peak = peak_device_queue(&report.timeline, k);
+            timelines.insert(
+                format!("{}.bursty.{}", net.name, placement.name()),
+                report.timeline.clone(),
+            );
+            (report, peak)
+        };
+        let (rr, rr_peak) = bursty_run(Placement::RoundRobin);
+        let (ll_run, ll_peak) = bursty_run(Placement::LeastLoaded);
+        let (qw_run, qw_peak) = bursty_run(Placement::QueueWeighted);
+        let (rr_p99, ll_p99, qw_p99) =
+            (rr.latency().p99, ll_run.latency().p99, qw_run.latency().p99);
         println!(
-            "bursty @{k} devices: round-robin p99 {:.3} ms vs least-loaded p99 {:.3} ms",
+            "bursty @{k} devices: round-robin p99 {:.3} ms, least-loaded p99 {:.3} ms, \
+             queue-weighted p99 {:.3} ms",
             rr_p99 * 1e3,
-            ll_p99 * 1e3
+            ll_p99 * 1e3,
+            qw_p99 * 1e3
+        );
+        println!(
+            "bursty peak device backlog: round-robin {rr_peak:.0}, least-loaded {ll_peak:.0}, \
+             queue-weighted {qw_peak:.0} images (the convoy shows as a least-loaded spike)"
         );
         networks.push(NetworkFleet {
             name: net.name.clone(),
@@ -195,10 +242,24 @@ fn main() {
                 devices: k,
                 rr_p99_ms: rr_p99 * 1e3,
                 ll_p99_ms: ll_p99 * 1e3,
+                qw_p99_ms: qw_p99 * 1e3,
                 rr_shed: rr.shed_requests,
                 ll_shed: ll_run.shed_requests,
+                qw_shed: qw_run.shed_requests,
+                rr_peak_queue: rr_peak,
+                ll_peak_queue: ll_peak,
+                qw_peak_queue: qw_peak,
             },
         });
+    }
+
+    if let Some(path) = &metrics {
+        let json = serde_json::to_string(&timelines).expect("serialize timelines");
+        if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote {}", path.display());
     }
 
     let summary = Summary {

@@ -1,0 +1,310 @@
+//! Scenario regression orchestrator.
+//!
+//! ```text
+//! cargo run -p memcnn-bench --release --bin scenario
+//! cargo run -p memcnn-bench --release --bin scenario -- --update-baselines
+//! cargo run -p memcnn-bench --release --bin scenario -- run scenarios/burst-qw.toml
+//! ```
+//!
+//! Without a subcommand, discovers every `scenarios/*.toml`, runs each
+//! one as its own OS process (`scenario run <file>` on a release-built
+//! copy of this binary), parses the one-line JSON result each agent
+//! prints, merges the per-run latency histograms into suite-wide and
+//! overall ones, and diffs every metric against `baselines/<name>.json`
+//! under the scenario's own tolerances. A drift beyond tolerance prints
+//! a structured `REGRESSION ...` line naming the scenario, the metric,
+//! both values, and the relative drift — and the process exits non-zero,
+//! which is the CI gate. `--update-baselines` rewrites the baseline
+//! files from the current run instead of diffing (review that diff like
+//! code).
+//!
+//! `run <file>` is the agent mode: execute one scenario, write its full
+//! metrics timeline to `<metrics-dir>/<name>.metrics.json`, and print
+//! the machine-readable result as the last stdout line.
+
+use memcnn_bench::scenario::{self, diff_metrics, Drift, ScenarioResult, ScenarioSpec};
+use memcnn_bench::util::Table;
+use memcnn_metrics::Histogram;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+#[derive(Serialize)]
+struct Outcome {
+    scenario: String,
+    suite: String,
+    /// `ok`, `drift`, `expect-failed`, or `error`.
+    status: String,
+    drifts: Vec<Drift>,
+    expect_failures: Vec<String>,
+}
+
+#[derive(Serialize)]
+struct Summary {
+    bench: &'static str,
+    scenarios: Vec<Outcome>,
+    /// Latency histograms merged across each suite's scenarios.
+    suite_hist: BTreeMap<String, Histogram>,
+    /// Latency histogram merged across every scenario.
+    merged_hist: Histogram,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scenario [--scenarios DIR] [--baselines DIR] [--metrics-dir DIR] \
+         [--out PATH] [--agent PATH] [--update-baselines]\n       \
+         scenario run FILE [--metrics-dir DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("run") {
+        run_agent(&args[1..]);
+    }
+
+    let mut scenarios_dir = PathBuf::from("scenarios");
+    let mut baselines_dir = PathBuf::from("baselines");
+    let mut metrics_dir = PathBuf::from("target/metrics");
+    let mut out = PathBuf::from("BENCH_scenario.json");
+    let mut agent: Option<PathBuf> = None;
+    let mut update = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scenarios" => scenarios_dir = next_path(&mut it),
+            "--baselines" => baselines_dir = next_path(&mut it),
+            "--metrics-dir" => metrics_dir = next_path(&mut it),
+            "--out" => out = next_path(&mut it),
+            "--agent" => agent = Some(next_path(&mut it)),
+            "--update-baselines" => update = true,
+            _ => usage(),
+        }
+    }
+    let agent = agent.unwrap_or_else(|| std::env::current_exe().expect("current_exe"));
+
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&scenarios_dir)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", scenarios_dir.display());
+            std::process::exit(1);
+        })
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        eprintln!("no *.toml scenarios under {}", scenarios_dir.display());
+        std::process::exit(1);
+    }
+    std::fs::create_dir_all(&metrics_dir).expect("create metrics dir");
+    if update {
+        std::fs::create_dir_all(&baselines_dir).expect("create baselines dir");
+    }
+
+    let mut outcomes = Vec::new();
+    let mut suite_hist: BTreeMap<String, Histogram> = BTreeMap::new();
+    let mut merged_hist = Histogram::new();
+    let mut table = Table::new(
+        "scenario regression harness".to_string(),
+        &["scenario", "suite", "requests", "p99 ms", "shed", "status"],
+    );
+    let mut failed = false;
+
+    for file in &files {
+        let spec = match std::fs::read_to_string(file)
+            .map_err(|e| e.to_string())
+            .and_then(|t| scenario::parse_spec(&t))
+        {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ERROR scenario={} parse: {e}", file.display());
+                failed = true;
+                continue;
+            }
+        };
+        let result = match spawn_agent(&agent, file, &metrics_dir) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("ERROR scenario={} run: {e}", spec.name);
+                outcomes.push(Outcome {
+                    scenario: spec.name.clone(),
+                    suite: spec.suite.clone(),
+                    status: "error".to_string(),
+                    drifts: Vec::new(),
+                    expect_failures: Vec::new(),
+                });
+                failed = true;
+                continue;
+            }
+        };
+
+        suite_hist.entry(result.suite.clone()).or_default().merge(&result.hist);
+        merged_hist.merge(&result.hist);
+
+        let mut status = "ok";
+        for f in &result.expect_failures {
+            eprintln!("EXPECT FAILED scenario={}: {f}", result.scenario);
+            status = "expect-failed";
+            failed = true;
+        }
+
+        let drifts = if update {
+            let path = baseline_path(&baselines_dir, &spec.name);
+            let pretty = serde_json::to_string_pretty(&result).expect("serialize baseline");
+            std::fs::write(&path, format!("{pretty}\n")).expect("write baseline");
+            eprintln!("updated {}", path.display());
+            Vec::new()
+        } else {
+            match diff_against_baseline(&baselines_dir, &spec, &result) {
+                Ok(drifts) => {
+                    for d in &drifts {
+                        eprintln!(
+                            "REGRESSION scenario={} metric={} baseline={} current={} \
+                             drift={:.2}% tol={:.2}%",
+                            result.scenario,
+                            d.metric,
+                            d.baseline,
+                            d.current,
+                            d.rel * 100.0,
+                            d.tol * 100.0
+                        );
+                    }
+                    if !drifts.is_empty() {
+                        status = "drift";
+                        failed = true;
+                    }
+                    drifts
+                }
+                Err(e) => {
+                    eprintln!("ERROR scenario={} baseline: {e}", result.scenario);
+                    status = "error";
+                    failed = true;
+                    Vec::new()
+                }
+            }
+        };
+
+        table.row(vec![
+            result.scenario.clone(),
+            result.suite.clone(),
+            fmt_metric(&result, "requests"),
+            fmt_metric(&result, "latency.p99"),
+            fmt_metric(&result, "shed"),
+            status.to_string(),
+        ]);
+        outcomes.push(Outcome {
+            scenario: result.scenario.clone(),
+            suite: result.suite.clone(),
+            status: status.to_string(),
+            drifts,
+            expect_failures: result.expect_failures.clone(),
+        });
+    }
+    table.print();
+
+    let summary = Summary { bench: "scenario", scenarios: outcomes, suite_hist, merged_hist };
+    let line = serde_json::to_string(&summary).expect("serialize summary");
+    println!("\n{line}");
+    if let Err(e) = std::fs::write(&out, format!("{line}\n")) {
+        eprintln!("failed to write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", out.display());
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// Agent mode: run one scenario file in-process.
+fn run_agent(args: &[String]) -> ! {
+    let mut file: Option<PathBuf> = None;
+    let mut metrics_dir = PathBuf::from("target/metrics");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--metrics-dir" => metrics_dir = next_path(&mut it),
+            _ if file.is_none() && !arg.starts_with('-') => file = Some(PathBuf::from(arg)),
+            _ => usage(),
+        }
+    }
+    let Some(file) = file else { usage() };
+    let text = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", file.display());
+        std::process::exit(1);
+    });
+    let spec = scenario::parse_spec(&text).unwrap_or_else(|e| {
+        eprintln!("{}: {e}", file.display());
+        std::process::exit(1);
+    });
+    let (result, timeline) = scenario::run(&spec).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    std::fs::create_dir_all(&metrics_dir).expect("create metrics dir");
+    let mpath = metrics_dir.join(format!("{}.metrics.json", spec.name));
+    std::fs::write(&mpath, format!("{}\n", timeline.to_json())).expect("write metrics timeline");
+    eprintln!("wrote {}", mpath.display());
+    // The result line must be the last stdout line: the orchestrator
+    // parses stdout from the bottom.
+    let line = serde_json::to_string(&result).expect("serialize result");
+    println!("{line}");
+    std::process::exit(0);
+}
+
+fn next_path(it: &mut std::slice::Iter<'_, String>) -> PathBuf {
+    match it.next() {
+        Some(p) => PathBuf::from(p),
+        None => usage(),
+    }
+}
+
+fn baseline_path(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("{name}.json"))
+}
+
+/// Spawn the agent as an OS process and parse its last stdout line.
+fn spawn_agent(agent: &Path, file: &Path, metrics_dir: &Path) -> Result<ScenarioResult, String> {
+    let output = Command::new(agent)
+        .arg("run")
+        .arg(file)
+        .arg("--metrics-dir")
+        .arg(metrics_dir)
+        .output()
+        .map_err(|e| format!("spawn {}: {e}", agent.display()))?;
+    if !output.status.success() {
+        let err = String::from_utf8_lossy(&output.stderr);
+        return Err(format!("agent exited {}: {}", output.status, err.trim()));
+    }
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let line = stdout
+        .lines()
+        .rev()
+        .find(|l| !l.trim().is_empty())
+        .ok_or("agent printed no result line")?;
+    scenario::parse_result(line)
+}
+
+/// Diff the result against its committed baseline file.
+fn diff_against_baseline(
+    dir: &Path,
+    spec: &ScenarioSpec,
+    result: &ScenarioResult,
+) -> Result<Vec<Drift>, String> {
+    let path = baseline_path(dir, &spec.name);
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!("missing baseline {} ({e}); run --update-baselines", path.display())
+    })?;
+    let baseline = scenario::parse_result(&text)?;
+    Ok(diff_metrics(&baseline.metrics, &result.metrics, &spec.tolerances))
+}
+
+fn fmt_metric(result: &ScenarioResult, name: &str) -> String {
+    match result.metrics.get(name) {
+        Some(v) if name.starts_with("latency") => format!("{v:.3}"),
+        Some(v) => format!("{v:.0}"),
+        None => "-".to_string(),
+    }
+}

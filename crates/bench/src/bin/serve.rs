@@ -12,13 +12,20 @@
 //! and throughput per operating point. A fixed reference point
 //! (70% of capacity, seed 42) is written as one line of JSON to
 //! `BENCH_serve.json` for CI trend tracking, next to `BENCH_engine.json`.
+//!
+//! `--metrics PATH` additionally writes each network's reference-point
+//! metrics timeline (queue depth, utilization, plan-cache hit rate, and
+//! windowed latency percentiles on simulated time) as one JSON object
+//! keyed by network name.
 
 use memcnn_bench::serving::{self, plan_table, run_point, sweep, sweep_policy};
 use memcnn_bench::util::Ctx;
+use memcnn_metrics::MetricsTimeline;
 use memcnn_models::{alexnet, vgg16};
 use memcnn_serve::{capacity_images_per_sec, feasible_max_batch};
 use memcnn_trace::perf;
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 #[derive(Serialize)]
@@ -52,18 +59,23 @@ struct Summary {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: serve [--out PATH]");
+    eprintln!("usage: serve [--out PATH] [--metrics PATH]");
     std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out = PathBuf::from("BENCH_serve.json");
+    let mut metrics: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--out" => match it.next() {
                 Some(p) => out = PathBuf::from(p),
+                None => usage(),
+            },
+            "--metrics" => match it.next() {
+                Some(p) => metrics = Some(PathBuf::from(p)),
                 None => usage(),
             },
             _ => usage(),
@@ -73,6 +85,7 @@ fn main() {
     let ctx = Ctx::titan_black();
     let fracs = [0.2, 0.5, 0.8, 1.1];
     let mut rows = Vec::new();
+    let mut timelines: BTreeMap<String, MetricsTimeline> = BTreeMap::new();
 
     for net in [alexnet().expect("alexnet"), vgg16().expect("vgg16")] {
         // Deep networks can exhaust simulated device memory at large N;
@@ -95,12 +108,14 @@ fn main() {
         let (_, sweep_table) = sweep(&ctx, &net, &policy, &fracs, capacity).expect("latency sweep");
         sweep_table.print();
 
-        // Reference point for CI: fixed load fraction and seed.
-        let (c0, h0) = (perf::get("engine.plan.compile"), perf::get("serve.plan.hit"));
+        // Reference point for CI: fixed load fraction and seed. Counters
+        // are read as deltas against a snapshot, so earlier sweeps in
+        // this process don't leak into the reference numbers.
+        let before = perf::baseline();
         let reference = run_point(&ctx, &net, &policy, serving::REFERENCE_FRAC, capacity)
             .expect("reference point");
         let (compiles, hits) =
-            (perf::get("engine.plan.compile") - c0, perf::get("serve.plan.hit") - h0);
+            (before.delta_of("engine.plan.compile"), before.delta_of("serve.plan.hit"));
         let lat = reference.report.latency();
         println!(
             "reference @{:.0}%: p50 {:.3} ms, p99 {:.3} ms, {:.0} images/s \
@@ -129,6 +144,16 @@ fn main() {
             plan_compiles: compiles,
             plan_hits: hits,
         });
+        timelines.insert(net.name.clone(), reference.report.timeline.clone());
+    }
+
+    if let Some(path) = &metrics {
+        let json = serde_json::to_string(&timelines).expect("serialize timelines");
+        if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote {}", path.display());
     }
 
     let summary = Summary {

@@ -15,6 +15,7 @@ use crate::serving::{sweep_policy, workload_at, REFERENCE_FRAC, SWEEP_SEED};
 use crate::util::{ms, Ctx, Table};
 use memcnn_core::{EngineError, Network};
 use memcnn_gpusim::FaultPlan;
+use memcnn_metrics::MetricsTimeline;
 use memcnn_serve::{
     capacity_images_per_sec, feasible_max_batch, serve, FaultPolicy, ServeConfig, ServeReport,
 };
@@ -124,9 +125,14 @@ pub fn run_chaos_point(
 }
 
 /// Run the whole sweep for `net` and tabulate it. The returned rows are
-/// what the binary serializes; `Err` only for plan-time failures (injected
-/// faults never abort a run).
-pub fn chaos_sweep(ctx: &Ctx, net: &Network) -> Result<(ChaosSummary, Table), EngineError> {
+/// what the binary serializes; the [`MetricsTimeline`] is the
+/// highest-rate point's (the one that exercises the whole fault ladder),
+/// for the binary's `--metrics` export. `Err` only for plan-time
+/// failures (injected faults never abort a run).
+pub fn chaos_sweep(
+    ctx: &Ctx,
+    net: &Network,
+) -> Result<(ChaosSummary, Table, MetricsTimeline), EngineError> {
     let (max_batch, top_plan) =
         feasible_max_batch(&ctx.engine, net, ctx.mechanism(), &[256, 128, 64, 32])
             .ok_or_else(|| EngineError::Fatal(format!("{}: no feasible batch size", net.name)))?;
@@ -164,8 +170,10 @@ pub fn chaos_sweep(ctx: &Ctx, net: &Network) -> Result<(ChaosSummary, Table), En
         ],
     );
     let mut points = Vec::new();
+    let mut timeline = MetricsTimeline::default();
     for &rate in &TRANSIENT_RATES {
-        let (row, _) = run_chaos_point(ctx, net, &base, rate)?;
+        let (row, report) = run_chaos_point(ctx, net, &base, rate)?;
+        timeline = report.timeline;
         t.row(vec![
             format!("{:.0}%", row.transient_rate * 100.0),
             format!("{:.1}%", row.oom_rate * 100.0),
@@ -191,7 +199,7 @@ pub fn chaos_sweep(ctx: &Ctx, net: &Network) -> Result<(ChaosSummary, Table), En
         policy: fault_policy,
         points,
     };
-    Ok((summary, t))
+    Ok((summary, t, timeline))
 }
 
 #[cfg(test)]
@@ -203,7 +211,8 @@ mod tests {
     fn fault_free_point_is_clean_and_faulted_points_balance() {
         let ctx = Ctx::titan_black();
         let net = alexnet().unwrap();
-        let (summary, _) = chaos_sweep(&ctx, &net).expect("chaos sweep");
+        let (summary, _, timeline) = chaos_sweep(&ctx, &net).expect("chaos sweep");
+        assert!(!timeline.is_empty(), "the faulted point must produce a timeline");
         assert_eq!(summary.points.len(), TRANSIENT_RATES.len());
         let clean = &summary.points[0];
         assert_eq!(clean.injected, 0);

@@ -26,6 +26,13 @@
 //! placement policy, plus a bursty least-loaded-vs-round-robin
 //! comparison (exposed as the `fleet` binary, which emits
 //! `BENCH_fleet.json` for CI and gates on 4-device scaling).
+//!
+//! [`scenario`] is the regression harness on top of all of the above:
+//! declarative `scenarios/*.toml` files (parsed by [`toml_lite`]) each
+//! describe one fleet-serving run; the `scenario` binary executes them
+//! as separate OS processes, merges their latency histograms, and diffs
+//! every metric against committed `baselines/*.json` with per-metric
+//! tolerances — failing CI with a structured report when one drifts.
 
 #![warn(missing_docs)]
 
@@ -34,5 +41,7 @@ pub mod figures;
 pub mod fleet;
 pub mod layer_times;
 pub mod profile;
+pub mod scenario;
 pub mod serving;
+pub mod toml_lite;
 pub mod util;

@@ -1,0 +1,668 @@
+//! The scenario regression harness: declarative serving scenarios,
+//! committed metric baselines, and a structured drift report.
+//!
+//! A scenario is a TOML file (see [`crate::toml_lite`] for the subset)
+//! describing one fleet-serving run — devices, networks, placement
+//! policy, workload shape, fault plan — plus the invariants it must hold
+//! and the per-metric tolerances its baseline diff uses:
+//!
+//! ```toml
+//! [scenario]
+//! name = "burst-queue-weighted"
+//! suite = "burst"
+//! devices = ["titan-black", "titan-black", "titan-black", "titan-black"]
+//! networks = ["alexnet"]
+//! placement = "queue-weighted"
+//! requests_per_device = 120
+//! seed = 42
+//!
+//! [workload]
+//! kind = "bursty"        # or "poisson" with load_frac
+//! quiet_frac = 0.3
+//! burst_frac = 1.5
+//!
+//! [expect]
+//! min_requests = 100
+//! max_shed_rate = 0.25
+//!
+//! [tolerances]
+//! default = 0.02
+//! "latency.p99" = 0.05
+//! ```
+//!
+//! The `scenario` binary runs each file as its own OS process (release
+//! bench binary), collects one JSON result line per run, merges the
+//! per-run latency histograms (mergeability is the histogram's design
+//! property), and diffs every metric against `baselines/<name>.json`.
+//! A drift beyond tolerance fails CI with a structured report naming the
+//! scenario, the metric, both values, and the relative drift.
+
+use crate::serving::{sweep_policy, IMAGES_MAX, IMAGES_MIN};
+use crate::toml_lite::{self, Section, Value};
+use crate::util::Ctx;
+use memcnn_core::Network;
+use memcnn_metrics::{Histogram, MetricsTimeline};
+use memcnn_serve::{
+    capacity_images_per_sec, feasible_max_batch, serve_fleet, Arrival, FaultPolicy, FleetConfig,
+    FleetReport, Phase, Placement, WorkloadConfig,
+};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Workload shape of a scenario.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WorkloadKind {
+    /// Single-phase Poisson stream at `load_frac` of aggregate capacity.
+    Poisson {
+        /// Offered load as a fraction of fleet saturation.
+        load_frac: f64,
+    },
+    /// Two-phase stream: quiet spell, then a burst.
+    Bursty {
+        /// Quiet-phase load fraction.
+        quiet_frac: f64,
+        /// Burst-phase load fraction (typically > 1).
+        burst_frac: f64,
+    },
+}
+
+/// Optional seeded fault plan of a scenario.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Fault-stream seed.
+    pub seed: u64,
+    /// Per-launch transient probability.
+    pub launch_failed: f64,
+    /// Per-launch execute-OOM probability.
+    pub device_oom: f64,
+    /// Per-launch throttle probability.
+    pub throttle: f64,
+    /// Retry budget per batch.
+    pub max_retries: u32,
+    /// Queue-wait shed deadline, milliseconds (`None`: never shed).
+    pub shed_deadline_ms: Option<f64>,
+}
+
+/// Invariants a scenario run must satisfy regardless of baselines.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Expectations {
+    /// The stream must carry at least this many requests.
+    pub min_requests: usize,
+    /// Shed fraction must not exceed this.
+    pub max_shed_rate: f64,
+}
+
+impl Default for Expectations {
+    fn default() -> Expectations {
+        Expectations { min_requests: 1, max_shed_rate: 1.0 }
+    }
+}
+
+/// Relative drift tolerances for the baseline diff.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tolerances {
+    /// Tolerance for metrics without a per-metric entry.
+    pub default: f64,
+    /// Per-metric overrides (keys are metric names, e.g. `latency.p99`).
+    pub per_metric: BTreeMap<String, f64>,
+}
+
+impl Default for Tolerances {
+    fn default() -> Tolerances {
+        Tolerances { default: 0.02, per_metric: BTreeMap::new() }
+    }
+}
+
+impl Tolerances {
+    /// The tolerance applied to `metric`.
+    pub fn tol(&self, metric: &str) -> f64 {
+        self.per_metric.get(metric).copied().unwrap_or(self.default)
+    }
+}
+
+/// One parsed scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (the baseline filename stem).
+    pub name: String,
+    /// Suite the scenario belongs to (`deterministic`, `chaos`, ...).
+    pub suite: String,
+    /// Device kinds, one per fleet slot (`titan-black` / `titan-x`).
+    pub devices: Vec<String>,
+    /// Networks multiplexed over the fleet (model names).
+    pub networks: Vec<String>,
+    /// Placement policy, by [`Placement::name`].
+    pub placement: Placement,
+    /// Requests per device in the stream.
+    pub requests_per_device: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Workload shape.
+    pub workload: WorkloadKind,
+    /// Optional fault injection.
+    pub faults: Option<FaultSpec>,
+    /// Hard invariants.
+    pub expect: Expectations,
+    /// Baseline-diff tolerances.
+    pub tolerances: Tolerances,
+}
+
+fn need<'a>(sec: &'a Section, section: &str, key: &str) -> Result<&'a Value, String> {
+    sec.get(key).ok_or_else(|| format!("[{section}] is missing `{key}`"))
+}
+
+fn need_f64(sec: &Section, section: &str, key: &str) -> Result<f64, String> {
+    need(sec, section, key)?.as_f64().ok_or_else(|| format!("[{section}] `{key}` must be a number"))
+}
+
+fn need_u64(sec: &Section, section: &str, key: &str) -> Result<u64, String> {
+    need(sec, section, key)?
+        .as_u64()
+        .ok_or_else(|| format!("[{section}] `{key}` must be a non-negative integer"))
+}
+
+/// Parse a scenario file.
+pub fn parse_spec(text: &str) -> Result<ScenarioSpec, String> {
+    let doc = toml_lite::parse(text)?;
+    let sc = doc.section("scenario").ok_or("missing [scenario] section")?;
+    let name = need(sc, "scenario", "name")?
+        .as_str()
+        .ok_or("[scenario] `name` must be a string")?
+        .to_string();
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_') {
+        return Err(format!("scenario name {name:?} must be a filename-safe slug"));
+    }
+    let suite = need(sc, "scenario", "suite")?
+        .as_str()
+        .ok_or("[scenario] `suite` must be a string")?
+        .to_string();
+    let devices: Vec<String> = need(sc, "scenario", "devices")?
+        .as_str_array()
+        .ok_or("[scenario] `devices` must be an array of strings")?
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    if devices.is_empty() {
+        return Err("[scenario] `devices` must not be empty".to_string());
+    }
+    for d in &devices {
+        if engine_for(d).is_none() {
+            return Err(format!("unknown device kind {d:?} (titan-black / titan-x)"));
+        }
+    }
+    let networks: Vec<String> = need(sc, "scenario", "networks")?
+        .as_str_array()
+        .ok_or("[scenario] `networks` must be an array of strings")?
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    if networks.is_empty() {
+        return Err("[scenario] `networks` must not be empty".to_string());
+    }
+    for n in &networks {
+        if network_for(n).is_none() {
+            return Err(format!("unknown network {n:?}"));
+        }
+    }
+    let placement_name = need(sc, "scenario", "placement")?
+        .as_str()
+        .ok_or("[scenario] `placement` must be a string")?;
+    let placement = Placement::from_name(placement_name)
+        .ok_or_else(|| format!("unknown placement {placement_name:?}"))?;
+    let requests_per_device = need_u64(sc, "scenario", "requests_per_device")? as usize;
+    let seed = need_u64(sc, "scenario", "seed")?;
+
+    let wl = doc.section("workload").ok_or("missing [workload] section")?;
+    let kind =
+        need(wl, "workload", "kind")?.as_str().ok_or("[workload] `kind` must be a string")?;
+    let workload = match kind {
+        "poisson" => WorkloadKind::Poisson { load_frac: need_f64(wl, "workload", "load_frac")? },
+        "bursty" => WorkloadKind::Bursty {
+            quiet_frac: need_f64(wl, "workload", "quiet_frac")?,
+            burst_frac: need_f64(wl, "workload", "burst_frac")?,
+        },
+        other => return Err(format!("unknown workload kind {other:?}")),
+    };
+
+    let faults = match doc.section("faults") {
+        None => None,
+        Some(f) => Some(FaultSpec {
+            seed: need_u64(f, "faults", "seed")?,
+            launch_failed: f.get("launch_failed").and_then(Value::as_f64).unwrap_or(0.0),
+            device_oom: f.get("device_oom").and_then(Value::as_f64).unwrap_or(0.0),
+            throttle: f.get("throttle").and_then(Value::as_f64).unwrap_or(0.0),
+            max_retries: f
+                .get("max_retries")
+                .and_then(Value::as_u64)
+                .unwrap_or(FaultPolicy::default().max_retries as u64)
+                as u32,
+            shed_deadline_ms: f.get("shed_deadline_ms").and_then(Value::as_f64),
+        }),
+    };
+
+    let mut expect = Expectations::default();
+    if let Some(ex) = doc.section("expect") {
+        if let Some(v) = ex.get("min_requests") {
+            expect.min_requests =
+                v.as_u64().ok_or("[expect] `min_requests` must be an integer")? as usize;
+        }
+        if let Some(v) = ex.get("max_shed_rate") {
+            expect.max_shed_rate = v.as_f64().ok_or("[expect] `max_shed_rate` must be a number")?;
+        }
+    }
+
+    let mut tolerances = Tolerances::default();
+    if let Some(tl) = doc.section("tolerances") {
+        for (key, v) in tl {
+            let t = v.as_f64().ok_or_else(|| format!("[tolerances] `{key}` must be a number"))?;
+            if key == "default" {
+                tolerances.default = t;
+            } else {
+                tolerances.per_metric.insert(key.clone(), t);
+            }
+        }
+    }
+
+    Ok(ScenarioSpec {
+        name,
+        suite,
+        devices,
+        networks,
+        placement,
+        requests_per_device,
+        seed,
+        workload,
+        faults,
+        expect,
+        tolerances,
+    })
+}
+
+/// The measurement context for a device kind, or `None` if unknown.
+pub fn engine_for(device: &str) -> Option<Ctx> {
+    match device {
+        "titan-black" => Some(Ctx::titan_black()),
+        "titan-x" => Some(Ctx::titan_x()),
+        _ => None,
+    }
+}
+
+/// A network by model name, or `None` if unknown.
+pub fn network_for(name: &str) -> Option<Network> {
+    let built = match name {
+        "lenet" => memcnn_models::lenet(),
+        "cifar10" => memcnn_models::cifar10(),
+        "alexnet" => memcnn_models::alexnet(),
+        "zfnet" => memcnn_models::zfnet(),
+        "vgg16" => memcnn_models::vgg16(),
+        _ => return None,
+    };
+    built.ok()
+}
+
+/// The machine-readable outcome of one scenario run: the metric map the
+/// baseline diff operates on, the run's latency histogram (mergeable
+/// across scenarios), and any violated invariants. Serialized as the
+/// agent process's single-line JSON result.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScenarioResult {
+    /// Scenario name.
+    pub scenario: String,
+    /// Suite name.
+    pub suite: String,
+    /// Metric name → value. Latencies are milliseconds.
+    pub metrics: BTreeMap<String, f64>,
+    /// The run's served-latency histogram.
+    pub hist: Histogram,
+    /// Violated `[expect]` invariants (empty: all held).
+    pub expect_failures: Vec<String>,
+}
+
+/// Run one scenario. Returns the result plus the full metrics timeline
+/// (the caller writes it as `<name>.metrics.json`).
+pub fn run(spec: &ScenarioSpec) -> Result<(ScenarioResult, MetricsTimeline), String> {
+    let ctxs: Vec<Ctx> = spec
+        .devices
+        .iter()
+        .map(|d| engine_for(d).ok_or_else(|| format!("unknown device {d:?}")))
+        .collect::<Result<_, String>>()?;
+    let nets: Vec<Network> = spec
+        .networks
+        .iter()
+        .map(|n| network_for(n).ok_or_else(|| format!("unknown network {n:?}")))
+        .collect::<Result<_, String>>()?;
+    let k = ctxs.len();
+
+    // Size the stream off the *first* (device, network) pair's saturation
+    // — a fixed, documented convention so heterogeneous scenarios stay
+    // reproducible without per-device load math.
+    let (max_batch, top_plan) =
+        feasible_max_batch(&ctxs[0].engine, &nets[0], ctxs[0].mechanism(), &[256, 128, 64, 32])
+            .ok_or_else(|| format!("{}: no feasible batch size", nets[0].name))?;
+    let capacity = capacity_images_per_sec(max_batch, &top_plan);
+    let policy = sweep_policy(max_batch, top_plan.total_time());
+    let mean_images = (IMAGES_MIN + IMAGES_MAX) as f64 / 2.0;
+    let total_requests = spec.requests_per_device * k;
+    let agg = capacity * k as f64;
+    let phases = match spec.workload {
+        WorkloadKind::Poisson { load_frac } => {
+            let rate = (load_frac * agg / mean_images).max(1.0);
+            vec![Phase {
+                arrival: Arrival::Poisson { rate },
+                duration: total_requests as f64 / rate,
+            }]
+        }
+        WorkloadKind::Bursty { quiet_frac, burst_frac } => {
+            let quiet = (quiet_frac * agg / mean_images).max(1.0);
+            let burst = (burst_frac * agg / mean_images).max(1.0);
+            vec![
+                Phase {
+                    arrival: Arrival::Poisson { rate: quiet },
+                    duration: (total_requests / 4) as f64 / quiet,
+                },
+                Phase {
+                    arrival: Arrival::Poisson { rate: burst },
+                    duration: total_requests as f64 / burst,
+                },
+            ]
+        }
+    };
+    let workload =
+        WorkloadConfig { phases, images_min: IMAGES_MIN, images_max: IMAGES_MAX, seed: spec.seed };
+
+    let mut cfg = FleetConfig::new(workload, policy, spec.placement);
+    cfg.mechanism = ctxs[0].mechanism();
+    if let Some(f) = spec.faults {
+        let plan = memcnn_gpusim::FaultPlan::new(f.seed, f.launch_failed, f.device_oom, f.throttle);
+        let fpol = FaultPolicy {
+            max_retries: f.max_retries,
+            shed_deadline: f.shed_deadline_ms.map(|ms| ms / 1e3),
+            ..FaultPolicy::default()
+        };
+        cfg = cfg.with_faults(plan, fpol);
+    }
+    let engines: Vec<&memcnn_core::Engine> = ctxs.iter().map(|c| &c.engine).collect();
+    let report = serve_fleet(&engines, &nets, &cfg).map_err(|e| format!("{}: {e:?}", spec.name))?;
+
+    let metrics = extract_metrics(&report, k);
+    let mut expect_failures = Vec::new();
+    if report.requests < spec.expect.min_requests {
+        expect_failures.push(format!(
+            "requests {} < min_requests {}",
+            report.requests, spec.expect.min_requests
+        ));
+    }
+    if report.shed_rate() > spec.expect.max_shed_rate {
+        expect_failures.push(format!(
+            "shed_rate {:.4} > max_shed_rate {:.4}",
+            report.shed_rate(),
+            spec.expect.max_shed_rate
+        ));
+    }
+
+    let result = ScenarioResult {
+        scenario: spec.name.clone(),
+        suite: spec.suite.clone(),
+        metrics,
+        hist: report.timeline.latency_hist.clone(),
+        expect_failures,
+    };
+    Ok((result, report.timeline))
+}
+
+/// Flatten a fleet report (and its timeline) into the scenario metric
+/// map. Latency values are milliseconds; `hist.*` percentiles come from
+/// the log-bucketed histogram (bucket resolution, bit-deterministic);
+/// `queue.*` read the per-device timelines — `queue.imbalance` is the
+/// convoy observable (peak device backlog over the mean peak; 1.0 is a
+/// perfectly spread fleet).
+pub fn extract_metrics(report: &FleetReport, k: usize) -> BTreeMap<String, f64> {
+    let mut m = BTreeMap::new();
+    let lat = report.latency();
+    m.insert("requests".to_string(), report.requests as f64);
+    m.insert("shed".to_string(), report.shed_requests as f64);
+    m.insert("shed_rate".to_string(), report.shed_rate());
+    m.insert("throughput_ips".to_string(), report.throughput_images_per_sec());
+    m.insert("makespan_ms".to_string(), report.makespan * 1e3);
+    m.insert("latency.p50".to_string(), lat.p50 * 1e3);
+    m.insert("latency.p95".to_string(), lat.p95 * 1e3);
+    m.insert("latency.p99".to_string(), lat.p99 * 1e3);
+    m.insert("fault.injected".to_string(), report.faults.injected as f64);
+    m.insert("fault.retried".to_string(), report.faults.retried as f64);
+    m.insert("fault.degraded".to_string(), report.faults.degraded as f64);
+    m.insert("fault.shed".to_string(), report.faults.shed as f64);
+    let hist = &report.timeline.latency_hist;
+    m.insert("hist.count".to_string(), hist.count() as f64);
+    m.insert("hist.p50".to_string(), hist.percentile(50.0) * 1e3);
+    m.insert("hist.p99".to_string(), hist.percentile(99.0) * 1e3);
+    let peaks: Vec<f64> = (0..k)
+        .map(|d| {
+            report
+                .timeline
+                .series(&format!("dev{d}.queue.images"))
+                .map_or(0.0, |s| s.samples.iter().map(|p| p.value).fold(0.0, f64::max))
+        })
+        .collect();
+    let peak = peaks.iter().copied().fold(0.0, f64::max);
+    let mean_peak = peaks.iter().sum::<f64>() / peaks.len().max(1) as f64;
+    m.insert("queue.peak".to_string(), peak);
+    m.insert("queue.imbalance".to_string(), if mean_peak > 0.0 { peak / mean_peak } else { 1.0 });
+    m
+}
+
+/// Parse an agent process's JSON result line back into a
+/// [`ScenarioResult`] (the vendored serde has no derive-level
+/// deserialization, so this walks the parsed `Value` by hand).
+pub fn parse_result(line: &str) -> Result<ScenarioResult, String> {
+    let v = serde_json::from_str(line).map_err(|e| format!("bad result JSON: {e}"))?;
+    let str_of = |key: &str| -> Result<String, String> {
+        Ok(v.get(key)
+            .and_then(serde_json::Value::as_str)
+            .ok_or_else(|| format!("result missing string `{key}`"))?
+            .to_string())
+    };
+    let mut metrics = BTreeMap::new();
+    for (name, val) in v
+        .get("metrics")
+        .and_then(serde_json::Value::as_object)
+        .ok_or("result missing `metrics` object")?
+    {
+        metrics.insert(
+            name.clone(),
+            val.as_f64().ok_or_else(|| format!("metric `{name}` is not a number"))?,
+        );
+    }
+    let hist = parse_hist(v.get("hist").ok_or("result missing `hist`")?)?;
+    let expect_failures = v
+        .get("expect_failures")
+        .and_then(serde_json::Value::as_array)
+        .map(|a| a.iter().filter_map(|s| s.as_str().map(str::to_string)).collect())
+        .unwrap_or_default();
+    Ok(ScenarioResult {
+        scenario: str_of("scenario")?,
+        suite: str_of("suite")?,
+        metrics,
+        hist,
+        expect_failures,
+    })
+}
+
+/// Rebuild a [`Histogram`] from its serialized `{count, buckets}` form.
+pub fn parse_hist(v: &serde_json::Value) -> Result<Histogram, String> {
+    let mut hist = Histogram::new();
+    let buckets = v
+        .get("buckets")
+        .and_then(serde_json::Value::as_array)
+        .ok_or("hist missing `buckets` array")?;
+    for pair in buckets {
+        let p = pair.as_array().filter(|p| p.len() == 2).ok_or("hist bucket must be a pair")?;
+        let idx = p[0].as_u64().ok_or("bucket index must be an integer")? as u32;
+        let n = p[1].as_u64().ok_or("bucket count must be an integer")?;
+        hist.record_bucket(idx, n);
+    }
+    let count = v.get("count").and_then(serde_json::Value::as_u64).ok_or("hist missing `count`")?;
+    if count != hist.count() {
+        return Err(format!("hist count {count} != bucket sum {}", hist.count()));
+    }
+    Ok(hist)
+}
+
+/// One out-of-tolerance metric.
+#[derive(Clone, Debug, Serialize)]
+pub struct Drift {
+    /// The drifting metric.
+    pub metric: String,
+    /// Baseline value (NaN: the metric is new — no baseline entry).
+    pub baseline: f64,
+    /// Current value (NaN: the metric disappeared).
+    pub current: f64,
+    /// Relative drift `|current - baseline| / max(|baseline|, 1e-9)`.
+    pub rel: f64,
+    /// The tolerance that was applied.
+    pub tol: f64,
+}
+
+/// Diff a current metric map against its baseline. Returns every metric
+/// whose relative drift exceeds its tolerance, plus metrics present on
+/// only one side (schema drift is a regression too — refresh baselines
+/// deliberately with `--update-baselines`, not by accident).
+pub fn diff_metrics(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+    tol: &Tolerances,
+) -> Vec<Drift> {
+    let mut drifts = Vec::new();
+    for (metric, &base) in baseline {
+        let t = tol.tol(metric);
+        match current.get(metric) {
+            None => drifts.push(Drift {
+                metric: metric.clone(),
+                baseline: base,
+                current: f64::NAN,
+                rel: f64::INFINITY,
+                tol: t,
+            }),
+            Some(&cur) => {
+                let rel = (cur - base).abs() / base.abs().max(1e-9);
+                if rel > t {
+                    drifts.push(Drift {
+                        metric: metric.clone(),
+                        baseline: base,
+                        current: cur,
+                        rel,
+                        tol: t,
+                    });
+                }
+            }
+        }
+    }
+    for (metric, &cur) in current {
+        if !baseline.contains_key(metric) {
+            drifts.push(Drift {
+                metric: metric.clone(),
+                baseline: f64::NAN,
+                current: cur,
+                rel: f64::INFINITY,
+                tol: tol.tol(metric),
+            });
+        }
+    }
+    drifts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r#"
+[scenario]
+name = "unit-poisson"
+suite = "deterministic"
+devices = ["titan-black"]
+networks = ["alexnet"]
+placement = "least-loaded"
+requests_per_device = 8
+seed = 42
+
+[workload]
+kind = "poisson"
+load_frac = 0.5
+
+[expect]
+min_requests = 4
+
+[tolerances]
+default = 0.02
+"latency.p99" = 0.05
+"#;
+
+    #[test]
+    fn spec_parses_and_validates() {
+        let spec = parse_spec(SPEC).unwrap();
+        assert_eq!(spec.name, "unit-poisson");
+        assert_eq!(spec.placement, Placement::LeastLoaded);
+        assert_eq!(spec.workload, WorkloadKind::Poisson { load_frac: 0.5 });
+        assert_eq!(spec.expect.min_requests, 4);
+        assert_eq!(spec.tolerances.tol("latency.p99"), 0.05);
+        assert_eq!(spec.tolerances.tol("anything-else"), 0.02);
+        assert!(spec.faults.is_none());
+
+        assert!(parse_spec(&SPEC.replace("alexnet", "resnet")).is_err(), "unknown network");
+        assert!(parse_spec(&SPEC.replace("titan-black", "h100")).is_err(), "unknown device");
+        assert!(parse_spec(&SPEC.replace("least-loaded", "random")).is_err(), "unknown policy");
+        assert!(parse_spec(&SPEC.replace("\"poisson\"", "\"steady\"")).is_err(), "unknown kind");
+    }
+
+    #[test]
+    fn diff_flags_drift_beyond_tolerance_and_schema_changes() {
+        let tol = Tolerances { default: 0.02, per_metric: BTreeMap::new() };
+        let mut base = BTreeMap::new();
+        base.insert("latency.p99".to_string(), 10.0);
+        base.insert("requests".to_string(), 200.0);
+        let mut cur = base.clone();
+        assert!(diff_metrics(&base, &cur, &tol).is_empty(), "identical maps must pass");
+
+        // 1% drift passes at 2% tolerance; 5% fails and names the metric.
+        cur.insert("latency.p99".to_string(), 10.1);
+        assert!(diff_metrics(&base, &cur, &tol).is_empty());
+        cur.insert("latency.p99".to_string(), 10.5);
+        let drifts = diff_metrics(&base, &cur, &tol);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].metric, "latency.p99");
+        assert!((drifts[0].rel - 0.05).abs() < 1e-12);
+
+        // A metric on only one side is schema drift.
+        cur.insert("latency.p99".to_string(), 10.0);
+        cur.remove("requests");
+        cur.insert("brand_new".to_string(), 1.0);
+        let drifts = diff_metrics(&base, &cur, &tol);
+        let names: Vec<&str> = drifts.iter().map(|d| d.metric.as_str()).collect();
+        assert_eq!(names, vec!["requests", "brand_new"]);
+        assert!(drifts.iter().all(|d| d.rel.is_infinite()));
+    }
+
+    #[test]
+    fn result_round_trips_through_its_json_line() {
+        let mut hist = Histogram::new();
+        hist.record(0.002);
+        hist.record_n(0.004, 3);
+        let mut metrics = BTreeMap::new();
+        metrics.insert("latency.p99".to_string(), 4.25);
+        metrics.insert("requests".to_string(), 4.0);
+        let r = ScenarioResult {
+            scenario: "unit".to_string(),
+            suite: "deterministic".to_string(),
+            metrics,
+            hist: hist.clone(),
+            expect_failures: vec!["requests 4 < min_requests 5".to_string()],
+        };
+        let line = serde_json::to_string(&r).unwrap();
+        let back = parse_result(&line).unwrap();
+        assert_eq!(back.scenario, r.scenario);
+        assert_eq!(back.suite, r.suite);
+        assert_eq!(back.metrics, r.metrics);
+        assert_eq!(back.hist, hist);
+        assert_eq!(back.expect_failures, r.expect_failures);
+        assert!(parse_result("{}").is_err());
+    }
+}

@@ -1,0 +1,300 @@
+//! Log-bucketed, mergeable histograms for latency samples.
+//!
+//! # Bucketing scheme
+//!
+//! A bucket index is derived from the IEEE-754 bit pattern of the sample:
+//! the 11 exponent bits select an octave and the top [`SUB_BITS`] mantissa
+//! bits split that octave into [`SUB_BUCKETS`] linear sub-buckets, so
+//!
+//! ```text
+//! index(v) = exponent(v) * SUB_BUCKETS + top_mantissa_bits(v)
+//! ```
+//!
+//! Every bucket spans at most `1/SUB_BUCKETS` (6.25%) of its lower bound,
+//! which is what makes bucket-resolution percentiles honest: a recorded
+//! p99 always lands in the bucket of the exact sorted-vector p99 or an
+//! adjacent one. Because the index is pure bit manipulation — no `log2`,
+//! no libm — two machines bucket identically, bit for bit.
+//!
+//! Index 0 is reserved for non-positive (and NaN) samples; the serving
+//! simulator uses a 0.0 latency as its "request was shed" sentinel, so
+//! those sort below every real latency instead of poisoning the scale.
+//!
+//! # Merging
+//!
+//! A histogram is a sparse map of bucket counts, so merging is per-bucket
+//! addition: associative, commutative, and independent of chunking. The
+//! scenario orchestrator leans on this to fold per-process histograms
+//! into suite-wide ones without ever holding raw samples.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Mantissa bits used for sub-bucketing (16 sub-buckets per octave).
+pub const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per power-of-two octave.
+pub const SUB_BUCKETS: u32 = 1 << SUB_BITS;
+
+/// Bucket index of a sample. Deterministic bit manipulation only; index
+/// 0 collects non-positive and NaN samples.
+pub fn bucket_index(v: f64) -> u32 {
+    if v.is_nan() || v <= 0.0 {
+        return 0; // non-positive and NaN alike
+    }
+    let bits = v.to_bits();
+    let exponent = ((bits >> 52) & 0x7ff) as u32;
+    let sub = ((bits >> (52 - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as u32;
+    // Reserve index 0 even for subnormals (exponent 0, sub 0).
+    (exponent * SUB_BUCKETS + sub).max(1)
+}
+
+/// Inclusive lower bound of a bucket (0.0 for the reserved bucket 0).
+pub fn bucket_lower(index: u32) -> f64 {
+    if index == 0 {
+        return 0.0;
+    }
+    let exponent = (index / SUB_BUCKETS) as u64;
+    let sub = (index % SUB_BUCKETS) as u64;
+    f64::from_bits((exponent << 52) | (sub << (52 - SUB_BITS)))
+}
+
+/// Exclusive upper bound of a bucket (the next bucket's lower bound).
+pub fn bucket_upper(index: u32) -> f64 {
+    bucket_lower(index + 1)
+}
+
+/// Representative value reported for a bucket: the midpoint of its
+/// bounds (0.0 for the reserved bucket).
+pub fn bucket_value(index: u32) -> f64 {
+    if index == 0 {
+        return 0.0;
+    }
+    let upper = bucket_upper(index);
+    let lower = bucket_lower(index);
+    if upper.is_finite() {
+        0.5 * (lower + upper)
+    } else {
+        lower
+    }
+}
+
+/// A sparse log-bucketed histogram. See the module docs for the
+/// bucketing scheme and merge semantics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: BTreeMap<u32, u64>,
+    count: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: f64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` identical samples.
+    pub fn record_n(&mut self, v: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(bucket_index(v)).or_insert(0) += n;
+        self.count += n;
+    }
+
+    /// Remove one previously recorded sample (sliding windows decrement
+    /// the bucket the expiring sample landed in). A no-op if the bucket
+    /// is already empty, so unbalanced calls cannot underflow.
+    pub fn unrecord(&mut self, v: f64) {
+        let idx = bucket_index(v);
+        if let Some(c) = self.counts.get_mut(&idx) {
+            *c -= 1;
+            self.count -= 1;
+            if *c == 0 {
+                self.counts.remove(&idx);
+            }
+        }
+    }
+
+    /// Add `n` samples directly into bucket `index` — the inverse of the
+    /// `Serialize` impl's `[index, count]` pairs, for rebuilding a
+    /// histogram from its JSON form.
+    pub fn record_bucket(&mut self, index: u32, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(index).or_insert(0) += n;
+        self.count += n;
+    }
+
+    /// Fold another histogram into this one (per-bucket addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&idx, &n) in &other.counts {
+            *self.counts.entry(idx).or_insert(0) += n;
+        }
+        self.count += other.count;
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Occupied `(bucket index, count)` pairs, ascending by index.
+    pub fn buckets(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.counts.iter().map(|(&i, &c)| (i, c))
+    }
+
+    /// Bucket index holding the nearest-rank `p`-th percentile (`p` in
+    /// [0, 100]); `None` when empty. Matches [`crate::percentile`]'s
+    /// nearest-rank rule: rank `ceil(p/100 * count)` clamped to [1, count].
+    pub fn percentile_index(&self, p: f64) -> Option<u32> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&idx, &n) in &self.counts {
+            seen += n;
+            if seen >= rank {
+                return Some(idx);
+            }
+        }
+        None // unreachable: counts sum to self.count
+    }
+
+    /// Nearest-rank percentile at bucket resolution: the representative
+    /// value ([`bucket_value`]) of the bucket holding the rank. 0.0 when
+    /// empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        self.percentile_index(p).map_or(0.0, bucket_value)
+    }
+}
+
+impl Serialize for Histogram {
+    fn serialize_json(&self, out: &mut String) {
+        // {"count":N,"buckets":[[index,count],...]} — pairs serialize as
+        // JSON arrays, sparse and ascending, so equal histograms have
+        // equal serializations.
+        out.push_str("{\"count\":");
+        self.count.serialize_json(out);
+        out.push_str(",\"buckets\":[");
+        for (i, (idx, n)) in self.buckets().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            idx.serialize_json(out);
+            out.push(',');
+            n.serialize_json(out);
+            out.push(']');
+        }
+        out.push_str("]}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_tile_the_positive_reals_with_tight_relative_width() {
+        for v in [1e-7, 1e-4, 3.7e-3, 0.5, 1.0, 1.5, 8.0, 1e6] {
+            let idx = bucket_index(v);
+            assert!(bucket_lower(idx) <= v && v < bucket_upper(idx), "bucket must contain {v}");
+            let rel = (bucket_upper(idx) - bucket_lower(idx)) / bucket_lower(idx);
+            assert!(rel <= 1.0 / SUB_BUCKETS as f64 + 1e-12, "bucket too wide at {v}: {rel}");
+        }
+        // Bucket boundaries are exact powers of two times (1 + k/16).
+        assert_eq!(bucket_lower(bucket_index(1.0)), 1.0);
+        assert_eq!(bucket_upper(bucket_index(1.0)), 1.0625);
+        // Non-positive and NaN collapse into the reserved bucket.
+        for v in [0.0, -1.0, f64::NAN] {
+            assert_eq!(bucket_index(v), 0);
+        }
+        assert_eq!(bucket_value(0), 0.0);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_chunking_invariant() {
+        let samples: Vec<f64> = (1..200).map(|i| (i as f64) * 3.3e-4).collect();
+        let mut whole = Histogram::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        let (left, right) = samples.split_at(71);
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        left.iter().for_each(|&s| a.record(s));
+        right.iter().for_each(|&s| b.record(s));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+        assert_eq!(ab, whole, "chunked merge must equal whole-vector recording");
+        assert_eq!(ab.count(), samples.len() as u64);
+    }
+
+    #[test]
+    fn percentiles_land_within_one_bucket_of_exact() {
+        let mut sorted: Vec<f64> = (1..=500).map(|i| 1e-4 * (i as f64).powf(1.3)).collect();
+        sorted.sort_by(f64::total_cmp);
+        let mut h = Histogram::new();
+        sorted.iter().for_each(|&s| h.record(s));
+        for p in [50.0, 95.0, 99.0] {
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            let exact = sorted[rank.clamp(1, sorted.len()) - 1];
+            let got = h.percentile_index(p).unwrap();
+            assert!(
+                got.abs_diff(bucket_index(exact)) <= 1,
+                "p{p}: bucket {got} vs exact bucket {}",
+                bucket_index(exact)
+            );
+            // The representative value is within one bucket width too.
+            let v = h.percentile(p);
+            assert!(bucket_lower(bucket_index(exact) - 1) <= v);
+            assert!(v <= bucket_upper(bucket_index(exact) + 1));
+        }
+    }
+
+    #[test]
+    fn unrecord_reverses_record_for_sliding_windows() {
+        let mut h = Histogram::new();
+        h.record(0.002);
+        h.record(0.004);
+        h.record(0.002);
+        h.unrecord(0.002);
+        assert_eq!(h.count(), 2);
+        let mut expect = Histogram::new();
+        expect.record(0.002);
+        expect.record(0.004);
+        assert_eq!(h, expect, "unrecord must cancel one record exactly");
+        h.unrecord(0.002);
+        h.unrecord(0.004);
+        assert!(h.is_empty());
+        // Empty serialization is canonical (removed buckets leave no keys).
+        let mut s = String::new();
+        h.serialize_json(&mut s);
+        assert_eq!(s, "{\"count\":0,\"buckets\":[]}");
+    }
+
+    #[test]
+    fn shed_sentinels_stay_in_the_reserved_bucket() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(0.003);
+        assert_eq!(h.percentile_index(1.0), Some(0));
+        assert_eq!(h.percentile(100.0), bucket_value(bucket_index(0.003)));
+    }
+}

@@ -1,0 +1,267 @@
+//! Gauge timelines sampled on the simulated clock, with sliding-window
+//! latency percentiles.
+//!
+//! A [`Recorder`] rides inside a serving event loop: the loop calls
+//! [`Recorder::gauge`] at its event boundaries (batch commits, arrival
+//! routing) with the *simulated* event time, [`Recorder::observe_latency`]
+//! for every served request, and [`Recorder::sample_window`] to emit the
+//! current sliding-window p50/p95/p99 as gauges. Everything the recorder
+//! captures is a pure function of the loop's own state — no wall clock,
+//! no global counters — so the finished [`MetricsTimeline`] is
+//! bit-identical across `MEMCNN_THREADS`, like every other report in the
+//! workspace.
+//!
+//! The timeline exports two ways: [`MetricsTimeline::to_json`] for the
+//! machine-readable `metrics.json` per run, and
+//! [`MetricsTimeline::emit_trace_counters`] to push every series into the
+//! active `memcnn-trace` collection window as Perfetto counter tracks.
+
+use crate::histogram::Histogram;
+use memcnn_trace as trace;
+use serde::Serialize;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Default sliding-window size for latency percentiles (samples).
+pub const DEFAULT_WINDOW: usize = 64;
+
+/// One gauge sample on the simulated clock.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct Sample {
+    /// Simulated time, seconds.
+    pub t: f64,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// One named gauge series, samples in record order (non-decreasing `t`).
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct Series {
+    /// Series name (dotted lowercase, e.g. `queue.depth`, `dev0.util`).
+    pub name: String,
+    /// The samples.
+    pub samples: Vec<Sample>,
+}
+
+/// A sliding window over the last `cap` latency samples, backed by a
+/// histogram so percentile queries never sort. `unrecord` on expiry keeps
+/// the histogram in lockstep with the deque.
+#[derive(Clone, Debug)]
+pub struct SlidingWindow {
+    cap: usize,
+    buf: VecDeque<f64>,
+    hist: Histogram,
+}
+
+impl SlidingWindow {
+    /// A window holding at most `cap` samples (`cap` ≥ 1).
+    pub fn new(cap: usize) -> SlidingWindow {
+        SlidingWindow { cap: cap.max(1), buf: VecDeque::new(), hist: Histogram::new() }
+    }
+
+    /// Push a sample, expiring the oldest when full.
+    pub fn push(&mut self, v: f64) {
+        if self.buf.len() == self.cap {
+            if let Some(old) = self.buf.pop_front() {
+                self.hist.unrecord(old);
+            }
+        }
+        self.buf.push_back(v);
+        self.hist.record(v);
+    }
+
+    /// Samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Bucket-resolution nearest-rank percentile over the window.
+    pub fn percentile(&self, p: f64) -> f64 {
+        self.hist.percentile(p)
+    }
+}
+
+/// The finished timeline of one run: every gauge series plus the
+/// whole-run latency histogram.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct MetricsTimeline {
+    /// Gauge series, ascending by name.
+    pub series: Vec<Series>,
+    /// Every served latency of the run (shed sentinels excluded by the
+    /// recording loop).
+    pub latency_hist: Histogram,
+}
+
+impl MetricsTimeline {
+    /// Look up one series by name.
+    pub fn series(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Every series name, in the timeline's (ascending) order.
+    pub fn series_names(&self) -> impl Iterator<Item = &str> {
+        self.series.iter().map(|s| s.name.as_str())
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty() && self.latency_hist.is_empty()
+    }
+
+    /// The timeline as a JSON document (the `metrics.json` payload).
+    /// Bit-identical runs serialize to identical strings — the scenario
+    /// harness and the determinism tests compare these directly.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.serialize_json(&mut out);
+        out
+    }
+
+    /// Push every series into the active trace collection window as
+    /// Perfetto counter-track samples on `track` (seconds become the
+    /// trace's microseconds). A no-op when collection is inactive.
+    pub fn emit_trace_counters(&self, track: trace::Track) {
+        for s in &self.series {
+            for sample in &s.samples {
+                trace::record_counter(|| trace::CounterEvent {
+                    name: s.name.clone(),
+                    track,
+                    ts_us: sample.t * 1e6,
+                    value: sample.value,
+                });
+            }
+        }
+    }
+}
+
+/// Accumulates gauges and latencies during a run; [`Recorder::finish`]
+/// produces the immutable [`MetricsTimeline`].
+#[derive(Clone, Debug)]
+pub struct Recorder {
+    series: BTreeMap<String, Vec<Sample>>,
+    window: SlidingWindow,
+    hist: Histogram,
+}
+
+impl Default for Recorder {
+    fn default() -> Recorder {
+        Recorder::new(DEFAULT_WINDOW)
+    }
+}
+
+impl Recorder {
+    /// A recorder whose latency window holds `window` samples.
+    pub fn new(window: usize) -> Recorder {
+        Recorder {
+            series: BTreeMap::new(),
+            window: SlidingWindow::new(window),
+            hist: Histogram::new(),
+        }
+    }
+
+    /// Append one sample to the named series at simulated time `t`.
+    pub fn gauge(&mut self, name: &str, t: f64, value: f64) {
+        self.series.entry(name.to_string()).or_default().push(Sample { t, value });
+    }
+
+    /// Feed one served latency into the run histogram and the sliding
+    /// window (callers exclude shed sentinels).
+    pub fn observe_latency(&mut self, latency: f64) {
+        self.hist.record(latency);
+        self.window.push(latency);
+    }
+
+    /// Emit the window's current p50/p95/p99 as gauges at time `t`
+    /// (`latency.window.p50` etc.). A no-op before the first latency.
+    pub fn sample_window(&mut self, t: f64) {
+        if self.window.is_empty() {
+            return;
+        }
+        for (name, p) in [
+            ("latency.window.p50", 50.0),
+            ("latency.window.p95", 95.0),
+            ("latency.window.p99", 99.0),
+        ] {
+            let v = self.window.percentile(p);
+            self.gauge(name, t, v);
+        }
+    }
+
+    /// Freeze into the finished timeline (series ascending by name).
+    pub fn finish(self) -> MetricsTimeline {
+        MetricsTimeline {
+            series: self
+                .series
+                .into_iter()
+                .map(|(name, samples)| Series { name, samples })
+                .collect(),
+            latency_hist: self.hist,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::bucket_index;
+
+    #[test]
+    fn recorder_builds_sorted_series_and_run_histogram() {
+        let mut r = Recorder::new(4);
+        r.gauge("queue.depth", 0.0, 2.0);
+        r.gauge("util", 0.1, 0.5);
+        r.gauge("queue.depth", 0.2, 5.0);
+        for l in [0.002, 0.004, 0.003] {
+            r.observe_latency(l);
+        }
+        r.sample_window(0.2);
+        let t = r.finish();
+        assert!(!t.is_empty());
+        // Ascending by name; samples in record order.
+        let names: Vec<&str> = t.series.iter().map(|s| s.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        assert_eq!(t.series("queue.depth").unwrap().samples.len(), 2);
+        assert_eq!(t.latency_hist.count(), 3);
+        let p99 = t.series("latency.window.p99").unwrap();
+        assert_eq!(p99.samples.len(), 1);
+        assert_eq!(bucket_index(p99.samples[0].value), bucket_index(0.004));
+        // JSON is valid-looking and stable across identical recordings.
+        let json = t.to_json();
+        assert!(json.contains("\"queue.depth\""));
+        assert!(json.contains("\"latency_hist\""));
+    }
+
+    #[test]
+    fn sliding_window_expires_oldest_samples() {
+        let mut w = SlidingWindow::new(3);
+        for l in [0.100, 0.001, 0.001, 0.001] {
+            w.push(l);
+        }
+        assert_eq!(w.len(), 3);
+        // The 100 ms outlier expired: the window max is now 1 ms.
+        assert_eq!(bucket_index(w.percentile(100.0)), bucket_index(0.001));
+    }
+
+    #[test]
+    fn emit_trace_counters_lands_on_the_requested_track() {
+        let mut r = Recorder::new(8);
+        r.gauge("queue.depth", 0.0, 1.0);
+        r.gauge("queue.depth", 0.5, 3.0);
+        let t = r.finish();
+        trace::start();
+        t.emit_trace_counters(trace::Track::Serve);
+        let tr = trace::finish().unwrap();
+        assert_eq!(tr.counters.len(), 2);
+        assert_eq!(tr.counters[0].track, trace::Track::Serve);
+        assert_eq!(tr.counters[0].ts_us, 0.0);
+        assert_eq!(tr.counters[1].ts_us, 0.5e6);
+        // Inactive collection: a clean no-op.
+        t.emit_trace_counters(trace::Track::Serve);
+    }
+}

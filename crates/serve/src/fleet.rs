@@ -40,9 +40,11 @@ use crate::server::{fault_span, form, BatchRecord, BucketStats};
 use crate::workload::{self, Request, WorkloadConfig};
 use memcnn_core::{Engine, EngineError, Mechanism, Network};
 use memcnn_gpusim::FaultPlan;
+use memcnn_metrics::{MetricsTimeline, Recorder};
 use memcnn_trace as trace;
 use memcnn_trace::perf;
 use serde::Serialize;
+use std::collections::BTreeSet;
 
 /// Everything a fleet run needs besides the engines and the networks.
 #[derive(Clone, Debug, Serialize)]
@@ -161,6 +163,12 @@ pub struct FleetReport {
     /// Fleet-aggregate fault accounting (the sum over devices; balanced
     /// because each device is).
     pub faults: FaultStats,
+    /// Gauge timelines on the simulated clock: per-device series are
+    /// prefixed `dev{d}.` (`dev0.util`, `dev1.queue.images`, ...);
+    /// fleet-wide series are unprefixed. Samples are taken at routing
+    /// and commit boundaries, timestamped so every series — and the
+    /// whole track — is monotonically non-decreasing in time.
+    pub timeline: MetricsTimeline,
 }
 
 impl FleetReport {
@@ -230,6 +238,9 @@ struct DeviceState {
     shed: usize,
     plan_ooms: u64,
     batches: Vec<FleetBatch>,
+    /// Simulated seconds the device spent occupied (attempts, backoffs,
+    /// and completed service) — the numerator of its utilization gauge.
+    busy: f64,
 }
 
 /// The single-device window-growth rule on one pair's queue: launch at
@@ -259,9 +270,16 @@ fn window_launch(queue: &[Request], next: usize, gpu_free: f64, emax: usize, del
 /// Deadline-based shedding of a pair's overdue queue prefix, against the
 /// device's current `gpu_free` (the single-device rule: only head-of-line
 /// requests shed; requests behind a fresh head wait their turn). Shed
-/// requests keep the 0.0 latency sentinel.
-fn shed_overdue(pair: &mut PairState, dev: &mut DeviceState, d: usize, deadline: Option<f64>) {
-    let Some(deadline) = deadline else { return };
+/// requests keep the 0.0 latency sentinel. Returns how many requests it
+/// shed (the caller keeps the fleet-wide running total for the timeline).
+fn shed_overdue(
+    pair: &mut PairState,
+    dev: &mut DeviceState,
+    d: usize,
+    deadline: Option<f64>,
+) -> usize {
+    let Some(deadline) = deadline else { return 0 };
+    let mut shed = 0usize;
     while pair.next < pair.queue.len() && dev.gpu_free - pair.queue[pair.next].arrival > deadline {
         let r = &pair.queue[pair.next];
         fault_span(
@@ -275,7 +293,9 @@ fn shed_overdue(pair: &mut PairState, dev: &mut DeviceState, d: usize, deadline:
         );
         dev.shed += 1;
         pair.next += 1;
+        shed += 1;
     }
+    shed
 }
 
 /// How one batch's launch-attempt loop ended (the single-device ladder).
@@ -357,12 +377,27 @@ pub fn serve_fleet(
             shed: 0,
             plan_ooms: 0,
             batches: Vec::new(),
+            busy: 0.0,
         })
         .collect();
 
     let mut latencies = vec![0.0f64; requests.len()];
     let mut placements = vec![0u32; requests.len()];
     let mut placer = cfg.placement.build();
+
+    // Timeline instrumentation. Routing samples are timestamped at the
+    // arrival; commit samples at the committed launch. The route-first
+    // rule guarantees both sequences interleave monotonically (every
+    // arrival <= the next committed launch, and committed launches are
+    // non-decreasing), so every counter track stays sorted in time.
+    // Deadline sheds happen on a *device* clock that may run ahead of
+    // the event frontier, so their totals are sampled at the next commit
+    // rather than at shed time.
+    let mut rec = Recorder::default();
+    let mut seen_plans: BTreeSet<(usize, usize, usize)> = BTreeSet::new();
+    let mut cache_lookups = 0u64;
+    let mut cache_hits = 0u64;
+    let mut fleet_shed = 0usize;
 
     // Adaptive-delay state: the effective delay, the inter-arrival EMA,
     // and the workload's phase-start boundaries (the only points the
@@ -454,7 +489,16 @@ pub fn serve_fleet(
                 .min(k - 1);
             placements[r.id as usize] = d as u32;
             pairs[d][n].queue.push(r);
-            shed_overdue(&mut pairs[d][n], &mut devs[d], d, pol.shed_deadline);
+            fleet_shed += shed_overdue(&mut pairs[d][n], &mut devs[d], d, pol.shed_deadline);
+            // Queue-pressure gauges at the arrival: the routed device's
+            // backlog (recomputed post-shed) plus the fleet total (other
+            // devices' loads are their pre-route snapshots, unchanged).
+            let dev_images: usize =
+                pairs[d].iter().map(|p| p.pending().iter().map(|q| q.images).sum::<usize>()).sum();
+            let total_images: usize = dev_images
+                + loads.iter().filter(|l| l.device != d).map(|l| l.queued_images).sum::<usize>();
+            rec.gauge(&format!("dev{d}.queue.images"), r.arrival, dev_images as f64);
+            rec.gauge("queue.images", r.arrival, total_images as f64);
             next_arrival += 1;
             continue;
         }
@@ -469,6 +513,10 @@ pub fn serve_fleet(
         let (j_end, images, _) = form(&pair.queue, pair.next, launch, emax);
         debug_assert!(j_end > pair.next, "a committed batch serves at least one request");
         let bucket = bucket_for(images, emax);
+        cache_lookups += 1;
+        if !seen_plans.insert((d, n, bucket)) {
+            cache_hits += 1;
+        }
         let plan = match pair.cache.get(bucket) {
             Ok(plan) => plan,
             Err(err @ EngineError::PlanOom { .. }) => {
@@ -568,6 +616,7 @@ pub fn serve_fleet(
             Outcome::Done { done } => {
                 for r in &pair.queue[pair.next..j_end] {
                     latencies[r.id as usize] = done - r.arrival;
+                    rec.observe_latency(done - r.arrival);
                 }
                 let reqs = j_end - pair.next;
                 pair.next = j_end;
@@ -630,12 +679,30 @@ pub fn serve_fleet(
                         pair.clean_streak = 0;
                     }
                 }
+                dev.busy += done - launch;
                 dev.gpu_free = done;
+                let degraded = pairs[d].iter().any(|p| p.pin.is_some());
+                let busy = devs[d].busy;
+                rec.gauge(&format!("dev{d}.queue.depth"), launch, depth as f64);
+                rec.gauge(
+                    &format!("dev{d}.util"),
+                    launch,
+                    if done > 0.0 { busy / done } else { 0.0 },
+                );
+                rec.gauge(&format!("dev{d}.degraded"), launch, if degraded { 1.0 } else { 0.0 });
+                rec.gauge("plan_cache.hit_rate", launch, cache_hits as f64 / cache_lookups as f64);
+                rec.gauge("shed.total", launch, fleet_shed as f64);
+                rec.sample_window(launch);
             }
             Outcome::Shed { at } => {
+                fleet_shed += j_end - pair.next;
                 dev.shed += j_end - pair.next;
                 pair.next = j_end;
+                dev.busy += at - launch;
                 dev.gpu_free = at;
+                let busy = devs[d].busy;
+                rec.gauge("shed.total", launch, fleet_shed as f64);
+                rec.gauge(&format!("dev{d}.util"), launch, if at > 0.0 { busy / at } else { 0.0 });
             }
             Outcome::Downshift { at } => {
                 if pair.pin.is_none() {
@@ -643,13 +710,15 @@ pub fn serve_fleet(
                 }
                 pair.pin = Some((bucket / 2).max(1));
                 pair.clean_streak = 0;
+                dev.busy += at - launch;
                 dev.gpu_free = at;
+                rec.gauge(&format!("dev{d}.degraded"), launch, 1.0);
             }
         }
         // `gpu_free` moved: every network's queue on this device gets
         // the single-device loop's top-of-iteration overdue check.
         for pair in pairs[d].iter_mut() {
-            shed_overdue(pair, &mut devs[d], d, pol.shed_deadline);
+            fleet_shed += shed_overdue(pair, &mut devs[d], d, pol.shed_deadline);
         }
     }
 
@@ -737,6 +806,10 @@ pub fn serve_fleet(
         .collect();
 
     let makespan = devs.iter().map(|d| d.gpu_free).fold(0.0f64, f64::max);
+    let timeline = rec.finish();
+    // Mirror the timeline onto the Perfetto counter tracks (a no-op when
+    // tracing is inactive).
+    timeline.emit_trace_counters(trace::Track::Fleet);
     Ok(FleetReport {
         config: cfg.clone(),
         networks: nets.iter().map(|n| n.name.clone()).collect(),
@@ -747,6 +820,7 @@ pub fn serve_fleet(
         makespan,
         shed_requests,
         faults: agg,
+        timeline,
     })
 }
 

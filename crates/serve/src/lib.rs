@@ -63,7 +63,8 @@ pub use capacity::{capacity_images_per_sec, feasible_max_batch};
 pub use fleet::{serve_fleet, DeviceReport, FleetBatch, FleetConfig, FleetReport, NetworkBuckets};
 pub use metrics::{latency_stats, latency_stats_sorted, percentile, LatencyStats};
 pub use placement::{
-    DeviceLoad, LeastLoaded, MemoryAware, Placement, PlacementCtx, PlacementPolicy, RoundRobin,
+    DeviceLoad, LeastLoaded, MemoryAware, Placement, PlacementCtx, PlacementPolicy, QueueWeighted,
+    RoundRobin,
 };
 pub use plan_cache::PlanCache;
 pub use policy::{FaultPolicy, FaultStats};

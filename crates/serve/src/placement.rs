@@ -11,7 +11,14 @@
 //!   the bench compares against.
 //! - [`LeastLoaded`]: the device that frees up earliest (ties broken by
 //!   queued images, then index). Under bursty phases this shields a hot
-//!   device by spilling to idle ones.
+//!   device by spilling to idle ones — but see [`QueueWeighted`] for its
+//!   convoy defect.
+//! - [`QueueWeighted`]: rank by queued images first, free time second.
+//!   `gpu_free` only moves when a batch *commits*, so between commits
+//!   `LeastLoaded` sends every burst arrival to the same
+//!   momentarily-earliest device (a convoy); queued images update on
+//!   every routed arrival, so ranking them first spreads a burst across
+//!   the fleet immediately.
 //! - [`MemoryAware`]: like `LeastLoaded`, but first drop devices whose
 //!   [`feasible_max_batch`](crate::capacity::feasible_max_batch) cap is
 //!   below the request's natural bucket — on a heterogeneous fleet the
@@ -116,6 +123,44 @@ impl PlacementPolicy for LeastLoaded {
     }
 }
 
+/// Route by queue pressure first: fewest queued images, then earliest
+/// effective free time, then lowest index.
+///
+/// This is the burst-convoy fix for [`LeastLoaded`]: that policy's
+/// primary key (`max(gpu_free, now)`) is frozen between batch commits,
+/// so a burst arriving while the fleet is quiet convoys onto one device
+/// (its queued-images tiebreaker only matters on *exact* free-time ties,
+/// which vanish once clocks diverge). Queued images grow on every routed
+/// arrival, so using them as the primary key spreads a burst round-robin
+/// across equally-pressured devices and the per-device queue timelines
+/// stay flat instead of spiking on one device.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueueWeighted;
+
+impl PlacementPolicy for QueueWeighted {
+    fn place(&mut self, ctx: &PlacementCtx) -> usize {
+        let mut best = 0usize;
+        for (i, d) in ctx.devices.iter().enumerate() {
+            if i == 0 {
+                continue;
+            }
+            let b = &ctx.devices[best];
+            let free = d.gpu_free.max(ctx.now);
+            let best_free = b.gpu_free.max(ctx.now);
+            if d.queued_images < b.queued_images
+                || (d.queued_images == b.queued_images && free.total_cmp(&best_free).is_lt())
+            {
+                best = i;
+            }
+        }
+        ctx.devices[best].device
+    }
+
+    fn name(&self) -> &'static str {
+        "queue-weighted"
+    }
+}
+
 /// Route like [`LeastLoaded`], but skip devices whose feasible batch cap
 /// is below the request's natural bucket. When every device is capped
 /// (or none can compile anything), fall back to the full candidate set —
@@ -148,6 +193,8 @@ pub enum Placement {
     RoundRobin,
     /// [`LeastLoaded`].
     LeastLoaded,
+    /// [`QueueWeighted`].
+    QueueWeighted,
     /// [`MemoryAware`].
     MemoryAware,
 }
@@ -158,6 +205,7 @@ impl Placement {
         match self {
             Placement::RoundRobin => Box::new(RoundRobin::default()),
             Placement::LeastLoaded => Box::new(LeastLoaded),
+            Placement::QueueWeighted => Box::new(QueueWeighted),
             Placement::MemoryAware => Box::new(MemoryAware),
         }
     }
@@ -167,7 +215,20 @@ impl Placement {
         match self {
             Placement::RoundRobin => "round-robin",
             Placement::LeastLoaded => "least-loaded",
+            Placement::QueueWeighted => "queue-weighted",
             Placement::MemoryAware => "memory-aware",
+        }
+    }
+
+    /// Parse a policy from its [`Placement::name`] string (scenario TOML
+    /// files reference policies by name).
+    pub fn from_name(name: &str) -> Option<Placement> {
+        match name {
+            "round-robin" => Some(Placement::RoundRobin),
+            "least-loaded" => Some(Placement::LeastLoaded),
+            "queue-weighted" => Some(Placement::QueueWeighted),
+            "memory-aware" => Some(Placement::MemoryAware),
+            _ => None,
         }
     }
 }
@@ -221,14 +282,38 @@ mod tests {
     }
 
     #[test]
+    fn queue_weighted_spreads_a_burst_that_convoys_under_least_loaded() {
+        // A burst lands while device 1 is momentarily the earliest free.
+        // Between commits gpu_free is frozen; only queued_images moves.
+        let mut devs = [load(0, 0.20, 0, 64), load(1, 0.10, 0, 64)];
+        let mut ll_picks = Vec::new();
+        let mut qw_picks = Vec::new();
+        for _ in 0..6 {
+            ll_picks.push(LeastLoaded.place(&ctx(&devs, 0.05, 2)));
+            let d = QueueWeighted.place(&ctx(&devs, 0.05, 2));
+            qw_picks.push(d);
+            devs[d].queued_images += 2; // the fleet updates this per arrival
+            devs[d].queued_requests += 1;
+        }
+        // LeastLoaded convoys the whole burst onto device 1 (frozen key,
+        // and its queued-images tiebreaker never fires once free times
+        // differ); QueueWeighted alternates.
+        assert_eq!(ll_picks, vec![1; 6]);
+        assert_eq!(qw_picks, vec![1, 0, 1, 0, 1, 0]);
+    }
+
+    #[test]
     fn selector_builds_matching_policies() {
         for (sel, name) in [
             (Placement::RoundRobin, "round-robin"),
             (Placement::LeastLoaded, "least-loaded"),
+            (Placement::QueueWeighted, "queue-weighted"),
             (Placement::MemoryAware, "memory-aware"),
         ] {
             assert_eq!(sel.name(), name);
             assert_eq!(sel.build().name(), name);
+            assert_eq!(Placement::from_name(name), Some(sel));
         }
+        assert_eq!(Placement::from_name("nope"), None);
     }
 }

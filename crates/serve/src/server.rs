@@ -36,9 +36,11 @@ use crate::policy::{FaultPolicy, FaultStats};
 use crate::workload::{self, Request, WorkloadConfig};
 use memcnn_core::{Engine, EngineError, Mechanism, Network};
 use memcnn_gpusim::FaultPlan;
+use memcnn_metrics::{MetricsTimeline, Recorder};
 use memcnn_trace as trace;
 use memcnn_trace::perf;
 use serde::Serialize;
+use std::collections::BTreeSet;
 
 /// Everything a serving run needs besides the engine and the network.
 #[derive(Clone, Debug, Serialize)]
@@ -145,6 +147,11 @@ pub struct ServeReport {
     pub shed_requests: usize,
     /// Fault accounting for the run (all zero when injection is off).
     pub faults: FaultStats,
+    /// Gauge timelines sampled at the loop's event boundaries, plus the
+    /// run's latency histogram. Every sample is a pure function of
+    /// loop-local state on the simulated clock, so the timeline is
+    /// bit-identical across `MEMCNN_THREADS` like the rest of the report.
+    pub timeline: MetricsTimeline,
 }
 
 impl ServeReport {
@@ -291,6 +298,16 @@ pub fn serve(
     let mut plan_cap = max;
     let mut pin: Option<usize> = None;
     let mut clean_streak: u64 = 0;
+    // Timeline instrumentation: every gauge below reads loop-local state
+    // at a simulated event boundary, so the timeline inherits the run's
+    // thread-count independence. Plan-cache hit accounting is loop-local
+    // too (a bucket seen before is a hit) — the *global* perf counters
+    // also see prewarm traffic and would not be deterministic here.
+    let mut rec = Recorder::default();
+    let mut seen_buckets: BTreeSet<usize> = BTreeSet::new();
+    let mut cache_lookups = 0u64;
+    let mut cache_hits = 0u64;
+    let mut busy = 0.0f64;
 
     while next < requests.len() {
         // Deadline-based load shedding: when the device frees up, drop
@@ -307,6 +324,7 @@ pub fn serve(
                 );
                 shed_requests += 1;
                 next += 1;
+                rec.gauge("shed.total", gpu_free, shed_requests as f64);
             }
             if next >= requests.len() {
                 break;
@@ -336,6 +354,10 @@ pub fn serve(
         let (j_end, images, _) = form(&requests, next, launch, emax);
         debug_assert!(j_end > next, "a batch always serves at least one request");
         let bucket = bucket_for(images, emax);
+        cache_lookups += 1;
+        if !seen_buckets.insert(bucket) {
+            cache_hits += 1;
+        }
         let plan = match cache.get(bucket) {
             Ok(plan) => plan,
             Err(err @ EngineError::PlanOom { .. }) => {
@@ -432,6 +454,7 @@ pub fn serve(
             Outcome::Done { done } => {
                 for r in &requests[next..j_end] {
                     latencies[r.id as usize] = done - r.arrival;
+                    rec.observe_latency(done - r.arrival);
                 }
                 // Queue pressure left behind: arrived by launch, not taken.
                 let mut depth = 0usize;
@@ -485,6 +508,15 @@ pub fn serve(
                         clean_streak = 0;
                     }
                 }
+                busy += done - launch;
+                rec.gauge("queue.depth", done, depth as f64);
+                rec.gauge("batch.images", done, images as f64);
+                rec.gauge("batch.bucket", done, bucket as f64);
+                rec.gauge("util", done, if done > 0.0 { busy / done } else { 0.0 });
+                rec.gauge("plan_cache.hit_rate", done, cache_hits as f64 / cache_lookups as f64);
+                rec.gauge("degraded", done, if pin.is_some() { 1.0 } else { 0.0 });
+                rec.gauge("shed.total", done, shed_requests as f64);
+                rec.sample_window(done);
                 gpu_free = done;
                 next = j_end;
             }
@@ -492,6 +524,9 @@ pub fn serve(
                 // The batch's requests are dropped; their latencies keep
                 // the 0.0 sentinel. The device time burned is real.
                 shed_requests += j_end - next;
+                busy += at - launch;
+                rec.gauge("shed.total", at, shed_requests as f64);
+                rec.gauge("util", at, if at > 0.0 { busy / at } else { 0.0 });
                 gpu_free = at;
                 next = j_end;
             }
@@ -504,6 +539,8 @@ pub fn serve(
                 }
                 pin = Some((bucket / 2).max(1));
                 clean_streak = 0;
+                busy += at - launch;
+                rec.gauge("degraded", at, 1.0);
                 gpu_free = at;
             }
         }
@@ -535,6 +572,11 @@ pub fn serve(
         });
     }
 
+    let timeline = rec.finish();
+    // Mirror the timeline onto the Perfetto counter tracks (a no-op when
+    // tracing is inactive).
+    timeline.emit_trace_counters(trace::Track::Serve);
+
     Ok(ServeReport {
         network: net.name.clone(),
         config: cfg.clone(),
@@ -546,6 +588,7 @@ pub fn serve(
         buckets,
         shed_requests,
         faults: stats,
+        timeline,
     })
 }
 

@@ -127,20 +127,20 @@ pub fn chrome_trace(trace: &Trace) -> String {
             ("args", obj(vec![("name", s(track.name()))])),
         ])
     };
+    let uses_track = |track: Track| {
+        trace.spans.iter().any(|sp| sp.track == track)
+            || trace.counters.iter().any(|c| c.track == track)
+    };
     events.push(process_meta(1, "memcnn simulated timeline"));
     for track in [Track::Layers, Track::Transforms, Track::Kernels, Track::Backward] {
         events.push(thread_meta(track));
     }
-    if trace.spans.iter().any(|sp| sp.track == Track::Serve) {
-        events.push(thread_meta(Track::Serve));
+    for track in [Track::Serve, Track::Faults, Track::Fleet] {
+        if uses_track(track) {
+            events.push(thread_meta(track));
+        }
     }
-    if trace.spans.iter().any(|sp| sp.track == Track::Faults) {
-        events.push(thread_meta(Track::Faults));
-    }
-    if trace.spans.iter().any(|sp| sp.track == Track::Fleet) {
-        events.push(thread_meta(Track::Fleet));
-    }
-    if trace.spans.iter().any(|sp| sp.track == Track::Exec) {
+    if uses_track(Track::Exec) {
         events.push(process_meta(2, "memcnn functional execution"));
         events.push(thread_meta(Track::Exec));
     }
@@ -160,6 +160,20 @@ pub fn chrome_trace(trace: &Trace) -> String {
 
     for sp in &trace.spans {
         events.push(span_event(&sp.name, sp.track, sp.ts_us, sp.dur_us, args_obj(&sp.args)));
+    }
+
+    // Counter series as Perfetto counter tracks ("C" phase): one stepped
+    // area chart per series name, under the track's process.
+    for c in &trace.counters {
+        events.push(obj(vec![
+            ("ph", s("C")),
+            ("name", s(&c.name)),
+            ("cat", s(c.track.name())),
+            ("pid", n(c.track.pid() as f64)),
+            ("tid", n(c.track.tid() as f64)),
+            ("ts", n(c.ts_us)),
+            ("args", obj(vec![("value", n(c.value))])),
+        ]));
     }
 
     // Kernels of chosen implementations, back-to-back inside their span.
@@ -535,6 +549,36 @@ mod tests {
         assert!((end0 - k1.get("ts").unwrap().as_f64().unwrap()).abs() < 1e-9);
         // One decision instant.
         assert_eq!(events.iter().filter(|e| e.get("ph").unwrap().as_str() == Some("i")).count(), 1);
+    }
+
+    #[test]
+    fn counter_samples_export_as_counter_track_events() {
+        let mut t = sample_trace();
+        for (ts, v) in [(0.0, 1.0), (5.0, 3.0), (9.0, 0.0)] {
+            t.counters.push(crate::CounterEvent {
+                name: "queue.depth".to_string(),
+                track: Track::Serve,
+                ts_us: ts,
+                value: v,
+            });
+        }
+        let json = chrome_trace(&t);
+        let doc = serde_json::from_str(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let counters: Vec<_> =
+            events.iter().filter(|e| e.get("ph").unwrap().as_str() == Some("C")).collect();
+        assert_eq!(counters.len(), 3);
+        // Non-decreasing timestamps, value carried in args, and the serve
+        // track's thread metadata present (referenced only by counters).
+        let ts: Vec<f64> =
+            counters.iter().map(|e| e.get("ts").unwrap().as_f64().unwrap()).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(counters[1].get("args").unwrap().get("value").unwrap().as_f64(), Some(3.0));
+        assert!(
+            events.iter().any(|e| e.get("ph").unwrap().as_str() == Some("M")
+                && e.get("args").unwrap().get("name").unwrap().as_str() == Some("serving")),
+            "serve thread metadata missing"
+        );
     }
 
     #[test]

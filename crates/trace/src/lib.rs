@@ -160,6 +160,23 @@ pub struct SpanEvent {
     pub args: Vec<(String, String)>,
 }
 
+/// One sample of a named counter series on one track — exported as a
+/// Chrome/Perfetto counter-track event (`"ph": "C"`), so gauges like
+/// queue depth or device utilization render as stepped area charts under
+/// the span tracks. Samples of the same `name` form one series; their
+/// timestamps are expected to be non-decreasing in record order.
+#[derive(Clone, Debug)]
+pub struct CounterEvent {
+    /// Series name (e.g. `queue.depth`, `dev0.util`).
+    pub name: String,
+    /// Track whose time base the sample rides (pid/tid grouping).
+    pub track: Track,
+    /// Sample time, microseconds on the track's time base.
+    pub ts_us: f64,
+    /// Sampled value.
+    pub value: f64,
+}
+
 /// Counters of one simulated kernel plus the scope path it ran under.
 #[derive(Clone, Debug)]
 pub struct KernelRecord {
@@ -215,6 +232,8 @@ pub struct Trace {
     pub kernels: Vec<KernelRecord>,
     /// Layout decisions.
     pub decisions: Vec<Decision>,
+    /// Counter-series samples (gauges over simulated time).
+    pub counters: Vec<CounterEvent>,
     /// Free-form metadata (network, mechanism, device, ...).
     pub meta: Vec<(String, String)>,
 }
@@ -222,7 +241,16 @@ pub struct Trace {
 impl Trace {
     /// Total number of recorded events of all kinds.
     pub fn event_count(&self) -> usize {
-        self.spans.len() + self.kernels.len() + self.decisions.len() + self.meta.len()
+        self.spans.len()
+            + self.kernels.len()
+            + self.decisions.len()
+            + self.counters.len()
+            + self.meta.len()
+    }
+
+    /// The samples of one counter series, in record order.
+    pub fn counter_series(&self, name: &str) -> Vec<&CounterEvent> {
+        self.counters.iter().filter(|c| c.name == name).collect()
     }
 
     /// Metadata value by key.
@@ -349,6 +377,15 @@ pub fn record_decision<F: FnOnce() -> Decision>(f: F) {
     });
 }
 
+/// Record one counter-series sample. The closure only runs when
+/// collection is active, so disabled call sites do no work.
+pub fn record_counter<F: FnOnce() -> CounterEvent>(f: F) {
+    with_active(|col| {
+        let c = f();
+        col.trace.counters.push(c);
+    });
+}
+
 /// Attach a metadata key/value to the trace in progress.
 pub fn set_meta(key: &str, value: &str) {
     with_active(|col| {
@@ -427,6 +464,7 @@ impl Fork {
                 col.trace.spans.extend(t.spans);
                 col.trace.kernels.extend(t.kernels);
                 col.trace.decisions.extend(t.decisions);
+                col.trace.counters.extend(t.counters);
                 col.trace.meta.extend(t.meta);
             }
         });
@@ -543,6 +581,33 @@ mod tests {
         assert_eq!(t.kernels[0].path, vec![Scope::Plan, Scope::Autotune]);
         assert_eq!(t.kernels[1].path, vec![Scope::Plan]);
         assert!(t.kernels[2].path.is_empty());
+    }
+
+    #[test]
+    fn counters_record_and_read_back_as_series() {
+        record_counter(|| unreachable!("closure must not run while disabled"));
+        start();
+        for (i, v) in [(0, 3.0), (1, 5.0), (2, 2.0)] {
+            record_counter(|| CounterEvent {
+                name: "queue.depth".to_string(),
+                track: Track::Serve,
+                ts_us: i as f64 * 10.0,
+                value: v,
+            });
+        }
+        record_counter(|| CounterEvent {
+            name: "util".to_string(),
+            track: Track::Serve,
+            ts_us: 0.0,
+            value: 0.5,
+        });
+        let t = finish().unwrap();
+        assert_eq!(t.counters.len(), 4);
+        assert_eq!(t.event_count(), 4);
+        let depth = t.counter_series("queue.depth");
+        assert_eq!(depth.len(), 3);
+        assert_eq!(depth[1].value, 5.0);
+        assert!(depth.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
     }
 
     #[test]

@@ -70,6 +70,52 @@ pub fn snapshot() -> BTreeMap<String, u64> {
         .collect()
 }
 
+/// A point-in-time snapshot of every registered counter, used to report
+/// *per-run deltas* instead of process-lifetime totals. The counters are
+/// global and monotonically increasing, so within one process several
+/// runs bleed into the same totals; a baseline taken before a run turns
+/// them back into that run's own counts:
+///
+/// ```
+/// use memcnn_trace::perf;
+/// let base = perf::baseline();
+/// perf::add("doc.baseline.example", 3);
+/// assert_eq!(base.delta_of("doc.baseline.example"), 3);
+/// assert!(base.delta().contains_key("doc.baseline.example"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Baseline {
+    at: BTreeMap<String, u64>,
+}
+
+/// Snapshot the registry as a [`Baseline`] for later delta queries.
+pub fn baseline() -> Baseline {
+    Baseline { at: snapshot() }
+}
+
+impl Baseline {
+    /// Growth of one counter since the baseline (0 if it never moved;
+    /// saturating, so a [`reset`] between baseline and query reads as 0
+    /// rather than wrapping).
+    pub fn delta_of(&self, name: &'static str) -> u64 {
+        get(name).saturating_sub(self.at.get(name).copied().unwrap_or(0))
+    }
+
+    /// Every counter that grew since the baseline, with its growth.
+    /// Counters registered after the baseline count from zero; unchanged
+    /// counters are omitted.
+    pub fn delta(&self) -> BTreeMap<String, u64> {
+        snapshot()
+            .into_iter()
+            .filter_map(|(name, now)| {
+                let before = self.at.get(&name).copied().unwrap_or(0);
+                let d = now.saturating_sub(before);
+                (d > 0).then_some((name, d))
+            })
+            .collect()
+    }
+}
+
 /// Reset every registered counter to zero. Handles held by hot paths stay
 /// valid (the `Arc`s are reused, not replaced).
 pub fn reset() {
@@ -112,6 +158,22 @@ mod tests {
         // Held handles survive a reset.
         c.fetch_add(7, Ordering::Relaxed);
         assert_eq!(get("test.perf.lifecycle"), 7);
+    }
+
+    #[test]
+    fn baseline_reports_per_run_deltas_not_lifetime_totals() {
+        // "Run 1" pollutes the global counter, as real bench binaries do.
+        add("test.perf.baseline", 100);
+        let base = baseline();
+        assert_eq!(base.delta_of("test.perf.baseline"), 0);
+        assert!(!base.delta().contains_key("test.perf.baseline"));
+        // "Run 2" under the baseline sees only its own counts.
+        add("test.perf.baseline", 7);
+        incr("test.perf.baseline.fresh"); // registered after the baseline
+        assert_eq!(base.delta_of("test.perf.baseline"), 7);
+        let d = base.delta();
+        assert_eq!(d.get("test.perf.baseline"), Some(&7));
+        assert_eq!(d.get("test.perf.baseline.fresh"), Some(&1));
     }
 
     #[test]

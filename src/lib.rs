@@ -18,6 +18,9 @@
 //! - [`trace`]: structured tracing — spans, kernel perf counters, layout
 //!   decisions — with Chrome/Perfetto JSON and text-profile exporters.
 //!   Off by default and zero-cost until [`trace::start`] is called.
+//! - [`metrics`]: deterministic simulated-time gauges and mergeable
+//!   log-bucketed latency histograms; timelines export as Perfetto
+//!   counter tracks and `metrics.json` for the scenario harness.
 //! - [`serve`]: deterministic discrete-event inference serving with dynamic
 //!   batching and a per-bucket plan cache, so the layout plan follows the
 //!   effective batch size as load changes.
@@ -47,6 +50,7 @@ pub use memcnn_core as core;
 pub use memcnn_fft as fft;
 pub use memcnn_gpusim as gpusim;
 pub use memcnn_kernels as kernels;
+pub use memcnn_metrics as metrics;
 pub use memcnn_models as models;
 pub use memcnn_serve as serve;
 pub use memcnn_tensor as tensor;
