@@ -22,20 +22,40 @@
 //! per-device `dev{d}.queue.images` series inside make the convoy (and
 //! its absence under queue-weighted) directly visible.
 //!
+//! A wallclock matrix then re-runs the AlexNet least-loaded point cold in
+//! fresh subprocesses (`--measure K` is the hidden child mode) for every
+//! (K, MEMCNN_THREADS) in {1, 4, 8, 16} × {1, 4} — fresh processes
+//! because `MEMCNN_THREADS` is read once per process. Each child reports
+//! `wallclock_ms` plus a report digest; the digests must match across
+//! thread counts (bit-determinism gate, always enforced), and on hosts
+//! with ≥ 4 cores THREADS=4 must be ≥ 2x faster than THREADS=1 at K=8
+//! (the parallel-stepping scaling gate; skipped with a note on smaller
+//! hosts, where the speedup physically cannot exist).
+//!
 //! Exits non-zero if 4-device least-loaded throughput falls below 3x
-//! the single device — the scaling regression gate.
+//! the single device — the scaling regression gate — or if either
+//! wallclock-matrix gate trips.
 
 use memcnn_bench::fleet::{
-    bursty_workload, run_fleet, scaling, FLEET_LOAD_FRAC, FLEET_SEED, FLEET_SIZES,
+    bursty_workload, digest, fleet_workload, run_fleet, scaling, FLEET_LOAD_FRAC, FLEET_SEED,
+    FLEET_SIZES,
 };
 use memcnn_bench::serving::sweep_policy;
 use memcnn_bench::util::{Ctx, Table};
 use memcnn_metrics::MetricsTimeline;
 use memcnn_models::{alexnet, vgg16};
 use memcnn_serve::{capacity_images_per_sec, feasible_max_batch, Placement};
+use memcnn_trace::perf;
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::process::Command;
+use std::time::Instant;
+
+/// Thread counts the wallclock matrix sweeps (each in a fresh child).
+const MATRIX_THREADS: [usize; 2] = [1, 4];
+/// Fleet sizes the wallclock matrix sweeps.
+const MATRIX_SIZES: [usize; 4] = [1, 4, 8, 16];
 
 #[derive(Serialize)]
 struct PolicyRow {
@@ -75,6 +95,19 @@ struct NetworkFleet {
     bursty: BurstyRow,
 }
 
+/// One cold child run of the wallclock matrix.
+#[derive(Serialize)]
+struct MeasureRow {
+    k: usize,
+    threads: usize,
+    wallclock_ms: f64,
+    /// FNV-1a digest of the run's latencies/placements/batches, as hex
+    /// (a string because the vendored JSON stores numbers as f64, which
+    /// cannot carry 64 digest bits). Equal digests across thread counts
+    /// is the determinism gate.
+    digest: String,
+}
+
 #[derive(Serialize)]
 struct Summary {
     bench: &'static str,
@@ -82,6 +115,13 @@ struct Summary {
     seed: u64,
     load_frac: f64,
     networks: Vec<NetworkFleet>,
+    /// Cold wallclock per (K, MEMCNN_THREADS) point, from `--measure`
+    /// subprocesses.
+    wallclock: Vec<MeasureRow>,
+    /// `fleet.*` perf-counter deltas accumulated by this process's
+    /// in-process sweep runs (barriers crossed, parallel steps taken,
+    /// plans batch-compiled).
+    fleet_perf: BTreeMap<String, u64>,
 }
 
 /// Peak queued-images backlog on any one device, read from the fleet
@@ -97,8 +137,141 @@ fn peak_device_queue(timeline: &MetricsTimeline, k: usize) -> f64 {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: fleet [--out PATH] [--metrics PATH]");
+    eprintln!("usage: fleet [--out PATH] [--metrics PATH] [--measure K]");
     std::process::exit(2);
+}
+
+/// Hidden child mode: one cold AlexNet least-loaded fleet run at `k`
+/// devices, timed around the serve call and reported as a single JSON
+/// line on stdout. Run in a fresh process per point because the worker
+/// pool reads `MEMCNN_THREADS` once per process — the parent sets it in
+/// our environment.
+fn measure(k: usize) -> ! {
+    let threads = std::env::var("MEMCNN_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(0);
+    let ctx = Ctx::titan_black();
+    let net = alexnet().expect("alexnet");
+    let (max_batch, top_plan) =
+        feasible_max_batch(&ctx.engine, &net, ctx.mechanism(), &[256, 128, 64, 32])
+            .unwrap_or_else(|| panic!("{}: no feasible batch size", net.name));
+    let capacity = capacity_images_per_sec(max_batch, &top_plan);
+    let policy = sweep_policy(max_batch, top_plan.total_time());
+    let workload = fleet_workload(k, capacity, FLEET_SEED);
+    let start = Instant::now();
+    let report = run_fleet(&ctx, &net, policy, workload, Placement::LeastLoaded, k)
+        .unwrap_or_else(|e| panic!("measure k={k}: {e}"));
+    let row = MeasureRow {
+        k,
+        threads,
+        wallclock_ms: start.elapsed().as_secs_f64() * 1e3,
+        digest: format!("{:016x}", digest(&report)),
+    };
+    println!("{}", serde_json::to_string(&row).expect("serialize measure row"));
+    std::process::exit(0);
+}
+
+/// The cold wallclock matrix: spawn `--measure` children over
+/// [`MATRIX_THREADS`] × [`MATRIX_SIZES`], cross-check digests per K
+/// (always), and apply the THREADS=4 ≥ 2x THREADS=1 gate at K=8 when the
+/// host has the cores to make the comparison meaningful.
+fn wallclock_matrix() -> (Vec<MeasureRow>, bool) {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut rows: Vec<MeasureRow> = Vec::new();
+    let mut failed = false;
+    for &threads in &MATRIX_THREADS {
+        for &k in &MATRIX_SIZES {
+            let out = Command::new(&exe)
+                .arg("--measure")
+                .arg(k.to_string())
+                .env("MEMCNN_THREADS", threads.to_string())
+                .output()
+                .expect("spawn measure child");
+            if !out.status.success() {
+                eprintln!(
+                    "measure child (k={k}, threads={threads}) failed:\n{}",
+                    String::from_utf8_lossy(&out.stderr)
+                );
+                std::process::exit(1);
+            }
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            let line = stdout.lines().last().unwrap_or("");
+            // The vendored serde has no derive-level deserialization;
+            // walk the parsed `Value` by hand (same idiom as scenario
+            // result parsing).
+            let row = serde_json::from_str(line)
+                .ok()
+                .and_then(|v| {
+                    Some(MeasureRow {
+                        k: v.get("k")?.as_u64()? as usize,
+                        threads: v.get("threads")?.as_u64()? as usize,
+                        wallclock_ms: v.get("wallclock_ms")?.as_f64()?,
+                        digest: v.get("digest")?.as_str()?.to_string(),
+                    })
+                })
+                .unwrap_or_else(|| {
+                    panic!("measure child (k={k}, threads={threads}) bad output {line:?}")
+                });
+            rows.push(row);
+        }
+    }
+
+    let mut table = Table::new(
+        "cold fleet wallclock: AlexNet, least-loaded, fresh process per point".to_string(),
+        &["devices", "MEMCNN_THREADS", "wallclock ms", "digest"],
+    );
+    for row in &rows {
+        table.row(vec![
+            row.k.to_string(),
+            row.threads.to_string(),
+            format!("{:.1}", row.wallclock_ms),
+            row.digest.clone(),
+        ]);
+    }
+    table.print();
+
+    // Determinism gate: at each K, every thread count must produce the
+    // byte-identical run. Always enforced — core count is irrelevant to
+    // correctness.
+    for &k in &MATRIX_SIZES {
+        let digests: Vec<&str> =
+            rows.iter().filter(|r| r.k == k).map(|r| r.digest.as_str()).collect();
+        if digests.windows(2).any(|w| w[0] != w[1]) {
+            eprintln!(
+                "GATE FAILED: k={k}: report digests differ across MEMCNN_THREADS \
+                 {MATRIX_THREADS:?}: {digests:?}"
+            );
+            failed = true;
+        }
+    }
+
+    // Scaling gate: parallel stepping must actually buy wallclock — but
+    // only where the host can physically run 4 workers at once.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let ms = |threads: usize, k: usize| {
+        rows.iter().find(|r| r.threads == threads && r.k == k).map(|r| r.wallclock_ms)
+    };
+    if let (Some(t1), Some(t4)) = (ms(1, 8), ms(4, 8)) {
+        if cores >= 4 {
+            if t4 * 2.0 > t1 {
+                eprintln!(
+                    "GATE FAILED: k=8: THREADS=4 ({t4:.1} ms) is not >= 2x faster than \
+                     THREADS=1 ({t1:.1} ms)"
+                );
+                failed = true;
+            } else {
+                println!(
+                    "gate ok: k=8 THREADS=4 is {:.2}x faster than THREADS=1 ({t4:.1} ms vs \
+                     {t1:.1} ms)",
+                    t1 / t4
+                );
+            }
+        } else {
+            println!(
+                "parallel scaling gate skipped: host has {cores} core(s), need >= 4 for the 2x \
+                 check (k=8: THREADS=1 {t1:.1} ms, THREADS=4 {t4:.1} ms; digests still gated)"
+            );
+        }
+    }
+    (rows, failed)
 }
 
 fn main() {
@@ -116,10 +289,15 @@ fn main() {
                 Some(p) => metrics = Some(PathBuf::from(p)),
                 None => usage(),
             },
+            "--measure" => match it.next().and_then(|k| k.parse().ok()) {
+                Some(k) => measure(k),
+                None => usage(),
+            },
             _ => usage(),
         }
     }
 
+    let perf_base = perf::baseline();
     let ctx = Ctx::titan_black();
     let placements = [Placement::RoundRobin, Placement::LeastLoaded, Placement::MemoryAware];
     let mut networks = Vec::new();
@@ -262,12 +440,24 @@ fn main() {
         eprintln!("wrote {}", path.display());
     }
 
+    let (wallclock, matrix_failed) = wallclock_matrix();
+    gate_failed |= matrix_failed;
+
+    let fleet_perf: BTreeMap<String, u64> =
+        perf_base.delta().into_iter().filter(|(name, _)| name.starts_with("fleet.")).collect();
+    println!(
+        "fleet perf (this process's sweep runs): {}",
+        fleet_perf.iter().map(|(name, v)| format!("{name}={v}")).collect::<Vec<_>>().join(", ")
+    );
+
     let summary = Summary {
         bench: "fleet",
         device: ctx.device.name.clone(),
         seed: FLEET_SEED,
         load_frac: FLEET_LOAD_FRAC,
         networks,
+        wallclock,
+        fleet_perf,
     };
     let line = serde_json::to_string(&summary).expect("serialize summary");
     println!("\n{line}");

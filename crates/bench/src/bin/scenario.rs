@@ -21,10 +21,17 @@
 //! `run <file>` is the agent mode: execute one scenario, write its full
 //! metrics timeline to `<metrics-dir>/<name>.metrics.json`, and print
 //! the machine-readable result as the last stdout line.
+//!
+//! `--record-perfetto` (orchestrator or agent) additionally collects an
+//! execution trace around each scenario run and writes it as a
+//! ready-to-open Chrome/Perfetto timeline to
+//! `<metrics-dir>/<name>.trace.json` — so a failing scenario leaves its
+//! timeline next to its report.
 
 use memcnn_bench::scenario::{self, diff_metrics, Drift, ScenarioResult, ScenarioSpec};
 use memcnn_bench::util::Table;
 use memcnn_metrics::Histogram;
+use memcnn_trace as trace;
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -53,8 +60,8 @@ struct Summary {
 fn usage() -> ! {
     eprintln!(
         "usage: scenario [--scenarios DIR] [--baselines DIR] [--metrics-dir DIR] \
-         [--out PATH] [--agent PATH] [--update-baselines]\n       \
-         scenario run FILE [--metrics-dir DIR]"
+         [--out PATH] [--agent PATH] [--update-baselines] [--record-perfetto]\n       \
+         scenario run FILE [--metrics-dir DIR] [--record-perfetto]"
     );
     std::process::exit(2);
 }
@@ -71,6 +78,7 @@ fn main() {
     let mut out = PathBuf::from("BENCH_scenario.json");
     let mut agent: Option<PathBuf> = None;
     let mut update = false;
+    let mut record_perfetto = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -80,6 +88,7 @@ fn main() {
             "--out" => out = next_path(&mut it),
             "--agent" => agent = Some(next_path(&mut it)),
             "--update-baselines" => update = true,
+            "--record-perfetto" => record_perfetto = true,
             _ => usage(),
         }
     }
@@ -125,7 +134,7 @@ fn main() {
                 continue;
             }
         };
-        let result = match spawn_agent(&agent, file, &metrics_dir) {
+        let result = match spawn_agent(&agent, file, &metrics_dir, record_perfetto) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("ERROR scenario={} run: {e}", spec.name);
@@ -222,10 +231,12 @@ fn main() {
 fn run_agent(args: &[String]) -> ! {
     let mut file: Option<PathBuf> = None;
     let mut metrics_dir = PathBuf::from("target/metrics");
+    let mut record_perfetto = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--metrics-dir" => metrics_dir = next_path(&mut it),
+            "--record-perfetto" => record_perfetto = true,
             _ if file.is_none() && !arg.starts_with('-') => file = Some(PathBuf::from(arg)),
             _ => usage(),
         }
@@ -239,11 +250,22 @@ fn run_agent(args: &[String]) -> ! {
         eprintln!("{}: {e}", file.display());
         std::process::exit(1);
     });
+    if record_perfetto {
+        trace::start();
+    }
     let (result, timeline) = scenario::run(&spec).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(1);
     });
     std::fs::create_dir_all(&metrics_dir).expect("create metrics dir");
+    if record_perfetto {
+        if let Some(captured) = trace::finish() {
+            let tpath = metrics_dir.join(format!("{}.trace.json", spec.name));
+            std::fs::write(&tpath, trace::export::chrome_trace(&captured))
+                .expect("write perfetto trace");
+            eprintln!("wrote {}", tpath.display());
+        }
+    }
     let mpath = metrics_dir.join(format!("{}.metrics.json", spec.name));
     std::fs::write(&mpath, format!("{}\n", timeline.to_json())).expect("write metrics timeline");
     eprintln!("wrote {}", mpath.display());
@@ -266,14 +288,18 @@ fn baseline_path(dir: &Path, name: &str) -> PathBuf {
 }
 
 /// Spawn the agent as an OS process and parse its last stdout line.
-fn spawn_agent(agent: &Path, file: &Path, metrics_dir: &Path) -> Result<ScenarioResult, String> {
-    let output = Command::new(agent)
-        .arg("run")
-        .arg(file)
-        .arg("--metrics-dir")
-        .arg(metrics_dir)
-        .output()
-        .map_err(|e| format!("spawn {}: {e}", agent.display()))?;
+fn spawn_agent(
+    agent: &Path,
+    file: &Path,
+    metrics_dir: &Path,
+    record_perfetto: bool,
+) -> Result<ScenarioResult, String> {
+    let mut cmd = Command::new(agent);
+    cmd.arg("run").arg(file).arg("--metrics-dir").arg(metrics_dir);
+    if record_perfetto {
+        cmd.arg("--record-perfetto");
+    }
+    let output = cmd.output().map_err(|e| format!("spawn {}: {e}", agent.display()))?;
     if !output.status.success() {
         let err = String::from_utf8_lossy(&output.stderr);
         return Err(format!("agent exited {}: {}", output.status, err.trim()));

@@ -3,7 +3,7 @@
 //!
 //! The sweep holds per-device offered load fixed at
 //! [`FLEET_LOAD_FRAC`] of single-device saturation and scales the fleet
-//! 1 → 2 → 4 → 8 homogeneous devices, so ideal scaling is linear
+//! 1 → 2 → 4 → 8 → 16 homogeneous devices, so ideal scaling is linear
 //! images/sec at flat p99 — each device sees the same stream intensity
 //! regardless of K. Every [`Placement`] policy runs the same seeded
 //! stream; a separate bursty two-phase stream compares least-loaded
@@ -26,7 +26,7 @@ pub const FLEET_LOAD_FRAC: f64 = 0.7;
 /// stream duration stays constant and throughput ratios read as speedup).
 pub const REQUESTS_PER_DEVICE: usize = 160;
 /// Fleet sizes swept by the scaling run.
-pub const FLEET_SIZES: [usize; 4] = [1, 2, 4, 8];
+pub const FLEET_SIZES: [usize; 5] = [1, 2, 4, 8, 16];
 
 /// One (fleet size, placement policy) operating point.
 pub struct FleetRow {
@@ -91,6 +91,37 @@ pub fn run_fleet(
     let mut cfg = FleetConfig::new(workload, policy, placement);
     cfg.mechanism = ctx.mechanism();
     serve_fleet(&engines, std::slice::from_ref(net), &cfg)
+}
+
+/// FNV-1a digest of a fleet run's order-sensitive contents: per-request
+/// latency bits and placements, then every device's batch records
+/// (launch/done bits, bucket, network). Two runs with equal digests
+/// committed the same batches with the same contents in the same order —
+/// the cross-thread-count determinism observable the `fleet` binary's
+/// wallclock matrix checks.
+pub fn digest(report: &FleetReport) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |x: u64| {
+        for byte in x.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    for &l in &report.latencies {
+        eat(l.to_bits());
+    }
+    for &p in &report.placements {
+        eat(p as u64);
+    }
+    for dev in &report.devices {
+        for b in &dev.batches {
+            eat(b.record.launch.to_bits());
+            eat(b.record.done.to_bits());
+            eat(b.record.bucket as u64);
+            eat(b.network as u64);
+        }
+    }
+    h
 }
 
 /// The scaling sweep: every fleet size in `sizes` × every policy in

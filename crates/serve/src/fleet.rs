@@ -16,13 +16,24 @@
 //!   boundaries the fleet re-derives `max_queue_delay` from the
 //!   observed inter-arrival EMA (bounded, seeded — still bit-exact).
 //!
-//! The event loop stays single-threaded: it alternates between routing
-//! the next arrival and committing the earliest launchable batch,
-//! choosing whichever comes first on the simulated clock. Parallelism
-//! lives only underneath, in the engine's rayon prewarm fan-out (whose
-//! traced records merge deterministically via `trace::fork`), so a
-//! whole fleet run is a pure function of `(engine configs, networks,
-//! FleetConfig)` — independent of `MEMCNN_THREADS`.
+//! The event loop is *logically* sequential — one global interleaving
+//! of routes and commits — but executes in parallel between routing
+//! barriers. Routing is a strict barrier: arrivals are placed one by
+//! one until the next unrouted arrival is strictly later than every
+//! tentative launch. Between barriers each device's commits touch only
+//! that device's queues, clock, and fault stream, so active devices
+//! step concurrently on the vendored rayon stand-in, each worker
+//! recording under a `trace::fork()` shard that merges in device-index
+//! order. Order-sensitive global effects (latency writes, recorder
+//! gauges, shed totals, plan-cache hit bookkeeping) are deferred as
+//! per-event [`Op`] lists and replayed at the barrier in the exact
+//! order the sequential loop would have produced them (a greedy k-way
+//! merge of per-device event queues — see `DESIGN.md` §14). Cold
+//! buckets predicted at a barrier compile in one batched fan-out
+//! ([`PlanCache::stage`]) instead of serially on first launch. The
+//! result is a pure function of `(engine configs, networks,
+//! FleetConfig)`: bit-identical across `MEMCNN_THREADS` and to the
+//! retained sequential loop (`MEMCNN_FLEET_SEQUENTIAL=1`).
 //!
 //! **Exactness anchor**: with K = 1 and one network, every branch below
 //! reduces to the single-device loop's arithmetic on the same values in
@@ -33,18 +44,18 @@ use crate::adaptive::AdaptivePolicy;
 use crate::batch::{bucket_for, buckets, BatchPolicy};
 use crate::capacity::feasible_max_batch;
 use crate::metrics::{latency_stats_sorted, LatencyStats};
-use crate::placement::{DeviceLoad, Placement, PlacementCtx};
+use crate::placement::{DeviceLoad, Placement, PlacementCtx, PlacementPolicy};
 use crate::plan_cache::PlanCache;
 use crate::policy::{FaultPolicy, FaultStats};
 use crate::server::{fault_span, form, BatchRecord, BucketStats};
 use crate::workload::{self, Request, WorkloadConfig};
-use memcnn_core::{Engine, EngineError, Mechanism, Network};
+use memcnn_core::{Engine, EngineError, Mechanism, Network, Plan};
 use memcnn_gpusim::FaultPlan;
 use memcnn_metrics::{MetricsTimeline, Recorder};
 use memcnn_trace as trace;
 use memcnn_trace::perf;
 use serde::Serialize;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 
 /// Everything a fleet run needs besides the engines and the networks.
 #[derive(Clone, Debug, Serialize)]
@@ -305,17 +316,752 @@ enum Outcome {
     Downshift { at: f64 },
 }
 
+/// One order-sensitive global side effect of a commit. Device steps are
+/// otherwise independent between routing barriers; everything that
+/// touches shared state — the latency vector, the recorder (whose
+/// sliding window and running-counter gauges are order-sensitive), the
+/// fleet-wide shed total, and the plan-cache hit bookkeeping — funnels
+/// through this enum so the parallel path can defer it and replay it in
+/// the sequential merge order.
+enum Op {
+    /// A plan-cache lookup on pair `(d, n)` for `bucket` (the
+    /// `seen_plans` hit/lookup bookkeeping behind the hit-rate gauge).
+    Lookup { d: usize, n: usize, bucket: usize },
+    /// Request `id` finished with `latency` (latency vector write plus
+    /// the recorder's histogram observation).
+    Served { id: u64, latency: f64 },
+    /// The gauge block at the end of a successful commit.
+    DoneGauges { d: usize, launch: f64, depth: usize, util: f64, degraded: bool },
+    /// The gauge block after a batch was shed mid-ladder; `batch_shed`
+    /// joins the fleet total *before* the `shed.total` sample.
+    ShedGauges { d: usize, launch: f64, batch_shed: usize, util: f64 },
+    /// The degraded gauge after an OOM downshift.
+    DownshiftGauge { d: usize, launch: f64 },
+    /// Head-of-line requests shed by the post-commit deadline check.
+    OverdueShed { count: usize },
+}
+
+/// The shared mutable state every [`Op`] replays into. The sequential
+/// path applies ops as they happen; the parallel path applies the same
+/// ops in the same order at the barrier.
+struct Globals {
+    latencies: Vec<f64>,
+    placements: Vec<u32>,
+    rec: Recorder,
+    seen_plans: BTreeSet<(usize, usize, usize)>,
+    cache_lookups: u64,
+    cache_hits: u64,
+    fleet_shed: usize,
+}
+
+impl Globals {
+    fn apply(&mut self, op: &Op) {
+        match *op {
+            Op::Lookup { d, n, bucket } => {
+                self.cache_lookups += 1;
+                if !self.seen_plans.insert((d, n, bucket)) {
+                    self.cache_hits += 1;
+                }
+            }
+            Op::Served { id, latency } => {
+                self.latencies[id as usize] = latency;
+                self.rec.observe_latency(latency);
+            }
+            Op::DoneGauges { d, launch, depth, util, degraded } => {
+                self.rec.gauge(&format!("dev{d}.queue.depth"), launch, depth as f64);
+                self.rec.gauge(&format!("dev{d}.util"), launch, util);
+                self.rec.gauge(
+                    &format!("dev{d}.degraded"),
+                    launch,
+                    if degraded { 1.0 } else { 0.0 },
+                );
+                self.rec.gauge(
+                    "plan_cache.hit_rate",
+                    launch,
+                    self.cache_hits as f64 / self.cache_lookups as f64,
+                );
+                self.rec.gauge("shed.total", launch, self.fleet_shed as f64);
+                self.rec.sample_window(launch);
+            }
+            Op::ShedGauges { d, launch, batch_shed, util } => {
+                self.fleet_shed += batch_shed;
+                self.rec.gauge("shed.total", launch, self.fleet_shed as f64);
+                self.rec.gauge(&format!("dev{d}.util"), launch, util);
+            }
+            Op::DownshiftGauge { d, launch } => {
+                self.rec.gauge(&format!("dev{d}.degraded"), launch, 1.0);
+            }
+            Op::OverdueShed { count } => self.fleet_shed += count,
+        }
+    }
+}
+
+/// Where a commit sends its global effects: straight into [`Globals`]
+/// (sequential path) or into a per-event buffer for barrier replay
+/// (parallel path).
+trait EffectSink {
+    fn emit(&mut self, op: Op);
+}
+
+impl EffectSink for Globals {
+    fn emit(&mut self, op: Op) {
+        self.apply(&op);
+    }
+}
+
+impl EffectSink for Vec<Op> {
+    fn emit(&mut self, op: Op) {
+        self.push(op);
+    }
+}
+
+/// Read-only inputs shared by every commit between two routing barriers
+/// (the effective delay is frozen during a step phase — it only changes
+/// when an arrival crosses a workload phase boundary, which is routing).
+struct StepCtx<'a, 'e> {
+    engines: &'a [&'e Engine],
+    nets: &'a [Network],
+    delay: f64,
+    pol: FaultPolicy,
+    fplan: Option<FaultPlan>,
+}
+
+/// Commit the earliest launchable batch on pair `(d, n)`: the
+/// single-device loop body, verbatim, on this pair's queue and this
+/// device's clock. Returns `Ok(true)` when a batch committed and
+/// `Ok(false)` when a plan-time OOM halved the pair's cap instead (the
+/// caller re-selects; the sequential loop's `continue`).
+fn commit_pair<S: EffectSink>(
+    ctx: &StepCtx,
+    pairs_d: &mut [PairState],
+    dev: &mut DeviceState,
+    d: usize,
+    n: usize,
+    sink: &mut S,
+) -> Result<bool, EngineError> {
+    let emax = pairs_d[n].emax();
+    let launch = window_launch(&pairs_d[n].queue, pairs_d[n].next, dev.gpu_free, emax, ctx.delay);
+    let (j_end, images, _) = form(&pairs_d[n].queue, pairs_d[n].next, launch, emax);
+    debug_assert!(j_end > pairs_d[n].next, "a committed batch serves at least one request");
+    let bucket = bucket_for(images, emax);
+    sink.emit(Op::Lookup { d, n, bucket });
+    let plan = match pairs_d[n].cache.get(bucket) {
+        Ok(plan) => plan,
+        Err(err @ EngineError::PlanOom { .. }) => {
+            if bucket <= 1 {
+                return Err(err);
+            }
+            dev.plan_ooms += 1;
+            fault_span(
+                format!("plan OOM at bucket {bucket}"),
+                launch,
+                0.0,
+                vec![
+                    ("new_cap".to_string(), (bucket / 2).to_string()),
+                    ("device".to_string(), d.to_string()),
+                ],
+            );
+            pairs_d[n].plan_cap = (bucket / 2).max(1);
+            return Ok(false);
+        }
+        Err(err) => return Err(err),
+    };
+    let service = plan.total_time();
+
+    let mut launch_at = launch;
+    let mut attempt: u32 = 0;
+    let mut throttles: u32 = 0;
+    let outcome = loop {
+        let att = ctx.engines[d].execute_attempt(plan, ctx.fplan.as_ref(), dev.launches);
+        dev.launches += 1;
+        dev.stats.injected += att.throttled as u64;
+        dev.stats.degraded += att.throttled as u64;
+        dev.stats.throttled += att.throttled as u64;
+        throttles += att.throttled;
+        match att.error {
+            None => break Outcome::Done { done: launch_at + att.time },
+            Some(EngineError::Transient { layer, launch: idx, .. }) => {
+                dev.stats.injected += 1;
+                if attempt < ctx.pol.max_retries {
+                    attempt += 1;
+                    dev.stats.retried += 1;
+                    let backoff = ctx.pol.backoff(attempt);
+                    fault_span(
+                        format!("retry {attempt} after {layer}"),
+                        launch_at + att.time,
+                        backoff,
+                        vec![
+                            ("launch_index".to_string(), idx.to_string()),
+                            ("device".to_string(), d.to_string()),
+                        ],
+                    );
+                    launch_at += att.time + backoff;
+                } else {
+                    dev.stats.shed += 1;
+                    fault_span(
+                        format!("retries exhausted at {layer}"),
+                        launch_at + att.time,
+                        0.0,
+                        vec![
+                            ("attempts".to_string(), (attempt + 1).to_string()),
+                            ("device".to_string(), d.to_string()),
+                        ],
+                    );
+                    break Outcome::Shed { at: launch_at + att.time };
+                }
+            }
+            Some(EngineError::ExecOom { layer, .. }) => {
+                dev.stats.injected += 1;
+                if bucket > 1 {
+                    dev.stats.degraded += 1;
+                    dev.stats.oom_downshifts += 1;
+                    fault_span(
+                        format!("OOM at {layer}: downshift {bucket} -> {}", bucket / 2),
+                        launch_at + att.time,
+                        0.0,
+                        vec![
+                            ("bucket".to_string(), bucket.to_string()),
+                            ("device".to_string(), d.to_string()),
+                        ],
+                    );
+                    break Outcome::Downshift { at: launch_at + att.time };
+                } else {
+                    dev.stats.shed += 1;
+                    fault_span(
+                        format!("OOM at {layer} with bucket 1: shed"),
+                        launch_at + att.time,
+                        0.0,
+                        vec![("device".to_string(), d.to_string())],
+                    );
+                    break Outcome::Shed { at: launch_at + att.time };
+                }
+            }
+            Some(other) => return Err(other),
+        }
+    };
+
+    match outcome {
+        Outcome::Done { done } => {
+            let pair = &mut pairs_d[n];
+            for r in &pair.queue[pair.next..j_end] {
+                sink.emit(Op::Served { id: r.id, latency: done - r.arrival });
+            }
+            let reqs = j_end - pair.next;
+            pair.next = j_end;
+            // Queue pressure left on the device: routed requests of
+            // *any* network that had arrived by launch, not taken.
+            let depth: usize = pairs_d
+                .iter()
+                .map(|p| p.pending().iter().filter(|r| r.arrival <= launch).count())
+                .sum();
+            {
+                let idx = dev.batches.len();
+                let net_name = &ctx.nets[n].name;
+                trace::record_span(|| trace::SpanEvent {
+                    name: format!("batch {idx} (N={bucket})"),
+                    track: trace::Track::Fleet,
+                    ts_us: launch * 1e6,
+                    dur_us: service * 1e6,
+                    args: vec![
+                        ("device".to_string(), d.to_string()),
+                        ("network".to_string(), net_name.clone()),
+                        ("requests".to_string(), reqs.to_string()),
+                        ("images".to_string(), images.to_string()),
+                        ("bucket".to_string(), bucket.to_string()),
+                    ],
+                });
+            }
+            dev.batches.push(FleetBatch {
+                record: BatchRecord {
+                    launch,
+                    done,
+                    requests: reqs,
+                    images,
+                    bucket,
+                    queue_depth: depth,
+                    attempts: attempt,
+                    throttled: throttles,
+                },
+                network: n as u32,
+            });
+            let pair = &mut pairs_d[n];
+            if pair.pin.is_some() {
+                if attempt == 0 && throttles == 0 {
+                    pair.clean_streak += 1;
+                    if pair.clean_streak >= ctx.pol.recovery_batches {
+                        dev.stats.degraded_exits += 1;
+                        fault_span(
+                            "leave degraded mode".to_string(),
+                            done,
+                            0.0,
+                            vec![
+                                ("clean_batches".to_string(), pair.clean_streak.to_string()),
+                                ("device".to_string(), d.to_string()),
+                            ],
+                        );
+                        pair.pin = None;
+                        pair.clean_streak = 0;
+                    }
+                } else {
+                    pair.clean_streak = 0;
+                }
+            }
+            dev.busy += done - launch;
+            dev.gpu_free = done;
+            let degraded = pairs_d.iter().any(|p| p.pin.is_some());
+            let util = if done > 0.0 { dev.busy / done } else { 0.0 };
+            sink.emit(Op::DoneGauges { d, launch, depth, util, degraded });
+        }
+        Outcome::Shed { at } => {
+            let pair = &mut pairs_d[n];
+            let batch_shed = j_end - pair.next;
+            dev.shed += batch_shed;
+            pair.next = j_end;
+            dev.busy += at - launch;
+            dev.gpu_free = at;
+            let util = if at > 0.0 { dev.busy / at } else { 0.0 };
+            sink.emit(Op::ShedGauges { d, launch, batch_shed, util });
+        }
+        Outcome::Downshift { at } => {
+            let pair = &mut pairs_d[n];
+            if pair.pin.is_none() {
+                dev.stats.degraded_entries += 1;
+            }
+            pair.pin = Some((bucket / 2).max(1));
+            pair.clean_streak = 0;
+            dev.busy += at - launch;
+            dev.gpu_free = at;
+            sink.emit(Op::DownshiftGauge { d, launch });
+        }
+    }
+    // `gpu_free` moved: every network's queue on this device gets
+    // the single-device loop's top-of-iteration overdue check.
+    let mut overdue = 0usize;
+    for pair in pairs_d.iter_mut() {
+        overdue += shed_overdue(pair, dev, d, ctx.pol.shed_deadline);
+    }
+    if overdue > 0 {
+        sink.emit(Op::OverdueShed { count: overdue });
+    }
+    Ok(true)
+}
+
+/// One device's committed batch (possibly a plan-OOM compound: the cap
+/// halvings plus the commit that followed them), keyed for the barrier
+/// merge by the launch of its *first* pair selection.
+struct DeviceEvent {
+    key: f64,
+    ops: Vec<Op>,
+}
+
+/// Step one device through every batch it commits before `t_next` (all
+/// of them when `t_next` is `None`): the sequential loop restricted to
+/// one device, emitting one [`DeviceEvent`] per commit. A plan-OOM
+/// re-selection stays inside the event that opened it — the sequential
+/// loop provably re-selects the same pair immediately, so the compound
+/// occupies a single slot in the global order, keyed by its first
+/// selection (whose launch may *exceed* the post-halving commit's).
+fn step_device(
+    ctx: &StepCtx,
+    pairs_d: &mut [PairState],
+    dev: &mut DeviceState,
+    d: usize,
+    t_next: Option<f64>,
+) -> Result<Vec<DeviceEvent>, EngineError> {
+    let mut events = Vec::new();
+    let mut open: Option<DeviceEvent> = None;
+    loop {
+        // Local best: same strict `<` tie-break over ascending network
+        // index as the sequential loop's (device-major) global scan.
+        let mut best: Option<(f64, usize)> = None;
+        for (n, pair) in pairs_d.iter().enumerate() {
+            if pair.next >= pair.queue.len() {
+                continue;
+            }
+            let launch =
+                window_launch(&pair.queue, pair.next, dev.gpu_free, pair.emax(), ctx.delay);
+            if best.is_none_or(|(bl, _)| launch < bl) {
+                best = Some((launch, n));
+            }
+        }
+        let Some((launch, n)) = best else {
+            debug_assert!(open.is_none(), "plan-OOM compound left open with no pending work");
+            break;
+        };
+        // The barrier condition: commit strictly before the next
+        // unrouted arrival (the route-first rule routes on ties). A
+        // compound never straddles it — post-halving launches only
+        // shrink — so an open compound always finishes its commit.
+        if open.is_none() && t_next.is_some_and(|t| launch >= t) {
+            break;
+        }
+        let mut ev = open.take().unwrap_or(DeviceEvent { key: launch, ops: Vec::new() });
+        if commit_pair(ctx, pairs_d, dev, d, n, &mut ev.ops)? {
+            events.push(ev);
+        } else {
+            open = Some(ev);
+        }
+    }
+    Ok(events)
+}
+
+/// Whether `MEMCNN_FLEET_SEQUENTIAL` forces the legacy single-threaded
+/// event loop. Read on every call (unlike `MEMCNN_THREADS` it is not
+/// once-locked, so tests can pin both paths in one process); the result
+/// is bit-identical either way — the knob exists as the byte-identity
+/// control and an escape hatch.
+fn sequential_requested() -> bool {
+    sequential_from(std::env::var("MEMCNN_FLEET_SEQUENTIAL").ok().as_deref())
+}
+
+/// Parse a `MEMCNN_FLEET_SEQUENTIAL` value, warning on stderr and
+/// falling back to the parallel path when it is present but not a
+/// recognized boolean. Pure so the fallback is unit-testable; the
+/// `Once` guarantees the warning fires at most once per process.
+fn sequential_from(raw: Option<&str>) -> bool {
+    match raw {
+        None => false,
+        Some("1") | Some("true") => true,
+        Some("0") | Some("false") => false,
+        Some(v) => {
+            static WARN: std::sync::Once = std::sync::Once::new();
+            WARN.call_once(|| {
+                eprintln!(
+                    "memcnn: ignoring malformed MEMCNN_FLEET_SEQUENTIAL={v:?} \
+                     (want 1/0/true/false); using the parallel path"
+                );
+            });
+            false
+        }
+    }
+}
+
+/// Adaptive-delay state: the effective delay, the inter-arrival EMA,
+/// and the workload's phase-start boundaries (the only points the
+/// delay may change, so batching cannot feed back into the estimate
+/// mid-phase).
+struct DelayState {
+    policy_delay: f64,
+    ema: Option<f64>,
+    last_arrival: Option<f64>,
+    phase_bounds: Vec<f64>,
+    next_bound: usize,
+}
+
+/// The in-flight state of one fleet run, shared by the sequential and
+/// parallel drivers so both execute the identical per-event arithmetic.
+struct FleetRun<'e, 'a> {
+    engines: &'a [&'e Engine],
+    nets: &'a [Network],
+    cfg: &'a FleetConfig,
+    requests: Vec<Request>,
+    caps: Vec<Vec<usize>>,
+    pairs: Vec<Vec<PairState<'e>>>,
+    devs: Vec<DeviceState>,
+    placer: Box<dyn PlacementPolicy>,
+    g: Globals,
+    delay: DelayState,
+    next_arrival: usize,
+    pol: FaultPolicy,
+    fplan: Option<FaultPlan>,
+    max: usize,
+    k: usize,
+    nn: usize,
+}
+
+impl FleetRun<'_, '_> {
+    /// Earliest launchable batch across all (device, network) pairs
+    /// with routed work: strict `<` in (device, network) iteration
+    /// order makes ties deterministic.
+    fn global_best(&self) -> Option<(f64, usize, usize)> {
+        let mut best: Option<(f64, usize, usize)> = None;
+        for (d, dev) in self.devs.iter().enumerate() {
+            for (n, pair) in self.pairs[d].iter().enumerate() {
+                if pair.next >= pair.queue.len() {
+                    continue;
+                }
+                let launch = window_launch(
+                    &pair.queue,
+                    pair.next,
+                    dev.gpu_free,
+                    pair.emax(),
+                    self.delay.policy_delay,
+                );
+                if best.is_none_or(|(bl, _, _)| launch < bl) {
+                    best = Some((launch, d, n));
+                }
+            }
+        }
+        best
+    }
+
+    /// Route-first rule: every request with arrival <= the committed
+    /// launch must be routed before the commit, because the window
+    /// admits exactly the requests that have arrived by `launch`
+    /// (`arrival <= launch` — hence the inclusive comparison against
+    /// the tentative best).
+    fn should_route(&self, best: Option<(f64, usize, usize)>) -> bool {
+        self.next_arrival < self.requests.len()
+            && best.is_none_or(|(bl, _, _)| self.requests[self.next_arrival].arrival <= bl)
+    }
+
+    /// Route the next arrival: phase-boundary delay updates, the EMA,
+    /// placement, and the arrival-timestamped queue gauges.
+    fn route_one(&mut self) {
+        let r = self.requests[self.next_arrival];
+        // Phase boundaries crossed by this arrival re-derive the
+        // delay from the EMA observed so far.
+        while self.delay.next_bound < self.delay.phase_bounds.len()
+            && r.arrival >= self.delay.phase_bounds[self.delay.next_bound]
+        {
+            if let (Some(ad), Some(e)) = (&self.cfg.adaptive, self.delay.ema) {
+                self.delay.policy_delay = ad.delay(e);
+            }
+            self.delay.next_bound += 1;
+        }
+        if let Some(ad) = &self.cfg.adaptive {
+            if let Some(last) = self.delay.last_arrival {
+                self.delay.ema = Some(ad.update_ema(self.delay.ema, r.arrival - last));
+            }
+            self.delay.last_arrival = Some(r.arrival);
+        }
+        let n = (r.id as usize) % self.nn;
+        let loads: Vec<DeviceLoad> = (0..self.k)
+            .map(|d| {
+                let mut queued_requests = 0usize;
+                let mut queued_images = 0usize;
+                for p in &self.pairs[d] {
+                    let pend = p.pending();
+                    queued_requests += pend.len();
+                    queued_images += pend.iter().map(|q| q.images).sum::<usize>();
+                }
+                DeviceLoad {
+                    device: d,
+                    gpu_free: self.devs[d].gpu_free,
+                    queued_requests,
+                    queued_images,
+                    feasible_cap: self.caps[d][n],
+                }
+            })
+            .collect();
+        let d = self
+            .placer
+            .place(&PlacementCtx {
+                now: r.arrival,
+                images: r.images,
+                network: n,
+                max_batch: self.max,
+                devices: &loads,
+            })
+            .min(self.k - 1);
+        self.g.placements[r.id as usize] = d as u32;
+        self.pairs[d][n].queue.push(r);
+        self.g.fleet_shed +=
+            shed_overdue(&mut self.pairs[d][n], &mut self.devs[d], d, self.pol.shed_deadline);
+        // Queue-pressure gauges at the arrival: the routed device's
+        // backlog (recomputed post-shed) plus the fleet total (other
+        // devices' loads are their pre-route snapshots, unchanged).
+        let dev_images: usize =
+            self.pairs[d].iter().map(|p| p.pending().iter().map(|q| q.images).sum::<usize>()).sum();
+        let total_images: usize = dev_images
+            + loads.iter().filter(|l| l.device != d).map(|l| l.queued_images).sum::<usize>();
+        self.g.rec.gauge(&format!("dev{d}.queue.images"), r.arrival, dev_images as f64);
+        self.g.rec.gauge("queue.images", r.arrival, total_images as f64);
+        self.next_arrival += 1;
+    }
+
+    /// The legacy single-threaded loop: alternate between routing the
+    /// next arrival and committing the global-best batch, whichever
+    /// comes first on the simulated clock.
+    fn run_sequential(&mut self) -> Result<(), EngineError> {
+        loop {
+            let best = self.global_best();
+            if self.should_route(best) {
+                self.route_one();
+                continue;
+            }
+            let Some((_, d, n)) = best else { break };
+            let ctx = StepCtx {
+                engines: self.engines,
+                nets: self.nets,
+                delay: self.delay.policy_delay,
+                pol: self.pol,
+                fplan: self.fplan,
+            };
+            commit_pair(&ctx, &mut self.pairs[d], &mut self.devs[d], d, n, &mut self.g)?;
+        }
+        Ok(())
+    }
+
+    /// The barrier-stepped parallel loop: route every arrival up to the
+    /// barrier, batch-compile predicted cold buckets, step active
+    /// devices concurrently, then replay their deferred effects in the
+    /// sequential merge order.
+    fn run_parallel(&mut self) -> Result<(), EngineError> {
+        loop {
+            // Routing barrier: place arrivals until the next one is
+            // strictly later than every tentative launch. This is the
+            // exact run of consecutive routes the sequential loop
+            // performs between two commits.
+            loop {
+                let best = self.global_best();
+                if !self.should_route(best) {
+                    break;
+                }
+                self.route_one();
+            }
+            let t_next = self.requests.get(self.next_arrival).map(|r| r.arrival);
+            let active: Vec<usize> = (0..self.k)
+                .filter(|&d| self.pairs[d].iter().any(|p| p.next < p.queue.len()))
+                .collect();
+            if active.is_empty() {
+                // Nothing pending and nothing routable: the run is
+                // drained (the route loop would otherwise have routed).
+                debug_assert!(t_next.is_none(), "arrivals remain but none were routed");
+                break;
+            }
+            perf::incr("fleet.barrier.count");
+            self.batch_compile(t_next);
+            if active.len() >= 2 {
+                perf::incr("fleet.step.parallel");
+            }
+
+            let ctx = StepCtx {
+                engines: self.engines,
+                nets: self.nets,
+                delay: self.delay.policy_delay,
+                pol: self.pol,
+                fplan: self.fplan,
+            };
+            let mut tasks: Vec<(usize, &mut Vec<PairState>, &mut DeviceState)> =
+                Vec::with_capacity(active.len());
+            for (d, (pairs_d, dev)) in self.pairs.iter_mut().zip(self.devs.iter_mut()).enumerate() {
+                if active.binary_search(&d).is_ok() {
+                    tasks.push((d, pairs_d, dev));
+                }
+            }
+            let fork = trace::fork();
+            let results = rayon::scope_map(tasks, |(d, pairs_d, dev)| {
+                let _w = fork.attach(d);
+                step_device(&ctx, pairs_d, dev, d, t_next)
+            });
+            fork.merge();
+
+            // Greedy k-way head merge: at every point a queue's head key
+            // equals that device's then-current local best, so popping
+            // the `(key, device)` minimum replays the sequential loop's
+            // global selection exactly. A flat sort would NOT — plan-OOM
+            // compounds make per-device key sequences non-monotone.
+            let mut queues: Vec<(usize, VecDeque<DeviceEvent>)> = Vec::with_capacity(active.len());
+            for (&d, res) in active.iter().zip(results) {
+                queues.push((d, VecDeque::from(res?)));
+            }
+            loop {
+                let mut pick: Option<(f64, usize, usize)> = None;
+                for (i, (d, q)) in queues.iter().enumerate() {
+                    if let Some(head) = q.front() {
+                        if pick.is_none_or(|(bk, bd, _)| (head.key, *d) < (bk, bd)) {
+                            pick = Some((head.key, *d, i));
+                        }
+                    }
+                }
+                let Some((_, _, i)) = pick else { break };
+                let ev = queues[i].1.pop_front().expect("picked head exists");
+                for op in &ev.ops {
+                    self.g.apply(op);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Speculatively compile the cold buckets this barrier's first
+    /// commits would hit: predict each pending pair's next bucket,
+    /// dedup identical (engine, network, bucket) compiles (homogeneous
+    /// fleets share engines, hence plans), and stage the results so the
+    /// in-step `get` consumes them as the misses they would have been.
+    /// A single distinct compile runs inline on the orchestrator to
+    /// keep the engine's internal probe fan-out (workers suppress
+    /// nested parallelism); two or more fan out across the pool.
+    /// Mispredictions waste a compile but are report- and
+    /// counter-invisible: staged results only surface through `get`.
+    fn batch_compile(&mut self, t_next: Option<f64>) {
+        let mut compiles: Vec<(usize, usize, usize)> = Vec::new();
+        let mut waiters: Vec<Vec<(usize, usize)>> = Vec::new();
+        for (d, pairs_d) in self.pairs.iter().enumerate() {
+            for (n, pair) in pairs_d.iter().enumerate() {
+                if pair.next >= pair.queue.len() {
+                    continue;
+                }
+                let emax = pair.emax();
+                let launch = window_launch(
+                    &pair.queue,
+                    pair.next,
+                    self.devs[d].gpu_free,
+                    emax,
+                    self.delay.policy_delay,
+                );
+                if t_next.is_some_and(|t| launch >= t) {
+                    continue; // won't commit this step
+                }
+                let (_, images, _) = form(&pair.queue, pair.next, launch, emax);
+                let bucket = bucket_for(images, emax);
+                if pair.cache.contains(bucket) || pair.cache.has_staged(bucket) {
+                    continue;
+                }
+                let dup = compiles.iter().position(|&(cd, cn, cb)| {
+                    cn == n && cb == bucket && std::ptr::eq(self.engines[cd], self.engines[d])
+                });
+                match dup {
+                    Some(i) => waiters[i].push((d, n)),
+                    None => {
+                        compiles.push((d, n, bucket));
+                        waiters.push(vec![(d, n)]);
+                    }
+                }
+            }
+        }
+        if compiles.is_empty() {
+            return;
+        }
+        perf::add("fleet.plan.batch_compile", compiles.len() as u64);
+        let results: Vec<Result<Plan, EngineError>> = if compiles.len() == 1 {
+            let (d, n, b) = compiles[0];
+            vec![self.pairs[d][n].cache.compile_detached(b)]
+        } else {
+            let pairs = &self.pairs;
+            let jobs: Vec<(usize, (usize, usize, usize))> =
+                compiles.iter().copied().enumerate().collect();
+            let fork = trace::fork();
+            let out = rayon::scope_map(jobs, |(i, (d, n, b))| {
+                let _w = fork.attach(i);
+                pairs[d][n].cache.compile_detached(b)
+            });
+            fork.merge();
+            out
+        };
+        for ((&(_, _, b), ws), result) in compiles.iter().zip(&waiters).zip(results) {
+            for &(d, n) in ws {
+                self.pairs[d][n].cache.stage(b, result.clone());
+            }
+        }
+    }
+}
+
 /// Run the fleet simulation to completion (every generated request is
 /// served or shed). Deterministic: same engine configs + networks +
 /// `cfg` give a bit-identical [`FleetReport`] — latencies, placements,
-/// batch records, and fault statistics — independent of
-/// `MEMCNN_THREADS`.
+/// batch records, fault statistics, and metrics timelines — independent
+/// of `MEMCNN_THREADS` and of the `MEMCNN_FLEET_SEQUENTIAL` escape
+/// hatch (the retained single-threaded loop).
 ///
 /// `engines[d]` is device `d`; pass the same `&Engine` K times for a
-/// homogeneous fleet (they share the engine's simulation warmup).
-/// Request `id % nets.len()` selects the request's network, so several
-/// networks multiplex across one fleet — and, through per-(device,
-/// network) plan caches, across one device.
+/// homogeneous fleet (they share the engine's simulation warmup, and
+/// the parallel path's batched cold-start compilation compiles each
+/// shared (network, bucket) plan once). Request `id % nets.len()`
+/// selects the request's network, so several networks multiplex across
+/// one fleet — and, through per-(device, network) plan caches, across
+/// one device.
 pub fn serve_fleet(
     engines: &[&Engine],
     nets: &[Network],
@@ -355,7 +1101,7 @@ pub fn serve_fleet(
         })
         .collect();
 
-    let mut pairs: Vec<Vec<PairState>> = (0..k)
+    let pairs: Vec<Vec<PairState>> = (0..k)
         .map(|d| {
             (0..nn)
                 .map(|n| PairState {
@@ -369,7 +1115,7 @@ pub fn serve_fleet(
                 .collect()
         })
         .collect();
-    let mut devs: Vec<DeviceState> = (0..k)
+    let devs: Vec<DeviceState> = (0..k)
         .map(|_| DeviceState {
             gpu_free: 0.0,
             launches: 0,
@@ -381,10 +1127,6 @@ pub fn serve_fleet(
         })
         .collect();
 
-    let mut latencies = vec![0.0f64; requests.len()];
-    let mut placements = vec![0u32; requests.len()];
-    let mut placer = cfg.placement.build();
-
     // Timeline instrumentation. Routing samples are timestamped at the
     // arrival; commit samples at the committed launch. The route-first
     // rule guarantees both sequences interleave monotonically (every
@@ -393,19 +1135,15 @@ pub fn serve_fleet(
     // Deadline sheds happen on a *device* clock that may run ahead of
     // the event frontier, so their totals are sampled at the next commit
     // rather than at shed time.
-    let mut rec = Recorder::default();
-    let mut seen_plans: BTreeSet<(usize, usize, usize)> = BTreeSet::new();
-    let mut cache_lookups = 0u64;
-    let mut cache_hits = 0u64;
-    let mut fleet_shed = 0usize;
-
-    // Adaptive-delay state: the effective delay, the inter-arrival EMA,
-    // and the workload's phase-start boundaries (the only points the
-    // delay may change, so batching cannot feed back into the estimate
-    // mid-phase).
-    let mut policy_delay = cfg.policy.max_queue_delay;
-    let mut ema: Option<f64> = None;
-    let mut last_arrival: Option<f64> = None;
+    let g = Globals {
+        latencies: vec![0.0f64; requests.len()],
+        placements: vec![0u32; requests.len()],
+        rec: Recorder::default(),
+        seen_plans: BTreeSet::new(),
+        cache_lookups: 0,
+        cache_hits: 0,
+        fleet_shed: 0,
+    };
     let phase_bounds: Vec<f64> = {
         let mut t = 0.0f64;
         let mut bounds = Vec::new();
@@ -416,311 +1154,38 @@ pub fn serve_fleet(
         bounds.pop(); // the end of the last phase is not a boundary
         bounds
     };
-    let mut next_bound = 0usize;
-
-    let mut next_arrival = 0usize;
-    loop {
-        // Earliest launchable batch across all (device, network) pairs
-        // with routed work: strict `<` in (device, network) iteration
-        // order makes ties deterministic.
-        let mut best: Option<(f64, usize, usize)> = None;
-        for (d, dev) in devs.iter().enumerate() {
-            for (n, pair) in pairs[d].iter().enumerate() {
-                if pair.next >= pair.queue.len() {
-                    continue;
-                }
-                let launch =
-                    window_launch(&pair.queue, pair.next, dev.gpu_free, pair.emax(), policy_delay);
-                if best.is_none_or(|(bl, _, _)| launch < bl) {
-                    best = Some((launch, d, n));
-                }
-            }
-        }
-
-        // Route-first rule: every request with arrival <= the committed
-        // launch must be routed before the commit, because the window
-        // admits exactly the requests that have arrived by `launch`
-        // (`arrival <= launch` — hence the inclusive comparison here).
-        let route = next_arrival < requests.len()
-            && best.is_none_or(|(bl, _, _)| requests[next_arrival].arrival <= bl);
-        if route {
-            let r = requests[next_arrival];
-            // Phase boundaries crossed by this arrival re-derive the
-            // delay from the EMA observed so far.
-            while next_bound < phase_bounds.len() && r.arrival >= phase_bounds[next_bound] {
-                if let (Some(ad), Some(e)) = (&cfg.adaptive, ema) {
-                    policy_delay = ad.delay(e);
-                }
-                next_bound += 1;
-            }
-            if let Some(ad) = &cfg.adaptive {
-                if let Some(last) = last_arrival {
-                    ema = Some(ad.update_ema(ema, r.arrival - last));
-                }
-                last_arrival = Some(r.arrival);
-            }
-            let n = (r.id as usize) % nn;
-            let loads: Vec<DeviceLoad> = (0..k)
-                .map(|d| {
-                    let mut queued_requests = 0usize;
-                    let mut queued_images = 0usize;
-                    for p in &pairs[d] {
-                        let pend = p.pending();
-                        queued_requests += pend.len();
-                        queued_images += pend.iter().map(|q| q.images).sum::<usize>();
-                    }
-                    DeviceLoad {
-                        device: d,
-                        gpu_free: devs[d].gpu_free,
-                        queued_requests,
-                        queued_images,
-                        feasible_cap: caps[d][n],
-                    }
-                })
-                .collect();
-            let d = placer
-                .place(&PlacementCtx {
-                    now: r.arrival,
-                    images: r.images,
-                    network: n,
-                    max_batch: max,
-                    devices: &loads,
-                })
-                .min(k - 1);
-            placements[r.id as usize] = d as u32;
-            pairs[d][n].queue.push(r);
-            fleet_shed += shed_overdue(&mut pairs[d][n], &mut devs[d], d, pol.shed_deadline);
-            // Queue-pressure gauges at the arrival: the routed device's
-            // backlog (recomputed post-shed) plus the fleet total (other
-            // devices' loads are their pre-route snapshots, unchanged).
-            let dev_images: usize =
-                pairs[d].iter().map(|p| p.pending().iter().map(|q| q.images).sum::<usize>()).sum();
-            let total_images: usize = dev_images
-                + loads.iter().filter(|l| l.device != d).map(|l| l.queued_images).sum::<usize>();
-            rec.gauge(&format!("dev{d}.queue.images"), r.arrival, dev_images as f64);
-            rec.gauge("queue.images", r.arrival, total_images as f64);
-            next_arrival += 1;
-            continue;
-        }
-        let Some((_, d, n)) = best else { break };
-
-        // Commit the batch on pair (d, n): the single-device loop body,
-        // verbatim, on this pair's queue and this device's clock.
-        let dev = &mut devs[d];
-        let pair = &mut pairs[d][n];
-        let emax = pair.emax();
-        let launch = window_launch(&pair.queue, pair.next, dev.gpu_free, emax, policy_delay);
-        let (j_end, images, _) = form(&pair.queue, pair.next, launch, emax);
-        debug_assert!(j_end > pair.next, "a committed batch serves at least one request");
-        let bucket = bucket_for(images, emax);
-        cache_lookups += 1;
-        if !seen_plans.insert((d, n, bucket)) {
-            cache_hits += 1;
-        }
-        let plan = match pair.cache.get(bucket) {
-            Ok(plan) => plan,
-            Err(err @ EngineError::PlanOom { .. }) => {
-                if bucket <= 1 {
-                    return Err(err);
-                }
-                dev.plan_ooms += 1;
-                fault_span(
-                    format!("plan OOM at bucket {bucket}"),
-                    launch,
-                    0.0,
-                    vec![
-                        ("new_cap".to_string(), (bucket / 2).to_string()),
-                        ("device".to_string(), d.to_string()),
-                    ],
-                );
-                pair.plan_cap = (bucket / 2).max(1);
-                continue;
-            }
-            Err(err) => return Err(err),
-        };
-        let service = plan.total_time();
-
-        let mut launch_at = launch;
-        let mut attempt: u32 = 0;
-        let mut throttles: u32 = 0;
-        let outcome = loop {
-            let att = engines[d].execute_attempt(plan, fplan.as_ref(), dev.launches);
-            dev.launches += 1;
-            dev.stats.injected += att.throttled as u64;
-            dev.stats.degraded += att.throttled as u64;
-            dev.stats.throttled += att.throttled as u64;
-            throttles += att.throttled;
-            match att.error {
-                None => break Outcome::Done { done: launch_at + att.time },
-                Some(EngineError::Transient { layer, launch: idx, .. }) => {
-                    dev.stats.injected += 1;
-                    if attempt < pol.max_retries {
-                        attempt += 1;
-                        dev.stats.retried += 1;
-                        let backoff = pol.backoff(attempt);
-                        fault_span(
-                            format!("retry {attempt} after {layer}"),
-                            launch_at + att.time,
-                            backoff,
-                            vec![
-                                ("launch_index".to_string(), idx.to_string()),
-                                ("device".to_string(), d.to_string()),
-                            ],
-                        );
-                        launch_at += att.time + backoff;
-                    } else {
-                        dev.stats.shed += 1;
-                        fault_span(
-                            format!("retries exhausted at {layer}"),
-                            launch_at + att.time,
-                            0.0,
-                            vec![
-                                ("attempts".to_string(), (attempt + 1).to_string()),
-                                ("device".to_string(), d.to_string()),
-                            ],
-                        );
-                        break Outcome::Shed { at: launch_at + att.time };
-                    }
-                }
-                Some(EngineError::ExecOom { layer, .. }) => {
-                    dev.stats.injected += 1;
-                    if bucket > 1 {
-                        dev.stats.degraded += 1;
-                        dev.stats.oom_downshifts += 1;
-                        fault_span(
-                            format!("OOM at {layer}: downshift {bucket} -> {}", bucket / 2),
-                            launch_at + att.time,
-                            0.0,
-                            vec![
-                                ("bucket".to_string(), bucket.to_string()),
-                                ("device".to_string(), d.to_string()),
-                            ],
-                        );
-                        break Outcome::Downshift { at: launch_at + att.time };
-                    } else {
-                        dev.stats.shed += 1;
-                        fault_span(
-                            format!("OOM at {layer} with bucket 1: shed"),
-                            launch_at + att.time,
-                            0.0,
-                            vec![("device".to_string(), d.to_string())],
-                        );
-                        break Outcome::Shed { at: launch_at + att.time };
-                    }
-                }
-                Some(other) => return Err(other),
-            }
-        };
-
-        match outcome {
-            Outcome::Done { done } => {
-                for r in &pair.queue[pair.next..j_end] {
-                    latencies[r.id as usize] = done - r.arrival;
-                    rec.observe_latency(done - r.arrival);
-                }
-                let reqs = j_end - pair.next;
-                pair.next = j_end;
-                // Queue pressure left on the device: routed requests of
-                // *any* network that had arrived by launch, not taken.
-                let depth: usize = pairs[d]
-                    .iter()
-                    .map(|p| p.pending().iter().filter(|r| r.arrival <= launch).count())
-                    .sum();
-                let dev = &mut devs[d];
-                {
-                    let idx = dev.batches.len();
-                    let net_name = &nets[n].name;
-                    trace::record_span(|| trace::SpanEvent {
-                        name: format!("batch {idx} (N={bucket})"),
-                        track: trace::Track::Fleet,
-                        ts_us: launch * 1e6,
-                        dur_us: service * 1e6,
-                        args: vec![
-                            ("device".to_string(), d.to_string()),
-                            ("network".to_string(), net_name.clone()),
-                            ("requests".to_string(), reqs.to_string()),
-                            ("images".to_string(), images.to_string()),
-                            ("bucket".to_string(), bucket.to_string()),
-                        ],
-                    });
-                }
-                dev.batches.push(FleetBatch {
-                    record: BatchRecord {
-                        launch,
-                        done,
-                        requests: reqs,
-                        images,
-                        bucket,
-                        queue_depth: depth,
-                        attempts: attempt,
-                        throttled: throttles,
-                    },
-                    network: n as u32,
-                });
-                let pair = &mut pairs[d][n];
-                if pair.pin.is_some() {
-                    if attempt == 0 && throttles == 0 {
-                        pair.clean_streak += 1;
-                        if pair.clean_streak >= pol.recovery_batches {
-                            dev.stats.degraded_exits += 1;
-                            fault_span(
-                                "leave degraded mode".to_string(),
-                                done,
-                                0.0,
-                                vec![
-                                    ("clean_batches".to_string(), pair.clean_streak.to_string()),
-                                    ("device".to_string(), d.to_string()),
-                                ],
-                            );
-                            pair.pin = None;
-                            pair.clean_streak = 0;
-                        }
-                    } else {
-                        pair.clean_streak = 0;
-                    }
-                }
-                dev.busy += done - launch;
-                dev.gpu_free = done;
-                let degraded = pairs[d].iter().any(|p| p.pin.is_some());
-                let busy = devs[d].busy;
-                rec.gauge(&format!("dev{d}.queue.depth"), launch, depth as f64);
-                rec.gauge(
-                    &format!("dev{d}.util"),
-                    launch,
-                    if done > 0.0 { busy / done } else { 0.0 },
-                );
-                rec.gauge(&format!("dev{d}.degraded"), launch, if degraded { 1.0 } else { 0.0 });
-                rec.gauge("plan_cache.hit_rate", launch, cache_hits as f64 / cache_lookups as f64);
-                rec.gauge("shed.total", launch, fleet_shed as f64);
-                rec.sample_window(launch);
-            }
-            Outcome::Shed { at } => {
-                fleet_shed += j_end - pair.next;
-                dev.shed += j_end - pair.next;
-                pair.next = j_end;
-                dev.busy += at - launch;
-                dev.gpu_free = at;
-                let busy = devs[d].busy;
-                rec.gauge("shed.total", launch, fleet_shed as f64);
-                rec.gauge(&format!("dev{d}.util"), launch, if at > 0.0 { busy / at } else { 0.0 });
-            }
-            Outcome::Downshift { at } => {
-                if pair.pin.is_none() {
-                    dev.stats.degraded_entries += 1;
-                }
-                pair.pin = Some((bucket / 2).max(1));
-                pair.clean_streak = 0;
-                dev.busy += at - launch;
-                dev.gpu_free = at;
-                rec.gauge(&format!("dev{d}.degraded"), launch, 1.0);
-            }
-        }
-        // `gpu_free` moved: every network's queue on this device gets
-        // the single-device loop's top-of-iteration overdue check.
-        for pair in pairs[d].iter_mut() {
-            fleet_shed += shed_overdue(pair, &mut devs[d], d, pol.shed_deadline);
-        }
+    let n_requests = requests.len();
+    let mut run = FleetRun {
+        engines,
+        nets,
+        cfg,
+        requests,
+        caps,
+        pairs,
+        devs,
+        placer: cfg.placement.build(),
+        g,
+        delay: DelayState {
+            policy_delay: cfg.policy.max_queue_delay,
+            ema: None,
+            last_arrival: None,
+            phase_bounds,
+            next_bound: 0,
+        },
+        next_arrival: 0,
+        pol,
+        fplan,
+        max,
+        k,
+        nn,
+    };
+    if sequential_requested() {
+        run.run_sequential()?;
+    } else {
+        run.run_parallel()?;
     }
+    let FleetRun { pairs, devs, g, .. } = run;
+    let Globals { latencies, placements, rec, .. } = g;
 
     // Aggregate accounting, mirroring the single-device counter names so
     // a K = 1 fleet bumps exactly what `serve` would.
@@ -813,7 +1278,7 @@ pub fn serve_fleet(
     Ok(FleetReport {
         config: cfg.clone(),
         networks: nets.iter().map(|n| n.name.clone()).collect(),
-        requests: requests.len(),
+        requests: n_requests,
         latencies,
         placements,
         devices,
@@ -964,5 +1429,19 @@ mod tests {
         );
         assert!(serve_fleet(&[], std::slice::from_ref(&net), &cfg).is_err());
         assert!(serve_fleet(&[&e], &[], &cfg).is_err());
+    }
+
+    #[test]
+    fn sequential_knob_parses_and_malformed_falls_back() {
+        assert!(!sequential_from(None));
+        assert!(sequential_from(Some("1")));
+        assert!(sequential_from(Some("true")));
+        assert!(!sequential_from(Some("0")));
+        assert!(!sequential_from(Some("false")));
+        // Malformed values warn once on stderr and keep the parallel
+        // path (mirroring MEMCNN_THREADS' fallback convention).
+        assert!(!sequential_from(Some("yes")));
+        assert!(!sequential_from(Some("")));
+        assert!(!sequential_from(Some(" 1 ")));
     }
 }

@@ -5,6 +5,14 @@
 //! global perf registry (`serve.plan.hit` / `serve.plan.miss`), and each
 //! compile bumps `engine.plan.compile` inside the engine — together they
 //! prove repeat buckets never re-run the layout DP.
+//!
+//! For the fleet's batched cold-start compilation there is a *staged*
+//! side-slot: [`PlanCache::compile_detached`] compiles a bucket without
+//! touching the hit/miss discipline, [`PlanCache::stage`] parks the
+//! result, and the next [`PlanCache::get`] for that bucket consumes it —
+//! still counted as the miss it would have been. Staged results that are
+//! never asked for are dropped with the cache, so speculative prewarms
+//! cannot perturb counters or report contents.
 
 use memcnn_core::{Engine, EngineError, Mechanism, Network, Plan};
 use memcnn_trace::perf;
@@ -17,13 +25,22 @@ pub struct PlanCache<'e> {
     mech: Mechanism,
     template: Network,
     plans: BTreeMap<usize, Plan>,
+    /// Detached-compile results awaiting their first [`PlanCache::get`];
+    /// never read by [`PlanCache::plans`] or the report rollups.
+    staged: BTreeMap<usize, Result<Plan, EngineError>>,
 }
 
 impl<'e> PlanCache<'e> {
     /// Empty cache for `net` (any batch size; it is re-batched per bucket)
     /// under `mech`.
     pub fn new(engine: &'e Engine, net: &Network, mech: Mechanism) -> PlanCache<'e> {
-        PlanCache { engine, mech, template: net.clone(), plans: BTreeMap::new() }
+        PlanCache {
+            engine,
+            mech,
+            template: net.clone(),
+            plans: BTreeMap::new(),
+            staged: BTreeMap::new(),
+        }
     }
 
     /// The plan for `bucket`, compiling it on first use. Plan failures are
@@ -34,15 +51,50 @@ impl<'e> PlanCache<'e> {
             perf::incr("serve.plan.hit");
         } else {
             perf::incr("serve.plan.miss");
-            let plan = self
-                .engine
-                .plan_at(&self.template, self.mech, bucket)
-                .map_err(|e| EngineError::plan(bucket, e))?;
+            // A staged detached compile stands in for the inline compile
+            // this miss would have run — same result, same error, same
+            // counter sequence.
+            let plan = match self.staged.remove(&bucket) {
+                Some(staged) => staged?,
+                None => self
+                    .engine
+                    .plan_at(&self.template, self.mech, bucket)
+                    .map_err(|e| EngineError::plan(bucket, e))?,
+            };
             self.plans.insert(bucket, plan);
         }
         self.plans
             .get(&bucket)
             .ok_or_else(|| EngineError::Fatal(format!("plan cache lost bucket {bucket}")))
+    }
+
+    /// Compile `bucket` without consulting or updating the cache and
+    /// without touching the hit/miss counters (the engine still counts
+    /// the compile itself). Safe to call from worker threads; pair with
+    /// [`PlanCache::stage`] on the orchestrator.
+    pub fn compile_detached(&self, bucket: usize) -> Result<Plan, EngineError> {
+        self.engine
+            .plan_at(&self.template, self.mech, bucket)
+            .map_err(|e| EngineError::plan(bucket, e))
+    }
+
+    /// Park a detached compile's result for `bucket`; the next
+    /// [`PlanCache::get`] for the bucket consumes it instead of compiling
+    /// inline. A no-op once the bucket is properly cached.
+    pub fn stage(&mut self, bucket: usize, result: Result<Plan, EngineError>) {
+        if !self.plans.contains_key(&bucket) {
+            self.staged.insert(bucket, result);
+        }
+    }
+
+    /// Whether `bucket` has a compiled plan (staged results don't count).
+    pub fn contains(&self, bucket: usize) -> bool {
+        self.plans.contains_key(&bucket)
+    }
+
+    /// Whether a staged result is parked for `bucket`.
+    pub fn has_staged(&self, bucket: usize) -> bool {
+        self.staged.contains_key(&bucket)
     }
 
     /// Compile every bucket in `buckets` up front (e.g. to move all plan

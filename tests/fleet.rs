@@ -192,4 +192,73 @@ fn fleet_is_deterministic_exact_at_k1_and_balanced_under_faults() {
         faulted.devices.iter().map(|d| d.shed_requests).sum::<usize>(),
         faulted.shed_requests
     );
+
+    // (4) K = 8 digest equality across MEMCNN_THREADS re-sets {1, 4, 13}
+    // (nominal after the once-locked first read — the real cross-process
+    // thread matrix lives in the fleet bench and CI). A homogeneous
+    // 8-device fleet shares one engine, so the parallel path's barrier
+    // batch-compile dedups shared (network, bucket) misses.
+    std::env::set_var("MEMCNN_THREADS", "4");
+    let shared = black();
+    let eights: Vec<&Engine> = std::iter::repeat_n(&shared, 8).collect();
+    let k8_base = digest(&serve_fleet(&eights, &nets, &cfg).unwrap());
+    for threads in ["1", "13", "4"] {
+        std::env::set_var("MEMCNN_THREADS", threads);
+        let rerun = digest(&serve_fleet(&eights, &nets, &cfg).unwrap());
+        assert_eq!(k8_base, rerun, "K=8 fleet diverged after re-setting MEMCNN_THREADS={threads}");
+    }
+
+    // (5) Sequential-vs-parallel byte-identity: the retained legacy loop
+    // (MEMCNN_FLEET_SEQUENTIAL=1) must reproduce the parallel path's
+    // *entire* report — config echo, latencies, batch records, fault
+    // counters, and the metrics timeline — byte for byte (serde_json
+    // prints f64s shortest-roundtrip, so equal strings == equal bits).
+    // Every serve_fleet call cold-starts its plan caches, so comparing
+    // serve.plan.hit/miss deltas between the two runs is exactly the
+    // cold-start check: batched barrier compilation must leave the same
+    // miss-then-hit discipline (and, via the report's per-network bucket
+    // rollups inside the JSON, the same PlanCache contents) as compiling
+    // serially on first launch.
+    let before_par = memcnn::trace::perf::baseline();
+    let par = serve_fleet(&eights, &nets, &cfg).unwrap();
+    let par_hits = before_par.delta_of("serve.plan.hit");
+    let par_misses = before_par.delta_of("serve.plan.miss");
+    assert!(
+        before_par.delta_of("fleet.barrier.count") > 0,
+        "the parallel path must count routing barriers"
+    );
+    assert!(
+        before_par.delta_of("fleet.step.parallel") > 0,
+        "an 8-device burst must step devices concurrently"
+    );
+    assert!(
+        before_par.delta_of("fleet.plan.batch_compile") > 0,
+        "cold buckets at a barrier must batch-compile"
+    );
+    std::env::set_var("MEMCNN_FLEET_SEQUENTIAL", "1");
+    let before_seq = memcnn::trace::perf::baseline();
+    let seq = serve_fleet(&eights, &nets, &cfg).unwrap();
+    assert_eq!(par_hits, before_seq.delta_of("serve.plan.hit"), "plan-cache hits diverged");
+    assert_eq!(par_misses, before_seq.delta_of("serve.plan.miss"), "plan-cache misses diverged");
+    assert_eq!(
+        before_seq.delta_of("fleet.plan.batch_compile"),
+        0,
+        "the sequential loop must not batch-compile"
+    );
+    assert_eq!(
+        serde_json::to_string(&par).unwrap(),
+        serde_json::to_string(&seq).unwrap(),
+        "sequential and parallel fleet reports must be byte-identical"
+    );
+
+    // (6) A malformed knob value warns (once, on stderr) and falls back
+    // to the parallel path — same digest, no crash.
+    std::env::set_var("MEMCNN_FLEET_SEQUENTIAL", "definitely");
+    let fallback = serve_fleet(&eights, &nets, &cfg).unwrap();
+    assert_eq!(
+        serde_json::to_string(&par).unwrap(),
+        serde_json::to_string(&fallback).unwrap(),
+        "malformed MEMCNN_FLEET_SEQUENTIAL must fall back to the (identical) parallel path"
+    );
+    std::env::remove_var("MEMCNN_FLEET_SEQUENTIAL");
 }

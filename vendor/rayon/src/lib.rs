@@ -74,10 +74,34 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    execute_min(items, f, MIN_PARALLEL_ITEMS)
+}
+
+/// [`execute`] for coarse-grained orchestration fan-outs (one item is a
+/// whole device step or a plan compile, not one array element): worker
+/// threads engage from two items up, because each item amortizes far more
+/// work than [`MIN_PARALLEL_ITEMS`] assumes. Same guarantees as the
+/// prelude terminals — input order preserved, sequential fallback when
+/// nested or single-threaded, worker panics re-raised.
+pub fn scope_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    execute_min(items, f, 2)
+}
+
+fn execute_min<T, R, F>(items: Vec<T>, f: F, min_items: usize) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
     let n = items.len();
     let threads = max_threads().min(n);
     let nested = IN_PARALLEL_REGION.with(|c| c.get());
-    if threads <= 1 || n < MIN_PARALLEL_ITEMS || nested {
+    if threads <= 1 || n < min_items || nested {
         return items.into_iter().map(f).collect();
     }
     // Contiguous portions, concatenated back in order => deterministic output.
@@ -344,6 +368,14 @@ mod tests {
         for (i, v) in buf.iter().enumerate() {
             assert_eq!(*v, (i / 8) as u32);
         }
+    }
+
+    #[test]
+    fn scope_map_preserves_order_from_two_items_up() {
+        assert_eq!(super::scope_map(Vec::<u32>::new(), |x: u32| x), Vec::<u32>::new());
+        assert_eq!(super::scope_map(vec![7], |x: u32| x + 1), vec![8]);
+        let pairs: Vec<(usize, usize)> = super::scope_map((0..9).collect(), |i: usize| (i, i * i));
+        assert_eq!(pairs, (0..9).map(|i| (i, i * i)).collect::<Vec<_>>());
     }
 
     #[test]

@@ -200,10 +200,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
              fn serialize_json(&self, out: &mut String) {{ out.push_str(\"null\"); }}\n}}"
         ),
         Item::Enum { name, variants } => {
-            let arms: String = variants
-                .iter()
-                .map(|v| format!("{name}::{v} => \"{v}\",\n"))
-                .collect();
+            let arms: String =
+                variants.iter().map(|v| format!("{name}::{v} => \"{v}\",\n")).collect();
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
                  fn serialize_json(&self, out: &mut String) {{\n\
@@ -219,9 +217,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let code = match parse_item(input) {
-        Item::Struct { name, .. }
-        | Item::UnitStruct { name }
-        | Item::Enum { name, .. } => {
+        Item::Struct { name, .. } | Item::UnitStruct { name } | Item::Enum { name, .. } => {
             format!("impl ::serde::Deserialize for {name} {{}}")
         }
         Item::Unsupported(msg) => format!("compile_error!(\"{msg}\");"),
