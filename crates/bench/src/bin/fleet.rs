@@ -41,6 +41,7 @@ use memcnn_bench::fleet::{
     FLEET_SIZES,
 };
 use memcnn_bench::serving::sweep_policy;
+use memcnn_bench::slo::{class_table, compare_classes, run_slo_fleet, slo_tenants, ClassCompare};
 use memcnn_bench::util::{Ctx, Table};
 use memcnn_metrics::MetricsTimeline;
 use memcnn_models::{alexnet, vgg16};
@@ -93,6 +94,10 @@ struct NetworkFleet {
     capacity_images_per_sec: f64,
     rows: Vec<PolicyRow>,
     bursty: BurstyRow,
+    /// Per-class columns for the same bursty stream: class-blind
+    /// queue-weighted vs the deadline-aware tenant scheduler (p99 and
+    /// SLO-violation counts per service class).
+    slo_classes: Vec<ClassCompare>,
 }
 
 /// One cold child run of the wallclock matrix.
@@ -411,6 +416,35 @@ fn main() {
             "bursty peak device backlog: round-robin {rr_peak:.0}, least-loaded {ll_peak:.0}, \
              queue-weighted {qw_peak:.0} images (the convoy shows as a least-loaded spike)"
         );
+
+        // Per-class view of the same bursty stream: class-blind
+        // queue-weighted vs the deadline-aware tenant scheduler. The
+        // saturating burst is fairness territory — the aware scheduler
+        // holds per-class violations down but pays lane-fragmentation
+        // capacity for it; the subcritical regime where deadlines win
+        // outright is the `slo` binary's gated comparison.
+        let tenants = slo_tenants(policy.max_queue_delay);
+        let workload = bursty_workload(k, capacity, FLEET_SEED);
+        let aware = run_slo_fleet(
+            &ctx,
+            &net,
+            policy,
+            workload.clone(),
+            Placement::QueueWeighted,
+            k,
+            tenants.clone(),
+        )
+        .unwrap_or_else(|e| panic!("bursty deadline-aware: {e}"));
+        timelines.insert(format!("{}.bursty.deadline-aware", net.name), aware.timeline.clone());
+        let slo_classes = compare_classes(&aware, &qw_run, &workload, &tenants);
+        class_table(
+            format!(
+                "{}: bursty @{k} devices, class-blind queue-weighted vs deadline-aware",
+                net.name
+            ),
+            &slo_classes,
+        )
+        .print();
         networks.push(NetworkFleet {
             name: net.name.clone(),
             max_batch,
@@ -428,6 +462,7 @@ fn main() {
                 ll_peak_queue: ll_peak,
                 qw_peak_queue: qw_peak,
             },
+            slo_classes,
         });
     }
 

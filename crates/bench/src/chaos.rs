@@ -145,6 +145,7 @@ pub fn chaos_sweep(
         mechanism: ctx.mechanism(),
         faults: None,
         fault_policy,
+        tenants: Vec::new(),
     };
 
     let mut t = Table::new(

@@ -43,5 +43,6 @@ pub mod layer_times;
 pub mod profile;
 pub mod scenario;
 pub mod serving;
+pub mod slo;
 pub mod toml_lite;
 pub mod util;

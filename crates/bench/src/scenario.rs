@@ -21,6 +21,12 @@
 //! quiet_frac = 0.3
 //! burst_frac = 1.5
 //!
+//! [tenant.frontend]      # optional: enables the SLO-aware scheduler
+//! class = "interactive"  # or "standard" / "best-effort"
+//! p99_budget_ms = 25.0   # interactive only
+//! weight = 1.0
+//! rate = 200.0           # optional admission cap, requests/second
+//!
 //! [expect]
 //! min_requests = 100
 //! max_shed_rate = 0.25
@@ -44,7 +50,7 @@ use memcnn_core::Network;
 use memcnn_metrics::{Histogram, MetricsTimeline};
 use memcnn_serve::{
     capacity_images_per_sec, feasible_max_batch, serve_fleet, Arrival, FaultPolicy, FleetConfig,
-    FleetReport, Phase, Placement, WorkloadConfig,
+    FleetReport, Phase, Placement, TenantSpec, WorkloadConfig,
 };
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -139,6 +145,10 @@ pub struct ScenarioSpec {
     pub seed: u64,
     /// Workload shape.
     pub workload: WorkloadKind,
+    /// Service tenants (`[tenant.NAME]` sections, name-ascending).
+    /// Empty: the class-blind scheduler, byte-identical to pre-tenant
+    /// baselines.
+    pub tenants: Vec<TenantSpec>,
     /// Optional fault injection.
     pub faults: Option<FaultSpec>,
     /// Hard invariants.
@@ -224,6 +234,64 @@ pub fn parse_spec(text: &str) -> Result<ScenarioSpec, String> {
         other => return Err(format!("unknown workload kind {other:?}")),
     };
 
+    let mut tenants = Vec::new();
+    for section in doc.section_names() {
+        let Some(tname) = section.strip_prefix("tenant.") else { continue };
+        if tname.is_empty()
+            || !tname.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(format!("tenant name {tname:?} must be a metrics-key-safe slug"));
+        }
+        let sec = doc.section(section).expect("section_names yields live sections");
+        let class = need(sec, section, "class")?
+            .as_str()
+            .ok_or_else(|| format!("[{section}] `class` must be a string"))?;
+        let weight = match sec.get("weight") {
+            None => 1.0,
+            Some(v) => v
+                .as_f64()
+                .filter(|w| *w > 0.0)
+                .ok_or_else(|| format!("[{section}] `weight` must be a positive number"))?,
+        };
+        let budget_ms = sec.get("p99_budget_ms").map(|v| {
+            v.as_f64()
+                .filter(|b| *b > 0.0)
+                .ok_or_else(|| format!("[{section}] `p99_budget_ms` must be a positive number"))
+        });
+        let mut spec = match class {
+            "interactive" => {
+                let ms = budget_ms.ok_or_else(|| {
+                    format!("[{section}] interactive tenants need `p99_budget_ms`")
+                })??;
+                TenantSpec::interactive(tname, ms / 1e3, weight)
+            }
+            "standard" | "best-effort" => {
+                if budget_ms.is_some() {
+                    return Err(format!(
+                        "[{section}] `p99_budget_ms` only applies to interactive tenants"
+                    ));
+                }
+                match class {
+                    "standard" => TenantSpec::standard(tname, weight),
+                    _ => TenantSpec::best_effort(tname, weight),
+                }
+            }
+            other => {
+                return Err(format!(
+                    "[{section}] unknown class {other:?} (interactive / standard / best-effort)"
+                ))
+            }
+        };
+        if let Some(v) = sec.get("rate") {
+            let rate = v
+                .as_f64()
+                .filter(|r| *r > 0.0)
+                .ok_or_else(|| format!("[{section}] `rate` must be a positive number"))?;
+            spec = spec.with_rate_limit(rate);
+        }
+        tenants.push(spec);
+    }
+
     let faults = match doc.section("faults") {
         None => None,
         Some(f) => Some(FaultSpec {
@@ -272,6 +340,7 @@ pub fn parse_spec(text: &str) -> Result<ScenarioSpec, String> {
         requests_per_device,
         seed,
         workload,
+        tenants,
         faults,
         expect,
         tolerances,
@@ -372,6 +441,9 @@ pub fn run(spec: &ScenarioSpec) -> Result<(ScenarioResult, MetricsTimeline), Str
 
     let mut cfg = FleetConfig::new(workload, policy, spec.placement);
     cfg.mechanism = ctxs[0].mechanism();
+    if !spec.tenants.is_empty() {
+        cfg = cfg.with_tenants(spec.tenants.clone());
+    }
     if let Some(f) = spec.faults {
         let plan = memcnn_gpusim::FaultPlan::new(f.seed, f.launch_failed, f.device_oom, f.throttle);
         let fpol = FaultPolicy {
@@ -447,6 +519,24 @@ pub fn extract_metrics(report: &FleetReport, k: usize) -> BTreeMap<String, f64> 
     let mean_peak = peaks.iter().sum::<f64>() / peaks.len().max(1) as f64;
     m.insert("queue.peak".to_string(), peak);
     m.insert("queue.imbalance".to_string(), if mean_peak > 0.0 { peak / mean_peak } else { 1.0 });
+    // Tenant metrics exist only for tenant-enabled scenarios: the diff
+    // treats one-sided metrics as schema drift, so emitting them
+    // unconditionally would break every pre-tenant baseline.
+    if let Some(slo) = &report.slo {
+        m.insert("slo.violations".to_string(), slo.violations as f64);
+        m.insert("slo.rejected".to_string(), slo.rejected as f64);
+        m.insert("slo.early_commits".to_string(), slo.early_commits as f64);
+        m.insert("slo.preemptions".to_string(), slo.preemptions as f64);
+        m.insert("slo.fairness_ratio".to_string(), slo.fairness.ratio);
+        for t in &slo.tenants {
+            let key = |field: &str| format!("tenant.{}.{field}", t.name);
+            m.insert(key("p99"), t.latency.p99 * 1e3);
+            m.insert(key("completed"), t.completed as f64);
+            m.insert(key("shed"), t.shed as f64);
+            m.insert(key("rejected"), t.rejected as f64);
+            m.insert(key("violations"), t.violations as f64);
+        }
+    }
     m
 }
 
@@ -611,6 +701,44 @@ default = 0.02
         assert!(parse_spec(&SPEC.replace("titan-black", "h100")).is_err(), "unknown device");
         assert!(parse_spec(&SPEC.replace("least-loaded", "random")).is_err(), "unknown policy");
         assert!(parse_spec(&SPEC.replace("\"poisson\"", "\"steady\"")).is_err(), "unknown kind");
+    }
+
+    const TENANTS: &str = r#"
+[tenant.frontend]
+class = "interactive"
+p99_budget_ms = 25.0
+weight = 1.0
+rate = 200.0
+
+[tenant.analytics]
+class = "best-effort"
+weight = 2.0
+"#;
+
+    #[test]
+    fn tenant_sections_parse_name_ascending() {
+        let spec = parse_spec(&format!("{SPEC}{TENANTS}")).unwrap();
+        assert_eq!(spec.tenants.len(), 2);
+        // Section names come back ascending, so `analytics` leads — the
+        // order is part of the attribution function and must be stable.
+        assert_eq!(spec.tenants[0].name, "analytics");
+        assert_eq!(spec.tenants[0].class.name(), "best-effort");
+        assert_eq!(spec.tenants[0].weight, 2.0);
+        assert_eq!(spec.tenants[0].rate_limit, None);
+        assert_eq!(spec.tenants[1].name, "frontend");
+        assert_eq!(spec.tenants[1].class.p99_budget(), Some(0.025));
+        assert_eq!(spec.tenants[1].rate_limit, Some(200.0));
+
+        assert!(parse_spec(SPEC).unwrap().tenants.is_empty(), "no sections, no tenants");
+        let bad = |s: &str, r: &str| parse_spec(&format!("{SPEC}{}", TENANTS.replace(s, r)));
+        assert!(bad("\"interactive\"", "\"premium\"").is_err(), "unknown class");
+        assert!(bad("p99_budget_ms = 25.0", "").is_err(), "interactive needs a budget");
+        assert!(bad("weight = 2.0", "weight = -1.0").is_err(), "weights must be positive");
+        assert!(
+            bad("class = \"best-effort\"", "class = \"best-effort\"\np99_budget_ms = 9.0").is_err(),
+            "budgets are interactive-only"
+        );
+        assert!(bad("[tenant.analytics]", "[tenant.bad name]").is_err(), "slug-safe names");
     }
 
     #[test]

@@ -99,6 +99,7 @@ pub fn run_point(
         mechanism: ctx.mechanism(),
         faults: None,
         fault_policy: FaultPolicy::default(),
+        tenants: Vec::new(),
     };
     let report = serve(&ctx.engine, net, &cfg)?;
     Ok(SweepRow { frac, rate, report })

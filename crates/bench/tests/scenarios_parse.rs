@@ -1,0 +1,33 @@
+//! Every committed `scenarios/*.toml` must parse, carry a name matching
+//! its filename stem, and declare tenants only where the suite expects
+//! them — catching scenario/baseline skew before the (slower) harness
+//! run in CI does.
+
+use memcnn_bench::scenario::parse_spec;
+
+#[test]
+fn committed_scenarios_parse() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(dir).expect("scenarios dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|x| x != "toml") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("read scenario");
+        let spec = parse_spec(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let stem = path.file_stem().unwrap().to_string_lossy();
+        assert_eq!(spec.name, stem, "scenario name must match its filename stem");
+        // Tenant sections flip the run onto the SLO scheduler, so they
+        // belong only to the slo suite — a stray tenant in another file
+        // would silently change what its baseline pins.
+        assert_eq!(
+            spec.suite == "slo",
+            !spec.tenants.is_empty(),
+            "{}: tenants iff suite == slo",
+            path.display()
+        );
+        seen += 1;
+    }
+    assert!(seen >= 5, "expected the committed scenario set, saw {seen}");
+}

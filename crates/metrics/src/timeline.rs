@@ -87,13 +87,34 @@ impl SlidingWindow {
 
 /// The finished timeline of one run: every gauge series plus the
 /// whole-run latency histogram.
-#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct MetricsTimeline {
     /// Gauge series, ascending by name.
     pub series: Vec<Series>,
     /// Every served latency of the run (shed sentinels excluded by the
     /// recording loop).
     pub latency_hist: Histogram,
+    /// Keyed latency histograms (per-tenant in the SLO scheduler),
+    /// ascending by key. Empty unless the recording loop observed keyed
+    /// latencies.
+    pub keyed_hists: Vec<(String, Histogram)>,
+}
+
+// Manual impl: `keyed_hists` is omitted when empty so timelines recorded
+// by loops that never key a latency (every pre-SLO run) serialize to the
+// exact bytes the derived impl produced before the field existed.
+impl Serialize for MetricsTimeline {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("{\"series\":");
+        self.series.serialize_json(out);
+        out.push_str(",\"latency_hist\":");
+        self.latency_hist.serialize_json(out);
+        if !self.keyed_hists.is_empty() {
+            out.push_str(",\"keyed_hists\":");
+            self.keyed_hists.serialize_json(out);
+        }
+        out.push('}');
+    }
 }
 
 impl MetricsTimeline {
@@ -109,7 +130,12 @@ impl MetricsTimeline {
 
     /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.series.is_empty() && self.latency_hist.is_empty()
+        self.series.is_empty() && self.latency_hist.is_empty() && self.keyed_hists.is_empty()
+    }
+
+    /// Look up one keyed latency histogram (per-tenant in SLO runs).
+    pub fn keyed_hist(&self, key: &str) -> Option<&Histogram> {
+        self.keyed_hists.iter().find(|(k, _)| k == key).map(|(_, h)| h)
     }
 
     /// The timeline as a JSON document (the `metrics.json` payload).
@@ -145,6 +171,7 @@ pub struct Recorder {
     series: BTreeMap<String, Vec<Sample>>,
     window: SlidingWindow,
     hist: Histogram,
+    keyed: BTreeMap<String, Histogram>,
 }
 
 impl Default for Recorder {
@@ -160,6 +187,7 @@ impl Recorder {
             series: BTreeMap::new(),
             window: SlidingWindow::new(window),
             hist: Histogram::new(),
+            keyed: BTreeMap::new(),
         }
     }
 
@@ -173,6 +201,14 @@ impl Recorder {
     pub fn observe_latency(&mut self, latency: f64) {
         self.hist.record(latency);
         self.window.push(latency);
+    }
+
+    /// Feed one served latency into the keyed histogram for `key`
+    /// (per-tenant in SLO runs). Does *not* touch the run histogram or
+    /// the sliding window — callers pair it with
+    /// [`Recorder::observe_latency`].
+    pub fn observe_latency_keyed(&mut self, key: &str, latency: f64) {
+        self.keyed.entry(key.to_string()).or_default().record(latency);
     }
 
     /// Emit the window's current p50/p95/p99 as gauges at time `t`
@@ -191,7 +227,8 @@ impl Recorder {
         }
     }
 
-    /// Freeze into the finished timeline (series ascending by name).
+    /// Freeze into the finished timeline (series ascending by name,
+    /// keyed histograms ascending by key).
     pub fn finish(self) -> MetricsTimeline {
         MetricsTimeline {
             series: self
@@ -200,6 +237,7 @@ impl Recorder {
                 .map(|(name, samples)| Series { name, samples })
                 .collect(),
             latency_hist: self.hist,
+            keyed_hists: self.keyed.into_iter().collect(),
         }
     }
 }
@@ -235,6 +273,27 @@ mod tests {
         let json = t.to_json();
         assert!(json.contains("\"queue.depth\""));
         assert!(json.contains("\"latency_hist\""));
+    }
+
+    #[test]
+    fn keyed_hists_serialize_only_when_observed() {
+        let mut r = Recorder::new(4);
+        r.observe_latency(0.002);
+        let plain = r.clone().finish();
+        assert!(!plain.to_json().contains("keyed_hists"), "unkeyed timelines keep the old shape");
+        r.observe_latency_keyed("chat", 0.002);
+        r.observe_latency_keyed("batch", 0.004);
+        r.observe_latency_keyed("chat", 0.003);
+        let t = r.finish();
+        assert_eq!(t.keyed_hist("chat").unwrap().count(), 2);
+        assert_eq!(t.keyed_hist("batch").unwrap().count(), 1);
+        assert!(t.keyed_hist("nope").is_none());
+        // Ascending by key, and present in the JSON.
+        let keys: Vec<&str> = t.keyed_hists.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["batch", "chat"]);
+        assert!(t.to_json().contains("\"keyed_hists\":[[\"batch\""));
+        // The run histogram is untouched by keyed observations.
+        assert_eq!(t.latency_hist.count(), 1);
     }
 
     #[test]

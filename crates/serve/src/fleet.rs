@@ -47,7 +47,11 @@ use crate::metrics::{latency_stats_sorted, LatencyStats};
 use crate::placement::{DeviceLoad, Placement, PlacementCtx, PlacementPolicy};
 use crate::plan_cache::PlanCache;
 use crate::policy::{FaultPolicy, FaultStats};
-use crate::server::{fault_span, form, BatchRecord, BucketStats};
+use crate::server::{
+    fault_span, form, launch_ladder, BatchRecord, BucketStats, LadderEnd, Outcome,
+};
+use crate::slo::Lane;
+use crate::tenant::{lane_beats, settle_credits, tenant_tags, Admission, SloReport, TenantSpec};
 use crate::workload::{self, Request, WorkloadConfig};
 use memcnn_core::{Engine, EngineError, Mechanism, Network, Plan};
 use memcnn_gpusim::FaultPlan;
@@ -58,7 +62,7 @@ use serde::Serialize;
 use std::collections::{BTreeSet, VecDeque};
 
 /// Everything a fleet run needs besides the engines and the networks.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct FleetConfig {
     /// The synthetic request stream (one stream for the whole fleet;
     /// request `id % networks` selects the target network).
@@ -79,6 +83,38 @@ pub struct FleetConfig {
     pub faults: Option<FaultPlan>,
     /// How each device responds to faults and queue pressure.
     pub fault_policy: FaultPolicy,
+    /// SLO tenants. Empty (the default) keeps the class-blind loop and
+    /// a report byte-identical to the pre-tenant one; non-empty turns on
+    /// per-tenant lanes, deadline-aware commit, admission control, and
+    /// the weighted-fair tiebreak (unless `MEMCNN_SLO_DISABLE=1`).
+    pub tenants: Vec<TenantSpec>,
+}
+
+// Manual impl: `tenants` is omitted when empty so default configs
+// serialize to the exact bytes the derived impl produced before the
+// field existed (the report byte-identity pin in `tests/slo.rs`).
+impl Serialize for FleetConfig {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("{\"workload\":");
+        self.workload.serialize_json(out);
+        out.push_str(",\"policy\":");
+        self.policy.serialize_json(out);
+        out.push_str(",\"adaptive\":");
+        self.adaptive.serialize_json(out);
+        out.push_str(",\"placement\":");
+        self.placement.serialize_json(out);
+        out.push_str(",\"mechanism\":");
+        self.mechanism.serialize_json(out);
+        out.push_str(",\"faults\":");
+        self.faults.serialize_json(out);
+        out.push_str(",\"fault_policy\":");
+        self.fault_policy.serialize_json(out);
+        if !self.tenants.is_empty() {
+            out.push_str(",\"tenants\":");
+            self.tenants.serialize_json(out);
+        }
+        out.push('}');
+    }
 }
 
 impl FleetConfig {
@@ -92,7 +128,14 @@ impl FleetConfig {
             mechanism: Mechanism::Opt,
             faults: None,
             fault_policy: FaultPolicy::default(),
+            tenants: Vec::new(),
         }
+    }
+
+    /// The same config with SLO tenants declared.
+    pub fn with_tenants(mut self, tenants: Vec<TenantSpec>) -> FleetConfig {
+        self.tenants = tenants;
+        self
     }
 
     /// The same config with fault injection enabled.
@@ -152,7 +195,7 @@ pub struct DeviceReport {
 }
 
 /// A finished fleet run.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct FleetReport {
     /// The config the run used.
     pub config: FleetConfig,
@@ -160,10 +203,13 @@ pub struct FleetReport {
     pub networks: Vec<String>,
     /// Requests generated by the workload (served + shed).
     pub requests: usize,
-    /// Per-request latency in request-id order; shed requests keep the
-    /// 0.0 sentinel. The determinism tests compare this bit for bit.
+    /// Per-request latency in request-id order; shed and
+    /// admission-rejected requests keep the 0.0 sentinel. The
+    /// determinism tests compare this bit for bit.
     pub latencies: Vec<f64>,
-    /// Device each request routed to, in request-id order.
+    /// Device each request routed to, in request-id order
+    /// (`u32::MAX` for requests admission control rejected — they never
+    /// reached placement).
     pub placements: Vec<u32>,
     /// Per-device reports, in engine order.
     pub devices: Vec<DeviceReport>,
@@ -180,6 +226,41 @@ pub struct FleetReport {
     /// and commit boundaries, timestamped so every series — and the
     /// whole track — is monotonically non-decreasing in time.
     pub timeline: MetricsTimeline,
+    /// Per-tenant accounting, fairness, and SLO violations; `None` for
+    /// class-blind runs (no tenants, or `MEMCNN_SLO_DISABLE=1`).
+    pub slo: Option<SloReport>,
+}
+
+// Manual impl: `slo` is omitted when `None` so class-blind reports keep
+// the exact pre-tenant byte layout.
+impl Serialize for FleetReport {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("{\"config\":");
+        self.config.serialize_json(out);
+        out.push_str(",\"networks\":");
+        self.networks.serialize_json(out);
+        out.push_str(",\"requests\":");
+        self.requests.serialize_json(out);
+        out.push_str(",\"latencies\":");
+        self.latencies.serialize_json(out);
+        out.push_str(",\"placements\":");
+        self.placements.serialize_json(out);
+        out.push_str(",\"devices\":");
+        self.devices.serialize_json(out);
+        out.push_str(",\"makespan\":");
+        self.makespan.serialize_json(out);
+        out.push_str(",\"shed_requests\":");
+        self.shed_requests.serialize_json(out);
+        out.push_str(",\"faults\":");
+        self.faults.serialize_json(out);
+        out.push_str(",\"timeline\":");
+        self.timeline.serialize_json(out);
+        if let Some(slo) = &self.slo {
+            out.push_str(",\"slo\":");
+            slo.serialize_json(out);
+        }
+        out.push('}');
+    }
 }
 
 impl FleetReport {
@@ -188,11 +269,13 @@ impl FleetReport {
         self.devices.iter().map(|d| d.images).sum()
     }
 
-    /// Latency summary over served requests (0.0 shed sentinels are
-    /// excluded). Sorts once and reuses the sorted sample for every
+    /// Latency summary over served requests (the 0.0 sentinels of shed
+    /// and admission-rejected requests are excluded — neither has a
+    /// latency). Sorts once and reuses the sorted sample for every
     /// percentile.
     pub fn latency(&self) -> LatencyStats {
-        let mut served: Vec<f64> = if self.shed_requests == 0 {
+        let rejected = self.slo.as_ref().map_or(0, |s| s.rejected);
+        let mut served: Vec<f64> = if self.shed_requests == 0 && rejected == 0 {
             self.latencies.clone()
         } else {
             self.latencies.iter().copied().filter(|&l| l > 0.0).collect()
@@ -221,19 +304,36 @@ impl FleetReport {
 }
 
 /// Per-(device, network) serving state: the plan cache and the routed
-/// queue with the single-device loop's degradation state.
+/// per-tenant lanes with the single-device loop's degradation state.
+/// Class-blind runs have exactly one lane, so the lane loop reduces
+/// structurally to the old single-queue arithmetic; the plan cache and
+/// the degradation state (cap, pin, streak) stay per-pair — lanes share
+/// a device and a network, hence a memory budget and a plan.
 struct PairState<'e> {
     cache: PlanCache<'e>,
-    queue: Vec<Request>,
-    next: usize,
+    lanes: Vec<Lane>,
     plan_cap: usize,
     pin: Option<usize>,
     clean_streak: u64,
 }
 
 impl PairState<'_> {
-    fn pending(&self) -> &[Request] {
-        &self.queue[self.next..]
+    fn has_pending(&self) -> bool {
+        self.lanes.iter().any(Lane::has_pending)
+    }
+
+    fn pending_requests(&self) -> usize {
+        self.lanes.iter().map(|l| l.pending().len()).sum()
+    }
+
+    fn pending_images(&self) -> usize {
+        self.lanes.iter().flat_map(|l| l.pending()).map(|r| r.images).sum()
+    }
+
+    /// Pending requests that had arrived by `launch` (the queue-depth
+    /// observable at a commit).
+    fn pending_arrived(&self, launch: f64) -> usize {
+        self.lanes.iter().map(|l| l.pending().iter().filter(|r| r.arrival <= launch).count()).sum()
     }
 
     fn emax(&self) -> usize {
@@ -252,13 +352,31 @@ struct DeviceState {
     /// Simulated seconds the device spent occupied (attempts, backoffs,
     /// and completed service) — the numerator of its utilization gauge.
     busy: f64,
+    /// Fairness deficit credit per tenant (device-local, so the
+    /// sequential and parallel paths settle identical values in commit
+    /// order). One entry per lane; a single 0.0 on class-blind runs.
+    credits: Vec<f64>,
+    /// Requests shed per tenant on this device (batch sheds plus
+    /// overdue-deadline sheds). One entry per lane.
+    shed_by_tenant: Vec<u64>,
+    /// Batches this device committed early to protect a class budget.
+    early: u64,
+    /// Commits that won the device slot from a lane whose tentative
+    /// batch would have launched later with more images.
+    preempt: u64,
 }
 
 /// The single-device window-growth rule on one pair's queue: launch at
 /// `max(gpu_free, min(T_full, T_deadline))`, growing the admission
 /// window arrival by arrival. Identical arithmetic to the single-device
 /// loop (that is what the K = 1 byte-identity test pins down).
-fn window_launch(queue: &[Request], next: usize, gpu_free: f64, emax: usize, delay: f64) -> f64 {
+pub(crate) fn window_launch(
+    queue: &[Request],
+    next: usize,
+    gpu_free: f64,
+    emax: usize,
+    delay: f64,
+) -> f64 {
     let oldest = queue[next].arrival;
     let deadline = oldest + delay;
     let mut launch = gpu_free.max(oldest);
@@ -278,21 +396,23 @@ fn window_launch(queue: &[Request], next: usize, gpu_free: f64, emax: usize, del
     launch
 }
 
-/// Deadline-based shedding of a pair's overdue queue prefix, against the
-/// device's current `gpu_free` (the single-device rule: only head-of-line
-/// requests shed; requests behind a fresh head wait their turn). Shed
-/// requests keep the 0.0 latency sentinel. Returns how many requests it
-/// shed (the caller keeps the fleet-wide running total for the timeline).
+/// Deadline-based shedding of one lane's overdue queue prefix, against
+/// the device's current `gpu_free` (the single-device rule: only
+/// head-of-line requests shed; requests behind a fresh head wait their
+/// turn). Shed requests keep the 0.0 latency sentinel. Returns how many
+/// requests it shed (the caller keeps the fleet-wide running total for
+/// the timeline).
 fn shed_overdue(
-    pair: &mut PairState,
+    lane: &mut Lane,
     dev: &mut DeviceState,
     d: usize,
+    t: usize,
     deadline: Option<f64>,
 ) -> usize {
     let Some(deadline) = deadline else { return 0 };
     let mut shed = 0usize;
-    while pair.next < pair.queue.len() && dev.gpu_free - pair.queue[pair.next].arrival > deadline {
-        let r = &pair.queue[pair.next];
+    while lane.has_pending() && dev.gpu_free - lane.queue[lane.next].arrival > deadline {
+        let r = &lane.queue[lane.next];
         fault_span(
             format!("shed request {}", r.id),
             dev.gpu_free,
@@ -303,17 +423,11 @@ fn shed_overdue(
             ],
         );
         dev.shed += 1;
-        pair.next += 1;
+        dev.shed_by_tenant[t] += 1;
+        lane.next += 1;
         shed += 1;
     }
     shed
-}
-
-/// How one batch's launch-attempt loop ended (the single-device ladder).
-enum Outcome {
-    Done { done: f64 },
-    Shed { at: f64 },
-    Downshift { at: f64 },
 }
 
 /// One order-sensitive global side effect of a commit. Device steps are
@@ -341,6 +455,25 @@ enum Op {
     OverdueShed { count: usize },
 }
 
+/// Per-tenant global accounting for SLO runs: the attribution table
+/// plus the tallies only the globally ordered `Op::Served` replay can
+/// settle deterministically (completions, served images, violations,
+/// keyed latency histograms).
+struct GlobalsSlo {
+    /// `tenant_of[id]` — the request's tenant (from [`tenant_tags`]).
+    tenant_of: Vec<u32>,
+    /// `images_of[id]` — the request's image count (for per-tenant
+    /// served-images tallies without re-walking the request list).
+    images_of: Vec<u64>,
+    /// Tenant names, config order (metrics series keys).
+    names: Vec<String>,
+    /// Per-tenant p99 budget (`None` for classes without one).
+    p99: Vec<Option<f64>>,
+    completed: Vec<u64>,
+    images: Vec<u64>,
+    violations: Vec<u64>,
+}
+
 /// The shared mutable state every [`Op`] replays into. The sequential
 /// path applies ops as they happen; the parallel path applies the same
 /// ops in the same order at the barrier.
@@ -352,6 +485,9 @@ struct Globals {
     cache_lookups: u64,
     cache_hits: u64,
     fleet_shed: usize,
+    /// `Some` only on SLO runs; `None` keeps every apply branch below
+    /// byte-identical to the pre-tenant replay.
+    slo: Option<GlobalsSlo>,
 }
 
 impl Globals {
@@ -366,6 +502,15 @@ impl Globals {
             Op::Served { id, latency } => {
                 self.latencies[id as usize] = latency;
                 self.rec.observe_latency(latency);
+                if let Some(s) = self.slo.as_mut() {
+                    let t = s.tenant_of[id as usize] as usize;
+                    s.completed[t] += 1;
+                    s.images[t] += s.images_of[id as usize];
+                    if s.p99[t].is_some_and(|b| latency > b) {
+                        s.violations[t] += 1;
+                    }
+                    self.rec.observe_latency_keyed(&s.names[t], latency);
+                }
             }
             Op::DoneGauges { d, launch, depth, util, degraded } => {
                 self.rec.gauge(&format!("dev{d}.queue.depth"), launch, depth as f64);
@@ -381,6 +526,16 @@ impl Globals {
                     self.cache_hits as f64 / self.cache_lookups as f64,
                 );
                 self.rec.gauge("shed.total", launch, self.fleet_shed as f64);
+                if let Some(s) = &self.slo {
+                    let total: u64 = s.violations.iter().sum();
+                    self.rec.gauge("slo.violations", launch, total as f64);
+                    for (t, name) in s.names.iter().enumerate() {
+                        if s.p99[t].is_some() {
+                            let series = format!("tenant.{name}.violations");
+                            self.rec.gauge(&series, launch, s.violations[t] as f64);
+                        }
+                    }
+                }
                 self.rec.sample_window(launch);
             }
             Op::ShedGauges { d, launch, batch_shed, util } => {
@@ -415,19 +570,72 @@ impl EffectSink for Vec<Op> {
     }
 }
 
+/// The SLO slice of a [`StepCtx`]: per-tenant commit budgets derived
+/// from the step's frozen delay, class ranks, and the tenant specs (for
+/// names and fairness weights).
+struct SloStepCtx<'a> {
+    budgets: Vec<f64>,
+    ranks: Vec<u8>,
+    tenants: &'a [TenantSpec],
+}
+
 /// Read-only inputs shared by every commit between two routing barriers
 /// (the effective delay is frozen during a step phase — it only changes
-/// when an arrival crosses a workload phase boundary, which is routing).
+/// when an arrival crosses a workload phase boundary, which is routing;
+/// the per-class budgets in `slo` are re-derived from it then too).
 struct StepCtx<'a, 'e> {
     engines: &'a [&'e Engine],
     nets: &'a [Network],
     delay: f64,
     pol: FaultPolicy,
     fplan: Option<FaultPlan>,
+    slo: Option<SloStepCtx<'a>>,
 }
 
-/// Commit the earliest launchable batch on pair `(d, n)`: the
-/// single-device loop body, verbatim, on this pair's queue and this
+impl StepCtx<'_, '_> {
+    /// The commit budget lane `t` grows its window under: the tenant's
+    /// class budget on SLO runs, the uniform policy delay otherwise.
+    fn lane_delay(&self, t: usize) -> f64 {
+        self.slo.as_ref().map_or(self.delay, |s| s.budgets[t])
+    }
+}
+
+/// Earliest launchable lane on one device: networks in ascending order,
+/// lanes within each pair in tenant order. Class-blind runs take strict
+/// `<` (first-wins on ties — with one lane per pair this is exactly the
+/// pre-tenant per-device scan); SLO runs break exact launch ties by
+/// fairness credit, then class rank, then iteration order.
+fn device_best(
+    ctx: &StepCtx,
+    pairs_d: &[PairState],
+    dev: &DeviceState,
+) -> Option<(f64, usize, usize)> {
+    let mut best: Option<(f64, usize, usize)> = None;
+    for (n, pair) in pairs_d.iter().enumerate() {
+        for (t, lane) in pair.lanes.iter().enumerate() {
+            if !lane.has_pending() {
+                continue;
+            }
+            let launch =
+                window_launch(&lane.queue, lane.next, dev.gpu_free, pair.emax(), ctx.lane_delay(t));
+            let take = match (&ctx.slo, best) {
+                (_, None) => true,
+                (None, Some((bl, _, _))) => launch < bl,
+                (Some(s), Some((bl, _, bt))) => lane_beats(
+                    (launch, dev.credits[t], s.ranks[t]),
+                    (bl, dev.credits[bt], s.ranks[bt]),
+                ),
+            };
+            if take {
+                best = Some((launch, n, t));
+            }
+        }
+    }
+    best
+}
+
+/// Commit the earliest launchable batch on lane `(d, n, t)`: the
+/// single-device loop body, verbatim, on this lane's queue and this
 /// device's clock. Returns `Ok(true)` when a batch committed and
 /// `Ok(false)` when a plan-time OOM halved the pair's cap instead (the
 /// caller re-selects; the sequential loop's `continue`).
@@ -437,13 +645,47 @@ fn commit_pair<S: EffectSink>(
     dev: &mut DeviceState,
     d: usize,
     n: usize,
+    t: usize,
     sink: &mut S,
 ) -> Result<bool, EngineError> {
     let emax = pairs_d[n].emax();
-    let launch = window_launch(&pairs_d[n].queue, pairs_d[n].next, dev.gpu_free, emax, ctx.delay);
-    let (j_end, images, _) = form(&pairs_d[n].queue, pairs_d[n].next, launch, emax);
-    debug_assert!(j_end > pairs_d[n].next, "a committed batch serves at least one request");
+    let lane = &pairs_d[n].lanes[t];
+    let launch = window_launch(&lane.queue, lane.next, dev.gpu_free, emax, ctx.lane_delay(t));
+    let (j_end, images, full) = form(&lane.queue, lane.next, launch, emax);
+    debug_assert!(j_end > lane.next, "a committed batch serves at least one request");
     let bucket = bucket_for(images, emax);
+    // SLO observability on this selection, computed before the cache
+    // borrow and applied only if the plan resolves (so a plan-OOM
+    // re-selection is not double-counted).
+    let mut early_hit = false;
+    let mut preempt_hit = false;
+    if let Some(s) = &ctx.slo {
+        // Early commit: the class budget (tighter than the policy delay)
+        // fired before the batch filled.
+        early_hit = !full
+            && s.budgets[t] < ctx.delay
+            && launch == lane.queue[lane.next].arrival + s.budgets[t];
+        // Preemption: this lane won the slot from a lane whose tentative
+        // batch (over work arrived by `launch`) would have launched
+        // later with more images.
+        'scan: for pair2 in pairs_d.iter() {
+            for (t2, lane2) in pair2.lanes.iter().enumerate() {
+                if t2 != t
+                    && crate::slo::lane_preempts(
+                        lane2,
+                        s.budgets[t2],
+                        dev.gpu_free,
+                        pair2.emax(),
+                        launch,
+                        images,
+                    )
+                {
+                    preempt_hit = true;
+                    break 'scan;
+                }
+            }
+        }
+    }
     sink.emit(Op::Lookup { d, n, bucket });
     let plan = match pairs_d[n].cache.get(bucket) {
         Ok(plan) => plan,
@@ -467,93 +709,39 @@ fn commit_pair<S: EffectSink>(
         Err(err) => return Err(err),
     };
     let service = plan.total_time();
+    if early_hit {
+        dev.early += 1;
+    }
+    if preempt_hit {
+        dev.preempt += 1;
+    }
 
-    let mut launch_at = launch;
-    let mut attempt: u32 = 0;
-    let mut throttles: u32 = 0;
-    let outcome = loop {
-        let att = ctx.engines[d].execute_attempt(plan, ctx.fplan.as_ref(), dev.launches);
-        dev.launches += 1;
-        dev.stats.injected += att.throttled as u64;
-        dev.stats.degraded += att.throttled as u64;
-        dev.stats.throttled += att.throttled as u64;
-        throttles += att.throttled;
-        match att.error {
-            None => break Outcome::Done { done: launch_at + att.time },
-            Some(EngineError::Transient { layer, launch: idx, .. }) => {
-                dev.stats.injected += 1;
-                if attempt < ctx.pol.max_retries {
-                    attempt += 1;
-                    dev.stats.retried += 1;
-                    let backoff = ctx.pol.backoff(attempt);
-                    fault_span(
-                        format!("retry {attempt} after {layer}"),
-                        launch_at + att.time,
-                        backoff,
-                        vec![
-                            ("launch_index".to_string(), idx.to_string()),
-                            ("device".to_string(), d.to_string()),
-                        ],
-                    );
-                    launch_at += att.time + backoff;
-                } else {
-                    dev.stats.shed += 1;
-                    fault_span(
-                        format!("retries exhausted at {layer}"),
-                        launch_at + att.time,
-                        0.0,
-                        vec![
-                            ("attempts".to_string(), (attempt + 1).to_string()),
-                            ("device".to_string(), d.to_string()),
-                        ],
-                    );
-                    break Outcome::Shed { at: launch_at + att.time };
-                }
-            }
-            Some(EngineError::ExecOom { layer, .. }) => {
-                dev.stats.injected += 1;
-                if bucket > 1 {
-                    dev.stats.degraded += 1;
-                    dev.stats.oom_downshifts += 1;
-                    fault_span(
-                        format!("OOM at {layer}: downshift {bucket} -> {}", bucket / 2),
-                        launch_at + att.time,
-                        0.0,
-                        vec![
-                            ("bucket".to_string(), bucket.to_string()),
-                            ("device".to_string(), d.to_string()),
-                        ],
-                    );
-                    break Outcome::Downshift { at: launch_at + att.time };
-                } else {
-                    dev.stats.shed += 1;
-                    fault_span(
-                        format!("OOM at {layer} with bucket 1: shed"),
-                        launch_at + att.time,
-                        0.0,
-                        vec![("device".to_string(), d.to_string())],
-                    );
-                    break Outcome::Shed { at: launch_at + att.time };
-                }
-            }
-            Some(other) => return Err(other),
-        }
-    };
+    let LadderEnd { outcome, attempts: attempt, throttles } = launch_ladder(
+        ctx.engines[d],
+        plan,
+        ctx.fplan.as_ref(),
+        &mut dev.launches,
+        &mut dev.stats,
+        &ctx.pol,
+        bucket,
+        launch,
+        Some(d),
+    )?;
 
     match outcome {
         Outcome::Done { done } => {
-            let pair = &mut pairs_d[n];
-            for r in &pair.queue[pair.next..j_end] {
-                sink.emit(Op::Served { id: r.id, latency: done - r.arrival });
-            }
-            let reqs = j_end - pair.next;
-            pair.next = j_end;
+            let reqs = {
+                let lane = &mut pairs_d[n].lanes[t];
+                for r in &lane.queue[lane.next..j_end] {
+                    sink.emit(Op::Served { id: r.id, latency: done - r.arrival });
+                }
+                let reqs = j_end - lane.next;
+                lane.next = j_end;
+                reqs
+            };
             // Queue pressure left on the device: routed requests of
             // *any* network that had arrived by launch, not taken.
-            let depth: usize = pairs_d
-                .iter()
-                .map(|p| p.pending().iter().filter(|r| r.arrival <= launch).count())
-                .sum();
+            let depth: usize = pairs_d.iter().map(|p| p.pending_arrived(launch)).sum();
             {
                 let idx = dev.batches.len();
                 let net_name = &ctx.nets[n].name;
@@ -562,13 +750,19 @@ fn commit_pair<S: EffectSink>(
                     track: trace::Track::Fleet,
                     ts_us: launch * 1e6,
                     dur_us: service * 1e6,
-                    args: vec![
-                        ("device".to_string(), d.to_string()),
-                        ("network".to_string(), net_name.clone()),
-                        ("requests".to_string(), reqs.to_string()),
-                        ("images".to_string(), images.to_string()),
-                        ("bucket".to_string(), bucket.to_string()),
-                    ],
+                    args: {
+                        let mut args = vec![
+                            ("device".to_string(), d.to_string()),
+                            ("network".to_string(), net_name.clone()),
+                            ("requests".to_string(), reqs.to_string()),
+                            ("images".to_string(), images.to_string()),
+                            ("bucket".to_string(), bucket.to_string()),
+                        ];
+                        if let Some(s) = &ctx.slo {
+                            args.push(("tenant".to_string(), s.tenants[t].name.clone()));
+                        }
+                        args
+                    },
                 });
             }
             dev.batches.push(FleetBatch {
@@ -611,16 +805,35 @@ fn commit_pair<S: EffectSink>(
             let degraded = pairs_d.iter().any(|p| p.pin.is_some());
             let util = if done > 0.0 { dev.busy / done } else { 0.0 };
             sink.emit(Op::DoneGauges { d, launch, depth, util, degraded });
+            if let Some(s) = &ctx.slo {
+                settle_credits(
+                    &mut dev.credits,
+                    s.tenants,
+                    |u| pairs_d.iter().any(|p| p.lanes[u].has_pending()),
+                    t,
+                    images,
+                );
+            }
         }
         Outcome::Shed { at } => {
-            let pair = &mut pairs_d[n];
-            let batch_shed = j_end - pair.next;
+            let lane = &mut pairs_d[n].lanes[t];
+            let batch_shed = j_end - lane.next;
             dev.shed += batch_shed;
-            pair.next = j_end;
+            dev.shed_by_tenant[t] += batch_shed as u64;
+            lane.next = j_end;
             dev.busy += at - launch;
             dev.gpu_free = at;
             let util = if at > 0.0 { dev.busy / at } else { 0.0 };
             sink.emit(Op::ShedGauges { d, launch, batch_shed, util });
+            if let Some(s) = &ctx.slo {
+                settle_credits(
+                    &mut dev.credits,
+                    s.tenants,
+                    |u| pairs_d.iter().any(|p| p.lanes[u].has_pending()),
+                    t,
+                    images,
+                );
+            }
         }
         Outcome::Downshift { at } => {
             let pair = &mut pairs_d[n];
@@ -638,7 +851,9 @@ fn commit_pair<S: EffectSink>(
     // the single-device loop's top-of-iteration overdue check.
     let mut overdue = 0usize;
     for pair in pairs_d.iter_mut() {
-        overdue += shed_overdue(pair, dev, d, ctx.pol.shed_deadline);
+        for (t2, lane) in pair.lanes.iter_mut().enumerate() {
+            overdue += shed_overdue(lane, dev, d, t2, ctx.pol.shed_deadline);
+        }
     }
     if overdue > 0 {
         sink.emit(Op::OverdueShed { count: overdue });
@@ -671,20 +886,10 @@ fn step_device(
     let mut events = Vec::new();
     let mut open: Option<DeviceEvent> = None;
     loop {
-        // Local best: same strict `<` tie-break over ascending network
-        // index as the sequential loop's (device-major) global scan.
-        let mut best: Option<(f64, usize)> = None;
-        for (n, pair) in pairs_d.iter().enumerate() {
-            if pair.next >= pair.queue.len() {
-                continue;
-            }
-            let launch =
-                window_launch(&pair.queue, pair.next, dev.gpu_free, pair.emax(), ctx.delay);
-            if best.is_none_or(|(bl, _)| launch < bl) {
-                best = Some((launch, n));
-            }
-        }
-        let Some((launch, n)) = best else {
+        // Local best: the shared per-device scan (same strict `<`
+        // tie-break over ascending network index as the sequential
+        // loop's device-major global scan; lane tie-breaks on SLO runs).
+        let Some((launch, n, t)) = device_best(ctx, pairs_d, dev) else {
             debug_assert!(open.is_none(), "plan-OOM compound left open with no pending work");
             break;
         };
@@ -692,11 +897,11 @@ fn step_device(
         // unrouted arrival (the route-first rule routes on ties). A
         // compound never straddles it — post-halving launches only
         // shrink — so an open compound always finishes its commit.
-        if open.is_none() && t_next.is_some_and(|t| launch >= t) {
+        if open.is_none() && t_next.is_some_and(|tb| launch >= tb) {
             break;
         }
         let mut ev = open.take().unwrap_or(DeviceEvent { key: launch, ops: Vec::new() });
-        if commit_pair(ctx, pairs_d, dev, d, n, &mut ev.ops)? {
+        if commit_pair(ctx, pairs_d, dev, d, n, t, &mut ev.ops)? {
             events.push(ev);
         } else {
             open = Some(ev);
@@ -748,6 +953,16 @@ struct DelayState {
     next_bound: usize,
 }
 
+/// Per-run SLO state owned by the router: the request→tenant table,
+/// the admission controller (token buckets advance on the arrival
+/// clock, which the router walks in order), and the admission tallies.
+struct SloRun {
+    tags: Vec<u32>,
+    admission: Admission,
+    admitted: Vec<u64>,
+    rejected: Vec<u64>,
+}
+
 /// The in-flight state of one fleet run, shared by the sequential and
 /// parallel drivers so both execute the identical per-event arithmetic.
 struct FleetRun<'e, 'a> {
@@ -767,28 +982,43 @@ struct FleetRun<'e, 'a> {
     max: usize,
     k: usize,
     nn: usize,
+    /// `Some` only on SLO runs (tenants configured and not disabled).
+    slo_run: Option<SloRun>,
 }
 
-impl FleetRun<'_, '_> {
-    /// Earliest launchable batch across all (device, network) pairs
-    /// with routed work: strict `<` in (device, network) iteration
-    /// order makes ties deterministic.
-    fn global_best(&self) -> Option<(f64, usize, usize)> {
-        let mut best: Option<(f64, usize, usize)> = None;
+impl<'e, 'a> FleetRun<'e, 'a> {
+    /// Freeze the step inputs for the current effective delay. Rebuilt
+    /// whenever routing may have changed the delay; borrows only the
+    /// run's `'a` inputs so the caller can keep mutating the run state.
+    fn step_ctx(&self) -> StepCtx<'a, 'e> {
+        let cfg = self.cfg;
+        StepCtx {
+            engines: self.engines,
+            nets: self.nets,
+            delay: self.delay.policy_delay,
+            pol: self.pol,
+            fplan: self.fplan,
+            slo: self.slo_run.as_ref().map(|_| SloStepCtx {
+                budgets: cfg
+                    .tenants
+                    .iter()
+                    .map(|t| t.class.commit_budget(self.delay.policy_delay))
+                    .collect(),
+                ranks: cfg.tenants.iter().map(|t| t.class.rank()).collect(),
+                tenants: &cfg.tenants,
+            }),
+        }
+    }
+
+    /// Earliest launchable batch across all devices: each device's
+    /// [`device_best`] lane, then strict `<` across devices in index
+    /// order — exactly the flat device-major scan's tie behaviour.
+    fn global_best(&self, ctx: &StepCtx) -> Option<(f64, usize, usize, usize)> {
+        let mut best: Option<(f64, usize, usize, usize)> = None;
         for (d, dev) in self.devs.iter().enumerate() {
-            for (n, pair) in self.pairs[d].iter().enumerate() {
-                if pair.next >= pair.queue.len() {
-                    continue;
-                }
-                let launch = window_launch(
-                    &pair.queue,
-                    pair.next,
-                    dev.gpu_free,
-                    pair.emax(),
-                    self.delay.policy_delay,
-                );
-                if best.is_none_or(|(bl, _, _)| launch < bl) {
-                    best = Some((launch, d, n));
+            if let Some((launch, n, t)) = device_best(ctx, &self.pairs[d], dev) {
+                if best.is_none_or(|(bl, _, _, _)| launch < bl) {
+                    best = Some((launch, d, n, t));
                 }
             }
         }
@@ -800,9 +1030,9 @@ impl FleetRun<'_, '_> {
     /// admits exactly the requests that have arrived by `launch`
     /// (`arrival <= launch` — hence the inclusive comparison against
     /// the tentative best).
-    fn should_route(&self, best: Option<(f64, usize, usize)>) -> bool {
+    fn should_route(&self, best: Option<(f64, usize, usize, usize)>) -> bool {
         self.next_arrival < self.requests.len()
-            && best.is_none_or(|(bl, _, _)| self.requests[self.next_arrival].arrival <= bl)
+            && best.is_none_or(|(bl, _, _, _)| self.requests[self.next_arrival].arrival <= bl)
     }
 
     /// Route the next arrival: phase-boundary delay updates, the EMA,
@@ -826,14 +1056,36 @@ impl FleetRun<'_, '_> {
             self.delay.last_arrival = Some(r.arrival);
         }
         let n = (r.id as usize) % self.nn;
+        // SLO admission: a rejected arrival never reaches placement —
+        // it keeps the `u32::MAX` placement sentinel and 0.0 latency.
+        let mut lt = 0usize;
+        if let Some(slo) = self.slo_run.as_mut() {
+            let t = slo.tags[r.id as usize] as usize;
+            slo.admitted[t] += 1;
+            if !slo.admission.admit(t, r.arrival) {
+                slo.rejected[t] += 1;
+                self.g.placements[r.id as usize] = u32::MAX;
+                fault_span(
+                    format!("reject request {}", r.id),
+                    r.arrival,
+                    0.0,
+                    vec![
+                        ("reason".to_string(), "admission".to_string()),
+                        ("tenant".to_string(), self.cfg.tenants[t].name.clone()),
+                    ],
+                );
+                self.next_arrival += 1;
+                return;
+            }
+            lt = t;
+        }
         let loads: Vec<DeviceLoad> = (0..self.k)
             .map(|d| {
                 let mut queued_requests = 0usize;
                 let mut queued_images = 0usize;
                 for p in &self.pairs[d] {
-                    let pend = p.pending();
-                    queued_requests += pend.len();
-                    queued_images += pend.iter().map(|q| q.images).sum::<usize>();
+                    queued_requests += p.pending_requests();
+                    queued_images += p.pending_images();
                 }
                 DeviceLoad {
                     device: d,
@@ -855,14 +1107,18 @@ impl FleetRun<'_, '_> {
             })
             .min(self.k - 1);
         self.g.placements[r.id as usize] = d as u32;
-        self.pairs[d][n].queue.push(r);
-        self.g.fleet_shed +=
-            shed_overdue(&mut self.pairs[d][n], &mut self.devs[d], d, self.pol.shed_deadline);
+        self.pairs[d][n].lanes[lt].queue.push(r);
+        {
+            let pair = &mut self.pairs[d][n];
+            for (t2, lane) in pair.lanes.iter_mut().enumerate() {
+                self.g.fleet_shed +=
+                    shed_overdue(lane, &mut self.devs[d], d, t2, self.pol.shed_deadline);
+            }
+        }
         // Queue-pressure gauges at the arrival: the routed device's
         // backlog (recomputed post-shed) plus the fleet total (other
         // devices' loads are their pre-route snapshots, unchanged).
-        let dev_images: usize =
-            self.pairs[d].iter().map(|p| p.pending().iter().map(|q| q.images).sum::<usize>()).sum();
+        let dev_images: usize = self.pairs[d].iter().map(|p| p.pending_images()).sum();
         let total_images: usize = dev_images
             + loads.iter().filter(|l| l.device != d).map(|l| l.queued_images).sum::<usize>();
         self.g.rec.gauge(&format!("dev{d}.queue.images"), r.arrival, dev_images as f64);
@@ -875,20 +1131,14 @@ impl FleetRun<'_, '_> {
     /// comes first on the simulated clock.
     fn run_sequential(&mut self) -> Result<(), EngineError> {
         loop {
-            let best = self.global_best();
+            let ctx = self.step_ctx();
+            let best = self.global_best(&ctx);
             if self.should_route(best) {
                 self.route_one();
                 continue;
             }
-            let Some((_, d, n)) = best else { break };
-            let ctx = StepCtx {
-                engines: self.engines,
-                nets: self.nets,
-                delay: self.delay.policy_delay,
-                pol: self.pol,
-                fplan: self.fplan,
-            };
-            commit_pair(&ctx, &mut self.pairs[d], &mut self.devs[d], d, n, &mut self.g)?;
+            let Some((_, d, n, t)) = best else { break };
+            commit_pair(&ctx, &mut self.pairs[d], &mut self.devs[d], d, n, t, &mut self.g)?;
         }
         Ok(())
     }
@@ -904,16 +1154,16 @@ impl FleetRun<'_, '_> {
             // exact run of consecutive routes the sequential loop
             // performs between two commits.
             loop {
-                let best = self.global_best();
+                let ctx = self.step_ctx();
+                let best = self.global_best(&ctx);
                 if !self.should_route(best) {
                     break;
                 }
                 self.route_one();
             }
             let t_next = self.requests.get(self.next_arrival).map(|r| r.arrival);
-            let active: Vec<usize> = (0..self.k)
-                .filter(|&d| self.pairs[d].iter().any(|p| p.next < p.queue.len()))
-                .collect();
+            let active: Vec<usize> =
+                (0..self.k).filter(|&d| self.pairs[d].iter().any(|p| p.has_pending())).collect();
             if active.is_empty() {
                 // Nothing pending and nothing routable: the run is
                 // drained (the route loop would otherwise have routed).
@@ -926,13 +1176,7 @@ impl FleetRun<'_, '_> {
                 perf::incr("fleet.step.parallel");
             }
 
-            let ctx = StepCtx {
-                engines: self.engines,
-                nets: self.nets,
-                delay: self.delay.policy_delay,
-                pol: self.pol,
-                fplan: self.fplan,
-            };
+            let ctx = self.step_ctx();
             let mut tasks: Vec<(usize, &mut Vec<PairState>, &mut DeviceState)> =
                 Vec::with_capacity(active.len());
             for (d, (pairs_d, dev)) in self.pairs.iter_mut().zip(self.devs.iter_mut()).enumerate() {
@@ -986,37 +1230,44 @@ impl FleetRun<'_, '_> {
     /// Mispredictions waste a compile but are report- and
     /// counter-invisible: staged results only surface through `get`.
     fn batch_compile(&mut self, t_next: Option<f64>) {
+        let ctx = self.step_ctx();
         let mut compiles: Vec<(usize, usize, usize)> = Vec::new();
         let mut waiters: Vec<Vec<(usize, usize)>> = Vec::new();
         for (d, pairs_d) in self.pairs.iter().enumerate() {
             for (n, pair) in pairs_d.iter().enumerate() {
-                if pair.next >= pair.queue.len() {
-                    continue;
-                }
                 let emax = pair.emax();
-                let launch = window_launch(
-                    &pair.queue,
-                    pair.next,
-                    self.devs[d].gpu_free,
-                    emax,
-                    self.delay.policy_delay,
-                );
-                if t_next.is_some_and(|t| launch >= t) {
-                    continue; // won't commit this step
-                }
-                let (_, images, _) = form(&pair.queue, pair.next, launch, emax);
-                let bucket = bucket_for(images, emax);
-                if pair.cache.contains(bucket) || pair.cache.has_staged(bucket) {
-                    continue;
-                }
-                let dup = compiles.iter().position(|&(cd, cn, cb)| {
-                    cn == n && cb == bucket && std::ptr::eq(self.engines[cd], self.engines[d])
-                });
-                match dup {
-                    Some(i) => waiters[i].push((d, n)),
-                    None => {
-                        compiles.push((d, n, bucket));
-                        waiters.push(vec![(d, n)]);
+                for (lt, lane) in pair.lanes.iter().enumerate() {
+                    if !lane.has_pending() {
+                        continue;
+                    }
+                    let launch = window_launch(
+                        &lane.queue,
+                        lane.next,
+                        self.devs[d].gpu_free,
+                        emax,
+                        ctx.lane_delay(lt),
+                    );
+                    if t_next.is_some_and(|t| launch >= t) {
+                        continue; // won't commit this step
+                    }
+                    let (_, images, _) = form(&lane.queue, lane.next, launch, emax);
+                    let bucket = bucket_for(images, emax);
+                    if pair.cache.contains(bucket) || pair.cache.has_staged(bucket) {
+                        continue;
+                    }
+                    let dup = compiles.iter().position(|&(cd, cn, cb)| {
+                        cn == n && cb == bucket && std::ptr::eq(self.engines[cd], self.engines[d])
+                    });
+                    match dup {
+                        Some(i) => {
+                            if !waiters[i].contains(&(d, n)) {
+                                waiters[i].push((d, n));
+                            }
+                        }
+                        None => {
+                            compiles.push((d, n, bucket));
+                            waiters.push(vec![(d, n)]);
+                        }
                     }
                 }
             }
@@ -1101,13 +1352,23 @@ pub fn serve_fleet(
         })
         .collect();
 
+    // One lane per tenant when SLO scheduling is active; a single lane
+    // otherwise, which makes every lane loop below reduce structurally
+    // to the pre-tenant arithmetic (the byte-identity tests pin this).
+    let slo_active = !cfg.tenants.is_empty() && !crate::slo::slo_disabled();
+    let nlanes = if slo_active { cfg.tenants.len() } else { 1 };
+    let tags: Vec<u32> = if slo_active {
+        tenant_tags(cfg.workload.seed, requests.len(), &cfg.tenants)
+    } else {
+        Vec::new()
+    };
+
     let pairs: Vec<Vec<PairState>> = (0..k)
         .map(|d| {
             (0..nn)
                 .map(|n| PairState {
                     cache: PlanCache::new(engines[d], &nets[n], cfg.mechanism),
-                    queue: Vec::new(),
-                    next: 0,
+                    lanes: (0..nlanes).map(|_| Lane::new()).collect(),
                     plan_cap: max,
                     pin: None,
                     clean_streak: 0,
@@ -1124,6 +1385,10 @@ pub fn serve_fleet(
             plan_ooms: 0,
             batches: Vec::new(),
             busy: 0.0,
+            credits: vec![0.0; nlanes],
+            shed_by_tenant: vec![0; nlanes],
+            early: 0,
+            preempt: 0,
         })
         .collect();
 
@@ -1143,6 +1408,15 @@ pub fn serve_fleet(
         cache_lookups: 0,
         cache_hits: 0,
         fleet_shed: 0,
+        slo: slo_active.then(|| GlobalsSlo {
+            tenant_of: tags.clone(),
+            images_of: requests.iter().map(|r| r.images as u64).collect(),
+            names: cfg.tenants.iter().map(|t| t.name.clone()).collect(),
+            p99: cfg.tenants.iter().map(|t| t.class.p99_budget()).collect(),
+            completed: vec![0; nlanes],
+            images: vec![0; nlanes],
+            violations: vec![0; nlanes],
+        }),
     };
     let phase_bounds: Vec<f64> = {
         let mut t = 0.0f64;
@@ -1178,14 +1452,20 @@ pub fn serve_fleet(
         max,
         k,
         nn,
+        slo_run: slo_active.then(|| SloRun {
+            tags: tags.clone(),
+            admission: Admission::new(&cfg.tenants),
+            admitted: vec![0; nlanes],
+            rejected: vec![0; nlanes],
+        }),
     };
     if sequential_requested() {
         run.run_sequential()?;
     } else {
         run.run_parallel()?;
     }
-    let FleetRun { pairs, devs, g, .. } = run;
-    let Globals { latencies, placements, rec, .. } = g;
+    let FleetRun { pairs, devs, g, slo_run, .. } = run;
+    let Globals { latencies, placements, rec, slo: g_slo, .. } = g;
 
     // Aggregate accounting, mirroring the single-device counter names so
     // a K = 1 fleet bumps exactly what `serve` would.
@@ -1259,7 +1539,10 @@ pub fn serve_fleet(
                 .collect();
             DeviceReport {
                 device: engines[d].device().name.clone(),
-                requests: pairs[d].iter().map(|p| p.queue.len()).sum(),
+                requests: pairs[d]
+                    .iter()
+                    .map(|p| p.lanes.iter().map(|l| l.queue.len()).sum::<usize>())
+                    .sum(),
                 images: dev.batches.iter().map(|b| b.record.images).sum(),
                 makespan: dev.gpu_free,
                 batches: dev.batches.clone(),
@@ -1271,6 +1554,49 @@ pub fn serve_fleet(
         .collect();
 
     let makespan = devs.iter().map(|d| d.gpu_free).fold(0.0f64, f64::max);
+
+    // Per-tenant SLO rollup: admission tallies from the router, served
+    // tallies from the globally ordered replay, sheds and scheduler
+    // counters from the devices, residual lane depths as in-flight.
+    let slo = match (slo_run, g_slo) {
+        (Some(sr), Some(gs)) => {
+            let nt = cfg.tenants.len();
+            let mut shed_by = vec![0u64; nt];
+            let mut early = 0u64;
+            let mut preempt = 0u64;
+            for dev in &devs {
+                for (t, shed) in shed_by.iter_mut().enumerate() {
+                    *shed += dev.shed_by_tenant[t];
+                }
+                early += dev.early;
+                preempt += dev.preempt;
+            }
+            let mut in_flight = vec![0u64; nt];
+            for pairs_d in &pairs {
+                for pair in pairs_d {
+                    for (t, lane) in pair.lanes.iter().enumerate() {
+                        in_flight[t] += lane.pending().len() as u64;
+                    }
+                }
+            }
+            Some(crate::slo::slo_report(
+                &cfg.tenants,
+                &latencies,
+                &sr.tags,
+                &sr.admitted,
+                &sr.rejected,
+                &gs.completed,
+                &shed_by,
+                &in_flight,
+                &gs.images,
+                &gs.violations,
+                early,
+                preempt,
+            ))
+        }
+        _ => None,
+    };
+
     let timeline = rec.finish();
     // Mirror the timeline onto the Perfetto counter tracks (a no-op when
     // tracing is inactive).
@@ -1286,6 +1612,7 @@ pub fn serve_fleet(
         shed_requests,
         faults: agg,
         timeline,
+        slo,
     })
 }
 

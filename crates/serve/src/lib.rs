@@ -41,6 +41,21 @@
 //! observed inter-arrival EMA at workload phase boundaries. The fleet
 //! event loop is single-threaded and bit-deterministic; a K = 1 fleet
 //! reproduces [`serve`]'s report byte for byte.
+//!
+//! # Multi-tenant SLO scheduling
+//!
+//! [`tenant`] + [`slo`] add service classes on top of either loop:
+//! tenants declared in the config ([`TenantSpec`] with
+//! `Interactive{p99_budget}` / `Standard` / `BestEffort` classes and
+//! arrival weights), deterministic per-request attribution that never
+//! perturbs the seeded stream, token-bucket admission control,
+//! deadline-aware batch commit (per-class queue-delay budgets), a
+//! weighted-fair deficit tiebreak when classes contend for a device
+//! slot, and per-tenant accounting with the
+//! `admitted == completed + shed + rejected + in_flight` balance
+//! invariant. `MEMCNN_SLO_DISABLE=1` forces the class-blind scheduler
+//! as an exact equivalence oracle; with no tenants configured the
+//! reports are byte-identical to the tenant-free builds.
 
 #![warn(missing_docs)]
 #![deny(clippy::unwrap_used)]
@@ -55,6 +70,8 @@ pub mod placement;
 pub mod plan_cache;
 pub mod policy;
 pub mod server;
+pub mod slo;
+pub mod tenant;
 pub mod workload;
 
 pub use adaptive::AdaptivePolicy;
@@ -69,4 +86,5 @@ pub use placement::{
 pub use plan_cache::PlanCache;
 pub use policy::{FaultPolicy, FaultStats};
 pub use server::{serve, BatchRecord, BucketStats, ServeConfig, ServeReport};
+pub use tenant::{tenant_tags, SloFairness, SloReport, TenantClass, TenantReport, TenantSpec};
 pub use workload::{generate, Arrival, Phase, Request, WorkloadConfig};

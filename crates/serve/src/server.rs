@@ -33,8 +33,9 @@ use crate::batch::{bucket_for, BatchPolicy};
 use crate::metrics::{latency_stats, LatencyStats};
 use crate::plan_cache::PlanCache;
 use crate::policy::{FaultPolicy, FaultStats};
+use crate::tenant::{SloReport, TenantSpec};
 use crate::workload::{self, Request, WorkloadConfig};
-use memcnn_core::{Engine, EngineError, Mechanism, Network};
+use memcnn_core::{Engine, EngineError, Mechanism, Network, Plan};
 use memcnn_gpusim::FaultPlan;
 use memcnn_metrics::{MetricsTimeline, Recorder};
 use memcnn_trace as trace;
@@ -43,7 +44,7 @@ use serde::Serialize;
 use std::collections::BTreeSet;
 
 /// Everything a serving run needs besides the engine and the network.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// The synthetic request stream.
     pub workload: WorkloadConfig,
@@ -56,6 +57,34 @@ pub struct ServeConfig {
     pub faults: Option<FaultPlan>,
     /// How the loop responds to faults and queue pressure.
     pub fault_policy: FaultPolicy,
+    /// SLO tenants. Empty (the default) keeps the class-blind loop and
+    /// a report byte-identical to the pre-tenant one; non-empty routes
+    /// the run through the SLO-aware scheduler (`serve::slo`) unless
+    /// `MEMCNN_SLO_DISABLE=1` forces the class-blind oracle.
+    pub tenants: Vec<TenantSpec>,
+}
+
+// Manual impl: `tenants` is omitted when empty so default configs
+// serialize to the exact bytes the derived impl produced before the
+// field existed (the report byte-identity pin in `tests/slo.rs`).
+impl Serialize for ServeConfig {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("{\"workload\":");
+        self.workload.serialize_json(out);
+        out.push_str(",\"policy\":");
+        self.policy.serialize_json(out);
+        out.push_str(",\"mechanism\":");
+        self.mechanism.serialize_json(out);
+        out.push_str(",\"faults\":");
+        self.faults.serialize_json(out);
+        out.push_str(",\"fault_policy\":");
+        self.fault_policy.serialize_json(out);
+        if !self.tenants.is_empty() {
+            out.push_str(",\"tenants\":");
+            self.tenants.serialize_json(out);
+        }
+        out.push('}');
+    }
 }
 
 impl ServeConfig {
@@ -67,6 +96,7 @@ impl ServeConfig {
             mechanism: Mechanism::Opt,
             faults: None,
             fault_policy: FaultPolicy::default(),
+            tenants: Vec::new(),
         }
     }
 
@@ -74,6 +104,12 @@ impl ServeConfig {
     pub fn with_faults(mut self, faults: FaultPlan, policy: FaultPolicy) -> ServeConfig {
         self.faults = Some(faults);
         self.fault_policy = policy;
+        self
+    }
+
+    /// The same config with SLO tenants declared.
+    pub fn with_tenants(mut self, tenants: Vec<TenantSpec>) -> ServeConfig {
+        self.tenants = tenants;
         self
     }
 }
@@ -121,7 +157,7 @@ pub struct BucketStats {
 }
 
 /// A finished serving run.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ServeReport {
     /// Network name.
     pub network: String,
@@ -152,13 +188,52 @@ pub struct ServeReport {
     /// loop-local state on the simulated clock, so the timeline is
     /// bit-identical across `MEMCNN_THREADS` like the rest of the report.
     pub timeline: MetricsTimeline,
+    /// Per-tenant accounting, fairness, and SLO violations; `None` for
+    /// class-blind runs (no tenants, or `MEMCNN_SLO_DISABLE=1`).
+    pub slo: Option<SloReport>,
+}
+
+// Manual impl: `slo` is omitted when `None` so class-blind reports keep
+// the exact pre-tenant byte layout.
+impl Serialize for ServeReport {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("{\"network\":");
+        self.network.serialize_json(out);
+        out.push_str(",\"config\":");
+        self.config.serialize_json(out);
+        out.push_str(",\"requests\":");
+        self.requests.serialize_json(out);
+        out.push_str(",\"images\":");
+        self.images.serialize_json(out);
+        out.push_str(",\"makespan\":");
+        self.makespan.serialize_json(out);
+        out.push_str(",\"latencies\":");
+        self.latencies.serialize_json(out);
+        out.push_str(",\"batches\":");
+        self.batches.serialize_json(out);
+        out.push_str(",\"buckets\":");
+        self.buckets.serialize_json(out);
+        out.push_str(",\"shed_requests\":");
+        self.shed_requests.serialize_json(out);
+        out.push_str(",\"faults\":");
+        self.faults.serialize_json(out);
+        out.push_str(",\"timeline\":");
+        self.timeline.serialize_json(out);
+        if let Some(slo) = &self.slo {
+            out.push_str(",\"slo\":");
+            slo.serialize_json(out);
+        }
+        out.push('}');
+    }
 }
 
 impl ServeReport {
-    /// Latency summary over served requests (shed requests — the 0.0
-    /// sentinels — are excluded; a shed request has no latency).
+    /// Latency summary over served requests (shed and admission-rejected
+    /// requests — the 0.0 sentinels — are excluded; neither has a
+    /// latency).
     pub fn latency(&self) -> LatencyStats {
-        if self.shed_requests == 0 {
+        let rejected = self.slo.as_ref().map_or(0, |s| s.rejected);
+        if self.shed_requests == 0 && rejected == 0 {
             return latency_stats(&self.latencies);
         }
         let served: Vec<f64> = self.latencies.iter().copied().filter(|&l| l > 0.0).collect();
@@ -249,8 +324,9 @@ pub(crate) fn fault_span(name: String, ts: f64, dur: f64, args: Vec<(String, Str
     });
 }
 
-/// How one batch's launch-attempt loop ended.
-enum Outcome {
+/// How one batch's launch-attempt loop ended. Shared by the
+/// single-device, fleet, and SLO serving loops.
+pub(crate) enum Outcome {
     /// The batch completed at `done`.
     Done { done: f64 },
     /// The batch was shed (retry exhaustion, or OOM at bucket 1); the
@@ -259,6 +335,108 @@ enum Outcome {
     /// Execute-time OOM: re-form the batch at half the bucket; the device
     /// is busy until `at`.
     Downshift { at: f64 },
+}
+
+/// The finished ladder: how the batch ended, plus its retry/throttle
+/// counts (the `BatchRecord` fields).
+pub(crate) struct LadderEnd {
+    pub(crate) outcome: Outcome,
+    pub(crate) attempts: u32,
+    pub(crate) throttles: u32,
+}
+
+/// The launch-attempt ladder, shared verbatim by every serving loop:
+/// retry transients with deterministic backoff, downshift on execute-time
+/// OOM (bucket > 1), shed at retry exhaustion or OOM at bucket 1. Each
+/// attempt consumes one launch index from `launches` and accounts into
+/// `stats` exactly as the PR 4 single-device loop did; `device` tags the
+/// fault spans on fleet runs and is `None` on single-device ones (the
+/// K = 1 byte-identity test pins the arithmetic either way).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn launch_ladder(
+    engine: &Engine,
+    plan: &Plan,
+    fplan: Option<&FaultPlan>,
+    launches: &mut u64,
+    stats: &mut FaultStats,
+    pol: &FaultPolicy,
+    bucket: usize,
+    launch: f64,
+    device: Option<usize>,
+) -> Result<LadderEnd, EngineError> {
+    let tag = |mut args: Vec<(String, String)>| {
+        if let Some(d) = device {
+            args.push(("device".to_string(), d.to_string()));
+        }
+        args
+    };
+    let mut launch_at = launch;
+    let mut attempt: u32 = 0;
+    let mut throttles: u32 = 0;
+    let outcome = loop {
+        let att = engine.execute_attempt(plan, fplan, *launches);
+        *launches += 1;
+        // Throttles are injected faults absorbed by degrading speed:
+        // execution continued, slower. Counted immediately.
+        stats.injected += att.throttled as u64;
+        stats.degraded += att.throttled as u64;
+        stats.throttled += att.throttled as u64;
+        throttles += att.throttled;
+        match att.error {
+            None => break Outcome::Done { done: launch_at + att.time },
+            Some(EngineError::Transient { layer, launch: idx, .. }) => {
+                stats.injected += 1;
+                if attempt < pol.max_retries {
+                    attempt += 1;
+                    stats.retried += 1;
+                    let backoff = pol.backoff(attempt);
+                    fault_span(
+                        format!("retry {attempt} after {layer}"),
+                        launch_at + att.time,
+                        backoff,
+                        tag(vec![("launch_index".to_string(), idx.to_string())]),
+                    );
+                    // The failed attempt's partial time is real device
+                    // occupancy; the backoff is the policy's pause.
+                    launch_at += att.time + backoff;
+                } else {
+                    stats.shed += 1;
+                    fault_span(
+                        format!("retries exhausted at {layer}"),
+                        launch_at + att.time,
+                        0.0,
+                        tag(vec![("attempts".to_string(), (attempt + 1).to_string())]),
+                    );
+                    break Outcome::Shed { at: launch_at + att.time };
+                }
+            }
+            Some(EngineError::ExecOom { layer, .. }) => {
+                stats.injected += 1;
+                if bucket > 1 {
+                    stats.degraded += 1;
+                    stats.oom_downshifts += 1;
+                    fault_span(
+                        format!("OOM at {layer}: downshift {bucket} -> {}", bucket / 2),
+                        launch_at + att.time,
+                        0.0,
+                        tag(vec![("bucket".to_string(), bucket.to_string())]),
+                    );
+                    break Outcome::Downshift { at: launch_at + att.time };
+                } else {
+                    stats.shed += 1;
+                    fault_span(
+                        format!("OOM at {layer} with bucket 1: shed"),
+                        launch_at + att.time,
+                        0.0,
+                        tag(vec![]),
+                    );
+                    break Outcome::Shed { at: launch_at + att.time };
+                }
+            }
+            Some(other) => return Err(other),
+        }
+    };
+    Ok(LadderEnd { outcome, attempts: attempt, throttles })
 }
 
 /// Run the serving simulation to completion (every generated request is
@@ -275,6 +453,12 @@ pub fn serve(
     net: &Network,
     cfg: &ServeConfig,
 ) -> Result<ServeReport, EngineError> {
+    // Tenants route through the SLO-aware scheduler; the class-blind
+    // loop below is byte-for-byte the pre-tenant server (also the
+    // `MEMCNN_SLO_DISABLE=1` oracle when tenants are configured).
+    if !cfg.tenants.is_empty() && !crate::slo::slo_disabled() {
+        return crate::slo::serve_tenants(engine, net, cfg);
+    }
     let requests = workload::generate(&cfg.workload);
     perf::add("serve.requests", requests.len() as u64);
     let max = cfg.policy.max_batch_images.max(1);
@@ -383,72 +567,17 @@ pub fn serve(
 
         // Launch-attempt loop: retry transients with backoff, downshift on
         // OOM, shed at exhaustion. Each attempt consumes one launch index.
-        let mut launch_at = launch;
-        let mut attempt: u32 = 0;
-        let mut throttles: u32 = 0;
-        let outcome = loop {
-            let att = engine.execute_attempt(plan, fplan.as_ref(), launches);
-            launches += 1;
-            // Throttles are injected faults absorbed by degrading speed:
-            // execution continued, slower. Counted immediately.
-            stats.injected += att.throttled as u64;
-            stats.degraded += att.throttled as u64;
-            stats.throttled += att.throttled as u64;
-            throttles += att.throttled;
-            match att.error {
-                None => break Outcome::Done { done: launch_at + att.time },
-                Some(EngineError::Transient { layer, launch: idx, .. }) => {
-                    stats.injected += 1;
-                    if attempt < pol.max_retries {
-                        attempt += 1;
-                        stats.retried += 1;
-                        let backoff = pol.backoff(attempt);
-                        fault_span(
-                            format!("retry {attempt} after {layer}"),
-                            launch_at + att.time,
-                            backoff,
-                            vec![("launch_index".to_string(), idx.to_string())],
-                        );
-                        // The failed attempt's partial time is real device
-                        // occupancy; the backoff is the policy's pause.
-                        launch_at += att.time + backoff;
-                    } else {
-                        stats.shed += 1;
-                        fault_span(
-                            format!("retries exhausted at {layer}"),
-                            launch_at + att.time,
-                            0.0,
-                            vec![("attempts".to_string(), (attempt + 1).to_string())],
-                        );
-                        break Outcome::Shed { at: launch_at + att.time };
-                    }
-                }
-                Some(EngineError::ExecOom { layer, .. }) => {
-                    stats.injected += 1;
-                    if bucket > 1 {
-                        stats.degraded += 1;
-                        stats.oom_downshifts += 1;
-                        fault_span(
-                            format!("OOM at {layer}: downshift {bucket} -> {}", bucket / 2),
-                            launch_at + att.time,
-                            0.0,
-                            vec![("bucket".to_string(), bucket.to_string())],
-                        );
-                        break Outcome::Downshift { at: launch_at + att.time };
-                    } else {
-                        stats.shed += 1;
-                        fault_span(
-                            format!("OOM at {layer} with bucket 1: shed"),
-                            launch_at + att.time,
-                            0.0,
-                            vec![],
-                        );
-                        break Outcome::Shed { at: launch_at + att.time };
-                    }
-                }
-                Some(other) => return Err(other),
-            }
-        };
+        let LadderEnd { outcome, attempts: attempt, throttles } = launch_ladder(
+            engine,
+            plan,
+            fplan.as_ref(),
+            &mut launches,
+            &mut stats,
+            &pol,
+            bucket,
+            launch,
+            None,
+        )?;
 
         match outcome {
             Outcome::Done { done } => {
@@ -589,6 +718,7 @@ pub fn serve(
         shed_requests,
         faults: stats,
         timeline,
+        slo: None,
     })
 }
 

@@ -54,6 +54,7 @@ fn fault_timelines_replay_bit_identically_and_every_fault_is_accounted() {
         mechanism: Mechanism::Opt,
         faults: None,
         fault_policy: FaultPolicy::default(),
+        tenants: Vec::new(),
     };
     // A plan hot enough to exercise every ladder rung: retries, OOM
     // downshifts, throttles, and (at burst depth) shedding.

@@ -56,6 +56,7 @@ fn serving_is_deterministic_and_plans_flip_layouts_across_buckets() {
         mechanism: Mechanism::Opt,
         faults: None,
         fault_policy: FaultPolicy::default(),
+        tenants: Vec::new(),
     };
 
     // (1) Determinism across runs and across MEMCNN_THREADS: the report —

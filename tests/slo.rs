@@ -1,0 +1,212 @@
+//! Multi-tenant SLO integration tests: bit-identical per-tenant
+//! scheduling across thread counts and across the sequential/parallel
+//! fleet paths, the per-tenant accounting balance invariant, exact
+//! zero-tenant byte-identity with the pre-tenant report wire format,
+//! the `MEMCNN_SLO_DISABLE` class-blind equivalence oracle, and the
+//! weighted-fair bound on best-effort starvation.
+//!
+//! Like `tests/fleet.rs`, this binary reads process-global state (the
+//! perf registry, the once-locked `MEMCNN_THREADS`, and the per-call
+//! `MEMCNN_SLO_DISABLE` / `MEMCNN_FLEET_SEQUENTIAL` knobs), so
+//! everything lives in ONE `#[test]`.
+
+use memcnn::core::{Engine, LayoutPolicy, LayoutThresholds, NetworkBuilder};
+use memcnn::gpusim::DeviceConfig;
+use memcnn::serve::{
+    serve, serve_fleet, Arrival, BatchPolicy, FleetConfig, FleetReport, Phase, Placement,
+    ServeConfig, TenantSpec, WorkloadConfig,
+};
+use memcnn::tensor::Shape;
+
+/// One tenant's accounting row: admitted, rejected, completed, shed,
+/// in-flight, violations, and the p99 bits.
+type TenantRow = (u64, u64, u64, u64, u64, u64, u64);
+
+/// Replay-relevant bits of a fleet report plus the per-tenant rollup:
+/// latencies, placements, batch timelines, and each tenant's full
+/// accounting row (counts are exact; latency quantiles ride along as
+/// bits).
+fn digest(r: &FleetReport) -> (Vec<u64>, Vec<u32>, Vec<TenantRow>) {
+    let slo = r.slo.as_ref().expect("tenant-enabled run must carry an SLO report");
+    (
+        r.latencies.iter().map(|l| l.to_bits()).collect(),
+        r.placements.clone(),
+        slo.tenants
+            .iter()
+            .map(|t| {
+                (
+                    t.admitted,
+                    t.rejected,
+                    t.completed,
+                    t.shed,
+                    t.in_flight,
+                    t.violations,
+                    t.latency.p99.to_bits(),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn black() -> Engine {
+    Engine::new(DeviceConfig::titan_black(), LayoutThresholds::titan_black_paper())
+        .with_layout_policy(LayoutPolicy::Heuristic)
+}
+
+#[test]
+fn slo_scheduling_is_deterministic_balanced_and_fair() {
+    // Must precede every engine call in this process (once-locked).
+    std::env::set_var("MEMCNN_THREADS", "4");
+    std::env::remove_var("MEMCNN_SLO_DISABLE");
+    std::env::remove_var("MEMCNN_FLEET_SEQUENTIAL");
+
+    let net = NetworkBuilder::new("slo-net", Shape::new(1, 64, 8, 8))
+        .conv("CV1", 64, 3, 1, 1)
+        .max_pool("PL1", 2, 2)
+        .build()
+        .unwrap();
+    let wl = WorkloadConfig {
+        phases: vec![
+            Phase { arrival: Arrival::Poisson { rate: 100.0 }, duration: 0.2 },
+            Phase { arrival: Arrival::Poisson { rate: 4000.0 }, duration: 0.1 },
+        ],
+        images_min: 1,
+        images_max: 8,
+        seed: 77,
+    };
+    let tenants = vec![
+        TenantSpec::interactive("chat", 0.01, 2.0),
+        TenantSpec::standard("search", 1.0),
+        TenantSpec::best_effort("offline", 1.0),
+    ];
+    let policy = BatchPolicy::new(128, 0.004);
+    let cfg =
+        FleetConfig::new(wl.clone(), policy, Placement::LeastLoaded).with_tenants(tenants.clone());
+
+    // (1) Tenant-enabled 2-device fleet: bit-identical digests across
+    // MEMCNN_THREADS re-sets {1, 13, 4} (nominal after the once-locked
+    // first read; the cross-process matrix lives in CI).
+    let shared = black();
+    let engines: Vec<&Engine> = vec![&shared, &shared];
+    let base = digest(&serve_fleet(&engines, std::slice::from_ref(&net), &cfg).unwrap());
+    for threads in ["1", "13", "4"] {
+        std::env::set_var("MEMCNN_THREADS", threads);
+        let rerun = digest(&serve_fleet(&engines, std::slice::from_ref(&net), &cfg).unwrap());
+        assert_eq!(base, rerun, "SLO fleet diverged after re-setting MEMCNN_THREADS={threads}");
+    }
+
+    // (2) Per-tenant AND aggregate accounting balance, attribution
+    // totals, and the starvation bound: the weighted-fair deficit
+    // tiebreak must keep the best-effort tenant serving through the
+    // saturating burst, not just the interactive one.
+    let report = serve_fleet(&engines, std::slice::from_ref(&net), &cfg).unwrap();
+    let slo = report.slo.as_ref().unwrap();
+    assert!(slo.balanced(), "per-tenant accounting out of balance");
+    assert_eq!(slo.tenants.len(), 3);
+    let admitted: u64 = slo.tenants.iter().map(|t| t.admitted).sum();
+    assert_eq!(admitted, report.requests as u64, "every request is attributed to one tenant");
+    for t in &slo.tenants {
+        assert!(t.balanced(), "tenant {} out of balance", t.name);
+        assert!(t.admitted > 0, "tenant {} never drew an arrival", t.name);
+        assert_eq!(t.in_flight, 0, "a drained run leaves nothing in flight");
+    }
+    assert!(
+        slo.tenants[2].completed > 0,
+        "best-effort must not starve under the interactive burst"
+    );
+    let fairness = &slo.fairness;
+    assert!(
+        fairness.share_min > 0.0 && fairness.ratio >= 1.0,
+        "fairness shares must be positive with a bounded max/min ratio"
+    );
+
+    // (3) Admission control: a hard rate cap on the interactive tenant
+    // rejects the overflow, marks it with the u32::MAX placement
+    // sentinel + 0.0 latency, and the books still balance.
+    let capped = vec![
+        TenantSpec::interactive("chat", 0.01, 2.0).with_rate_limit(50.0),
+        TenantSpec::standard("search", 1.0),
+        TenantSpec::best_effort("offline", 1.0),
+    ];
+    let rcfg = FleetConfig::new(wl.clone(), policy, Placement::LeastLoaded).with_tenants(capped);
+    let limited = serve_fleet(&engines, std::slice::from_ref(&net), &rcfg).unwrap();
+    let lslo = limited.slo.as_ref().unwrap();
+    assert!(lslo.rejected > 0, "the 50 rps cap must reject under a 4000 rps burst");
+    assert_eq!(lslo.rejected, lslo.tenants[0].rejected, "only the capped tenant rejects");
+    assert!(lslo.balanced());
+    assert_eq!(
+        limited.placements.iter().filter(|&&p| p == u32::MAX).count() as u64,
+        lslo.rejected,
+        "placement sentinels must be exactly the rejected requests"
+    );
+    assert_eq!(
+        limited.latencies.iter().filter(|&&l| l == 0.0).count() as u64,
+        lslo.rejected + limited.shed_requests as u64,
+        "0.0 latency sentinels are the rejected plus shed requests"
+    );
+
+    // (4) Sequential-vs-parallel byte-identity holds WITH tenants: the
+    // legacy loop must reproduce the whole report — including the slo
+    // block and the per-tenant keyed histograms — byte for byte.
+    std::env::set_var("MEMCNN_FLEET_SEQUENTIAL", "1");
+    let seq = serve_fleet(&engines, std::slice::from_ref(&net), &cfg).unwrap();
+    std::env::remove_var("MEMCNN_FLEET_SEQUENTIAL");
+    assert_eq!(
+        serde_json::to_string(&report).unwrap(),
+        serde_json::to_string(&seq).unwrap(),
+        "sequential and parallel SLO reports must be byte-identical"
+    );
+
+    // (5) MEMCNN_SLO_DISABLE=1 is the class-blind equivalence oracle:
+    // with the knob set, a tenant-carrying config must replay the
+    // no-tenant schedule bit for bit (only the config echo differs).
+    let blind_cfg = FleetConfig::new(wl.clone(), policy, Placement::LeastLoaded);
+    let blind = serve_fleet(&engines, std::slice::from_ref(&net), &blind_cfg).unwrap();
+    std::env::set_var("MEMCNN_SLO_DISABLE", "1");
+    let disabled = serve_fleet(&engines, std::slice::from_ref(&net), &cfg).unwrap();
+    std::env::remove_var("MEMCNN_SLO_DISABLE");
+    assert!(disabled.slo.is_none(), "a disabled run must not fabricate an SLO report");
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+    assert_eq!(bits(&blind.latencies), bits(&disabled.latencies), "oracle latencies diverged");
+    assert_eq!(blind.placements, disabled.placements, "oracle placements diverged");
+    assert_eq!(
+        serde_json::to_string(&blind.timeline).unwrap(),
+        serde_json::to_string(&disabled.timeline).unwrap(),
+        "oracle timelines diverged"
+    );
+
+    // (6) Zero-tenant byte-identity with the pre-tenant wire format:
+    // the default config emits none of the new keys, so its JSON is
+    // exactly what the previous revision serialized.
+    let plain_json = serde_json::to_string(&blind).unwrap();
+    for key in ["\"tenants\"", "\"slo\"", "\"keyed_hists\""] {
+        assert!(!plain_json.contains(key), "default-config report leaked new key {key}");
+    }
+    let scfg = ServeConfig::new(wl.clone(), policy);
+    let s_json = serde_json::to_string(&serve(&black(), &net, &scfg).unwrap()).unwrap();
+    for key in ["\"tenants\"", "\"slo\"", "\"keyed_hists\""] {
+        assert!(!s_json.contains(key), "default-config serve report leaked new key {key}");
+    }
+
+    // (7) Single-device tenant path agrees with a K = 1 fleet, field
+    // for field on the per-tenant books (the same lanes arithmetic runs
+    // under both drivers).
+    std::env::set_var("MEMCNN_THREADS", "4");
+    let stcfg = ServeConfig::new(wl, policy).with_tenants(tenants);
+    let single = serve(&black(), &net, &stcfg).unwrap();
+    let k1 = serve_fleet(&[&black()], std::slice::from_ref(&net), &cfg).unwrap();
+    let sslo = single.slo.as_ref().expect("tenant-enabled serve must carry an SLO report");
+    let fslo = k1.slo.as_ref().unwrap();
+    assert_eq!(bits(&single.latencies), bits(&k1.latencies), "K=1 SLO latencies diverged");
+    for (a, b) in sslo.tenants.iter().zip(&fslo.tenants) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.admitted, b.admitted);
+        assert_eq!(a.rejected, b.rejected);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.shed, b.shed);
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.latency.p99.to_bits(), b.latency.p99.to_bits());
+    }
+    assert_eq!(sslo.early_commits, fslo.early_commits);
+    assert_eq!(sslo.preemptions, fslo.preemptions);
+}
