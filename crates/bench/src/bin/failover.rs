@@ -1,0 +1,300 @@
+//! Device-failure recovery bench.
+//!
+//! ```text
+//! cargo run -p memcnn-bench --release --bin failover
+//! cargo run -p memcnn-bench --release --bin failover -- --out target/BENCH_failover.json
+//! ```
+//!
+//! Serves the seeded 4-device AlexNet Poisson stream (the `fleet`
+//! bench's workload shape) with one scheduled mid-run crash: device 1
+//! dies at 40% of the stream, its queued work fails over through the
+//! retry/shed ladder, and the deterministic healer brings it back —
+//! cold plan caches and all — at 60% of the stream. Pre-crash and
+//! post-recovery steady-state throughput are computed from the batch
+//! records (images completed inside each window / window length), so
+//! the recovery cost is measured on the simulated clock, not inferred
+//! from aggregates.
+//!
+//! Two gates, both fatal (exit 1):
+//!
+//! 1. the extended accounting invariant must balance per tenant and in
+//!    aggregate (`admitted == completed + shed + rejected + in_flight +
+//!    failed_over_in_transit`), every failed-over request must be
+//!    re-queued or shed, and nothing may remain in transit — a mid-run
+//!    crash loses no request silently;
+//! 2. post-recovery throughput must stay at or above
+//!    [`RECOVERY_TPUT_FLOOR`] of the pre-crash window — the healed
+//!    device must actually pull its weight again despite the cold
+//!    plan-cache warmup.
+//!
+//! `--metrics PATH` writes the run's metrics timeline (the per-device
+//! `dev{d}.health` gauges make the Down → Warming → Healthy ladder
+//! directly visible) as one JSON object for CI artifact upload. The
+//! summary goes to `BENCH_failover.json` as one line of JSON.
+
+use memcnn_bench::fleet::FLEET_SEED;
+use memcnn_bench::slo::{slo_tenants, SLO_DELAY_FACTOR};
+use memcnn_bench::util::Ctx;
+use memcnn_gpusim::DeviceFaultPlan;
+use memcnn_metrics::MetricsTimeline;
+use memcnn_models::alexnet;
+use memcnn_serve::{
+    capacity_images_per_sec, feasible_max_batch, serve_fleet, BatchPolicy, FleetConfig,
+    FleetReport, Placement,
+};
+use memcnn_trace::perf;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Devices in the crash fleet.
+const FAILOVER_DEVICES: usize = 4;
+/// Device the scheduled crash takes down.
+const CRASH_DEVICE: u32 = 1;
+/// Crash time as a fraction of the stream duration.
+const CRASH_FRAC: f64 = 0.40;
+/// Repair span as a fraction of the stream duration.
+const REPAIR_FRAC: f64 = 0.15;
+/// Warmup span as a fraction of the stream duration.
+const WARMUP_FRAC: f64 = 0.05;
+/// Gate: post-recovery window throughput must be at least this fraction
+/// of the pre-crash window (observed ≈ 2.7 — the healed fleet drains
+/// the failover backlog above steady state; the floor bounds
+/// regressions where the healed device stays effectively dead).
+const RECOVERY_TPUT_FLOOR: f64 = 0.9;
+
+#[derive(Serialize)]
+struct Summary {
+    bench: &'static str,
+    device: String,
+    network: String,
+    seed: u64,
+    devices: usize,
+    max_batch: usize,
+    capacity_images_per_sec: f64,
+    requests: usize,
+    shed: usize,
+    /// Simulated crash / heal instants, seconds.
+    crash_t: f64,
+    heal_t: f64,
+    /// Images/sec completed in `[0, crash_t)`.
+    pre_crash_images_per_sec: f64,
+    /// Images/sec completed in `[heal_t, makespan]`.
+    post_recovery_images_per_sec: f64,
+    /// post / pre (gated >= [`RECOVERY_TPUT_FLOOR`]).
+    recovery_tput_ratio: f64,
+    downs: u64,
+    ups: u64,
+    failed_over: u64,
+    requeued: u64,
+    transit_shed: u64,
+    warm_compiles: u64,
+    device_seconds: f64,
+    slo_cost: f64,
+    /// `fleet.*` perf-counter deltas from this process's run.
+    fleet_perf: BTreeMap<String, u64>,
+}
+
+/// Images/sec completed across the fleet inside `[from, to)`, from the
+/// per-device batch records.
+fn window_images_per_sec(report: &FleetReport, from: f64, to: f64) -> f64 {
+    let images: usize = report
+        .devices
+        .iter()
+        .flat_map(|d| &d.batches)
+        .filter(|b| b.record.done >= from && b.record.done < to)
+        .map(|b| b.record.images)
+        .sum();
+    images as f64 / (to - from).max(1e-12)
+}
+
+fn usage() -> ! {
+    eprintln!("usage: failover [--out PATH] [--metrics PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = PathBuf::from("BENCH_failover.json");
+    let mut metrics: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = PathBuf::from(p),
+                None => usage(),
+            },
+            "--metrics" => match it.next() {
+                Some(p) => metrics = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let perf_base = perf::baseline();
+    let ctx = Ctx::titan_black();
+    let net = alexnet().expect("alexnet");
+    let (max_batch, top_plan) = feasible_max_batch(&ctx.engine, &net, ctx.mechanism(), &[64, 32])
+        .unwrap_or_else(|| panic!("{}: no feasible batch size", net.name));
+    let capacity = capacity_images_per_sec(max_batch, &top_plan);
+    let policy = BatchPolicy::new(max_batch, SLO_DELAY_FACTOR * top_plan.total_time());
+    let k = FAILOVER_DEVICES;
+
+    let workload = memcnn_bench::fleet::fleet_workload(k, capacity, FLEET_SEED);
+    let duration = workload.phases.iter().map(|p| p.duration).sum::<f64>();
+    let crash_t = CRASH_FRAC * duration;
+    let heal_t = crash_t + (REPAIR_FRAC + WARMUP_FRAC) * duration;
+    let faults = DeviceFaultPlan::new(FLEET_SEED, 0.0, 0.0, 0.0)
+        .with_repair(REPAIR_FRAC * duration)
+        .with_warmup(WARMUP_FRAC * duration)
+        .crash_at(crash_t, CRASH_DEVICE);
+    let tenants = slo_tenants(policy.max_queue_delay);
+    let mut cfg = FleetConfig::new(workload, policy, Placement::LeastLoaded)
+        .with_tenants(tenants)
+        .with_device_faults(faults);
+    cfg.mechanism = ctx.mechanism();
+
+    println!(
+        "{}: max_batch={max_batch}, {k}-device stream of {:.0} ms; device {CRASH_DEVICE} \
+         crashes at {:.1} ms, heals at {:.1} ms",
+        net.name,
+        duration * 1e3,
+        crash_t * 1e3,
+        heal_t * 1e3
+    );
+
+    let engines: Vec<&memcnn_core::Engine> = (0..k).map(|_| &ctx.engine).collect();
+    let report = serve_fleet(&engines, std::slice::from_ref(&net), &cfg).expect("failover run");
+    let health = report.health.as_ref().expect("fault-enabled run must carry a health report");
+    let slo = report.slo.as_ref().expect("tenant-enabled run must carry an SLO report");
+
+    let pre_ips = window_images_per_sec(&report, 0.0, crash_t);
+    let post_ips = window_images_per_sec(&report, heal_t, report.makespan.max(heal_t + 1e-9));
+    let ratio = if pre_ips > 0.0 { post_ips / pre_ips } else { f64::INFINITY };
+    println!(
+        "pre-crash {pre_ips:.0} images/s, post-recovery {post_ips:.0} images/s (ratio {ratio:.3}); \
+         downs {} ups {} failed_over {} requeued {} transit_shed {} warm_compiles {}",
+        health.downs,
+        health.ups,
+        health.failed_over,
+        health.requeued,
+        health.transit_shed,
+        health.warm_compiles
+    );
+
+    let mut gate_failed = false;
+
+    // Precondition: the bench measures nothing unless the crash fired,
+    // failed over queued work, and the device healed inside the stream.
+    if health.downs < 1 || health.ups < 1 || health.failed_over == 0 {
+        eprintln!(
+            "GATE FAILED: fault plan did not exercise the ladder (downs {}, ups {}, \
+             failed_over {})",
+            health.downs, health.ups, health.failed_over
+        );
+        gate_failed = true;
+    }
+
+    // Gate 1: the extended accounting invariant — no request lost
+    // silently across the crash.
+    if !slo.balanced() {
+        eprintln!(
+            "GATE FAILED: accounting out of balance (admitted != completed + shed + rejected + \
+             in_flight + failed_over_in_transit)"
+        );
+        gate_failed = true;
+    }
+    for t in &slo.tenants {
+        if !t.balanced() {
+            eprintln!("GATE FAILED: tenant {} accounting out of balance", t.name);
+            gate_failed = true;
+        }
+    }
+    if health.failed_over_in_transit != 0 || slo.failed_over_in_transit != 0 {
+        eprintln!(
+            "GATE FAILED: {} requests stranded in the failover transit buffer",
+            health.failed_over_in_transit
+        );
+        gate_failed = true;
+    }
+    if health.requeued + health.transit_shed != health.failed_over {
+        eprintln!(
+            "GATE FAILED: failover leak — failed_over {} != requeued {} + transit_shed {}",
+            health.failed_over, health.requeued, health.transit_shed
+        );
+        gate_failed = true;
+    }
+    if !gate_failed {
+        println!(
+            "gate ok: books balance across the crash ({} failed over, {} re-queued, {} shed, \
+             0 in transit)",
+            health.failed_over, health.requeued, health.transit_shed
+        );
+    }
+
+    // Gate 2: the healed fleet must recover steady-state throughput.
+    if ratio < RECOVERY_TPUT_FLOOR {
+        eprintln!(
+            "GATE FAILED: post-recovery throughput ratio {ratio:.3} ({post_ips:.0} vs \
+             {pre_ips:.0} images/s) fell below {RECOVERY_TPUT_FLOOR}"
+        );
+        gate_failed = true;
+    } else {
+        println!(
+            "gate ok: post-recovery throughput holds {:.0}% of pre-crash ({post_ips:.0} vs \
+             {pre_ips:.0} images/s)",
+            ratio * 100.0
+        );
+    }
+
+    if let Some(path) = &metrics {
+        let mut timelines: BTreeMap<String, MetricsTimeline> = BTreeMap::new();
+        timelines.insert(format!("{}.failover", net.name), report.timeline.clone());
+        let json = serde_json::to_string(&timelines).expect("serialize timelines");
+        if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote {}", path.display());
+    }
+
+    let fleet_perf: BTreeMap<String, u64> =
+        perf_base.delta().into_iter().filter(|(name, _)| name.starts_with("fleet.")).collect();
+
+    let summary = Summary {
+        bench: "failover",
+        device: ctx.device.name.clone(),
+        network: net.name.clone(),
+        seed: FLEET_SEED,
+        devices: k,
+        max_batch,
+        capacity_images_per_sec: capacity,
+        requests: report.requests,
+        shed: report.shed_requests,
+        crash_t,
+        heal_t,
+        pre_crash_images_per_sec: pre_ips,
+        post_recovery_images_per_sec: post_ips,
+        recovery_tput_ratio: ratio,
+        downs: health.downs,
+        ups: health.ups,
+        failed_over: health.failed_over,
+        requeued: health.requeued,
+        transit_shed: health.transit_shed,
+        warm_compiles: health.warm_compiles,
+        device_seconds: slo.device_seconds,
+        slo_cost: slo.cost(),
+        fleet_perf,
+    };
+    let line = serde_json::to_string(&summary).expect("serialize summary");
+    println!("\n{line}");
+    if let Err(e) = std::fs::write(&out, format!("{line}\n")) {
+        eprintln!("failed to write {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", out.display());
+    if gate_failed {
+        std::process::exit(1);
+    }
+}

@@ -98,6 +98,9 @@ struct NetworkFleet {
     /// queue-weighted vs the deadline-aware tenant scheduler (p99 and
     /// SLO-violation counts per service class).
     slo_classes: Vec<ClassCompare>,
+    /// Device-seconds per p99-budget violation in the aware bursty run
+    /// (the `slo.cost` efficiency metric; higher is better).
+    slo_cost: f64,
 }
 
 /// One cold child run of the wallclock matrix.
@@ -437,6 +440,7 @@ fn main() {
         .unwrap_or_else(|e| panic!("bursty deadline-aware: {e}"));
         timelines.insert(format!("{}.bursty.deadline-aware", net.name), aware.timeline.clone());
         let slo_classes = compare_classes(&aware, &qw_run, &workload, &tenants);
+        let slo_cost = aware.slo.as_ref().map_or(0.0, |s| s.cost());
         class_table(
             format!(
                 "{}: bursty @{k} devices, class-blind queue-weighted vs deadline-aware",
@@ -445,6 +449,13 @@ fn main() {
             &slo_classes,
         )
         .print();
+        if let Some(s) = aware.slo.as_ref() {
+            println!(
+                "deadline-aware slo.cost: {:.4} device-s/violation ({:.3} device-s total)",
+                s.cost(),
+                s.device_seconds
+            );
+        }
         networks.push(NetworkFleet {
             name: net.name.clone(),
             max_batch,
@@ -463,6 +474,7 @@ fn main() {
                 qw_peak_queue: qw_peak,
             },
             slo_classes,
+            slo_cost,
         });
     }
 

@@ -75,6 +75,12 @@ struct Summary {
     preemptions: u64,
     rejected: u64,
     violations: u64,
+    /// Device-seconds consumed by the aware run (sum of per-device busy
+    /// time).
+    device_seconds: f64,
+    /// Device-seconds per p99-budget violation (higher is better:
+    /// capacity spent without blowing budgets).
+    slo_cost: f64,
     /// `slo.*` perf-counter deltas from this process's two runs.
     slo_perf: BTreeMap<String, u64>,
 }
@@ -157,8 +163,15 @@ fn main() {
         .print();
     println!(
         "fairness max/min weighted share {:.2}; early commits {}, preemptions {}, \
-         rejected {}, violations {}",
-        slo.fairness.ratio, slo.early_commits, slo.preemptions, slo.rejected, slo.violations
+         rejected {}, violations {}; slo.cost {:.4} device-s/violation \
+         ({:.3} device-s total)",
+        slo.fairness.ratio,
+        slo.early_commits,
+        slo.preemptions,
+        slo.rejected,
+        slo.violations,
+        slo.cost(),
+        slo.device_seconds
     );
 
     let mut gate_failed = false;
@@ -246,6 +259,8 @@ fn main() {
         preemptions: slo.preemptions,
         rejected: slo.rejected,
         violations: slo.violations,
+        device_seconds: slo.device_seconds,
+        slo_cost: slo.cost(),
         slo_perf,
     };
     let line = serde_json::to_string(&summary).expect("serialize summary");

@@ -27,6 +27,14 @@
 //! weight = 1.0
 //! rate = 200.0           # optional admission cap, requests/second
 //!
+//! [device_faults]         # optional: whole-device lifecycle faults
+//! seed = 7
+//! drain_rate = 0.2        # events per device-second
+//! crash_at_ms = 120.0     # scheduled crash (with crash_device)
+//! crash_device = 1
+//! repair_ms = 40.0
+//! warmup_ms = 15.0
+//!
 //! [expect]
 //! min_requests = 100
 //! max_shed_rate = 0.25
@@ -87,6 +95,58 @@ pub struct FaultSpec {
     pub max_retries: u32,
     /// Queue-wait shed deadline, milliseconds (`None`: never shed).
     pub shed_deadline_ms: Option<f64>,
+}
+
+/// Optional seeded device-lifecycle fault plan of a scenario
+/// (`[device_faults]`): whole-device crash / hang / drain events on top
+/// of the kernel-level `[faults]` plan. Rates are events per device per
+/// second; the optional scheduled crash pins one deterministic mid-run
+/// device loss for chaos scenarios.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceFaultSpec {
+    /// Device-fault-stream seed.
+    pub seed: u64,
+    /// Crash rate, events per device-second.
+    pub crash_rate: f64,
+    /// Hang rate, events per device-second.
+    pub hang_rate: f64,
+    /// Planned-drain rate, events per device-second.
+    pub drain_rate: f64,
+    /// Rate-quantization epoch, milliseconds (`None`: plan default).
+    pub epoch_ms: Option<f64>,
+    /// Down-state repair window, milliseconds (`None`: plan default).
+    pub repair_ms: Option<f64>,
+    /// Warming window, milliseconds (`None`: plan default).
+    pub warmup_ms: Option<f64>,
+    /// Scheduled crash time, milliseconds into the stream.
+    pub crash_at_ms: Option<f64>,
+    /// Device the scheduled crash hits.
+    pub crash_device: Option<u32>,
+}
+
+impl DeviceFaultSpec {
+    /// Expand the spec into the plan the fleet consumes.
+    pub fn plan(&self) -> memcnn_gpusim::DeviceFaultPlan {
+        let mut plan = memcnn_gpusim::DeviceFaultPlan::new(
+            self.seed,
+            self.crash_rate,
+            self.hang_rate,
+            self.drain_rate,
+        );
+        if let Some(ms) = self.epoch_ms {
+            plan = plan.with_epoch(ms / 1e3);
+        }
+        if let Some(ms) = self.repair_ms {
+            plan = plan.with_repair(ms / 1e3);
+        }
+        if let Some(ms) = self.warmup_ms {
+            plan = plan.with_warmup(ms / 1e3);
+        }
+        if let (Some(ms), Some(d)) = (self.crash_at_ms, self.crash_device) {
+            plan = plan.crash_at(ms / 1e3, d);
+        }
+        plan
+    }
 }
 
 /// Invariants a scenario run must satisfy regardless of baselines.
@@ -151,6 +211,8 @@ pub struct ScenarioSpec {
     pub tenants: Vec<TenantSpec>,
     /// Optional fault injection.
     pub faults: Option<FaultSpec>,
+    /// Optional device-lifecycle faults (`[device_faults]`).
+    pub device_faults: Option<DeviceFaultSpec>,
     /// Hard invariants.
     pub expect: Expectations,
     /// Baseline-diff tolerances.
@@ -308,6 +370,38 @@ pub fn parse_spec(text: &str) -> Result<ScenarioSpec, String> {
         }),
     };
 
+    let device_faults = match doc.section("device_faults") {
+        None => None,
+        Some(f) => {
+            let spec = DeviceFaultSpec {
+                seed: need_u64(f, "device_faults", "seed")?,
+                crash_rate: f.get("crash_rate").and_then(Value::as_f64).unwrap_or(0.0),
+                hang_rate: f.get("hang_rate").and_then(Value::as_f64).unwrap_or(0.0),
+                drain_rate: f.get("drain_rate").and_then(Value::as_f64).unwrap_or(0.0),
+                epoch_ms: f.get("epoch_ms").and_then(Value::as_f64),
+                repair_ms: f.get("repair_ms").and_then(Value::as_f64),
+                warmup_ms: f.get("warmup_ms").and_then(Value::as_f64),
+                crash_at_ms: f.get("crash_at_ms").and_then(Value::as_f64),
+                crash_device: f.get("crash_device").and_then(Value::as_u64).map(|d| d as u32),
+            };
+            if spec.crash_at_ms.is_some() != spec.crash_device.is_some() {
+                return Err(
+                    "[device_faults] `crash_at_ms` and `crash_device` must be set together"
+                        .to_string(),
+                );
+            }
+            if let Some(d) = spec.crash_device {
+                if d as usize >= devices.len() {
+                    return Err(format!(
+                        "[device_faults] `crash_device` {d} is outside the {}-device fleet",
+                        devices.len()
+                    ));
+                }
+            }
+            Some(spec)
+        }
+    };
+
     let mut expect = Expectations::default();
     if let Some(ex) = doc.section("expect") {
         if let Some(v) = ex.get("min_requests") {
@@ -342,6 +436,7 @@ pub fn parse_spec(text: &str) -> Result<ScenarioSpec, String> {
         workload,
         tenants,
         faults,
+        device_faults,
         expect,
         tolerances,
     })
@@ -453,6 +548,9 @@ pub fn run(spec: &ScenarioSpec) -> Result<(ScenarioResult, MetricsTimeline), Str
         };
         cfg = cfg.with_faults(plan, fpol);
     }
+    if let Some(df) = &spec.device_faults {
+        cfg = cfg.with_device_faults(df.plan());
+    }
     let engines: Vec<&memcnn_core::Engine> = ctxs.iter().map(|c| &c.engine).collect();
     let report = serve_fleet(&engines, &nets, &cfg).map_err(|e| format!("{}: {e:?}", spec.name))?;
 
@@ -528,6 +626,8 @@ pub fn extract_metrics(report: &FleetReport, k: usize) -> BTreeMap<String, f64> 
         m.insert("slo.early_commits".to_string(), slo.early_commits as f64);
         m.insert("slo.preemptions".to_string(), slo.preemptions as f64);
         m.insert("slo.fairness_ratio".to_string(), slo.fairness.ratio);
+        m.insert("slo.device_seconds".to_string(), slo.device_seconds);
+        m.insert("slo.cost".to_string(), slo.cost());
         for t in &slo.tenants {
             let key = |field: &str| format!("tenant.{}.{field}", t.name);
             m.insert(key("p99"), t.latency.p99 * 1e3);
@@ -536,6 +636,16 @@ pub fn extract_metrics(report: &FleetReport, k: usize) -> BTreeMap<String, f64> 
             m.insert(key("rejected"), t.rejected as f64);
             m.insert(key("violations"), t.violations as f64);
         }
+    }
+    // Health metrics exist only for device-fault scenarios, for the
+    // same one-sided schema-drift reason as the tenant block.
+    if let Some(h) = &report.health {
+        m.insert("health.downs".to_string(), h.downs as f64);
+        m.insert("health.ups".to_string(), h.ups as f64);
+        m.insert("health.failed_over".to_string(), h.failed_over as f64);
+        m.insert("health.requeued".to_string(), h.requeued as f64);
+        m.insert("health.transit_shed".to_string(), h.transit_shed as f64);
+        m.insert("health.warm_compiles".to_string(), h.warm_compiles as f64);
     }
     m
 }
@@ -696,6 +806,7 @@ default = 0.02
         assert_eq!(spec.tolerances.tol("latency.p99"), 0.05);
         assert_eq!(spec.tolerances.tol("anything-else"), 0.02);
         assert!(spec.faults.is_none());
+        assert!(spec.device_faults.is_none());
 
         assert!(parse_spec(&SPEC.replace("alexnet", "resnet")).is_err(), "unknown network");
         assert!(parse_spec(&SPEC.replace("titan-black", "h100")).is_err(), "unknown device");
@@ -739,6 +850,35 @@ weight = 2.0
             "budgets are interactive-only"
         );
         assert!(bad("[tenant.analytics]", "[tenant.bad name]").is_err(), "slug-safe names");
+    }
+
+    const DEVICE_FAULTS: &str = r#"
+[device_faults]
+seed = 7
+drain_rate = 0.2
+crash_at_ms = 120.0
+crash_device = 0
+repair_ms = 40.0
+warmup_ms = 15.0
+"#;
+
+    #[test]
+    fn device_fault_sections_parse_and_validate() {
+        let spec = parse_spec(&format!("{SPEC}{DEVICE_FAULTS}")).unwrap();
+        let df = spec.device_faults.expect("[device_faults] parses");
+        assert_eq!(df.seed, 7);
+        assert_eq!(df.drain_rate, 0.2);
+        assert_eq!((df.crash_at_ms, df.crash_device), (Some(120.0), Some(0)));
+        let plan = df.plan();
+        assert_eq!(plan.repair, 0.04);
+        assert_eq!(plan.warmup, 0.015);
+        assert_eq!(plan.scheduled.len(), 1);
+        assert!(!plan.is_noop());
+
+        let bad = |s: &str, r: &str| parse_spec(&format!("{SPEC}{}", DEVICE_FAULTS.replace(s, r)));
+        assert!(bad("seed = 7", "").is_err(), "seed is required");
+        assert!(bad("crash_device = 0", "").is_err(), "scheduled crash needs both keys");
+        assert!(bad("crash_device = 0", "crash_device = 9").is_err(), "device must be in fleet");
     }
 
     #[test]

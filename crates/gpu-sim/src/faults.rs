@@ -152,6 +152,197 @@ impl FaultPlan {
     }
 }
 
+/// Class of a whole-device lifecycle event.
+///
+/// Unlike [`FaultKind`] (per-kernel-launch faults inside a healthy
+/// device), these take the *entire device* through the
+/// `Healthy → Draining → Down → Warming → Healthy` state machine that
+/// the fleet's health layer runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum DeviceFaultKind {
+    /// The device dies instantly: queued work fails over to surviving
+    /// devices and the device is `Down` until repaired.
+    Crash,
+    /// The device stops accepting new work but is held until its
+    /// in-flight batches drain, then goes `Down`. Queued (not yet
+    /// committed) work still fails over at the hang point.
+    Hang,
+    /// A planned drain: the device serves out everything already queued
+    /// to it, takes no new placements, then goes `Down` for repair.
+    Drain,
+}
+
+impl std::fmt::Display for DeviceFaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceFaultKind::Crash => write!(f, "crash"),
+            DeviceFaultKind::Hang => write!(f, "hang"),
+            DeviceFaultKind::Drain => write!(f, "drain"),
+        }
+    }
+}
+
+/// One device-lifecycle event: `device` suffers `kind` at simulated
+/// stream time `t` (seconds).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct DeviceFault {
+    /// Simulated time (seconds on the stream clock) the event fires.
+    pub t: f64,
+    /// Target device index in the fleet.
+    pub device: u32,
+    /// What happens to it.
+    pub kind: DeviceFaultKind,
+}
+
+/// A seeded whole-device fault plan: per-device-second rates for crash /
+/// hang / drain events, plus explicitly scheduled events.
+///
+/// Like [`FaultPlan`], the plan is a *pure function of its inputs*. Rate-
+/// derived events are quantized onto fixed epochs of the simulated clock:
+/// for device `d` and epoch `i`, one stateless draw
+/// `unit_draw(seed, "dev{d}", i)` decides whether (and which) event fires
+/// in that epoch — at most one per device per epoch — and a second draw
+/// places it uniformly inside the epoch. Nothing depends on wall-clock
+/// time, thread count, or evaluation order, so the same plan over the
+/// same workload horizon expands to the same event list on every replay.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct DeviceFaultPlan {
+    /// Seed of the device-fault stream (independent of [`FaultPlan::seed`]).
+    pub seed: u64,
+    /// Expected crashes per device-second (quantized per epoch).
+    pub crash_rate: f64,
+    /// Expected hangs per device-second (quantized per epoch).
+    pub hang_rate: f64,
+    /// Expected planned drains per device-second (quantized per epoch).
+    pub drain_rate: f64,
+    /// Epoch length in simulated seconds for rate quantization (> 0).
+    pub epoch: f64,
+    /// Simulated seconds a device stays `Down` before warming.
+    pub repair: f64,
+    /// Simulated seconds of `Warming` (cold `PlanCache` spin-up) charged
+    /// on the device clock before it serves again.
+    pub warmup: f64,
+    /// Explicitly scheduled events, merged with the rate-derived stream.
+    pub scheduled: Vec<DeviceFault>,
+}
+
+impl DeviceFaultPlan {
+    /// A plan that never fires (all rates zero, nothing scheduled).
+    pub fn quiet(seed: u64) -> DeviceFaultPlan {
+        DeviceFaultPlan {
+            seed,
+            crash_rate: 0.0,
+            hang_rate: 0.0,
+            drain_rate: 0.0,
+            epoch: 0.05,
+            repair: 0.05,
+            warmup: 0.02,
+            scheduled: Vec::new(),
+        }
+    }
+
+    /// A plan with the given crash / hang / drain rates (events per
+    /// device-second) and default epoch, repair, and warmup times.
+    pub fn new(seed: u64, crash_rate: f64, hang_rate: f64, drain_rate: f64) -> DeviceFaultPlan {
+        DeviceFaultPlan { crash_rate, hang_rate, drain_rate, ..DeviceFaultPlan::quiet(seed) }
+    }
+
+    /// Override the rate-quantization epoch (simulated seconds, > 0).
+    pub fn with_epoch(mut self, epoch: f64) -> DeviceFaultPlan {
+        self.epoch = epoch;
+        self
+    }
+
+    /// Override the `Down` duration (simulated seconds).
+    pub fn with_repair(mut self, repair: f64) -> DeviceFaultPlan {
+        self.repair = repair;
+        self
+    }
+
+    /// Override the `Warming` duration (simulated seconds).
+    pub fn with_warmup(mut self, warmup: f64) -> DeviceFaultPlan {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Schedule a crash of `device` at simulated time `t`.
+    pub fn crash_at(self, t: f64, device: u32) -> DeviceFaultPlan {
+        self.at(t, device, DeviceFaultKind::Crash)
+    }
+
+    /// Schedule a hang of `device` at simulated time `t`.
+    pub fn hang_at(self, t: f64, device: u32) -> DeviceFaultPlan {
+        self.at(t, device, DeviceFaultKind::Hang)
+    }
+
+    /// Schedule a planned drain of `device` at simulated time `t`.
+    pub fn drain_at(self, t: f64, device: u32) -> DeviceFaultPlan {
+        self.at(t, device, DeviceFaultKind::Drain)
+    }
+
+    fn at(mut self, t: f64, device: u32, kind: DeviceFaultKind) -> DeviceFaultPlan {
+        self.scheduled.push(DeviceFault { t, device, kind });
+        self
+    }
+
+    /// Whether the plan can never fire. Like [`FaultPlan::is_noop`], a
+    /// no-op plan must be indistinguishable from no plan at all (the
+    /// failover tests check this field for field), so callers
+    /// short-circuit on it before expanding events.
+    pub fn is_noop(&self) -> bool {
+        self.crash_rate <= 0.0
+            && self.hang_rate <= 0.0
+            && self.drain_rate <= 0.0
+            && self.scheduled.is_empty()
+    }
+
+    /// Expand the plan into the concrete, time-ordered event list for a
+    /// `k`-device fleet over `[0, horizon]` simulated seconds.
+    ///
+    /// Pure and deterministic: rate-derived events come from stateless
+    /// draws keyed on `(seed, device, epoch index)`; scheduled events are
+    /// filtered to valid devices and the horizon, then everything is
+    /// sorted by `(t, device)`. The horizon is the caller's last arrival
+    /// time, so every emitted event has a routing point to fire at.
+    pub fn events_for(&self, k: usize, horizon: f64) -> Vec<DeviceFault> {
+        let mut out: Vec<DeviceFault> = self
+            .scheduled
+            .iter()
+            .copied()
+            .filter(|e| (e.device as usize) < k && e.t >= 0.0 && e.t <= horizon)
+            .collect();
+        let any_rate = self.crash_rate > 0.0 || self.hang_rate > 0.0 || self.drain_rate > 0.0;
+        if any_rate && self.epoch > 0.0 && horizon >= 0.0 {
+            let epochs = (horizon / self.epoch).floor() as u64 + 1;
+            let p_crash = (self.crash_rate.max(0.0) * self.epoch).min(1.0);
+            let p_hang = (self.hang_rate.max(0.0) * self.epoch).min(1.0);
+            let p_drain = (self.drain_rate.max(0.0) * self.epoch).min(1.0);
+            for d in 0..k as u32 {
+                let key = format!("dev{d}");
+                let tkey = format!("dev{d}/t");
+                for i in 0..epochs {
+                    let u = unit_draw(self.seed, &key, i);
+                    let kind = if u < p_crash {
+                        DeviceFaultKind::Crash
+                    } else if u < p_crash + p_hang {
+                        DeviceFaultKind::Hang
+                    } else if u < p_crash + p_hang + p_drain {
+                        DeviceFaultKind::Drain
+                    } else {
+                        continue;
+                    };
+                    let t = (i as f64 + unit_draw(self.seed, &tkey, i)) * self.epoch;
+                    if t <= horizon {
+                        out.push(DeviceFault { t, device: d, kind });
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| a.t.total_cmp(&b.t).then(a.device.cmp(&b.device)));
+        out
+    }
+}
+
 /// Uniform draw in `[0, 1)` from `(seed, key, index)`: FNV-1a over the
 /// inputs, finalized with the SplitMix64 mixer so nearby indices decorrelate.
 fn unit_draw(seed: u64, key: &str, index: u64) -> f64 {
@@ -231,5 +422,54 @@ mod tests {
     fn throttle_factor_is_clamped_to_at_least_one() {
         let plan = FaultPlan::new(7, 0.0, 0.0, 1.0).with_throttle_factor(0.5);
         assert_eq!(plan.roll("k", 0), Some(Fault::Throttled { factor: 1.0 }));
+    }
+
+    #[test]
+    fn device_plan_expansion_is_pure_sorted_and_bounded() {
+        let plan = DeviceFaultPlan::new(9, 2.0, 1.0, 1.0).with_epoch(0.01);
+        let a = plan.events_for(4, 0.5);
+        let b = plan.events_for(4, 0.5);
+        assert_eq!(a, b, "expansion must be a pure function of (plan, k, horizon)");
+        assert!(!a.is_empty(), "rates this hot must fire within half a second");
+        for w in a.windows(2) {
+            assert!(
+                w[0].t < w[1].t || (w[0].t == w[1].t && w[0].device <= w[1].device),
+                "events must be (t, device)-ordered"
+            );
+        }
+        for e in &a {
+            assert!(e.device < 4 && e.t >= 0.0 && e.t <= 0.5);
+        }
+        // A longer horizon only appends: the shared prefix is identical.
+        let longer = plan.events_for(4, 1.0);
+        assert!(longer.len() >= a.len());
+        // Different seeds give different event streams.
+        let other = DeviceFaultPlan::new(10, 2.0, 1.0, 1.0).with_epoch(0.01).events_for(4, 0.5);
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn device_plan_noop_and_scheduled_filtering() {
+        let quiet = DeviceFaultPlan::quiet(3);
+        assert!(quiet.is_noop());
+        assert!(quiet.events_for(8, 10.0).is_empty());
+        assert!(DeviceFaultPlan::new(3, 0.0, 0.0, 0.0).is_noop());
+
+        // Scheduled events make the plan non-noop; out-of-range devices
+        // and events past the horizon are dropped at expansion.
+        let plan = DeviceFaultPlan::quiet(3)
+            .crash_at(0.1, 1)
+            .hang_at(0.2, 9)
+            .drain_at(5.0, 0)
+            .drain_at(0.05, 0);
+        assert!(!plan.is_noop());
+        let ev = plan.events_for(2, 1.0);
+        assert_eq!(
+            ev,
+            vec![
+                DeviceFault { t: 0.05, device: 0, kind: DeviceFaultKind::Drain },
+                DeviceFault { t: 0.1, device: 1, kind: DeviceFaultKind::Crash },
+            ]
+        );
     }
 }

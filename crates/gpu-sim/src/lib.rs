@@ -73,7 +73,7 @@ pub mod simcache;
 
 pub use address::{AddressSpace, DeviceBuffer};
 pub use device::{BankMode, DeviceConfig};
-pub use faults::{Fault, FaultKind, FaultPlan};
+pub use faults::{DeviceFault, DeviceFaultKind, DeviceFaultPlan, Fault, FaultKind, FaultPlan};
 pub use kernel::{BlockTrace, KernelSpec, LaunchConfig, WorkSummary};
 pub use launch::{
     simulate, simulate_injected, simulate_sequence, KernelReport, SequenceReport, SimOptions,

@@ -43,6 +43,7 @@
 use crate::adaptive::AdaptivePolicy;
 use crate::batch::{bucket_for, buckets, BatchPolicy};
 use crate::capacity::feasible_max_batch;
+use crate::health::{DeviceHealth, HealthReport, HealthRun, HealthState};
 use crate::metrics::{latency_stats_sorted, LatencyStats};
 use crate::placement::{DeviceLoad, Placement, PlacementCtx, PlacementPolicy};
 use crate::plan_cache::PlanCache;
@@ -54,7 +55,7 @@ use crate::slo::Lane;
 use crate::tenant::{lane_beats, settle_credits, tenant_tags, Admission, SloReport, TenantSpec};
 use crate::workload::{self, Request, WorkloadConfig};
 use memcnn_core::{Engine, EngineError, Mechanism, Network, Plan};
-use memcnn_gpusim::FaultPlan;
+use memcnn_gpusim::{DeviceFaultKind, DeviceFaultPlan, FaultPlan};
 use memcnn_metrics::{MetricsTimeline, Recorder};
 use memcnn_trace as trace;
 use memcnn_trace::perf;
@@ -88,11 +89,17 @@ pub struct FleetConfig {
     /// per-tenant lanes, deadline-aware commit, admission control, and
     /// the weighted-fair tiebreak (unless `MEMCNN_SLO_DISABLE=1`).
     pub tenants: Vec<TenantSpec>,
+    /// Whole-device lifecycle faults (crash / hang / drain, plus the
+    /// repair/warmup healer). `None` — or a no-op plan, or
+    /// `MEMCNN_HEALTH_DISABLE=1` — keeps the health layer off and the
+    /// report byte-identical to the pre-health one.
+    pub device_faults: Option<DeviceFaultPlan>,
 }
 
-// Manual impl: `tenants` is omitted when empty so default configs
-// serialize to the exact bytes the derived impl produced before the
-// field existed (the report byte-identity pin in `tests/slo.rs`).
+// Manual impl: `tenants` is omitted when empty and `device_faults` when
+// `None` so default configs serialize to the exact bytes the derived
+// impl produced before those fields existed (the report byte-identity
+// pins in `tests/slo.rs` and `tests/failover.rs`).
 impl Serialize for FleetConfig {
     fn serialize_json(&self, out: &mut String) {
         out.push_str("{\"workload\":");
@@ -113,6 +120,10 @@ impl Serialize for FleetConfig {
             out.push_str(",\"tenants\":");
             self.tenants.serialize_json(out);
         }
+        if let Some(df) = &self.device_faults {
+            out.push_str(",\"device_faults\":");
+            df.serialize_json(out);
+        }
         out.push('}');
     }
 }
@@ -129,12 +140,19 @@ impl FleetConfig {
             faults: None,
             fault_policy: FaultPolicy::default(),
             tenants: Vec::new(),
+            device_faults: None,
         }
     }
 
     /// The same config with SLO tenants declared.
     pub fn with_tenants(mut self, tenants: Vec<TenantSpec>) -> FleetConfig {
         self.tenants = tenants;
+        self
+    }
+
+    /// The same config with whole-device lifecycle faults enabled.
+    pub fn with_device_faults(mut self, plan: DeviceFaultPlan) -> FleetConfig {
+        self.device_faults = Some(plan);
         self
     }
 
@@ -229,10 +247,14 @@ pub struct FleetReport {
     /// Per-tenant accounting, fairness, and SLO violations; `None` for
     /// class-blind runs (no tenants, or `MEMCNN_SLO_DISABLE=1`).
     pub slo: Option<SloReport>,
+    /// Device-lifecycle recovery tallies; `None` when no live
+    /// `DeviceFaultPlan` (none configured, a no-op plan, or
+    /// `MEMCNN_HEALTH_DISABLE=1`).
+    pub health: Option<HealthReport>,
 }
 
-// Manual impl: `slo` is omitted when `None` so class-blind reports keep
-// the exact pre-tenant byte layout.
+// Manual impl: `slo` and `health` are omitted when `None` so class-blind
+// and fault-free reports keep the exact pre-feature byte layouts.
 impl Serialize for FleetReport {
     fn serialize_json(&self, out: &mut String) {
         out.push_str("{\"config\":");
@@ -258,6 +280,10 @@ impl Serialize for FleetReport {
         if let Some(slo) = &self.slo {
             out.push_str(",\"slo\":");
             slo.serialize_json(out);
+        }
+        if let Some(health) = &self.health {
+            out.push_str(",\"health\":");
+            health.serialize_json(out);
         }
         out.push('}');
     }
@@ -364,6 +390,15 @@ struct DeviceState {
     /// Commits that won the device slot from a lane whose tentative
     /// batch would have launched later with more images.
     preempt: u64,
+    /// Commit horizon from the health layer: the device's next pending
+    /// crash/hang time. Batches launching at or past it must wait for
+    /// the event to be processed at a routing point — in *both* loops,
+    /// which is what keeps device deaths replay-identical. `INFINITY`
+    /// without a fault plan.
+    halt: f64,
+    /// `true` while the device is `Down`: it commits nothing, and
+    /// placement only reaches it through the all-down fallback.
+    blocked: bool,
 }
 
 /// The single-device window-growth rule on one pair's queue: launch at
@@ -610,6 +645,9 @@ fn device_best(
     pairs_d: &[PairState],
     dev: &DeviceState,
 ) -> Option<(f64, usize, usize)> {
+    if dev.blocked {
+        return None; // a Down device commits nothing
+    }
     let mut best: Option<(f64, usize, usize)> = None;
     for (n, pair) in pairs_d.iter().enumerate() {
         for (t, lane) in pair.lanes.iter().enumerate() {
@@ -631,7 +669,10 @@ fn device_best(
             }
         }
     }
-    best
+    // The selection minimizes launch, so if the winner is at or past the
+    // device's halt horizon (its next crash/hang), every lane is — the
+    // device commits nothing until the event fires at a routing point.
+    best.filter(|&(launch, _, _)| launch < dev.halt)
 }
 
 /// Commit the earliest launchable batch on lane `(d, n, t)`: the
@@ -984,6 +1025,9 @@ struct FleetRun<'e, 'a> {
     nn: usize,
     /// `Some` only on SLO runs (tenants configured and not disabled).
     slo_run: Option<SloRun>,
+    /// `Some` only with a live device-fault plan (configured, non-noop,
+    /// and not disabled via `MEMCNN_HEALTH_DISABLE`).
+    health: Option<HealthRun>,
 }
 
 impl<'e, 'a> FleetRun<'e, 'a> {
@@ -1035,10 +1079,16 @@ impl<'e, 'a> FleetRun<'e, 'a> {
             && best.is_none_or(|(bl, _, _, _)| self.requests[self.next_arrival].arrival <= bl)
     }
 
-    /// Route the next arrival: phase-boundary delay updates, the EMA,
-    /// placement, and the arrival-timestamped queue gauges.
+    /// Route the next arrival: health transitions, phase-boundary delay
+    /// updates, the EMA, placement, and the arrival-timestamped queue
+    /// gauges.
     fn route_one(&mut self) {
         let r = self.requests[self.next_arrival];
+        // Device lifecycle first: every fault event at or before this
+        // arrival fires now, in both loops at the identical state point
+        // (the route-first rule has applied exactly the commits
+        // launching before `r.arrival` in each).
+        self.advance_health(r.arrival);
         // Phase boundaries crossed by this arrival re-derive the
         // delay from the EMA observed so far.
         while self.delay.next_bound < self.delay.phase_bounds.len()
@@ -1079,33 +1129,8 @@ impl<'e, 'a> FleetRun<'e, 'a> {
             }
             lt = t;
         }
-        let loads: Vec<DeviceLoad> = (0..self.k)
-            .map(|d| {
-                let mut queued_requests = 0usize;
-                let mut queued_images = 0usize;
-                for p in &self.pairs[d] {
-                    queued_requests += p.pending_requests();
-                    queued_images += p.pending_images();
-                }
-                DeviceLoad {
-                    device: d,
-                    gpu_free: self.devs[d].gpu_free,
-                    queued_requests,
-                    queued_images,
-                    feasible_cap: self.caps[d][n],
-                }
-            })
-            .collect();
-        let d = self
-            .placer
-            .place(&PlacementCtx {
-                now: r.arrival,
-                images: r.images,
-                network: n,
-                max_batch: self.max,
-                devices: &loads,
-            })
-            .min(self.k - 1);
+        let loads: Vec<DeviceLoad> = (0..self.k).map(|d| self.load_of(d, n)).collect();
+        let d = self.place_on(r.arrival, r.images, n, &loads);
         self.g.placements[r.id as usize] = d as u32;
         self.pairs[d][n].lanes[lt].queue.push(r);
         {
@@ -1126,6 +1151,332 @@ impl<'e, 'a> FleetRun<'e, 'a> {
         self.next_arrival += 1;
     }
 
+    /// Load snapshot of device `d` for network `n`'s placement call.
+    fn load_of(&self, d: usize, n: usize) -> DeviceLoad {
+        let mut queued_requests = 0usize;
+        let mut queued_images = 0usize;
+        for p in &self.pairs[d] {
+            queued_requests += p.pending_requests();
+            queued_images += p.pending_images();
+        }
+        DeviceLoad {
+            device: d,
+            gpu_free: self.devs[d].gpu_free,
+            queued_requests,
+            queued_images,
+            feasible_cap: self.caps[d][n],
+        }
+    }
+
+    /// Place one arrival, honouring device health: candidates are the
+    /// `Healthy` devices, falling back to `Warming`, then `Draining`,
+    /// then the full fleet (everything `Down` — the request queues on a
+    /// dead device and the flush re-routes or sheds it). Health-free
+    /// runs pass the full load list straight through, which keeps the
+    /// policy's internal state evolution — hence every placement —
+    /// byte-identical to the pre-health fleet.
+    fn place_on(&mut self, now: f64, images: usize, n: usize, loads: &[DeviceLoad]) -> usize {
+        let eligible: Vec<DeviceLoad> = match &self.health {
+            None => Vec::new(),
+            Some(h) => {
+                let of = |s: HealthState| -> Vec<DeviceLoad> {
+                    loads.iter().filter(|l| h.devs[l.device].state == s).copied().collect()
+                };
+                let mut c = of(HealthState::Healthy);
+                if c.is_empty() {
+                    c = of(HealthState::Warming);
+                }
+                if c.is_empty() {
+                    c = of(HealthState::Draining);
+                }
+                c
+            }
+        };
+        let devices: &[DeviceLoad] = if eligible.is_empty() { loads } else { &eligible };
+        self.placer
+            .place(&PlacementCtx { now, images, network: n, max_batch: self.max, devices })
+            .min(self.k - 1)
+    }
+
+    /// The tenant lane a request routes to (lane 0 on class-blind runs).
+    fn lane_of(&self, id: u64) -> usize {
+        self.slo_run.as_ref().map_or(0, |s| s.tags[id as usize] as usize)
+    }
+
+    /// Fire every device-fault event due by `now` and drain the transit
+    /// buffer. Called at every routing point — where both loops hold
+    /// bit-identical state — and nowhere else.
+    fn advance_health(&mut self, now: f64) {
+        let Some(mut h) = self.health.take() else { return };
+        for d in 0..self.k {
+            self.advance_device(&mut h, d, now);
+        }
+        self.drain_transit(&mut h, now);
+        let healthy = h.healthy();
+        if h.last_healthy != Some(healthy) {
+            h.last_healthy = Some(healthy);
+            self.g.rec.gauge("fleet.devices.healthy", now, healthy as f64);
+        }
+        let backlog = h.transit.len();
+        if h.last_backlog != Some(backlog) {
+            h.last_backlog = Some(backlog);
+            self.g.rec.gauge("fleet.failover.backlog", now, backlog as f64);
+        }
+        self.health = Some(h);
+    }
+
+    /// Step device `d`'s lifecycle machine up to `now`, firing due plan
+    /// events and timer-driven transitions until it settles.
+    fn advance_device(&mut self, h: &mut HealthRun, d: usize, now: f64) {
+        loop {
+            let due = h.devs[d].events.front().filter(|e| e.t <= now).copied();
+            match h.devs[d].state {
+                HealthState::Healthy | HealthState::Draining => {
+                    if let Some(ev) = due {
+                        h.devs[d].events.pop_front();
+                        match ev.kind {
+                            DeviceFaultKind::Crash | DeviceFaultKind::Hang => {
+                                self.fail_over(h, d);
+                                // A hang holds its in-flight work hostage:
+                                // repair starts only once the device would
+                                // have gone idle. A crash repairs from the
+                                // event itself.
+                                let base = if ev.kind == DeviceFaultKind::Crash {
+                                    ev.t
+                                } else {
+                                    ev.t.max(self.devs[d].gpu_free)
+                                };
+                                h.devs[d].down_until = base + h.repair;
+                                h.devs[d].state = HealthState::Down;
+                                self.devs[d].blocked = true;
+                                h.downs += 1;
+                                fault_span(
+                                    format!("device {d} {}", ev.kind),
+                                    ev.t,
+                                    0.0,
+                                    vec![("device".to_string(), d.to_string())],
+                                );
+                                self.g.rec.gauge(
+                                    &format!("dev{d}.health"),
+                                    now,
+                                    HealthState::Down.gauge(),
+                                );
+                            }
+                            DeviceFaultKind::Drain => {
+                                // A duplicate drain while already
+                                // draining is a no-op.
+                                if h.devs[d].state == HealthState::Healthy {
+                                    h.devs[d].state = HealthState::Draining;
+                                    h.devs[d].fault_t = ev.t;
+                                    fault_span(
+                                        format!("device {d} drain"),
+                                        ev.t,
+                                        0.0,
+                                        vec![("device".to_string(), d.to_string())],
+                                    );
+                                    self.g.rec.gauge(
+                                        &format!("dev{d}.health"),
+                                        now,
+                                        HealthState::Draining.gauge(),
+                                    );
+                                }
+                            }
+                        }
+                        self.devs[d].halt = h.devs[d].halt();
+                        continue;
+                    }
+                    if h.devs[d].state == HealthState::Draining
+                        && !self.pairs[d].iter().any(PairState::has_pending)
+                    {
+                        // Served out: the decommission completes. The
+                        // repair clock starts once both the drain order
+                        // and the last committed batch are behind us.
+                        h.devs[d].down_until =
+                            h.devs[d].fault_t.max(self.devs[d].gpu_free) + h.repair;
+                        h.devs[d].state = HealthState::Down;
+                        self.devs[d].blocked = true;
+                        h.downs += 1;
+                        self.g.rec.gauge(&format!("dev{d}.health"), now, HealthState::Down.gauge());
+                        continue;
+                    }
+                    break;
+                }
+                HealthState::Down => {
+                    if due.is_some() {
+                        // Events landing on a dead device are spent.
+                        h.devs[d].events.pop_front();
+                        self.devs[d].halt = h.devs[d].halt();
+                        continue;
+                    }
+                    if now >= h.devs[d].down_until {
+                        // Heal: a warm spare comes up with cold plan
+                        // caches. Compiles charge zero simulated time,
+                        // so the warmup window is charged explicitly on
+                        // the device clock — that is the recovery
+                        // latency bump the timeline shows.
+                        let warm_until = h.devs[d].down_until + h.warmup;
+                        h.devs[d].warm_until = warm_until;
+                        h.devs[d].state = HealthState::Warming;
+                        for pair in &mut self.pairs[d] {
+                            h.warm_compiles += pair.cache.reset() as u64;
+                            pair.plan_cap = self.max;
+                            pair.pin = None;
+                            pair.clean_streak = 0;
+                        }
+                        self.devs[d].gpu_free = self.devs[d].gpu_free.max(warm_until);
+                        self.devs[d].blocked = false;
+                        self.g.rec.gauge(
+                            &format!("dev{d}.health"),
+                            now,
+                            HealthState::Warming.gauge(),
+                        );
+                        continue;
+                    }
+                    break;
+                }
+                HealthState::Warming => {
+                    if due.is_some() {
+                        h.devs[d].events.pop_front();
+                        self.devs[d].halt = h.devs[d].halt();
+                        continue;
+                    }
+                    if now >= h.devs[d].warm_until {
+                        h.devs[d].state = HealthState::Healthy;
+                        h.ups += 1;
+                        self.g.rec.gauge(
+                            &format!("dev{d}.health"),
+                            now,
+                            HealthState::Healthy.gauge(),
+                        );
+                        continue;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Move device `d`'s queued (uncommitted) requests into the transit
+    /// buffer. In-flight work is already settled — commits never
+    /// straddle the device's halt horizon.
+    fn fail_over(&mut self, h: &mut HealthRun, d: usize) {
+        for pair in &mut self.pairs[d] {
+            for (t, lane) in pair.lanes.iter_mut().enumerate() {
+                if lane.has_pending() {
+                    let moved = lane.queue.split_off(lane.next);
+                    h.failed_over[t] += moved.len() as u64;
+                    h.dev_failed_over[d] += moved.len() as u64;
+                    h.transit.extend(moved);
+                }
+            }
+        }
+    }
+
+    /// Re-place transiting requests onto the candidate devices (their
+    /// [`DeviceLoad`] snapshots), preserving each request's original
+    /// arrival so the deadline/shed ladder still applies. Returns how
+    /// many it re-placed.
+    fn requeue_transit(&mut self, h: &mut HealthRun, now: f64, candidates: &[usize]) -> u64 {
+        let transit = std::mem::take(&mut h.transit);
+        let mut requeued = 0u64;
+        for r in transit {
+            let n = (r.id as usize) % self.nn;
+            let loads: Vec<DeviceLoad> = candidates.iter().map(|&d| self.load_of(d, n)).collect();
+            let d = self
+                .placer
+                .place(&PlacementCtx {
+                    now,
+                    images: r.images,
+                    network: n,
+                    max_batch: self.max,
+                    devices: &loads,
+                })
+                .min(self.k - 1);
+            let t = self.lane_of(r.id);
+            self.g.placements[r.id as usize] = d as u32;
+            self.pairs[d][n].lanes[t].queue.push(r);
+            requeued += 1;
+        }
+        requeued
+    }
+
+    /// Re-place the transit buffer onto `Healthy` devices, if any.
+    fn drain_transit(&mut self, h: &mut HealthRun, now: f64) {
+        if h.transit.is_empty() {
+            return;
+        }
+        let healthy: Vec<usize> =
+            (0..self.k).filter(|&d| h.devs[d].state == HealthState::Healthy).collect();
+        if healthy.is_empty() {
+            return;
+        }
+        h.requeued += self.requeue_transit(h, now, &healthy);
+    }
+
+    /// The routing-exhausted flush: once the last arrival has routed,
+    /// no further routing point will fire health events — so fail over
+    /// whatever is still queued on `Down` devices and settle the transit
+    /// buffer (re-place onto any non-`Down` device, shed if the whole
+    /// fleet is dead). Runs at the identical state point in both loops:
+    /// immediately after the final route, before the next commit.
+    /// Returns whether it ran (the sequential loop re-evaluates its
+    /// global best afterwards).
+    fn drain_flush(&mut self) -> bool {
+        let Some(mut h) = self.health.take() else { return false };
+        if h.flushed {
+            self.health = Some(h);
+            return false;
+        }
+        h.flushed = true;
+        let now = self.requests.last().map_or(0.0, |r| r.arrival);
+        for d in 0..self.k {
+            // Zero-request runs never reach a routing point; fire any
+            // events due by `now` here (with arrivals, the last routing
+            // point already consumed them). Events scheduled after the
+            // last arrival are void — the stream has ended and the
+            // fleet drains unharassed; clearing them also releases the
+            // commit-halt horizon so pending work can serve out.
+            self.advance_device(&mut h, d, now);
+            h.devs[d].events.clear();
+            self.devs[d].halt = f64::INFINITY;
+        }
+        for d in 0..self.k {
+            if h.devs[d].state == HealthState::Down {
+                self.fail_over(&mut h, d);
+            }
+        }
+        if !h.transit.is_empty() {
+            let alive: Vec<usize> =
+                (0..self.k).filter(|&d| h.devs[d].state != HealthState::Down).collect();
+            if alive.is_empty() {
+                // The whole fleet is dead: shed, keeping the 0.0
+                // latency sentinel and the last placement.
+                let transit = std::mem::take(&mut h.transit);
+                for r in transit {
+                    let t = self.lane_of(r.id);
+                    h.transit_shed[t] += 1;
+                    self.g.fleet_shed += 1;
+                    fault_span(
+                        format!("shed request {}", r.id),
+                        now,
+                        0.0,
+                        vec![("reason".to_string(), "failover".to_string())],
+                    );
+                }
+            } else {
+                h.requeued += self.requeue_transit(&mut h, now, &alive);
+                // Un-block the re-placement targets' commit path: a
+                // Warming/Draining device serves out what the flush
+                // hands it.
+                for &d in &alive {
+                    self.devs[d].blocked = false;
+                }
+            }
+        }
+        self.health = Some(h);
+        true
+    }
+
     /// The legacy single-threaded loop: alternate between routing the
     /// next arrival and committing the global-best batch, whichever
     /// comes first on the simulated clock.
@@ -1135,6 +1486,14 @@ impl<'e, 'a> FleetRun<'e, 'a> {
             let best = self.global_best(&ctx);
             if self.should_route(best) {
                 self.route_one();
+                continue;
+            }
+            // Routing exhausted: settle the health layer (fail over
+            // dead devices' queues, clear halt horizons) before the
+            // remaining commits drain the fleet. State point:
+            // immediately after the last route, before the next commit
+            // — the same point the parallel loop flushes at.
+            if self.next_arrival >= self.requests.len() && self.drain_flush() {
                 continue;
             }
             let Some((_, d, n, t)) = best else { break };
@@ -1162,8 +1521,14 @@ impl<'e, 'a> FleetRun<'e, 'a> {
                 self.route_one();
             }
             let t_next = self.requests.get(self.next_arrival).map(|r| r.arrival);
-            let active: Vec<usize> =
-                (0..self.k).filter(|&d| self.pairs[d].iter().any(|p| p.has_pending())).collect();
+            if t_next.is_none() {
+                // Same state point as the sequential flush: the last
+                // arrival just routed and nothing has committed since.
+                self.drain_flush();
+            }
+            let active: Vec<usize> = (0..self.k)
+                .filter(|&d| !self.devs[d].blocked && self.pairs[d].iter().any(|p| p.has_pending()))
+                .collect();
             if active.is_empty() {
                 // Nothing pending and nothing routable: the run is
                 // drained (the route loop would otherwise have routed).
@@ -1234,6 +1599,9 @@ impl<'e, 'a> FleetRun<'e, 'a> {
         let mut compiles: Vec<(usize, usize, usize)> = Vec::new();
         let mut waiters: Vec<Vec<(usize, usize)>> = Vec::new();
         for (d, pairs_d) in self.pairs.iter().enumerate() {
+            if self.devs[d].blocked {
+                continue; // a Down device commits nothing this step
+            }
             for (n, pair) in pairs_d.iter().enumerate() {
                 let emax = pair.emax();
                 for (lt, lane) in pair.lanes.iter().enumerate() {
@@ -1247,7 +1615,7 @@ impl<'e, 'a> FleetRun<'e, 'a> {
                         emax,
                         ctx.lane_delay(lt),
                     );
-                    if t_next.is_some_and(|t| launch >= t) {
+                    if t_next.is_some_and(|t| launch >= t) || launch >= self.devs[d].halt {
                         continue; // won't commit this step
                     }
                     let (_, images, _) = form(&lane.queue, lane.next, launch, emax);
@@ -1331,6 +1699,11 @@ pub fn serve_fleet(
     let max = cfg.policy.max_batch_images.max(1);
     let fplan = cfg.faults.filter(|p| !p.is_noop());
     let pol = cfg.fault_policy;
+    let dplan = if crate::health::health_disabled() {
+        None
+    } else {
+        cfg.device_faults.clone().filter(|p| !p.is_noop())
+    };
 
     // MemoryAware needs each (device, network)'s feasible batch cap up
     // front; the other policies never read it, so they skip the probe
@@ -1363,6 +1736,36 @@ pub fn serve_fleet(
         Vec::new()
     };
 
+    // Expand the device-fault plan once, purely, over the stream's
+    // horizon (the last arrival): events after it are unreachable — no
+    // routing point ever fires them — so bounding the expansion keeps
+    // the run finite without changing behaviour.
+    let health = dplan.as_ref().map(|p| {
+        let horizon = requests.last().map_or(0.0, |r| r.arrival);
+        let events = p.events_for(k, horizon);
+        let mut queues: Vec<VecDeque<memcnn_gpusim::DeviceFault>> =
+            (0..k).map(|_| VecDeque::new()).collect();
+        for ev in events {
+            queues[ev.device as usize].push_back(ev);
+        }
+        HealthRun {
+            devs: queues.into_iter().map(DeviceHealth::new).collect(),
+            repair: p.repair.max(0.0),
+            warmup: p.warmup.max(0.0),
+            transit: Vec::new(),
+            failed_over: vec![0; nlanes],
+            dev_failed_over: vec![0; k],
+            transit_shed: vec![0; nlanes],
+            requeued: 0,
+            downs: 0,
+            ups: 0,
+            warm_compiles: 0,
+            flushed: false,
+            last_healthy: None,
+            last_backlog: None,
+        }
+    });
+
     let pairs: Vec<Vec<PairState>> = (0..k)
         .map(|d| {
             (0..nn)
@@ -1377,7 +1780,7 @@ pub fn serve_fleet(
         })
         .collect();
     let devs: Vec<DeviceState> = (0..k)
-        .map(|_| DeviceState {
+        .map(|d| DeviceState {
             gpu_free: 0.0,
             launches: 0,
             stats: FaultStats::default(),
@@ -1389,6 +1792,8 @@ pub fn serve_fleet(
             shed_by_tenant: vec![0; nlanes],
             early: 0,
             preempt: 0,
+            halt: health.as_ref().map_or(f64::INFINITY, |h| h.devs[d].halt()),
+            blocked: false,
         })
         .collect();
 
@@ -1458,13 +1863,14 @@ pub fn serve_fleet(
             admitted: vec![0; nlanes],
             rejected: vec![0; nlanes],
         }),
+        health,
     };
     if sequential_requested() {
         run.run_sequential()?;
     } else {
         run.run_parallel()?;
     }
-    let FleetRun { pairs, devs, g, slo_run, .. } = run;
+    let FleetRun { pairs, devs, g, slo_run, health, .. } = run;
     let Globals { latencies, placements, rec, slo: g_slo, .. } = g;
 
     // Aggregate accounting, mirroring the single-device counter names so
@@ -1486,6 +1892,16 @@ pub fn serve_fleet(
         shed_requests += dev.shed;
         plan_ooms += dev.plan_ooms;
         total_batches += dev.batches.len();
+    }
+    // Transit sheds (failed-over requests with no live target) belong
+    // to the fleet, not to any device; fold them into the total the
+    // same way the routing loop already folded them into `fleet_shed`.
+    if let Some(h) = &health {
+        shed_requests += h.transit_shed.iter().sum::<u64>() as usize;
+        perf::add("fleet.device.down", h.downs);
+        perf::add("fleet.device.up", h.ups);
+        perf::add("fleet.failover.requeued", h.requeued);
+        perf::add("fleet.warm.compiles", h.warm_compiles);
     }
     perf::add("serve.batches", total_batches as u64);
     perf::add("serve.shed", shed_requests as u64);
@@ -1579,6 +1995,22 @@ pub fn serve_fleet(
                     }
                 }
             }
+            // Failover accounting: transit sheds join the tenant's shed
+            // tally (they are terminal), the transit-buffer residual is
+            // the balance identity's new term, and the cumulative
+            // failed-over counts ride along for observability.
+            let mut failed_over = vec![0u64; nt];
+            let mut in_transit = vec![0u64; nt];
+            if let Some(h) = &health {
+                for (s, &ts) in shed_by.iter_mut().zip(&h.transit_shed) {
+                    *s += ts;
+                }
+                failed_over.copy_from_slice(&h.failed_over[..nt]);
+                for r in &h.transit {
+                    in_transit[sr.tags[r.id as usize] as usize] += 1;
+                }
+            }
+            let device_seconds: f64 = devs.iter().map(|d| d.busy).sum();
             Some(crate::slo::slo_report(
                 &cfg.tenants,
                 &latencies,
@@ -1592,10 +2024,25 @@ pub fn serve_fleet(
                 &gs.violations,
                 early,
                 preempt,
+                &failed_over,
+                &in_transit,
+                device_seconds,
             ))
         }
         _ => None,
     };
+
+    let health_report = health.map(|h| HealthReport {
+        downs: h.downs,
+        ups: h.ups,
+        requeued: h.requeued,
+        warm_compiles: h.warm_compiles,
+        failed_over: h.failed_over.iter().sum(),
+        failed_over_in_transit: h.transit.len() as u64,
+        transit_shed: h.transit_shed.iter().sum(),
+        device_failed_over: h.dev_failed_over,
+        states: h.devs.iter().map(|d| d.state).collect(),
+    });
 
     let timeline = rec.finish();
     // Mirror the timeline onto the Perfetto counter tracks (a no-op when
@@ -1613,6 +2060,7 @@ pub fn serve_fleet(
         faults: agg,
         timeline,
         slo,
+        health: health_report,
     })
 }
 

@@ -56,6 +56,19 @@
 //! invariant. `MEMCNN_SLO_DISABLE=1` forces the class-blind scheduler
 //! as an exact equivalence oracle; with no tenants configured the
 //! reports are byte-identical to the tenant-free builds.
+//!
+//! # Device failures & failover
+//!
+//! [`health`] adds whole-device fault tolerance to the fleet: a seeded
+//! [`DeviceFaultPlan`](memcnn_gpusim::DeviceFaultPlan) drives each
+//! device through `Healthy → Draining → Down → Warming → Healthy`,
+//! queued work fails over and re-places onto healthy devices, warm
+//! spares come back with cold plan caches (the recompilation cost is
+//! charged on the simulated clock), and the balance invariant extends
+//! to `admitted == completed + shed + rejected + in_flight +
+//! failed_over_in_transit`. `MEMCNN_HEALTH_DISABLE=1` switches the
+//! layer off as the no-op oracle; everything stays bit-deterministic
+//! across `MEMCNN_THREADS` and vs `MEMCNN_FLEET_SEQUENTIAL=1`.
 
 #![warn(missing_docs)]
 #![deny(clippy::unwrap_used)]
@@ -65,6 +78,7 @@ pub mod adaptive;
 pub mod batch;
 pub mod capacity;
 pub mod fleet;
+pub mod health;
 pub mod metrics;
 pub mod placement;
 pub mod plan_cache;
@@ -78,6 +92,7 @@ pub use adaptive::AdaptivePolicy;
 pub use batch::{bucket_for, buckets, BatchPolicy};
 pub use capacity::{capacity_images_per_sec, feasible_max_batch};
 pub use fleet::{serve_fleet, DeviceReport, FleetBatch, FleetConfig, FleetReport, NetworkBuckets};
+pub use health::{HealthReport, HealthState};
 pub use metrics::{latency_stats, latency_stats_sorted, percentile, LatencyStats};
 pub use placement::{
     DeviceLoad, LeastLoaded, MemoryAware, Placement, PlacementCtx, PlacementPolicy, QueueWeighted,

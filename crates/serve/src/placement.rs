@@ -55,13 +55,18 @@ pub struct PlacementCtx<'a> {
     pub network: usize,
     /// The batching policy's image cap.
     pub max_batch: usize,
-    /// Per-device load snapshots, indexed by device.
+    /// Candidate load snapshots. Usually the whole fleet in device
+    /// order, but the health layer passes only the eligible (e.g.
+    /// `Healthy`) devices — so entries carry their own
+    /// [`DeviceLoad::device`] id and `devices[i].device == i` must not
+    /// be assumed.
     pub devices: &'a [DeviceLoad],
 }
 
-/// A deterministic routing decision. `place` returns the chosen device
-/// index; implementations may keep internal state (e.g. a round-robin
-/// cursor) but must not consult any source of nondeterminism.
+/// A deterministic routing decision. `place` returns the chosen
+/// [`DeviceLoad::device`] id from the candidate slice; implementations
+/// may keep internal state (e.g. a round-robin cursor) but must not
+/// consult any source of nondeterminism.
 pub trait PlacementPolicy {
     /// Choose a device for one request.
     fn place(&mut self, ctx: &PlacementCtx) -> usize;
@@ -77,9 +82,13 @@ pub struct RoundRobin {
 
 impl PlacementPolicy for RoundRobin {
     fn place(&mut self, ctx: &PlacementCtx) -> usize {
+        // Return the candidate's device id, not the slice index: the
+        // fleet's health layer passes a filtered candidate slice when
+        // some devices are not Healthy (identical on the full fleet,
+        // where `devices[i].device == i`).
         let d = self.counter % ctx.devices.len().max(1);
         self.counter = self.counter.wrapping_add(1);
-        d
+        ctx.devices.get(d).map_or(d, |l| l.device)
     }
 
     fn name(&self) -> &'static str {

@@ -113,6 +113,18 @@ impl<'e> PlanCache<'e> {
         Ok(())
     }
 
+    /// Drop every compiled and staged plan, leaving the cache as freshly
+    /// constructed. The fleet's healer calls this when a replacement
+    /// device warms up: its per-(device, network, bucket) cache starts
+    /// cold and every discarded plan (the return value) must be
+    /// recompiled on demand.
+    pub fn reset(&mut self) -> usize {
+        let dropped = self.plans.len();
+        self.plans.clear();
+        self.staged.clear();
+        dropped
+    }
+
     /// All compiled plans, ascending by bucket.
     pub fn plans(&self) -> &BTreeMap<usize, Plan> {
         &self.plans

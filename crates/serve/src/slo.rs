@@ -147,6 +147,9 @@ pub(crate) fn slo_report(
     violations: &[u64],
     early_commits: u64,
     preemptions: u64,
+    failed_over: &[u64],
+    in_transit: &[u64],
+    device_seconds: f64,
 ) -> SloReport {
     let nt = tenants.len();
     let mut lat_by: Vec<Vec<f64>> = vec![Vec::new(); nt];
@@ -167,6 +170,8 @@ pub(crate) fn slo_report(
             in_flight: in_flight[t],
             images: images[t],
             violations: violations[t],
+            failed_over: failed_over[t],
+            failed_over_in_transit: in_transit[t],
             latency: latency_stats(&lat_by[t]),
             weighted_share: if tenants[t].weight > 0.0 {
                 images[t] as f64 / tenants[t].weight
@@ -181,6 +186,9 @@ pub(crate) fn slo_report(
         rejected: rejected.iter().sum(),
         early_commits,
         preemptions,
+        device_seconds,
+        failed_over: failed_over.iter().sum(),
+        failed_over_in_transit: in_transit.iter().sum(),
         tenants: reports,
     };
     perf::add("slo.commit.early", slo.early_commits);
@@ -526,6 +534,11 @@ pub(crate) fn serve_tenants(
         &violations,
         early,
         preempts,
+        // No device lifecycle on the single-device path: nothing fails
+        // over, and `busy` is the one device's occupied seconds.
+        &vec![0u64; nt],
+        &vec![0u64; nt],
+        busy,
     );
 
     let timeline = rec.finish();

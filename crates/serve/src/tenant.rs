@@ -213,6 +213,13 @@ pub struct TenantReport {
     /// Served requests whose latency exceeded the class's p99 budget
     /// (always 0 for classes without one).
     pub violations: u64,
+    /// Requests that ever failed over from a dead device (cumulative —
+    /// a request can fail over more than once, so this is *not* part of
+    /// the balance identity; 0 without a `DeviceFaultPlan`).
+    pub failed_over: u64,
+    /// Requests still in the failover transit buffer when the run
+    /// ended (0 for drained runs — the flush re-places or sheds them).
+    pub failed_over_in_transit: u64,
     /// Latency summary over this tenant's completed requests.
     pub latency: LatencyStats,
     /// Weighted share: completed images per unit weight. The fairness
@@ -223,9 +230,16 @@ pub struct TenantReport {
 
 impl TenantReport {
     /// The scheduling analogue of `FaultStats::balanced`: every
-    /// attributed request is accounted exactly once.
+    /// attributed request is accounted exactly once. With device
+    /// faults, requests mid-failover count through
+    /// `failed_over_in_transit`.
     pub fn balanced(&self) -> bool {
-        self.admitted == self.completed + self.shed + self.rejected + self.in_flight
+        self.admitted
+            == self.completed
+                + self.shed
+                + self.rejected
+                + self.in_flight
+                + self.failed_over_in_transit
     }
 }
 
@@ -258,23 +272,45 @@ pub struct SloReport {
     /// Commits that won a device slot from a lane with a larger formed
     /// batch (the deadline-aware preemption counter).
     pub preemptions: u64,
+    /// Simulated device-seconds of occupancy consumed across the fleet
+    /// (attempts, backoffs, and completed service) — the denominator of
+    /// the `slo.cost` metric.
+    pub device_seconds: f64,
+    /// Requests that ever failed over, summed over tenants (cumulative;
+    /// not in the balance identity).
+    pub failed_over: u64,
+    /// Requests still in the failover transit buffer at the end of the
+    /// run, summed over tenants (0 for drained runs).
+    pub failed_over_in_transit: u64,
 }
 
 impl SloReport {
-    /// Balance per tenant AND in aggregate.
+    /// Balance per tenant AND in aggregate (the extended identity:
+    /// `admitted == completed + shed + rejected + in_flight +
+    /// failed_over_in_transit`).
     pub fn balanced(&self) -> bool {
         let agg_ok = {
-            let (mut adm, mut done, mut shed, mut rej, mut fly) = (0u64, 0u64, 0u64, 0u64, 0u64);
+            let (mut adm, mut done, mut shed, mut rej, mut fly, mut transit) =
+                (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
             for t in &self.tenants {
                 adm += t.admitted;
                 done += t.completed;
                 shed += t.shed;
                 rej += t.rejected;
                 fly += t.in_flight;
+                transit += t.failed_over_in_transit;
             }
-            adm == done + shed + rej + fly
+            adm == done + shed + rej + fly + transit
         };
         agg_ok && self.tenants.iter().all(TenantReport::balanced)
+    }
+
+    /// The SLO-violation cost metric: device-seconds consumed per
+    /// violation. A violation-free run reports the full device-seconds
+    /// (cost of perfection); higher is better only when violations are
+    /// also lower — benches report both.
+    pub fn cost(&self) -> f64 {
+        self.device_seconds / (self.violations.max(1)) as f64
     }
 }
 
@@ -469,6 +505,8 @@ mod tests {
             violations: 0,
             latency: LatencyStats::default(),
             weighted_share: 20.0,
+            failed_over: 0,
+            failed_over_in_transit: 0,
         };
         assert!(t.balanced());
         let mut bad = t.clone();
