@@ -24,7 +24,7 @@
 //!
 //! A wallclock matrix then re-runs the AlexNet least-loaded point cold in
 //! fresh subprocesses (`--measure K` is the hidden child mode) for every
-//! (K, MEMCNN_THREADS) in {1, 4, 8, 16} × {1, 4} — fresh processes
+//! (K, MEMCNN_THREADS) in {1, 4, 8, 16, 64} × {1, 4} — fresh processes
 //! because `MEMCNN_THREADS` is read once per process. Each child reports
 //! `wallclock_ms` plus a report digest; the digests must match across
 //! thread counts (bit-determinism gate, always enforced), and on hosts
@@ -32,13 +32,25 @@
 //! (the parallel-stepping scaling gate; skipped with a note on smaller
 //! hosts, where the speedup physically cannot exist).
 //!
+//! An orchestrator-throughput stream mode follows: a ~1,000,000-request
+//! Poisson stream of a deliberately tiny network on a K=64 fleet, where
+//! wallclock is dominated by routing/arbitration rather than plan
+//! simulation. It reports orchestrator events/sec (routes + commits per
+//! second of wallclock) in `BENCH_fleet.json`, checks the run's digest
+//! against the retained sequential oracle (`MEMCNN_FLEET_SEQUENTIAL=1`),
+//! and at K=16 compares the tournament route index against the retained
+//! pre-index linear scan (`MEMCNN_FLEET_LINEAR=1`) — the indexed router
+//! must clear 2x the linear baseline's events/sec. Both stream gates are
+//! fatal and run on any host (the comparison is thread-count-matched, so
+//! core count cannot excuse a miss).
+//!
 //! Exits non-zero if 4-device least-loaded throughput falls below 3x
 //! the single device — the scaling regression gate — or if either
-//! wallclock-matrix gate trips.
+//! wallclock-matrix gate or either stream gate trips.
 
 use memcnn_bench::fleet::{
-    bursty_workload, digest, fleet_workload, run_fleet, scaling, FLEET_LOAD_FRAC, FLEET_SEED,
-    FLEET_SIZES,
+    bursty_workload, digest, fleet_workload, run_fleet, scaling, stream_net, stream_workload,
+    FLEET_LOAD_FRAC, FLEET_SEED, FLEET_SIZES, STREAM_GATE_K, STREAM_K, STREAM_REQUESTS,
 };
 use memcnn_bench::serving::sweep_policy;
 use memcnn_bench::slo::{class_table, compare_classes, run_slo_fleet, slo_tenants, ClassCompare};
@@ -56,7 +68,7 @@ use std::time::Instant;
 /// Thread counts the wallclock matrix sweeps (each in a fresh child).
 const MATRIX_THREADS: [usize; 2] = [1, 4];
 /// Fleet sizes the wallclock matrix sweeps.
-const MATRIX_SIZES: [usize; 4] = [1, 4, 8, 16];
+const MATRIX_SIZES: [usize; 5] = [1, 4, 8, 16, 64];
 
 #[derive(Serialize)]
 struct PolicyRow {
@@ -116,6 +128,23 @@ struct MeasureRow {
     digest: String,
 }
 
+/// One run of the orchestrator-throughput stream mode.
+#[derive(Serialize)]
+struct StreamRow {
+    /// Router variant: "indexed" (the tournament route index),
+    /// "linear" (`MEMCNN_FLEET_LINEAR=1`, the retained pre-index scan),
+    /// or "sequential" (`MEMCNN_FLEET_SEQUENTIAL=1`, the oracle loop).
+    mode: &'static str,
+    k: usize,
+    requests: usize,
+    /// Orchestrator events processed: routed arrivals + committed
+    /// batches (the `fleet.route.count` + `fleet.commit.count` deltas).
+    events: u64,
+    wallclock_ms: f64,
+    events_per_sec: f64,
+    digest: String,
+}
+
 #[derive(Serialize)]
 struct Summary {
     bench: &'static str,
@@ -126,6 +155,12 @@ struct Summary {
     /// Cold wallclock per (K, MEMCNN_THREADS) point, from `--measure`
     /// subprocesses.
     wallclock: Vec<MeasureRow>,
+    /// Orchestrator-throughput stream runs (K=64 showcase + sequential
+    /// oracle, K=16 indexed-vs-linear gate pair).
+    stream: Vec<StreamRow>,
+    /// Indexed-router events/sec over the linear-scan baseline at the
+    /// gate fleet size (must be >= 2.0).
+    index_speedup: f64,
     /// `fleet.*` perf-counter deltas accumulated by this process's
     /// in-process sweep runs (barriers crossed, parallel steps taken,
     /// plans batch-compiled).
@@ -280,6 +315,135 @@ fn wallclock_matrix() -> (Vec<MeasureRow>, bool) {
         }
     }
     (rows, failed)
+}
+
+/// One timed stream run: the tiny-network Poisson stream on a K-device
+/// fleet, with orchestrator events (routes + commits) counted from the
+/// perf registry and digested for cross-mode identity checks. `env`
+/// temporarily pins a fleet-loop knob (`MEMCNN_FLEET_LINEAR` /
+/// `MEMCNN_FLEET_SEQUENTIAL` — both re-read per call, unlike
+/// `MEMCNN_THREADS`).
+fn stream_run(
+    ctx: &Ctx,
+    net: &memcnn_core::Network,
+    policy: memcnn_serve::BatchPolicy,
+    capacity: f64,
+    k: usize,
+    mode: &'static str,
+    env: Option<&str>,
+) -> StreamRow {
+    if let Some(var) = env {
+        std::env::set_var(var, "1");
+    }
+    let workload = stream_workload(STREAM_REQUESTS, capacity, k, FLEET_SEED);
+    let base = perf::baseline();
+    let start = Instant::now();
+    let report = run_fleet(ctx, net, policy, workload, Placement::QueueWeighted, k)
+        .unwrap_or_else(|e| panic!("stream {mode} k={k}: {e}"));
+    let wallclock_ms = start.elapsed().as_secs_f64() * 1e3;
+    if let Some(var) = env {
+        std::env::remove_var(var);
+    }
+    let events = base.delta_of("fleet.route.count") + base.delta_of("fleet.commit.count");
+    StreamRow {
+        mode,
+        k,
+        requests: report.requests,
+        events,
+        wallclock_ms,
+        events_per_sec: events as f64 / (wallclock_ms / 1e3),
+        digest: format!("{:016x}", digest(&report)),
+    }
+}
+
+/// The orchestrator-throughput stream section: the K=64 showcase run
+/// with its sequential-oracle digest check, then the K=16 indexed-vs-
+/// linear throughput gate. Returns the rows, the indexed/linear
+/// speedup, and whether any gate failed.
+fn stream_section(ctx: &Ctx) -> (Vec<StreamRow>, f64, bool) {
+    let net = stream_net();
+    let (max_batch, top_plan) =
+        feasible_max_batch(&ctx.engine, &net, ctx.mechanism(), &[256, 128, 64, 32])
+            .unwrap_or_else(|| panic!("{}: no feasible batch size", net.name));
+    let capacity = capacity_images_per_sec(max_batch, &top_plan);
+    let policy = sweep_policy(max_batch, top_plan.total_time());
+    let mut failed = false;
+
+    println!(
+        "\nstream mode: ~{STREAM_REQUESTS} requests of {} (orchestrator-bound), \
+         queue-weighted placement",
+        net.name
+    );
+    let k64 = stream_run(ctx, &net, policy, capacity, STREAM_K, "indexed", None);
+    let k64_seq = stream_run(
+        ctx,
+        &net,
+        policy,
+        capacity,
+        STREAM_K,
+        "sequential",
+        Some("MEMCNN_FLEET_SEQUENTIAL"),
+    );
+    if k64.digest != k64_seq.digest {
+        eprintln!(
+            "GATE FAILED: k={STREAM_K} stream: parallel digest {} != sequential oracle digest {}",
+            k64.digest, k64_seq.digest
+        );
+        failed = true;
+    }
+    let gate = stream_run(ctx, &net, policy, capacity, STREAM_GATE_K, "indexed", None);
+    let gate_linear = stream_run(
+        ctx,
+        &net,
+        policy,
+        capacity,
+        STREAM_GATE_K,
+        "linear",
+        Some("MEMCNN_FLEET_LINEAR"),
+    );
+    if gate.digest != gate_linear.digest {
+        eprintln!(
+            "GATE FAILED: k={STREAM_GATE_K} stream: indexed digest {} != linear digest {}",
+            gate.digest, gate_linear.digest
+        );
+        failed = true;
+    }
+    let speedup = gate.events_per_sec / gate_linear.events_per_sec;
+
+    let rows = vec![k64, k64_seq, gate, gate_linear];
+    let mut table = Table::new(
+        "orchestrator stream throughput (routes + commits per second)".to_string(),
+        &["mode", "devices", "requests", "events", "wallclock ms", "events/s", "digest"],
+    );
+    for row in &rows {
+        table.row(vec![
+            row.mode.to_string(),
+            row.k.to_string(),
+            row.requests.to_string(),
+            row.events.to_string(),
+            format!("{:.1}", row.wallclock_ms),
+            format!("{:.0}", row.events_per_sec),
+            row.digest.clone(),
+        ]);
+    }
+    table.print();
+
+    // The index regression gate: fatal, and deliberately thread-count-
+    // matched (both runs use the same pool), so it holds on any host —
+    // including single-core CI, unlike the parallel scaling gate.
+    if speedup < 2.0 {
+        eprintln!(
+            "GATE FAILED: k={STREAM_GATE_K}: indexed router events/sec is only {speedup:.2}x the \
+             linear-scan baseline (need >= 2x)"
+        );
+        failed = true;
+    } else {
+        println!(
+            "gate ok: k={STREAM_GATE_K} indexed router clears {speedup:.2}x the linear-scan \
+             baseline"
+        );
+    }
+    (rows, speedup, failed)
 }
 
 fn main() {
@@ -490,6 +654,9 @@ fn main() {
     let (wallclock, matrix_failed) = wallclock_matrix();
     gate_failed |= matrix_failed;
 
+    let (stream, index_speedup, stream_failed) = stream_section(&ctx);
+    gate_failed |= stream_failed;
+
     let fleet_perf: BTreeMap<String, u64> =
         perf_base.delta().into_iter().filter(|(name, _)| name.starts_with("fleet.")).collect();
     println!(
@@ -504,6 +671,8 @@ fn main() {
         load_frac: FLEET_LOAD_FRAC,
         networks,
         wallclock,
+        stream,
+        index_speedup,
         fleet_perf,
     };
     let line = serde_json::to_string(&summary).expect("serialize summary");

@@ -13,10 +13,11 @@
 
 use crate::serving::{IMAGES_MAX, IMAGES_MIN};
 use crate::util::Ctx;
-use memcnn_core::{EngineError, Network};
+use memcnn_core::{EngineError, Network, NetworkBuilder};
 use memcnn_serve::{
     serve_fleet, Arrival, BatchPolicy, FleetConfig, FleetReport, Phase, Placement, WorkloadConfig,
 };
+use memcnn_tensor::Shape;
 
 /// Seed shared by every fleet stream (`BENCH_fleet.json` comparability).
 pub const FLEET_SEED: u64 = 42;
@@ -122,6 +123,45 @@ pub fn digest(report: &FleetReport) -> u64 {
         }
     }
     h
+}
+
+/// Requests carried by the orchestrator-throughput stream mode.
+pub const STREAM_REQUESTS: usize = 1_000_000;
+/// Fleet size of the showcase stream run.
+pub const STREAM_K: usize = 64;
+/// Fleet size of the indexed-vs-linear router throughput gate.
+pub const STREAM_GATE_K: usize = 16;
+
+/// A deliberately tiny network for the stream mode: one small conv and a
+/// pool, so each committed batch costs almost nothing to simulate and
+/// wallclock is dominated by the orchestrator — routing, placement, lane
+/// arbitration, and commit selection. That is the code the route index
+/// accelerates, so this is where its speedup is measurable.
+pub fn stream_net() -> Network {
+    NetworkBuilder::new("stream-tiny", Shape::new(1, 4, 16, 16))
+        .conv("CV", 8, 3, 1, 1)
+        .max_pool("PL", 2, 2)
+        .build()
+        .expect("stream net")
+}
+
+/// A single-phase Poisson stream sized to carry about `n_requests`
+/// requests at 90% of the K-device aggregate capacity — hot enough that
+/// queues stay busy (every event exercises the router) without the
+/// unbounded backlog an overloaded stream would accumulate.
+pub fn stream_workload(
+    n_requests: usize,
+    capacity_ips: f64,
+    k: usize,
+    seed: u64,
+) -> WorkloadConfig {
+    let mean_images = (IMAGES_MIN + IMAGES_MAX) as f64 / 2.0;
+    let rate = (0.9 * capacity_ips * k as f64 / mean_images).max(1.0);
+    let duration = n_requests as f64 / rate;
+    let mut cfg = WorkloadConfig::poisson(rate, duration, seed);
+    cfg.images_min = IMAGES_MIN;
+    cfg.images_max = IMAGES_MAX;
+    cfg
 }
 
 /// The scaling sweep: every fleet size in `sizes` × every policy in

@@ -829,7 +829,7 @@ impl Engine {
                     track: trace::Track::Backward,
                     ts_us: ts * 1e6,
                     dur_us: entry.backward_time * 1e6,
-                    args: vec![("layout".to_string(), entry.layout.clone())],
+                    args: vec![("layout".into(), entry.layout.clone().into())],
                 });
                 clock += entry.backward_time;
             }
@@ -842,8 +842,8 @@ impl Engine {
                     ts_us: ts * 1e6,
                     dur_us: bwd_transform * 1e6,
                     args: vec![
-                        ("layer".to_string(), entry.name.clone()),
-                        ("phase".to_string(), "backward".to_string()),
+                        ("layer".into(), entry.name.clone().into()),
+                        ("phase".into(), "backward".into()),
                     ],
                 });
                 clock += bwd_transform;
@@ -938,7 +938,7 @@ impl Engine {
                     track: trace::Track::Transforms,
                     ts_us: ts * 1e6,
                     dur_us: pl.transform_before * 1e6,
-                    args: vec![("layer".to_string(), pl.name.clone())],
+                    args: vec![("layer".into(), pl.name.clone().into())],
                 });
             }
             clock += pl.transform_before;
@@ -951,9 +951,9 @@ impl Engine {
                     ts_us: ts * 1e6,
                     dur_us: pl.time * 1e6,
                     args: vec![
-                        ("impl".to_string(), imp),
-                        ("layout".to_string(), pl.layout.name()),
-                        ("fell_back".to_string(), pl.fell_back.to_string()),
+                        ("impl".into(), imp.into()),
+                        ("layout".into(), pl.layout.name().into()),
+                        ("fell_back".into(), pl.fell_back.to_string().into()),
                     ],
                 });
             }

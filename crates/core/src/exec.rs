@@ -127,7 +127,7 @@ pub fn run_network(
             track: trace::Track::Exec,
             ts_us: layer_start.duration_since(run_start).as_secs_f64() * 1e6,
             dur_us: layer_start.elapsed().as_secs_f64() * 1e6,
-            args: vec![("layout".to_string(), layout.name())],
+            args: vec![("layout".into(), layout.name().into())],
         });
     }
     Ok(match flat {

@@ -29,4 +29,6 @@ pub mod timeline;
 
 pub use histogram::{bucket_index, bucket_lower, bucket_upper, bucket_value, Histogram};
 pub use histogram::{SUB_BITS, SUB_BUCKETS};
-pub use timeline::{MetricsTimeline, Recorder, Sample, Series, SlidingWindow, DEFAULT_WINDOW};
+pub use timeline::{
+    GaugeId, KeyId, MetricsTimeline, Recorder, Sample, Series, SlidingWindow, DEFAULT_WINDOW,
+};

@@ -164,14 +164,36 @@ impl MetricsTimeline {
     }
 }
 
+/// A pre-registered gauge series handle: an index into the recorder's
+/// slot table, resolved once by [`Recorder::gauge_id`]. Hot recording
+/// loops hold these so a sample costs one `Vec::push` — no name lookup
+/// and no `String` allocation per event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// A pre-registered keyed-latency-histogram handle, resolved once by
+/// [`Recorder::latency_key`] (per-tenant in the SLO scheduler).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KeyId(usize);
+
 /// Accumulates gauges and latencies during a run; [`Recorder::finish`]
 /// produces the immutable [`MetricsTimeline`].
+///
+/// Series live in an index-addressed slot table; the name map is only
+/// consulted when a series is first referenced (or on every call of the
+/// string-keyed convenience [`Recorder::gauge`]). Registering a series
+/// that never receives a sample is free: empty slots are dropped by
+/// [`Recorder::finish`], so pre-registration cannot perturb the
+/// serialized timeline.
 #[derive(Clone, Debug)]
 pub struct Recorder {
-    series: BTreeMap<String, Vec<Sample>>,
+    names: BTreeMap<String, usize>,
+    slots: Vec<Vec<Sample>>,
     window: SlidingWindow,
+    window_ids: Option<[GaugeId; 3]>,
     hist: Histogram,
-    keyed: BTreeMap<String, Histogram>,
+    keyed_names: BTreeMap<String, usize>,
+    keyed_slots: Vec<Histogram>,
 }
 
 impl Default for Recorder {
@@ -184,16 +206,40 @@ impl Recorder {
     /// A recorder whose latency window holds `window` samples.
     pub fn new(window: usize) -> Recorder {
         Recorder {
-            series: BTreeMap::new(),
+            names: BTreeMap::new(),
+            slots: Vec::new(),
             window: SlidingWindow::new(window),
+            window_ids: None,
             hist: Histogram::new(),
-            keyed: BTreeMap::new(),
+            keyed_names: BTreeMap::new(),
+            keyed_slots: Vec::new(),
         }
     }
 
-    /// Append one sample to the named series at simulated time `t`.
+    /// Resolve (registering on first use) the series named `name`. The
+    /// returned id is stable for the recorder's lifetime.
+    pub fn gauge_id(&mut self, name: &str) -> GaugeId {
+        if let Some(&i) = self.names.get(name) {
+            return GaugeId(i);
+        }
+        let i = self.slots.len();
+        self.slots.push(Vec::new());
+        self.names.insert(name.to_string(), i);
+        GaugeId(i)
+    }
+
+    /// Append one sample to a pre-registered series at simulated time
+    /// `t` — the allocation-free hot path.
+    pub fn gauge_at(&mut self, id: GaugeId, t: f64, value: f64) {
+        self.slots[id.0].push(Sample { t, value });
+    }
+
+    /// Append one sample to the named series at simulated time `t`
+    /// (resolves the name each call; hot loops should pre-register with
+    /// [`Recorder::gauge_id`] and use [`Recorder::gauge_at`]).
     pub fn gauge(&mut self, name: &str, t: f64, value: f64) {
-        self.series.entry(name.to_string()).or_default().push(Sample { t, value });
+        let id = self.gauge_id(name);
+        self.gauge_at(id, t, value);
     }
 
     /// Feed one served latency into the run histogram and the sliding
@@ -203,12 +249,33 @@ impl Recorder {
         self.window.push(latency);
     }
 
-    /// Feed one served latency into the keyed histogram for `key`
-    /// (per-tenant in SLO runs). Does *not* touch the run histogram or
-    /// the sliding window — callers pair it with
+    /// Resolve (registering on first use) the keyed latency histogram
+    /// for `key`.
+    pub fn latency_key(&mut self, key: &str) -> KeyId {
+        if let Some(&i) = self.keyed_names.get(key) {
+            return KeyId(i);
+        }
+        let i = self.keyed_slots.len();
+        self.keyed_slots.push(Histogram::new());
+        self.keyed_names.insert(key.to_string(), i);
+        KeyId(i)
+    }
+
+    /// Feed one served latency into a pre-registered keyed histogram —
+    /// the allocation-free hot path. Does *not* touch the run histogram
+    /// or the sliding window — callers pair it with
     /// [`Recorder::observe_latency`].
+    pub fn observe_latency_keyed_at(&mut self, id: KeyId, latency: f64) {
+        self.keyed_slots[id.0].record(latency);
+    }
+
+    /// Feed one served latency into the keyed histogram for `key`
+    /// (per-tenant in SLO runs), resolving the key each call. Does *not*
+    /// touch the run histogram or the sliding window — callers pair it
+    /// with [`Recorder::observe_latency`].
     pub fn observe_latency_keyed(&mut self, key: &str, latency: f64) {
-        self.keyed.entry(key.to_string()).or_default().record(latency);
+        let id = self.latency_key(key);
+        self.observe_latency_keyed_at(id, latency);
     }
 
     /// Emit the window's current p50/p95/p99 as gauges at time `t`
@@ -217,27 +284,49 @@ impl Recorder {
         if self.window.is_empty() {
             return;
         }
-        for (name, p) in [
-            ("latency.window.p50", 50.0),
-            ("latency.window.p95", 95.0),
-            ("latency.window.p99", 99.0),
-        ] {
+        let ids = match self.window_ids {
+            Some(ids) => ids,
+            None => {
+                let ids = [
+                    self.gauge_id("latency.window.p50"),
+                    self.gauge_id("latency.window.p95"),
+                    self.gauge_id("latency.window.p99"),
+                ];
+                self.window_ids = Some(ids);
+                ids
+            }
+        };
+        for (id, p) in ids.into_iter().zip([50.0, 95.0, 99.0]) {
             let v = self.window.percentile(p);
-            self.gauge(name, t, v);
+            self.gauge_at(id, t, v);
         }
     }
 
     /// Freeze into the finished timeline (series ascending by name,
-    /// keyed histograms ascending by key).
+    /// keyed histograms ascending by key). Registered series and keys
+    /// that never received a sample are dropped, so pre-registration is
+    /// invisible in the output.
     pub fn finish(self) -> MetricsTimeline {
+        let mut slots = self.slots;
+        let mut keyed_slots = self.keyed_slots;
         MetricsTimeline {
             series: self
-                .series
+                .names
                 .into_iter()
-                .map(|(name, samples)| Series { name, samples })
+                .filter_map(|(name, i)| {
+                    let samples = std::mem::take(&mut slots[i]);
+                    (!samples.is_empty()).then_some(Series { name, samples })
+                })
                 .collect(),
             latency_hist: self.hist,
-            keyed_hists: self.keyed.into_iter().collect(),
+            keyed_hists: self
+                .keyed_names
+                .into_iter()
+                .filter_map(|(key, i)| {
+                    let hist = std::mem::take(&mut keyed_slots[i]);
+                    (!hist.is_empty()).then_some((key, hist))
+                })
+                .collect(),
         }
     }
 }
@@ -294,6 +383,42 @@ mod tests {
         assert!(t.to_json().contains("\"keyed_hists\":[[\"batch\""));
         // The run histogram is untouched by keyed observations.
         assert_eq!(t.latency_hist.count(), 1);
+    }
+
+    #[test]
+    fn id_handles_match_string_paths_and_empty_registrations_vanish() {
+        // Two recorders, one using the string API and one pre-registering
+        // ids, must freeze to identical timelines — including when some
+        // registered series/keys never receive a sample.
+        let mut by_name = Recorder::new(4);
+        by_name.gauge("queue.depth", 0.0, 2.0);
+        by_name.gauge("util", 0.1, 0.5);
+        by_name.gauge("queue.depth", 0.2, 5.0);
+        by_name.observe_latency(0.002);
+        by_name.observe_latency_keyed("chat", 0.002);
+
+        let mut by_id = Recorder::new(4);
+        let unused = by_id.gauge_id("never.sampled");
+        let depth = by_id.gauge_id("queue.depth");
+        let util = by_id.gauge_id("util");
+        assert_eq!(depth, by_id.gauge_id("queue.depth"), "ids are stable across lookups");
+        assert_ne!(unused, depth);
+        by_id.gauge_at(depth, 0.0, 2.0);
+        by_id.gauge_at(util, 0.1, 0.5);
+        by_id.gauge_at(depth, 0.2, 5.0);
+        by_id.observe_latency(0.002);
+        let silent = by_id.latency_key("batch"); // registered, never observed
+        let chat = by_id.latency_key("chat");
+        assert_eq!(chat, by_id.latency_key("chat"));
+        assert_ne!(silent, chat);
+        by_id.observe_latency_keyed_at(chat, 0.002);
+
+        let a = by_name.finish();
+        let b = by_id.finish();
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+        assert!(b.series("never.sampled").is_none(), "empty registrations are dropped");
+        assert!(b.keyed_hist("batch").is_none());
     }
 
     #[test]

@@ -44,10 +44,11 @@ use crate::adaptive::AdaptivePolicy;
 use crate::batch::{bucket_for, buckets, BatchPolicy};
 use crate::capacity::feasible_max_batch;
 use crate::health::{DeviceHealth, HealthReport, HealthRun, HealthState};
-use crate::metrics::{latency_stats_sorted, LatencyStats};
+use crate::metrics::{latency_stats_served, LatencyStats};
 use crate::placement::{DeviceLoad, Placement, PlacementCtx, PlacementPolicy};
 use crate::plan_cache::PlanCache;
 use crate::policy::{FaultPolicy, FaultStats};
+use crate::route_index::RouteIndex;
 use crate::server::{
     fault_span, form, launch_ladder, BatchRecord, BucketStats, LadderEnd, Outcome,
 };
@@ -56,11 +57,23 @@ use crate::tenant::{lane_beats, settle_credits, tenant_tags, Admission, SloRepor
 use crate::workload::{self, Request, WorkloadConfig};
 use memcnn_core::{Engine, EngineError, Mechanism, Network, Plan};
 use memcnn_gpusim::{DeviceFaultKind, DeviceFaultPlan, FaultPlan};
-use memcnn_metrics::{MetricsTimeline, Recorder};
+use memcnn_metrics::{GaugeId, KeyId, MetricsTimeline, Recorder};
 use memcnn_trace as trace;
 use memcnn_trace::perf;
 use serde::Serialize;
 use std::collections::{BTreeSet, VecDeque};
+
+/// Hot-path counters, resolved through the perf registry's lock exactly
+/// once per process (every later bump is one relaxed atomic add).
+static BARRIERS: perf::CachedCounter = perf::CachedCounter::new("fleet.barrier.count");
+static PARALLEL_STEPS: perf::CachedCounter = perf::CachedCounter::new("fleet.step.parallel");
+static BATCH_COMPILES: perf::CachedCounter = perf::CachedCounter::new("fleet.plan.batch_compile");
+/// Orchestrator event tallies behind the fleet bench's events/sec
+/// figure: one `fleet.route.count` per routed arrival, one
+/// `fleet.commit.count` per committed batch (plan-OOM cap halvings are
+/// re-selections, not commits).
+static ROUTES: perf::CachedCounter = perf::CachedCounter::new("fleet.route.count");
+static COMMITS: perf::CachedCounter = perf::CachedCounter::new("fleet.commit.count");
 
 /// Everything a fleet run needs besides the engines and the networks.
 #[derive(Clone, Debug)]
@@ -297,17 +310,10 @@ impl FleetReport {
 
     /// Latency summary over served requests (the 0.0 sentinels of shed
     /// and admission-rejected requests are excluded — neither has a
-    /// latency). Sorts once and reuses the sorted sample for every
-    /// percentile.
+    /// latency). Sorts into a reused thread-local scratch buffer instead
+    /// of cloning the latency vector per report.
     pub fn latency(&self) -> LatencyStats {
-        let rejected = self.slo.as_ref().map_or(0, |s| s.rejected);
-        let mut served: Vec<f64> = if self.shed_requests == 0 && rejected == 0 {
-            self.latencies.clone()
-        } else {
-            self.latencies.iter().copied().filter(|&l| l > 0.0).collect()
-        };
-        served.sort_by(f64::total_cmp);
-        latency_stats_sorted(&served)
+        latency_stats_served(&self.latencies)
     }
 
     /// Served images per second of fleet makespan.
@@ -399,6 +405,35 @@ struct DeviceState {
     /// `true` while the device is `Down`: it commits nothing, and
     /// placement only reaches it through the all-down fallback.
     blocked: bool,
+    /// Pending (routed, unserved, unshed) requests across every pair and
+    /// lane on this device — maintained incrementally at each queue
+    /// mutation so a placement load snapshot is O(1) instead of a walk
+    /// over every pair's pending slice. Always equals
+    /// `Σ pairs[d][*].pending_requests()` (debug-asserted in `load_of`).
+    queued_requests: usize,
+    /// Pending images across the device (companion to
+    /// `queued_requests`; raw request sizes, not bucket-clamped).
+    queued_images: usize,
+    /// Recycled `Op` buffers: the parallel barrier replay returns each
+    /// drained event's buffer here so steady-state stepping allocates no
+    /// fresh `Vec<Op>` per commit.
+    spare_ops: Vec<Vec<Op>>,
+}
+
+impl DeviceState {
+    /// Account `count` pending requests totalling `images` leaving the
+    /// device's queues (served, shed, or failed over).
+    fn drop_queued(&mut self, count: usize, images: usize) {
+        debug_assert!(self.queued_requests >= count && self.queued_images >= images);
+        self.queued_requests -= count;
+        self.queued_images -= images;
+    }
+
+    /// Account one request routed onto the device.
+    fn push_queued(&mut self, images: usize) {
+        self.queued_requests += 1;
+        self.queued_images += images;
+    }
 }
 
 /// The single-device window-growth rule on one pair's queue: launch at
@@ -448,15 +483,16 @@ fn shed_overdue(
     let mut shed = 0usize;
     while lane.has_pending() && dev.gpu_free - lane.queue[lane.next].arrival > deadline {
         let r = &lane.queue[lane.next];
-        fault_span(
-            format!("shed request {}", r.id),
-            dev.gpu_free,
-            0.0,
-            vec![
-                ("reason".to_string(), "deadline".to_string()),
-                ("device".to_string(), d.to_string()),
-            ],
-        );
+        fault_span(dev.gpu_free, 0.0, || {
+            (
+                format!("shed request {}", r.id),
+                vec![
+                    (trace::intern("reason").into(), trace::intern("deadline").into()),
+                    (trace::intern("device").into(), trace::intern(&d.to_string()).into()),
+                ],
+            )
+        });
+        dev.drop_queued(1, r.images);
         dev.shed += 1;
         dev.shed_by_tenant[t] += 1;
         lane.next += 1;
@@ -500,13 +536,58 @@ struct GlobalsSlo {
     /// `images_of[id]` — the request's image count (for per-tenant
     /// served-images tallies without re-walking the request list).
     images_of: Vec<u64>,
-    /// Tenant names, config order (metrics series keys).
-    names: Vec<String>,
+    /// Pre-registered per-tenant latency-histogram handles (config
+    /// order) — the replay's keyed observation is an index, not a
+    /// string lookup.
+    latency_keys: Vec<KeyId>,
     /// Per-tenant p99 budget (`None` for classes without one).
     p99: Vec<Option<f64>>,
+    /// Pre-registered `tenant.{name}.violations` series, `None` for
+    /// budget-less classes (which never emit the series).
+    violation_ids: Vec<Option<GaugeId>>,
     completed: Vec<u64>,
     images: Vec<u64>,
     violations: Vec<u64>,
+}
+
+/// Pre-registered recorder handles for every gauge series the fleet hot
+/// paths emit. Registration is free when a series stays empty
+/// ([`Recorder::finish`] drops sample-less slots), so resolving them all
+/// up front cannot perturb the serialized timeline — it only removes the
+/// per-sample `format!("dev{d}...")` allocation and name lookup.
+struct FleetGaugeIds {
+    dev_depth: Vec<GaugeId>,
+    dev_util: Vec<GaugeId>,
+    dev_degraded: Vec<GaugeId>,
+    dev_queue_images: Vec<GaugeId>,
+    dev_health: Vec<GaugeId>,
+    plan_hit_rate: GaugeId,
+    shed_total: GaugeId,
+    queue_images: GaugeId,
+    slo_violations: GaugeId,
+    devices_healthy: GaugeId,
+    failover_backlog: GaugeId,
+}
+
+impl FleetGaugeIds {
+    fn new(rec: &mut Recorder, k: usize) -> FleetGaugeIds {
+        let per_dev = |rec: &mut Recorder, suffix: &str| -> Vec<GaugeId> {
+            (0..k).map(|d| rec.gauge_id(&format!("dev{d}.{suffix}"))).collect()
+        };
+        FleetGaugeIds {
+            dev_depth: per_dev(rec, "queue.depth"),
+            dev_util: per_dev(rec, "util"),
+            dev_degraded: per_dev(rec, "degraded"),
+            dev_queue_images: per_dev(rec, "queue.images"),
+            dev_health: per_dev(rec, "health"),
+            plan_hit_rate: rec.gauge_id("plan_cache.hit_rate"),
+            shed_total: rec.gauge_id("shed.total"),
+            queue_images: rec.gauge_id("queue.images"),
+            slo_violations: rec.gauge_id("slo.violations"),
+            devices_healthy: rec.gauge_id("fleet.devices.healthy"),
+            failover_backlog: rec.gauge_id("fleet.failover.backlog"),
+        }
+    }
 }
 
 /// The shared mutable state every [`Op`] replays into. The sequential
@@ -516,6 +597,7 @@ struct Globals {
     latencies: Vec<f64>,
     placements: Vec<u32>,
     rec: Recorder,
+    ids: FleetGaugeIds,
     seen_plans: BTreeSet<(usize, usize, usize)>,
     cache_lookups: u64,
     cache_hits: u64,
@@ -544,30 +626,29 @@ impl Globals {
                     if s.p99[t].is_some_and(|b| latency > b) {
                         s.violations[t] += 1;
                     }
-                    self.rec.observe_latency_keyed(&s.names[t], latency);
+                    self.rec.observe_latency_keyed_at(s.latency_keys[t], latency);
                 }
             }
             Op::DoneGauges { d, launch, depth, util, degraded } => {
-                self.rec.gauge(&format!("dev{d}.queue.depth"), launch, depth as f64);
-                self.rec.gauge(&format!("dev{d}.util"), launch, util);
-                self.rec.gauge(
-                    &format!("dev{d}.degraded"),
+                self.rec.gauge_at(self.ids.dev_depth[d], launch, depth as f64);
+                self.rec.gauge_at(self.ids.dev_util[d], launch, util);
+                self.rec.gauge_at(
+                    self.ids.dev_degraded[d],
                     launch,
                     if degraded { 1.0 } else { 0.0 },
                 );
-                self.rec.gauge(
-                    "plan_cache.hit_rate",
+                self.rec.gauge_at(
+                    self.ids.plan_hit_rate,
                     launch,
                     self.cache_hits as f64 / self.cache_lookups as f64,
                 );
-                self.rec.gauge("shed.total", launch, self.fleet_shed as f64);
+                self.rec.gauge_at(self.ids.shed_total, launch, self.fleet_shed as f64);
                 if let Some(s) = &self.slo {
                     let total: u64 = s.violations.iter().sum();
-                    self.rec.gauge("slo.violations", launch, total as f64);
-                    for (t, name) in s.names.iter().enumerate() {
-                        if s.p99[t].is_some() {
-                            let series = format!("tenant.{name}.violations");
-                            self.rec.gauge(&series, launch, s.violations[t] as f64);
+                    self.rec.gauge_at(self.ids.slo_violations, launch, total as f64);
+                    for (t, id) in s.violation_ids.iter().enumerate() {
+                        if let Some(id) = *id {
+                            self.rec.gauge_at(id, launch, s.violations[t] as f64);
                         }
                     }
                 }
@@ -575,11 +656,11 @@ impl Globals {
             }
             Op::ShedGauges { d, launch, batch_shed, util } => {
                 self.fleet_shed += batch_shed;
-                self.rec.gauge("shed.total", launch, self.fleet_shed as f64);
-                self.rec.gauge(&format!("dev{d}.util"), launch, util);
+                self.rec.gauge_at(self.ids.shed_total, launch, self.fleet_shed as f64);
+                self.rec.gauge_at(self.ids.dev_util[d], launch, util);
             }
             Op::DownshiftGauge { d, launch } => {
-                self.rec.gauge(&format!("dev{d}.degraded"), launch, 1.0);
+                self.rec.gauge_at(self.ids.dev_degraded[d], launch, 1.0);
             }
             Op::OverdueShed { count } => self.fleet_shed += count,
         }
@@ -735,15 +816,15 @@ fn commit_pair<S: EffectSink>(
                 return Err(err);
             }
             dev.plan_ooms += 1;
-            fault_span(
-                format!("plan OOM at bucket {bucket}"),
-                launch,
-                0.0,
-                vec![
-                    ("new_cap".to_string(), (bucket / 2).to_string()),
-                    ("device".to_string(), d.to_string()),
-                ],
-            );
+            fault_span(launch, 0.0, || {
+                (
+                    format!("plan OOM at bucket {bucket}"),
+                    vec![
+                        (trace::intern("new_cap").into(), (bucket / 2).to_string().into()),
+                        (trace::intern("device").into(), trace::intern(&d.to_string()).into()),
+                    ],
+                )
+            });
             pairs_d[n].plan_cap = (bucket / 2).max(1);
             return Ok(false);
         }
@@ -773,11 +854,14 @@ fn commit_pair<S: EffectSink>(
         Outcome::Done { done } => {
             let reqs = {
                 let lane = &mut pairs_d[n].lanes[t];
+                let mut taken_images = 0usize;
                 for r in &lane.queue[lane.next..j_end] {
                     sink.emit(Op::Served { id: r.id, latency: done - r.arrival });
+                    taken_images += r.images;
                 }
                 let reqs = j_end - lane.next;
                 lane.next = j_end;
+                dev.drop_queued(reqs, taken_images);
                 reqs
             };
             // Queue pressure left on the device: routed requests of
@@ -793,14 +877,17 @@ fn commit_pair<S: EffectSink>(
                     dur_us: service * 1e6,
                     args: {
                         let mut args = vec![
-                            ("device".to_string(), d.to_string()),
-                            ("network".to_string(), net_name.clone()),
-                            ("requests".to_string(), reqs.to_string()),
-                            ("images".to_string(), images.to_string()),
-                            ("bucket".to_string(), bucket.to_string()),
+                            (trace::intern("device").into(), trace::intern(&d.to_string()).into()),
+                            (trace::intern("network").into(), trace::intern(net_name).into()),
+                            (trace::intern("requests").into(), reqs.to_string().into()),
+                            (trace::intern("images").into(), images.to_string().into()),
+                            (trace::intern("bucket").into(), bucket.to_string().into()),
                         ];
                         if let Some(s) = &ctx.slo {
-                            args.push(("tenant".to_string(), s.tenants[t].name.clone()));
+                            args.push((
+                                trace::intern("tenant").into(),
+                                trace::intern(&s.tenants[t].name).into(),
+                            ));
                         }
                         args
                     },
@@ -825,15 +912,22 @@ fn commit_pair<S: EffectSink>(
                     pair.clean_streak += 1;
                     if pair.clean_streak >= ctx.pol.recovery_batches {
                         dev.stats.degraded_exits += 1;
-                        fault_span(
-                            "leave degraded mode".to_string(),
-                            done,
-                            0.0,
-                            vec![
-                                ("clean_batches".to_string(), pair.clean_streak.to_string()),
-                                ("device".to_string(), d.to_string()),
-                            ],
-                        );
+                        let streak = pair.clean_streak;
+                        fault_span(done, 0.0, || {
+                            (
+                                "leave degraded mode".to_string(),
+                                vec![
+                                    (
+                                        trace::intern("clean_batches").into(),
+                                        streak.to_string().into(),
+                                    ),
+                                    (
+                                        trace::intern("device").into(),
+                                        trace::intern(&d.to_string()).into(),
+                                    ),
+                                ],
+                            )
+                        });
                         pair.pin = None;
                         pair.clean_streak = 0;
                     }
@@ -859,9 +953,11 @@ fn commit_pair<S: EffectSink>(
         Outcome::Shed { at } => {
             let lane = &mut pairs_d[n].lanes[t];
             let batch_shed = j_end - lane.next;
+            let shed_images: usize = lane.queue[lane.next..j_end].iter().map(|r| r.images).sum();
             dev.shed += batch_shed;
             dev.shed_by_tenant[t] += batch_shed as u64;
             lane.next = j_end;
+            dev.drop_queued(batch_shed, shed_images);
             dev.busy += at - launch;
             dev.gpu_free = at;
             let util = if at > 0.0 { dev.busy / at } else { 0.0 };
@@ -899,6 +995,7 @@ fn commit_pair<S: EffectSink>(
     if overdue > 0 {
         sink.emit(Op::OverdueShed { count: overdue });
     }
+    COMMITS.incr();
     Ok(true)
 }
 
@@ -941,7 +1038,13 @@ fn step_device(
         if open.is_none() && t_next.is_some_and(|tb| launch >= tb) {
             break;
         }
-        let mut ev = open.take().unwrap_or(DeviceEvent { key: launch, ops: Vec::new() });
+        let mut ev = open.take().unwrap_or_else(|| DeviceEvent {
+            key: launch,
+            // Reuse a buffer the last barrier replay returned (the
+            // replay clears before recycling), so steady-state stepping
+            // allocates no per-commit `Vec<Op>`.
+            ops: dev.spare_ops.pop().unwrap_or_default(),
+        });
         if commit_pair(ctx, pairs_d, dev, d, n, t, &mut ev.ops)? {
             events.push(ev);
         } else {
@@ -975,6 +1078,38 @@ fn sequential_from(raw: Option<&str>) -> bool {
                 eprintln!(
                     "memcnn: ignoring malformed MEMCNN_FLEET_SEQUENTIAL={v:?} \
                      (want 1/0/true/false); using the parallel path"
+                );
+            });
+            false
+        }
+    }
+}
+
+/// Whether `MEMCNN_FLEET_LINEAR` forces the pre-index hot path: the
+/// O(K) linear `global_best` scan plus the pair-walking placement load
+/// snapshot. The selections are identical by construction (the index's
+/// comparator is the scan's total order — `tests/fleet.rs` pins report
+/// byte-identity); the knob exists as the regression-gate baseline for
+/// the fleet bench's orchestrator events/sec figure and as an escape
+/// hatch.
+fn linear_requested() -> bool {
+    linear_from(std::env::var("MEMCNN_FLEET_LINEAR").ok().as_deref())
+}
+
+/// Parse a `MEMCNN_FLEET_LINEAR` value, warning on stderr and falling
+/// back to the indexed path when it is present but not a recognized
+/// boolean (the `MEMCNN_FLEET_SEQUENTIAL` fallback convention).
+fn linear_from(raw: Option<&str>) -> bool {
+    match raw {
+        None => false,
+        Some("1") | Some("true") => true,
+        Some("0") | Some("false") => false,
+        Some(v) => {
+            static WARN: std::sync::Once = std::sync::Once::new();
+            WARN.call_once(|| {
+                eprintln!(
+                    "memcnn: ignoring malformed MEMCNN_FLEET_LINEAR={v:?} \
+                     (want 1/0/true/false); using the indexed router"
                 );
             });
             false
@@ -1028,6 +1163,18 @@ struct FleetRun<'e, 'a> {
     /// `Some` only with a live device-fault plan (configured, non-noop,
     /// and not disabled via `MEMCNN_HEALTH_DISABLE`).
     health: Option<HealthRun>,
+    /// The tournament index behind [`FleetRun::global_best`]: cached
+    /// per-device tentative-launch keys, refreshed only for devices
+    /// marked dirty since the last query (every mutation site marks —
+    /// routes, commits, sheds, health transitions, failovers, delay
+    /// changes).
+    index: RouteIndex,
+    /// `MEMCNN_FLEET_LINEAR=1`: bypass the index (see
+    /// [`linear_requested`]).
+    linear: bool,
+    /// Recycled placement-snapshot buffer (`route_one` and
+    /// `requeue_transit` fill it per arrival instead of allocating).
+    loads_buf: Vec<DeviceLoad>,
 }
 
 impl<'e, 'a> FleetRun<'e, 'a> {
@@ -1057,7 +1204,31 @@ impl<'e, 'a> FleetRun<'e, 'a> {
     /// Earliest launchable batch across all devices: each device's
     /// [`device_best`] lane, then strict `<` across devices in index
     /// order — exactly the flat device-major scan's tie behaviour.
-    fn global_best(&self, ctx: &StepCtx) -> Option<(f64, usize, usize, usize)> {
+    ///
+    /// Served from the incrementally maintained [`RouteIndex`]: only
+    /// devices whose state changed since the last query recompute their
+    /// key (O(dirty · log K)), and the winner reads off the tree root.
+    /// The index's comparator *is* the linear scan's total order, so
+    /// the selection — and therefore every report byte — is identical;
+    /// debug builds re-run the scan and assert it.
+    fn global_best(&mut self, ctx: &StepCtx) -> Option<(f64, usize, usize, usize)> {
+        if self.linear {
+            return self.global_best_linear(ctx);
+        }
+        let (pairs, devs) = (&self.pairs, &self.devs);
+        self.index.refresh(|d| device_best(ctx, &pairs[d], &devs[d]));
+        let best = self.index.best();
+        debug_assert_eq!(
+            best.map(|(l, d, n, t)| (l.to_bits(), d, n, t)),
+            self.global_best_linear(ctx).map(|(l, d, n, t)| (l.to_bits(), d, n, t)),
+            "route index diverged from the linear scan"
+        );
+        best
+    }
+
+    /// The retained reference scan (`MEMCNN_FLEET_LINEAR=1`, the
+    /// debug-build cross-check, and the equivalence tests).
+    fn global_best_linear(&self, ctx: &StepCtx) -> Option<(f64, usize, usize, usize)> {
         let mut best: Option<(f64, usize, usize, usize)> = None;
         for (d, dev) in self.devs.iter().enumerate() {
             if let Some((launch, n, t)) = device_best(ctx, &self.pairs[d], dev) {
@@ -1083,6 +1254,7 @@ impl<'e, 'a> FleetRun<'e, 'a> {
     /// updates, the EMA, placement, and the arrival-timestamped queue
     /// gauges.
     fn route_one(&mut self) {
+        ROUTES.incr();
         let r = self.requests[self.next_arrival];
         // Device lifecycle first: every fault event at or before this
         // arrival fires now, in both loops at the identical state point
@@ -1090,12 +1262,17 @@ impl<'e, 'a> FleetRun<'e, 'a> {
         // launching before `r.arrival` in each).
         self.advance_health(r.arrival);
         // Phase boundaries crossed by this arrival re-derive the
-        // delay from the EMA observed so far.
+        // delay from the EMA observed so far. A delay change shifts
+        // every device's tentative launch, so the whole index is stale.
         while self.delay.next_bound < self.delay.phase_bounds.len()
             && r.arrival >= self.delay.phase_bounds[self.delay.next_bound]
         {
             if let (Some(ad), Some(e)) = (&self.cfg.adaptive, self.delay.ema) {
-                self.delay.policy_delay = ad.delay(e);
+                let fresh = ad.delay(e);
+                if fresh != self.delay.policy_delay {
+                    self.delay.policy_delay = fresh;
+                    self.index.mark_all();
+                }
             }
             self.delay.next_bound += 1;
         }
@@ -1115,24 +1292,33 @@ impl<'e, 'a> FleetRun<'e, 'a> {
             if !slo.admission.admit(t, r.arrival) {
                 slo.rejected[t] += 1;
                 self.g.placements[r.id as usize] = u32::MAX;
-                fault_span(
-                    format!("reject request {}", r.id),
-                    r.arrival,
-                    0.0,
-                    vec![
-                        ("reason".to_string(), "admission".to_string()),
-                        ("tenant".to_string(), self.cfg.tenants[t].name.clone()),
-                    ],
-                );
+                let cfg = self.cfg;
+                fault_span(r.arrival, 0.0, || {
+                    (
+                        format!("reject request {}", r.id),
+                        vec![
+                            (trace::intern("reason").into(), trace::intern("admission").into()),
+                            (
+                                trace::intern("tenant").into(),
+                                trace::intern(&cfg.tenants[t].name).into(),
+                            ),
+                        ],
+                    )
+                });
                 self.next_arrival += 1;
                 return;
             }
             lt = t;
         }
-        let loads: Vec<DeviceLoad> = (0..self.k).map(|d| self.load_of(d, n)).collect();
+        // Placement snapshot into the recycled buffer: one counter read
+        // per device instead of a fresh Vec walking every lane queue.
+        let mut loads = std::mem::take(&mut self.loads_buf);
+        loads.clear();
+        loads.extend((0..self.k).map(|d| self.load_of(d, n)));
         let d = self.place_on(r.arrival, r.images, n, &loads);
         self.g.placements[r.id as usize] = d as u32;
         self.pairs[d][n].lanes[lt].queue.push(r);
+        self.devs[d].push_queued(r.images);
         {
             let pair = &mut self.pairs[d][n];
             for (t2, lane) in pair.lanes.iter_mut().enumerate() {
@@ -1140,25 +1326,48 @@ impl<'e, 'a> FleetRun<'e, 'a> {
                     shed_overdue(lane, &mut self.devs[d], d, t2, self.pol.shed_deadline);
             }
         }
+        self.index.mark(d);
         // Queue-pressure gauges at the arrival: the routed device's
-        // backlog (recomputed post-shed) plus the fleet total (other
-        // devices' loads are their pre-route snapshots, unchanged).
-        let dev_images: usize = self.pairs[d].iter().map(|p| p.pending_images()).sum();
+        // backlog (post-shed, via the maintained counter) plus the fleet
+        // total (other devices' loads are their pre-route snapshots,
+        // unchanged).
+        let dev_images = self.devs[d].queued_images;
+        debug_assert_eq!(
+            dev_images,
+            self.pairs[d].iter().map(|p| p.pending_images()).sum::<usize>(),
+            "queued-images counter diverged from the lane queues"
+        );
         let total_images: usize = dev_images
             + loads.iter().filter(|l| l.device != d).map(|l| l.queued_images).sum::<usize>();
-        self.g.rec.gauge(&format!("dev{d}.queue.images"), r.arrival, dev_images as f64);
-        self.g.rec.gauge("queue.images", r.arrival, total_images as f64);
+        self.g.rec.gauge_at(self.g.ids.dev_queue_images[d], r.arrival, dev_images as f64);
+        self.g.rec.gauge_at(self.g.ids.queue_images, r.arrival, total_images as f64);
+        self.loads_buf = loads;
         self.next_arrival += 1;
     }
 
-    /// Load snapshot of device `d` for network `n`'s placement call.
+    /// Load snapshot of device `d` for network `n`'s placement call —
+    /// O(1) off the incrementally maintained queue counters (the linear
+    /// fallback walks the lane queues like the pre-index code did).
     fn load_of(&self, d: usize, n: usize) -> DeviceLoad {
-        let mut queued_requests = 0usize;
-        let mut queued_images = 0usize;
-        for p in &self.pairs[d] {
-            queued_requests += p.pending_requests();
-            queued_images += p.pending_images();
-        }
+        let (queued_requests, queued_images) = if self.linear {
+            let mut reqs = 0usize;
+            let mut imgs = 0usize;
+            for p in &self.pairs[d] {
+                reqs += p.pending_requests();
+                imgs += p.pending_images();
+            }
+            (reqs, imgs)
+        } else {
+            (self.devs[d].queued_requests, self.devs[d].queued_images)
+        };
+        debug_assert_eq!(
+            (queued_requests, queued_images),
+            (
+                self.pairs[d].iter().map(|p| p.pending_requests()).sum(),
+                self.pairs[d].iter().map(|p| p.pending_images()).sum()
+            ),
+            "queue counters diverged from the lane queues"
+        );
         DeviceLoad {
             device: d,
             gpu_free: self.devs[d].gpu_free,
@@ -1215,12 +1424,12 @@ impl<'e, 'a> FleetRun<'e, 'a> {
         let healthy = h.healthy();
         if h.last_healthy != Some(healthy) {
             h.last_healthy = Some(healthy);
-            self.g.rec.gauge("fleet.devices.healthy", now, healthy as f64);
+            self.g.rec.gauge_at(self.g.ids.devices_healthy, now, healthy as f64);
         }
         let backlog = h.transit.len();
         if h.last_backlog != Some(backlog) {
             h.last_backlog = Some(backlog);
-            self.g.rec.gauge("fleet.failover.backlog", now, backlog as f64);
+            self.g.rec.gauge_at(self.g.ids.failover_backlog, now, backlog as f64);
         }
         self.health = Some(h);
     }
@@ -1250,14 +1459,17 @@ impl<'e, 'a> FleetRun<'e, 'a> {
                                 h.devs[d].state = HealthState::Down;
                                 self.devs[d].blocked = true;
                                 h.downs += 1;
-                                fault_span(
-                                    format!("device {d} {}", ev.kind),
-                                    ev.t,
-                                    0.0,
-                                    vec![("device".to_string(), d.to_string())],
-                                );
-                                self.g.rec.gauge(
-                                    &format!("dev{d}.health"),
+                                fault_span(ev.t, 0.0, || {
+                                    (
+                                        format!("device {d} {}", ev.kind),
+                                        vec![(
+                                            trace::intern("device").into(),
+                                            trace::intern(&d.to_string()).into(),
+                                        )],
+                                    )
+                                });
+                                self.g.rec.gauge_at(
+                                    self.g.ids.dev_health[d],
                                     now,
                                     HealthState::Down.gauge(),
                                 );
@@ -1268,14 +1480,17 @@ impl<'e, 'a> FleetRun<'e, 'a> {
                                 if h.devs[d].state == HealthState::Healthy {
                                     h.devs[d].state = HealthState::Draining;
                                     h.devs[d].fault_t = ev.t;
-                                    fault_span(
-                                        format!("device {d} drain"),
-                                        ev.t,
-                                        0.0,
-                                        vec![("device".to_string(), d.to_string())],
-                                    );
-                                    self.g.rec.gauge(
-                                        &format!("dev{d}.health"),
+                                    fault_span(ev.t, 0.0, || {
+                                        (
+                                            format!("device {d} drain"),
+                                            vec![(
+                                                trace::intern("device").into(),
+                                                trace::intern(&d.to_string()).into(),
+                                            )],
+                                        )
+                                    });
+                                    self.g.rec.gauge_at(
+                                        self.g.ids.dev_health[d],
                                         now,
                                         HealthState::Draining.gauge(),
                                     );
@@ -1283,6 +1498,7 @@ impl<'e, 'a> FleetRun<'e, 'a> {
                             }
                         }
                         self.devs[d].halt = h.devs[d].halt();
+                        self.index.mark(d);
                         continue;
                     }
                     if h.devs[d].state == HealthState::Draining
@@ -1296,7 +1512,12 @@ impl<'e, 'a> FleetRun<'e, 'a> {
                         h.devs[d].state = HealthState::Down;
                         self.devs[d].blocked = true;
                         h.downs += 1;
-                        self.g.rec.gauge(&format!("dev{d}.health"), now, HealthState::Down.gauge());
+                        self.index.mark(d);
+                        self.g.rec.gauge_at(
+                            self.g.ids.dev_health[d],
+                            now,
+                            HealthState::Down.gauge(),
+                        );
                         continue;
                     }
                     break;
@@ -1306,6 +1527,7 @@ impl<'e, 'a> FleetRun<'e, 'a> {
                         // Events landing on a dead device are spent.
                         h.devs[d].events.pop_front();
                         self.devs[d].halt = h.devs[d].halt();
+                        self.index.mark(d);
                         continue;
                     }
                     if now >= h.devs[d].down_until {
@@ -1325,8 +1547,9 @@ impl<'e, 'a> FleetRun<'e, 'a> {
                         }
                         self.devs[d].gpu_free = self.devs[d].gpu_free.max(warm_until);
                         self.devs[d].blocked = false;
-                        self.g.rec.gauge(
-                            &format!("dev{d}.health"),
+                        self.index.mark(d);
+                        self.g.rec.gauge_at(
+                            self.g.ids.dev_health[d],
                             now,
                             HealthState::Warming.gauge(),
                         );
@@ -1338,13 +1561,16 @@ impl<'e, 'a> FleetRun<'e, 'a> {
                     if due.is_some() {
                         h.devs[d].events.pop_front();
                         self.devs[d].halt = h.devs[d].halt();
+                        self.index.mark(d);
                         continue;
                     }
                     if now >= h.devs[d].warm_until {
+                        // Warming -> Healthy touches only the lifecycle
+                        // record, not the routing state — no index mark.
                         h.devs[d].state = HealthState::Healthy;
                         h.ups += 1;
-                        self.g.rec.gauge(
-                            &format!("dev{d}.health"),
+                        self.g.rec.gauge_at(
+                            self.g.ids.dev_health[d],
                             now,
                             HealthState::Healthy.gauge(),
                         );
@@ -1360,16 +1586,22 @@ impl<'e, 'a> FleetRun<'e, 'a> {
     /// buffer. In-flight work is already settled — commits never
     /// straddle the device's halt horizon.
     fn fail_over(&mut self, h: &mut HealthRun, d: usize) {
+        let mut moved_reqs = 0usize;
+        let mut moved_images = 0usize;
         for pair in &mut self.pairs[d] {
             for (t, lane) in pair.lanes.iter_mut().enumerate() {
                 if lane.has_pending() {
                     let moved = lane.queue.split_off(lane.next);
                     h.failed_over[t] += moved.len() as u64;
                     h.dev_failed_over[d] += moved.len() as u64;
+                    moved_reqs += moved.len();
+                    moved_images += moved.iter().map(|r| r.images).sum::<usize>();
                     h.transit.extend(moved);
                 }
             }
         }
+        self.devs[d].drop_queued(moved_reqs, moved_images);
+        self.index.mark(d);
     }
 
     /// Re-place transiting requests onto the candidate devices (their
@@ -1381,7 +1613,9 @@ impl<'e, 'a> FleetRun<'e, 'a> {
         let mut requeued = 0u64;
         for r in transit {
             let n = (r.id as usize) % self.nn;
-            let loads: Vec<DeviceLoad> = candidates.iter().map(|&d| self.load_of(d, n)).collect();
+            let mut loads = std::mem::take(&mut self.loads_buf);
+            loads.clear();
+            loads.extend(candidates.iter().map(|&d| self.load_of(d, n)));
             let d = self
                 .placer
                 .place(&PlacementCtx {
@@ -1392,9 +1626,12 @@ impl<'e, 'a> FleetRun<'e, 'a> {
                     devices: &loads,
                 })
                 .min(self.k - 1);
+            self.loads_buf = loads;
             let t = self.lane_of(r.id);
             self.g.placements[r.id as usize] = d as u32;
             self.pairs[d][n].lanes[t].queue.push(r);
+            self.devs[d].push_queued(r.images);
+            self.index.mark(d);
             requeued += 1;
         }
         requeued
@@ -1440,6 +1677,9 @@ impl<'e, 'a> FleetRun<'e, 'a> {
             h.devs[d].events.clear();
             self.devs[d].halt = f64::INFINITY;
         }
+        // Halt horizons just moved fleet-wide (and the failover below
+        // may touch every device): one bulk invalidation.
+        self.index.mark_all();
         for d in 0..self.k {
             if h.devs[d].state == HealthState::Down {
                 self.fail_over(&mut h, d);
@@ -1456,12 +1696,15 @@ impl<'e, 'a> FleetRun<'e, 'a> {
                     let t = self.lane_of(r.id);
                     h.transit_shed[t] += 1;
                     self.g.fleet_shed += 1;
-                    fault_span(
-                        format!("shed request {}", r.id),
-                        now,
-                        0.0,
-                        vec![("reason".to_string(), "failover".to_string())],
-                    );
+                    fault_span(now, 0.0, || {
+                        (
+                            format!("shed request {}", r.id),
+                            vec![(
+                                trace::intern("reason").into(),
+                                trace::intern("failover").into(),
+                            )],
+                        )
+                    });
                 }
             } else {
                 h.requeued += self.requeue_transit(&mut h, now, &alive);
@@ -1498,6 +1741,7 @@ impl<'e, 'a> FleetRun<'e, 'a> {
             }
             let Some((_, d, n, t)) = best else { break };
             commit_pair(&ctx, &mut self.pairs[d], &mut self.devs[d], d, n, t, &mut self.g)?;
+            self.index.mark(d);
         }
         Ok(())
     }
@@ -1535,10 +1779,10 @@ impl<'e, 'a> FleetRun<'e, 'a> {
                 debug_assert!(t_next.is_none(), "arrivals remain but none were routed");
                 break;
             }
-            perf::incr("fleet.barrier.count");
+            BARRIERS.incr();
             self.batch_compile(t_next);
             if active.len() >= 2 {
-                perf::incr("fleet.step.parallel");
+                PARALLEL_STEPS.incr();
             }
 
             let ctx = self.step_ctx();
@@ -1564,6 +1808,9 @@ impl<'e, 'a> FleetRun<'e, 'a> {
             let mut queues: Vec<(usize, VecDeque<DeviceEvent>)> = Vec::with_capacity(active.len());
             for (&d, res) in active.iter().zip(results) {
                 queues.push((d, VecDeque::from(res?)));
+                // The barrier stepped every active device's queues and
+                // clock; their cached launch keys are stale.
+                self.index.mark(d);
             }
             loop {
                 let mut pick: Option<(f64, usize, usize)> = None;
@@ -1575,10 +1822,14 @@ impl<'e, 'a> FleetRun<'e, 'a> {
                     }
                 }
                 let Some((_, _, i)) = pick else { break };
-                let ev = queues[i].1.pop_front().expect("picked head exists");
+                let mut ev = queues[i].1.pop_front().expect("picked head exists");
                 for op in &ev.ops {
                     self.g.apply(op);
                 }
+                // Recycle the replayed event's op buffer into the
+                // device's spare pool for the next barrier.
+                ev.ops.clear();
+                self.devs[queues[i].0].spare_ops.push(ev.ops);
             }
         }
         Ok(())
@@ -1643,7 +1894,7 @@ impl<'e, 'a> FleetRun<'e, 'a> {
         if compiles.is_empty() {
             return;
         }
-        perf::add("fleet.plan.batch_compile", compiles.len() as u64);
+        BATCH_COMPILES.add(compiles.len() as u64);
         let results: Vec<Result<Plan, EngineError>> = if compiles.len() == 1 {
             let (d, n, b) = compiles[0];
             vec![self.pairs[d][n].cache.compile_detached(b)]
@@ -1794,6 +2045,9 @@ pub fn serve_fleet(
             preempt: 0,
             halt: health.as_ref().map_or(f64::INFINITY, |h| h.devs[d].halt()),
             blocked: false,
+            queued_requests: 0,
+            queued_images: 0,
+            spare_ops: Vec::new(),
         })
         .collect();
 
@@ -1805,23 +2059,38 @@ pub fn serve_fleet(
     // Deadline sheds happen on a *device* clock that may run ahead of
     // the event frontier, so their totals are sampled at the next commit
     // rather than at shed time.
+    // Resolve every gauge/latency-key handle once, up front: hot-path
+    // samples become index pushes, and unused registrations vanish from
+    // the finished timeline (empty slots are dropped), so this cannot
+    // change a single output byte.
+    let mut rec = Recorder::default();
+    let ids = FleetGaugeIds::new(&mut rec, k);
+    let slo_globals = slo_active.then(|| GlobalsSlo {
+        tenant_of: tags.clone(),
+        images_of: requests.iter().map(|r| r.images as u64).collect(),
+        latency_keys: cfg.tenants.iter().map(|t| rec.latency_key(&t.name)).collect(),
+        p99: cfg.tenants.iter().map(|t| t.class.p99_budget()).collect(),
+        violation_ids: cfg
+            .tenants
+            .iter()
+            .map(|t| {
+                t.class.p99_budget().map(|_| rec.gauge_id(&format!("tenant.{}.violations", t.name)))
+            })
+            .collect(),
+        completed: vec![0; nlanes],
+        images: vec![0; nlanes],
+        violations: vec![0; nlanes],
+    });
     let g = Globals {
         latencies: vec![0.0f64; requests.len()],
         placements: vec![0u32; requests.len()],
-        rec: Recorder::default(),
+        rec,
+        ids,
         seen_plans: BTreeSet::new(),
         cache_lookups: 0,
         cache_hits: 0,
         fleet_shed: 0,
-        slo: slo_active.then(|| GlobalsSlo {
-            tenant_of: tags.clone(),
-            images_of: requests.iter().map(|r| r.images as u64).collect(),
-            names: cfg.tenants.iter().map(|t| t.name.clone()).collect(),
-            p99: cfg.tenants.iter().map(|t| t.class.p99_budget()).collect(),
-            completed: vec![0; nlanes],
-            images: vec![0; nlanes],
-            violations: vec![0; nlanes],
-        }),
+        slo: slo_globals,
     };
     let phase_bounds: Vec<f64> = {
         let mut t = 0.0f64;
@@ -1864,6 +2133,9 @@ pub fn serve_fleet(
             rejected: vec![0; nlanes],
         }),
         health,
+        index: RouteIndex::new(k),
+        linear: linear_requested(),
+        loads_buf: Vec::new(),
     };
     if sequential_requested() {
         run.run_sequential()?;

@@ -83,6 +83,7 @@ pub mod metrics;
 pub mod placement;
 pub mod plan_cache;
 pub mod policy;
+mod route_index;
 pub mod server;
 pub mod slo;
 pub mod tenant;
@@ -93,7 +94,9 @@ pub use batch::{bucket_for, buckets, BatchPolicy};
 pub use capacity::{capacity_images_per_sec, feasible_max_batch};
 pub use fleet::{serve_fleet, DeviceReport, FleetBatch, FleetConfig, FleetReport, NetworkBuckets};
 pub use health::{HealthReport, HealthState};
-pub use metrics::{latency_stats, latency_stats_sorted, percentile, LatencyStats};
+pub use metrics::{
+    latency_stats, latency_stats_served, latency_stats_sorted, percentile, LatencyStats,
+};
 pub use placement::{
     DeviceLoad, LeastLoaded, MemoryAware, Placement, PlacementCtx, PlacementPolicy, QueueWeighted,
     RoundRobin,

@@ -43,6 +43,23 @@ pub fn latency_stats(latencies: &[f64]) -> LatencyStats {
     latency_stats_sorted(&sorted)
 }
 
+/// Summarize the *served* latencies of a sample that may contain shed/
+/// rejected sentinels (`<= 0`), sorting into a thread-local scratch
+/// buffer instead of cloning the vector per call. Bit-identical to
+/// filtering positives into a fresh `Vec` and calling [`latency_stats`].
+pub fn latency_stats_served(latencies: &[f64]) -> LatencyStats {
+    thread_local! {
+        static SCRATCH: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
+    SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        buf.clear();
+        buf.extend(latencies.iter().copied().filter(|&l| l > 0.0));
+        buf.sort_by(f64::total_cmp);
+        latency_stats_sorted(&buf)
+    })
+}
+
 /// Summarize an *already ascending-sorted* latency sample without
 /// re-sorting. Callers that compute several summaries from one report
 /// sort once and reuse the slice; results are bit-identical to
@@ -93,6 +110,24 @@ mod tests {
             assert_eq!(x.to_bits(), y.to_bits());
         }
         assert_eq!(latency_stats_sorted(&[]).count, 0);
+    }
+
+    #[test]
+    fn served_stats_skip_sentinels_without_cloning_semantics_changes() {
+        let mixed = [0.004, 0.0, 0.001, -1.0, 0.003, 0.0];
+        let served: Vec<f64> = mixed.iter().copied().filter(|&l| l > 0.0).collect();
+        let a = latency_stats_served(&mixed);
+        let b = latency_stats(&served);
+        assert_eq!(a.count, b.count);
+        for (x, y) in
+            [(a.mean, b.mean), (a.p50, b.p50), (a.p95, b.p95), (a.p99, b.p99), (a.max, b.max)]
+        {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // All-sentinel and empty inputs degrade to the zero summary, and
+        // the scratch buffer resets between calls.
+        assert_eq!(latency_stats_served(&[0.0, -2.0]).count, 0);
+        assert_eq!(latency_stats_served(&mixed).count, 3);
     }
 
     #[test]

@@ -30,7 +30,7 @@
 //! `MEMCNN_THREADS`.
 
 use crate::batch::{bucket_for, BatchPolicy};
-use crate::metrics::{latency_stats, LatencyStats};
+use crate::metrics::{latency_stats_served, LatencyStats};
 use crate::plan_cache::PlanCache;
 use crate::policy::{FaultPolicy, FaultStats};
 use crate::tenant::{SloReport, TenantSpec};
@@ -230,14 +230,10 @@ impl Serialize for ServeReport {
 impl ServeReport {
     /// Latency summary over served requests (shed and admission-rejected
     /// requests — the 0.0 sentinels — are excluded; neither has a
-    /// latency).
+    /// latency). Sorts into a reused thread-local scratch buffer instead
+    /// of cloning the latency vector per report.
     pub fn latency(&self) -> LatencyStats {
-        let rejected = self.slo.as_ref().map_or(0, |s| s.rejected);
-        if self.shed_requests == 0 && rejected == 0 {
-            return latency_stats(&self.latencies);
-        }
-        let served: Vec<f64> = self.latencies.iter().copied().filter(|&l| l > 0.0).collect();
-        latency_stats(&served)
+        latency_stats_served(&self.latencies)
     }
 
     /// Served images per second of makespan.
@@ -313,14 +309,22 @@ pub(crate) fn form(
     (j, images, false)
 }
 
-/// Emit a span on the faults track (a no-op unless tracing is active).
-pub(crate) fn fault_span(name: String, ts: f64, dur: f64, args: Vec<(String, String)>) {
-    trace::record_span(|| trace::SpanEvent {
-        name,
-        track: trace::Track::Faults,
-        ts_us: ts * 1e6,
-        dur_us: dur * 1e6,
-        args,
+/// Emit a span on the faults track. The name/args builder only runs when
+/// tracing is active, so hot loops pay no `format!`/`Vec` churn on the
+/// (overwhelmingly common) untraced path.
+pub(crate) fn fault_span<F>(ts: f64, dur: f64, build: F)
+where
+    F: FnOnce() -> (String, Vec<(trace::ArgValue, trace::ArgValue)>),
+{
+    trace::record_span(|| {
+        let (name, args) = build();
+        trace::SpanEvent {
+            name,
+            track: trace::Track::Faults,
+            ts_us: ts * 1e6,
+            dur_us: dur * 1e6,
+            args,
+        }
     });
 }
 
@@ -364,9 +368,9 @@ pub(crate) fn launch_ladder(
     launch: f64,
     device: Option<usize>,
 ) -> Result<LadderEnd, EngineError> {
-    let tag = |mut args: Vec<(String, String)>| {
+    let tag = |mut args: Vec<(trace::ArgValue, trace::ArgValue)>| {
         if let Some(d) = device {
-            args.push(("device".to_string(), d.to_string()));
+            args.push(("device".into(), d.to_string().into()));
         }
         args
     };
@@ -390,23 +394,23 @@ pub(crate) fn launch_ladder(
                     attempt += 1;
                     stats.retried += 1;
                     let backoff = pol.backoff(attempt);
-                    fault_span(
-                        format!("retry {attempt} after {layer}"),
-                        launch_at + att.time,
-                        backoff,
-                        tag(vec![("launch_index".to_string(), idx.to_string())]),
-                    );
+                    fault_span(launch_at + att.time, backoff, || {
+                        (
+                            format!("retry {attempt} after {layer}"),
+                            tag(vec![("launch_index".into(), idx.to_string().into())]),
+                        )
+                    });
                     // The failed attempt's partial time is real device
                     // occupancy; the backoff is the policy's pause.
                     launch_at += att.time + backoff;
                 } else {
                     stats.shed += 1;
-                    fault_span(
-                        format!("retries exhausted at {layer}"),
-                        launch_at + att.time,
-                        0.0,
-                        tag(vec![("attempts".to_string(), (attempt + 1).to_string())]),
-                    );
+                    fault_span(launch_at + att.time, 0.0, || {
+                        (
+                            format!("retries exhausted at {layer}"),
+                            tag(vec![("attempts".into(), (attempt + 1).to_string().into())]),
+                        )
+                    });
                     break Outcome::Shed { at: launch_at + att.time };
                 }
             }
@@ -415,21 +419,18 @@ pub(crate) fn launch_ladder(
                 if bucket > 1 {
                     stats.degraded += 1;
                     stats.oom_downshifts += 1;
-                    fault_span(
-                        format!("OOM at {layer}: downshift {bucket} -> {}", bucket / 2),
-                        launch_at + att.time,
-                        0.0,
-                        tag(vec![("bucket".to_string(), bucket.to_string())]),
-                    );
+                    fault_span(launch_at + att.time, 0.0, || {
+                        (
+                            format!("OOM at {layer}: downshift {bucket} -> {}", bucket / 2),
+                            tag(vec![("bucket".into(), bucket.to_string().into())]),
+                        )
+                    });
                     break Outcome::Downshift { at: launch_at + att.time };
                 } else {
                     stats.shed += 1;
-                    fault_span(
-                        format!("OOM at {layer} with bucket 1: shed"),
-                        launch_at + att.time,
-                        0.0,
-                        tag(vec![]),
-                    );
+                    fault_span(launch_at + att.time, 0.0, || {
+                        (format!("OOM at {layer} with bucket 1: shed"), tag(vec![]))
+                    });
                     break Outcome::Shed { at: launch_at + att.time };
                 }
             }
@@ -500,12 +501,9 @@ pub fn serve(
         if let Some(deadline) = pol.shed_deadline {
             while next < requests.len() && gpu_free - requests[next].arrival > deadline {
                 let r = &requests[next];
-                fault_span(
-                    format!("shed request {}", r.id),
-                    gpu_free,
-                    0.0,
-                    vec![("reason".to_string(), "deadline".to_string())],
-                );
+                fault_span(gpu_free, 0.0, || {
+                    (format!("shed request {}", r.id), vec![("reason".into(), "deadline".into())])
+                });
                 shed_requests += 1;
                 next += 1;
                 rec.gauge("shed.total", gpu_free, shed_requests as f64);
@@ -552,12 +550,12 @@ pub fn serve(
                     return Err(err);
                 }
                 plan_ooms += 1;
-                fault_span(
-                    format!("plan OOM at bucket {bucket}"),
-                    launch,
-                    0.0,
-                    vec![("new_cap".to_string(), (bucket / 2).to_string())],
-                );
+                fault_span(launch, 0.0, || {
+                    (
+                        format!("plan OOM at bucket {bucket}"),
+                        vec![("new_cap".into(), (bucket / 2).to_string().into())],
+                    )
+                });
                 plan_cap = (bucket / 2).max(1);
                 continue;
             }
@@ -600,9 +598,9 @@ pub fn serve(
                         ts_us: launch * 1e6,
                         dur_us: service * 1e6,
                         args: vec![
-                            ("requests".to_string(), reqs.to_string()),
-                            ("images".to_string(), images.to_string()),
-                            ("bucket".to_string(), bucket.to_string()),
+                            ("requests".into(), reqs.to_string().into()),
+                            ("images".into(), images.to_string().into()),
+                            ("bucket".into(), bucket.to_string().into()),
                         ],
                     });
                 }
@@ -624,12 +622,12 @@ pub fn serve(
                         clean_streak += 1;
                         if clean_streak >= pol.recovery_batches {
                             stats.degraded_exits += 1;
-                            fault_span(
-                                "leave degraded mode".to_string(),
-                                done,
-                                0.0,
-                                vec![("clean_batches".to_string(), clean_streak.to_string())],
-                            );
+                            fault_span(done, 0.0, || {
+                                (
+                                    "leave degraded mode".to_string(),
+                                    vec![("clean_batches".into(), clean_streak.to_string().into())],
+                                )
+                            });
                             pin = None;
                             clean_streak = 0;
                         }

@@ -47,10 +47,36 @@ use crate::tenant::{
 };
 use crate::workload::{self, Request};
 use memcnn_core::{Engine, EngineError, Network};
-use memcnn_metrics::Recorder;
+use memcnn_metrics::{GaugeId, Recorder};
 use memcnn_trace as trace;
 use memcnn_trace::perf;
 use std::collections::BTreeSet;
+
+/// One lane's cached arbitration key: the tentative launch
+/// [`window_launch`] computed under the state fingerprint alongside it.
+/// The cache hit condition exploits the window rule's shape — the launch
+/// starts from `max(gpu_free, oldest)`, so while the device clock stays
+/// at or below the lane's oldest pending arrival the result does not
+/// depend on `gpu_free` at all, and an unchanged `(next, emax)` pair
+/// pins the rest of the inputs (the admitted queue itself is immutable
+/// once routed). Exact-`f64`-bits equality everywhere keeps the cached
+/// selection byte-identical to a fresh scan; debug builds assert it.
+struct LaneKey {
+    next: usize,
+    emax: usize,
+    gpu_free: f64,
+    launch: f64,
+}
+
+impl LaneKey {
+    /// Whether the cached launch is still exact for the current state.
+    fn valid(&self, next: usize, emax: usize, gpu_free: f64, oldest: f64) -> bool {
+        self.next == next
+            && self.emax == emax
+            && (self.gpu_free.to_bits() == gpu_free.to_bits()
+                || (self.gpu_free <= oldest && gpu_free <= oldest))
+    }
+}
 
 /// One tenant's FIFO lane: the routed queue and the served prefix.
 pub(crate) struct Lane {
@@ -236,15 +262,15 @@ pub(crate) fn serve_tenants(
             lanes[t].queue.push(*r);
         } else {
             rejected[t] += 1;
-            fault_span(
-                format!("reject request {}", r.id),
-                r.arrival,
-                0.0,
-                vec![
-                    ("reason".to_string(), "admission".to_string()),
-                    ("tenant".to_string(), tenants[t].name.clone()),
-                ],
-            );
+            fault_span(r.arrival, 0.0, || {
+                (
+                    format!("reject request {}", r.id),
+                    vec![
+                        (trace::intern("reason").into(), trace::intern("admission").into()),
+                        (trace::intern("tenant").into(), trace::intern(&tenants[t].name).into()),
+                    ],
+                )
+            });
         }
     }
 
@@ -261,6 +287,25 @@ pub(crate) fn serve_tenants(
     let mut pin: Option<usize> = None;
     let mut clean_streak: u64 = 0;
     let mut rec = Recorder::default();
+    // Resolve every recorder handle once: per-sample emission becomes an
+    // index push, with no name lookup or `format!` on the commit path.
+    // Unused registrations drop out of the finished timeline, so the
+    // serialized output is unchanged.
+    let id_shed_total = rec.gauge_id("shed.total");
+    let id_queue_depth = rec.gauge_id("queue.depth");
+    let id_batch_images = rec.gauge_id("batch.images");
+    let id_batch_bucket = rec.gauge_id("batch.bucket");
+    let id_util = rec.gauge_id("util");
+    let id_hit_rate = rec.gauge_id("plan_cache.hit_rate");
+    let id_degraded = rec.gauge_id("degraded");
+    let id_violations = rec.gauge_id("slo.violations");
+    let tenant_keys: Vec<_> = tenants.iter().map(|t| rec.latency_key(&t.name)).collect();
+    let tenant_violation_ids: Vec<Option<GaugeId>> = tenants
+        .iter()
+        .map(|t| {
+            t.class.p99_budget().map(|_| rec.gauge_id(&format!("tenant.{}.violations", t.name)))
+        })
+        .collect();
     let mut seen_buckets: BTreeSet<usize> = BTreeSet::new();
     let mut cache_lookups = 0u64;
     let mut cache_hits = 0u64;
@@ -275,6 +320,11 @@ pub(crate) fn serve_tenants(
     let mut violations = vec![0u64; nt];
     let mut early = 0u64;
     let mut preempts = 0u64;
+    // Cached per-lane arbitration keys: a lane recomputes its tentative
+    // launch only when its own `(next, emax)` fingerprint changed or the
+    // device clock moved past its oldest pending arrival (see
+    // [`LaneKey`]). Commits touch one lane; the others' keys survive.
+    let mut lane_keys: Vec<Option<LaneKey>> = (0..nt).map(|_| None).collect();
 
     loop {
         // Deadline-based load shedding, per lane at the device clock —
@@ -283,19 +333,22 @@ pub(crate) fn serve_tenants(
             for (t, lane) in lanes.iter_mut().enumerate() {
                 while lane.has_pending() && gpu_free - lane.queue[lane.next].arrival > deadline {
                     let r = &lane.queue[lane.next];
-                    fault_span(
-                        format!("shed request {}", r.id),
-                        gpu_free,
-                        0.0,
-                        vec![
-                            ("reason".to_string(), "deadline".to_string()),
-                            ("tenant".to_string(), tenants[t].name.clone()),
-                        ],
-                    );
+                    fault_span(gpu_free, 0.0, || {
+                        (
+                            format!("shed request {}", r.id),
+                            vec![
+                                (trace::intern("reason").into(), trace::intern("deadline").into()),
+                                (
+                                    trace::intern("tenant").into(),
+                                    trace::intern(&tenants[t].name).into(),
+                                ),
+                            ],
+                        )
+                    });
                     shed_requests += 1;
                     shed_by[t] += 1;
                     lane.next += 1;
-                    rec.gauge("shed.total", gpu_free, shed_requests as f64);
+                    rec.gauge_at(id_shed_total, gpu_free, shed_requests as f64);
                 }
             }
         }
@@ -303,13 +356,29 @@ pub(crate) fn serve_tenants(
         let emax = plan_cap.min(pin.unwrap_or(plan_cap)).max(1);
         // Lane arbitration: earliest launch under each lane's own commit
         // budget; exact launch ties break by fairness credit, then class
-        // rank, then lane order (deterministic keep-first).
+        // rank, then lane order (deterministic keep-first). Launches come
+        // from the incrementally settled [`LaneKey`] cache; credits and
+        // ranks are read fresh (they are O(1) lookups and change on every
+        // settle).
         let mut best: Option<(f64, usize)> = None;
         for (t, lane) in lanes.iter().enumerate() {
             if !lane.has_pending() {
                 continue;
             }
-            let launch = window_launch(&lane.queue, lane.next, gpu_free, emax, budgets[t]);
+            let oldest = lane.queue[lane.next].arrival;
+            let launch = match &lane_keys[t] {
+                Some(k) if k.valid(lane.next, emax, gpu_free, oldest) => k.launch,
+                _ => {
+                    let fresh = window_launch(&lane.queue, lane.next, gpu_free, emax, budgets[t]);
+                    lane_keys[t] = Some(LaneKey { next: lane.next, emax, gpu_free, launch: fresh });
+                    fresh
+                }
+            };
+            debug_assert_eq!(
+                launch.to_bits(),
+                window_launch(&lane.queue, lane.next, gpu_free, emax, budgets[t]).to_bits(),
+                "lane-key cache diverged from a fresh window_launch"
+            );
             let take = match best {
                 None => true,
                 Some((bl, bt)) => {
@@ -353,12 +422,15 @@ pub(crate) fn serve_tenants(
                     return Err(err);
                 }
                 plan_ooms += 1;
-                fault_span(
-                    format!("plan OOM at bucket {bucket}"),
-                    launch,
-                    0.0,
-                    vec![("new_cap".to_string(), (bucket / 2).to_string())],
-                );
+                fault_span(launch, 0.0, || {
+                    (
+                        format!("plan OOM at bucket {bucket}"),
+                        vec![(
+                            trace::intern("new_cap").into(),
+                            trace::intern(&(bucket / 2).to_string()).into(),
+                        )],
+                    )
+                });
                 plan_cap = (bucket / 2).max(1);
                 continue;
             }
@@ -393,7 +465,7 @@ pub(crate) fn serve_tenants(
                         let latency = done - r.arrival;
                         latencies[r.id as usize] = latency;
                         rec.observe_latency(latency);
-                        rec.observe_latency_keyed(&tenants[t].name, latency);
+                        rec.observe_latency_keyed_at(tenant_keys[t], latency);
                         completed[t] += 1;
                         images_by[t] += r.images as u64;
                         if p99s[t].is_some_and(|b| latency > b) {
@@ -416,10 +488,19 @@ pub(crate) fn serve_tenants(
                         ts_us: launch * 1e6,
                         dur_us: service * 1e6,
                         args: vec![
-                            ("tenant".to_string(), tenant.clone()),
-                            ("requests".to_string(), reqs.to_string()),
-                            ("images".to_string(), images.to_string()),
-                            ("bucket".to_string(), bucket.to_string()),
+                            (trace::intern("tenant").into(), trace::intern(tenant).into()),
+                            (
+                                trace::intern("requests").into(),
+                                trace::intern(&reqs.to_string()).into(),
+                            ),
+                            (
+                                trace::intern("images").into(),
+                                trace::intern(&images.to_string()).into(),
+                            ),
+                            (
+                                trace::intern("bucket").into(),
+                                trace::intern(&bucket.to_string()).into(),
+                            ),
                         ],
                     });
                 }
@@ -438,12 +519,15 @@ pub(crate) fn serve_tenants(
                         clean_streak += 1;
                         if clean_streak >= pol.recovery_batches {
                             stats.degraded_exits += 1;
-                            fault_span(
-                                "leave degraded mode".to_string(),
-                                done,
-                                0.0,
-                                vec![("clean_batches".to_string(), clean_streak.to_string())],
-                            );
+                            fault_span(done, 0.0, || {
+                                (
+                                    "leave degraded mode".to_string(),
+                                    vec![(
+                                        trace::intern("clean_batches").into(),
+                                        trace::intern(&clean_streak.to_string()).into(),
+                                    )],
+                                )
+                            });
                             pin = None;
                             clean_streak = 0;
                         }
@@ -452,18 +536,17 @@ pub(crate) fn serve_tenants(
                     }
                 }
                 busy += done - launch;
-                rec.gauge("queue.depth", done, depth as f64);
-                rec.gauge("batch.images", done, images as f64);
-                rec.gauge("batch.bucket", done, bucket as f64);
-                rec.gauge("util", done, if done > 0.0 { busy / done } else { 0.0 });
-                rec.gauge("plan_cache.hit_rate", done, cache_hits as f64 / cache_lookups as f64);
-                rec.gauge("degraded", done, if pin.is_some() { 1.0 } else { 0.0 });
-                rec.gauge("shed.total", done, shed_requests as f64);
-                rec.gauge("slo.violations", done, violations.iter().sum::<u64>() as f64);
-                for (u, spec) in tenants.iter().enumerate() {
-                    if p99s[u].is_some() {
-                        let name = format!("tenant.{}.violations", spec.name);
-                        rec.gauge(&name, done, violations[u] as f64);
+                rec.gauge_at(id_queue_depth, done, depth as f64);
+                rec.gauge_at(id_batch_images, done, images as f64);
+                rec.gauge_at(id_batch_bucket, done, bucket as f64);
+                rec.gauge_at(id_util, done, if done > 0.0 { busy / done } else { 0.0 });
+                rec.gauge_at(id_hit_rate, done, cache_hits as f64 / cache_lookups as f64);
+                rec.gauge_at(id_degraded, done, if pin.is_some() { 1.0 } else { 0.0 });
+                rec.gauge_at(id_shed_total, done, shed_requests as f64);
+                rec.gauge_at(id_violations, done, violations.iter().sum::<u64>() as f64);
+                for (u, id) in tenant_violation_ids.iter().enumerate() {
+                    if let Some(id) = *id {
+                        rec.gauge_at(id, done, violations[u] as f64);
                     }
                 }
                 rec.sample_window(done);
@@ -477,8 +560,8 @@ pub(crate) fn serve_tenants(
                 shed_by[t] += batch_shed as u64;
                 lane.next = j_end;
                 busy += at - launch;
-                rec.gauge("shed.total", at, shed_requests as f64);
-                rec.gauge("util", at, if at > 0.0 { busy / at } else { 0.0 });
+                rec.gauge_at(id_shed_total, at, shed_requests as f64);
+                rec.gauge_at(id_util, at, if at > 0.0 { busy / at } else { 0.0 });
                 gpu_free = at;
                 settle_credits(&mut credits, tenants, |u| lanes[u].has_pending(), t, images);
             }
@@ -489,7 +572,7 @@ pub(crate) fn serve_tenants(
                 pin = Some((bucket / 2).max(1));
                 clean_streak = 0;
                 busy += at - launch;
-                rec.gauge("degraded", at, 1.0);
+                rec.gauge_at(id_degraded, at, 1.0);
                 gpu_free = at;
             }
         }

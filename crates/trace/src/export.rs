@@ -2,6 +2,7 @@
 //! `chrome://tracing`) and a human-readable text profile.
 
 use crate::counters::Aggregate;
+use crate::intern::ArgValue;
 use crate::{KernelRecord, Scope, SpanEvent, Trace, Track};
 use serde_json::Value;
 use std::collections::BTreeMap;
@@ -19,8 +20,12 @@ fn obj(pairs: Vec<(&str, Value)>) -> Value {
     Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
 
-fn args_obj(args: &[(String, String)]) -> Value {
-    Value::Object(args.iter().map(|(k, v)| (k.clone(), s(v))).collect())
+fn args_obj(args: &[(ArgValue, ArgValue)]) -> Value {
+    Value::Object(args.iter().map(|(k, v)| (k.as_str().to_string(), s(v.as_str()))).collect())
+}
+
+fn meta_obj(meta: &[(String, String)]) -> Value {
+    Value::Object(meta.iter().map(|(k, v)| (k.clone(), s(v))).collect())
 }
 
 /// How one recorded kernel is classified for reporting.
@@ -81,7 +86,7 @@ pub fn classify_kernels(trace: &Trace) -> Vec<(KernelClass, Option<usize>)> {
                 })
             }
             Track::Transforms => {
-                if arg(sp, "phase").as_deref() == Some("backward") {
+                if arg(sp, "phase").is_some_and(|v| v == "backward") {
                     continue; // arithmetic double of the forward transform
                 }
                 let Some(layer) = arg(sp, "layer") else { continue };
@@ -232,7 +237,7 @@ pub fn chrome_trace(trace: &Trace) -> String {
 
     let mut top = vec![("traceEvents", Value::Array(events)), ("displayTimeUnit", s("ms"))];
     if !trace.meta.is_empty() {
-        top.push(("otherData", args_obj(&trace.meta)));
+        top.push(("otherData", meta_obj(&trace.meta)));
     }
     serde_json::to_string(&obj(top)).expect("serializing a trace cannot fail")
 }
@@ -491,10 +496,7 @@ mod tests {
                     track: Track::Layers,
                     ts_us: 0.0,
                     dur_us: 10.0,
-                    args: vec![
-                        ("impl".to_string(), "mm".to_string()),
-                        ("layout".to_string(), "CHWN".to_string()),
-                    ],
+                    args: vec![("impl".into(), "mm".into()), ("layout".into(), "CHWN".into())],
                 });
             }
         }

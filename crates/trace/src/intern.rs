@@ -1,0 +1,179 @@
+//! Process-wide string interning for trace annotations.
+//!
+//! Serving loops attach the same handful of strings — device labels,
+//! network names, tenant names, annotation keys — to millions of span
+//! events. Interning maps each distinct string to a small integer id
+//! ([`Sym`]) exactly once; after that, building an annotation is a
+//! 4-byte copy instead of a heap allocation, and resolution back to
+//! `&str` is an index into a leaked table (the set of interned strings
+//! is small and bounded by construction: names, not payloads).
+//!
+//! [`ArgValue`] is the annotation value type [`SpanEvent`](crate::SpanEvent)
+//! carries: either an interned [`Sym`] or an owned `String` for one-off
+//! values (ids, counts). Both compare and render as their string form,
+//! so exporters and tests are agnostic to which representation a
+//! recording site chose.
+
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string: a small id resolving to a `&'static str`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Sym(u32);
+
+struct Interner {
+    table: Vec<&'static str>,
+    ids: HashMap<&'static str, u32>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| RwLock::new(Interner { table: Vec::new(), ids: HashMap::new() }))
+}
+
+/// Intern `s`, returning its stable process-wide [`Sym`]. The first
+/// interning of a distinct string leaks one copy of it (the table is
+/// append-only); repeat calls are a shared-lock lookup.
+pub fn intern(s: &str) -> Sym {
+    if let Some(&id) = interner().read().expect("interner poisoned").ids.get(s) {
+        return Sym(id);
+    }
+    let mut w = interner().write().expect("interner poisoned");
+    if let Some(&id) = w.ids.get(s) {
+        return Sym(id);
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    let id = w.table.len() as u32;
+    w.table.push(leaked);
+    w.ids.insert(leaked, id);
+    Sym(id)
+}
+
+impl Sym {
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().read().expect("interner poisoned").table[self.0 as usize]
+    }
+}
+
+impl std::fmt::Display for Sym {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One annotation key or value on a span: interned ([`Sym`]) for the
+/// bounded name-like strings hot loops repeat, owned for one-offs.
+#[derive(Clone, Debug)]
+pub enum ArgValue {
+    /// An owned one-off value (request ids, counts, ...).
+    Str(String),
+    /// An interned name (device label, network, tenant, key).
+    Sym(Sym),
+}
+
+impl ArgValue {
+    /// The annotation as a string slice, whichever representation.
+    pub fn as_str(&self) -> &str {
+        match self {
+            ArgValue::Str(s) => s.as_str(),
+            ArgValue::Sym(sym) => sym.as_str(),
+        }
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(s: String) -> ArgValue {
+        ArgValue::Str(s)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(s: &str) -> ArgValue {
+        ArgValue::Str(s.to_string())
+    }
+}
+
+impl From<Sym> for ArgValue {
+    fn from(sym: Sym) -> ArgValue {
+        ArgValue::Sym(sym)
+    }
+}
+
+impl PartialEq for ArgValue {
+    fn eq(&self, other: &ArgValue) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for ArgValue {}
+
+impl PartialEq<str> for ArgValue {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for ArgValue {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialOrd for ArgValue {
+    fn partial_cmp(&self, other: &ArgValue) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ArgValue {
+    fn cmp(&self, other: &ArgValue) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl std::fmt::Display for ArgValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_deduplicated() {
+        let a = intern("test.intern.device0");
+        let b = intern("test.intern.device0");
+        let c = intern("test.intern.device1");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "test.intern.device0");
+        assert_eq!(c.as_str(), "test.intern.device1");
+        assert_eq!(a.to_string(), "test.intern.device0");
+    }
+
+    #[test]
+    fn arg_values_compare_by_string_across_representations() {
+        let sym: ArgValue = intern("test.intern.argv").into();
+        let owned: ArgValue = "test.intern.argv".to_string().into();
+        let slice: ArgValue = "test.intern.argv".into();
+        assert_eq!(sym, owned);
+        assert_eq!(owned, slice);
+        assert_eq!(sym, *"test.intern.argv");
+        assert_eq!(sym, "test.intern.argv");
+        assert_eq!(sym.as_str(), "test.intern.argv");
+        let other: ArgValue = "test.intern.argw".into();
+        assert!(sym < other);
+        assert_ne!(sym, other);
+    }
+
+    #[test]
+    fn concurrent_interning_agrees_on_ids() {
+        let handles: Vec<_> =
+            (0..8).map(|_| std::thread::spawn(|| intern("test.intern.concurrent"))).collect();
+        let syms: Vec<Sym> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(syms.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -28,9 +28,11 @@
 
 pub mod counters;
 pub mod export;
+pub mod intern;
 pub mod perf;
 
 pub use counters::{Aggregate, KernelCounters};
+pub use intern::{intern, ArgValue, Sym};
 
 use std::cell::RefCell;
 
@@ -156,8 +158,11 @@ pub struct SpanEvent {
     pub ts_us: f64,
     /// Duration, microseconds.
     pub dur_us: f64,
-    /// Key/value annotations (layout, impl, ...).
-    pub args: Vec<(String, String)>,
+    /// Key/value annotations (layout, impl, ...). Keys and values are
+    /// [`ArgValue`]s so hot recording loops can pass interned [`Sym`]s
+    /// for the bounded name-like strings (devices, networks, tenants)
+    /// instead of allocating fresh `String`s per event.
+    pub args: Vec<(ArgValue, ArgValue)>,
 }
 
 /// One sample of a named counter series on one track — exported as a

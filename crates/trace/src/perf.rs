@@ -70,6 +70,55 @@ pub fn snapshot() -> BTreeMap<String, u64> {
         .collect()
 }
 
+/// A lazily resolved, statically cached counter handle for hot paths.
+///
+/// [`incr`]/[`add`] re-resolve the name through the registry's shared
+/// lock on every call; inner-loop call sites (the fleet's per-barrier
+/// and per-batch counters) instead declare one of these as a `static`
+/// and pay the lock exactly once per process — every later bump is a
+/// single relaxed atomic add on the cached [`Counter`] `Arc`.
+/// [`reset`] keeps handles valid (it zeroes the shared cells in place),
+/// so benches that reset between runs see cached increments too.
+///
+/// ```
+/// use memcnn_trace::perf;
+/// static EVENTS: perf::CachedCounter = perf::CachedCounter::new("doc.cached.events");
+/// EVENTS.incr();
+/// EVENTS.add(2);
+/// assert_eq!(perf::get("doc.cached.events"), 3);
+/// ```
+pub struct CachedCounter {
+    name: &'static str,
+    cell: OnceLock<Counter>,
+}
+
+impl CachedCounter {
+    /// A handle for `name`, resolved on first use.
+    pub const fn new(name: &'static str) -> CachedCounter {
+        CachedCounter { name, cell: OnceLock::new() }
+    }
+
+    fn cell(&self) -> &Counter {
+        self.cell.get_or_init(|| counter(self.name))
+    }
+
+    /// Increment by one (atomic add; no registry lookup after the first
+    /// call).
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.cell().fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell().load(Ordering::Relaxed)
+    }
+}
+
 /// A point-in-time snapshot of every registered counter, used to report
 /// *per-run deltas* instead of process-lifetime totals. The counters are
 /// global and monotonically increasing, so within one process several
@@ -158,6 +207,21 @@ mod tests {
         // Held handles survive a reset.
         c.fetch_add(7, Ordering::Relaxed);
         assert_eq!(get("test.perf.lifecycle"), 7);
+    }
+
+    #[test]
+    fn cached_counter_tracks_the_registry_cell_across_resets() {
+        static CACHED: CachedCounter = CachedCounter::new("test.perf.cached");
+        CACHED.incr();
+        CACHED.add(4);
+        assert_eq!(get("test.perf.cached"), 5);
+        assert_eq!(CACHED.get(), 5);
+        // The free functions and the cached handle share one cell.
+        add("test.perf.cached", 1);
+        assert_eq!(CACHED.get(), 6);
+        reset();
+        CACHED.incr();
+        assert_eq!(get("test.perf.cached"), 1, "cached handles survive reset()");
     }
 
     #[test]

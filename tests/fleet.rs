@@ -261,4 +261,51 @@ fn fleet_is_deterministic_exact_at_k1_and_balanced_under_faults() {
         "malformed MEMCNN_FLEET_SEQUENTIAL must fall back to the (identical) parallel path"
     );
     std::env::remove_var("MEMCNN_FLEET_SEQUENTIAL");
+
+    // (7) Route-index equivalence at K = 8 (an existing <=16-device
+    // scenario): MEMCNN_FLEET_LINEAR=1 retains the pre-index linear
+    // global-best scan and lane-walking load snapshots, and its *entire*
+    // report — latencies, placements, batch records, metrics timeline —
+    // must match the indexed router's byte for byte. (Debug builds also
+    // cross-check every indexed selection against the scan inline.)
+    std::env::set_var("MEMCNN_FLEET_LINEAR", "1");
+    let lin = serve_fleet(&eights, &nets, &cfg).unwrap();
+    assert_eq!(
+        serde_json::to_string(&par).unwrap(),
+        serde_json::to_string(&lin).unwrap(),
+        "linear-scan and indexed-router fleet reports must be byte-identical"
+    );
+    // Malformed values warn once and keep the indexed router.
+    std::env::set_var("MEMCNN_FLEET_LINEAR", "sorta");
+    let lin_fallback = serve_fleet(&eights, &nets, &cfg).unwrap();
+    assert_eq!(
+        serde_json::to_string(&par).unwrap(),
+        serde_json::to_string(&lin_fallback).unwrap(),
+        "malformed MEMCNN_FLEET_LINEAR must fall back to the (identical) indexed router"
+    );
+    std::env::remove_var("MEMCNN_FLEET_LINEAR");
+
+    // (8) K = 64 digest matrix: thread re-sets {1, 13, 4}, the
+    // sequential oracle, and the linear router must all reproduce the
+    // same digest — the index maintains 64 tentative-launch keys
+    // incrementally without perturbing a single selection.
+    std::env::set_var("MEMCNN_THREADS", "4");
+    let sixty_four: Vec<&Engine> = std::iter::repeat_n(&shared, 64).collect();
+    let k64_base = digest(&serve_fleet(&sixty_four, &nets, &cfg).unwrap());
+    for threads in ["1", "13", "4"] {
+        std::env::set_var("MEMCNN_THREADS", threads);
+        let rerun = digest(&serve_fleet(&sixty_four, &nets, &cfg).unwrap());
+        assert_eq!(
+            k64_base, rerun,
+            "K=64 fleet diverged after re-setting MEMCNN_THREADS={threads}"
+        );
+    }
+    std::env::set_var("MEMCNN_FLEET_SEQUENTIAL", "1");
+    let k64_seq = digest(&serve_fleet(&sixty_four, &nets, &cfg).unwrap());
+    assert_eq!(k64_base, k64_seq, "K=64 sequential oracle diverged from the parallel path");
+    std::env::remove_var("MEMCNN_FLEET_SEQUENTIAL");
+    std::env::set_var("MEMCNN_FLEET_LINEAR", "1");
+    let k64_lin = digest(&serve_fleet(&sixty_four, &nets, &cfg).unwrap());
+    assert_eq!(k64_base, k64_lin, "K=64 linear scan diverged from the indexed router");
+    std::env::remove_var("MEMCNN_FLEET_LINEAR");
 }

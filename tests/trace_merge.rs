@@ -15,14 +15,17 @@ use memcnn::trace::perf;
 use memcnn::trace::{self, Scope};
 use memcnn_bench::util::Ctx;
 
-/// Sortable digest of one span: everything the exporters consume.
+/// Sortable digest of one span: everything the exporters consume. Args
+/// compare by their string contents, so an interned `Sym` and an owned
+/// `String` with the same text digest identically — exactly what the
+/// exporters serialize.
 fn span_key(sp: &trace::SpanEvent) -> (String, String, u64, u64, Vec<(String, String)>) {
     (
         sp.name.clone(),
         format!("{:?}", sp.track),
         sp.ts_us.to_bits(),
         sp.dur_us.to_bits(),
-        sp.args.clone(),
+        sp.args.iter().map(|(k, v)| (k.as_str().to_string(), v.as_str().to_string())).collect(),
     )
 }
 
